@@ -1,0 +1,50 @@
+// Fig. 3: DBE spatial distribution, cage distribution (all events vs
+// distinct cards), and per-structure breakdown (Observation 3).
+#include "bench/common.hpp"
+
+#include "analysis/spatial.hpp"
+
+int main() {
+  using namespace titan;
+  const auto& study = bench::full_study();
+  const auto& events = bench::full_events();
+
+  bench::print_header("Fig. 3(a) -- Spatial distribution of DBEs (8 rows x 25 columns)");
+  const auto grid = analysis::cabinet_heatmap(events, xid::ErrorKind::kDoubleBitError);
+  bench::print_block(render::heatmap(grid));
+  std::printf("  total: %.0f DBEs; spatial CoV %.2f (rare events: uneven is expected)\n",
+              grid.total(), grid.coefficient_of_variation());
+
+  bench::print_header("Fig. 3(b) -- DBEs by cage position");
+  const auto cages = analysis::cage_distribution(events, xid::ErrorKind::kDoubleBitError,
+                                                 study.fleet.ledger());
+  const std::vector<std::string> labels{"cage 0 (bottom)", "cage 1", "cage 2 (top)"};
+  std::vector<std::uint64_t> counts(cages.event_counts.begin(), cages.event_counts.end());
+  bench::print_block(render::bar_chart(labels, counts));
+  std::printf("  distinct cards per cage:\n");
+  std::vector<std::uint64_t> distinct(cages.distinct_cards.begin(),
+                                      cages.distinct_cards.end());
+  bench::print_block(render::bar_chart(labels, distinct));
+  bench::print_row("top/bottom cage ratio", "> 1 (upper cages hotter)",
+                   render::fmt_double(cages.top_to_bottom_ratio(), 2));
+
+  bench::print_header("Fig. 3(c) -- DBE breakdown by memory structure");
+  const auto breakdown =
+      analysis::structure_breakdown(events, xid::ErrorKind::kDoubleBitError);
+  const double device = breakdown.share(xid::MemoryStructure::kDeviceMemory);
+  const double regfile = breakdown.share(xid::MemoryStructure::kRegisterFile);
+  bench::print_row("device memory share", render::fmt_percent(0.86),
+                   render::fmt_percent(device));
+  bench::print_row("register file share", render::fmt_percent(0.14),
+                   render::fmt_percent(regfile));
+
+  bool ok = true;
+  ok &= bench::check("upper cages see more DBEs than lower (ratio >= 1.15)",
+                     cages.top_to_bottom_ratio() >= analysis::paper::kCageRatioAtLeast);
+  ok &= bench::check("distinct-card trend matches (top >= bottom)",
+                     cages.distinct_cards[2] >= cages.distinct_cards[0]);
+  ok &= bench::check("device memory dominates (80-92%)", device > 0.80 && device < 0.92);
+  ok &= bench::check("remainder lands in the register file",
+                     std::abs(device + regfile - 1.0) < 1e-9);
+  return ok ? 0 : 1;
+}

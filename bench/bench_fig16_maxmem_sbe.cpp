@@ -1,0 +1,12 @@
+// Fig. 16: maximum memory consumption vs SBEs (Observation 11: weak).
+#include "bench/metric_figure.hpp"
+
+int main() {
+  titan::bench::MetricFigureSpec spec;
+  spec.metric = titan::analysis::JobMetric::kMaxMemory;
+  spec.figure = "Fig. 16";
+  spec.paper_spearman = "< 0.50 (very little correlation)";
+  spec.spearman_all_min = -0.3;
+  spec.spearman_all_max = titan::analysis::paper::kMemorySpearmanBelow;
+  return titan::bench::run_metric_figure(spec);
+}

@@ -1,0 +1,12 @@
+// Fig. 17: total memory consumption vs SBEs (Observation 11: weak).
+#include "bench/metric_figure.hpp"
+
+int main() {
+  titan::bench::MetricFigureSpec spec;
+  spec.metric = titan::analysis::JobMetric::kTotalMemory;
+  spec.figure = "Fig. 17";
+  spec.paper_spearman = "< 0.50 (very little correlation)";
+  spec.spearman_all_min = -0.3;
+  spec.spearman_all_max = titan::analysis::paper::kMemorySpearmanBelow;
+  return titan::bench::run_metric_figure(spec);
+}

@@ -1,0 +1,14 @@
+// Fig. 18: node count vs SBEs (paper: Spearman 0.57; drops below 0.50
+// without the top-10 offenders).
+#include "bench/metric_figure.hpp"
+
+int main() {
+  titan::bench::MetricFigureSpec spec;
+  spec.metric = titan::analysis::JobMetric::kNodeCount;
+  spec.figure = "Fig. 18";
+  spec.paper_spearman = "0.57";
+  spec.spearman_all_min = 0.35;
+  spec.spearman_all_max = 0.80;
+  spec.expect_excl_below_half = true;
+  return titan::bench::run_metric_figure(spec);
+}

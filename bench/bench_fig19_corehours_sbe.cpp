@@ -1,0 +1,32 @@
+// Fig. 19: GPU core hours vs SBEs (paper: Spearman 0.70, the strongest
+// job-level correlate; drops below 0.50 without the top-10 offenders).
+#include "bench/metric_figure.hpp"
+
+int main() {
+  using namespace titan;
+  bench::MetricFigureSpec spec;
+  spec.metric = analysis::JobMetric::kGpuCoreHours;
+  spec.figure = "Fig. 19";
+  spec.paper_spearman = "0.70";
+  spec.spearman_all_min = 0.45;
+  spec.spearman_all_max = 0.90;
+  spec.expect_excl_below_half = true;
+  int rc = bench::run_metric_figure(spec);
+
+  // Cross-figure ordering: core hours must be the strongest correlate.
+  const auto& study = bench::utilization();
+  double core = 0.0;
+  double strongest_other = -1.0;
+  for (const auto& mc : study.metrics) {
+    if (mc.metric == analysis::JobMetric::kGpuCoreHours) {
+      core = mc.spearman_all.coefficient;
+    } else {
+      strongest_other = std::max(strongest_other, mc.spearman_all.coefficient);
+    }
+  }
+  if (!bench::check("GPU core hours is the strongest job-level correlate",
+                    core > strongest_other)) {
+    rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,130 @@
+// Performance microbenches (google-benchmark) for the framework's hot
+// kernels: SECDED codec, console-line emit/parse, temporal filtering,
+// correlation statistics, topology math, and a small end-to-end study.
+#include <benchmark/benchmark.h>
+
+#include "core/facility.hpp"
+#include "gpu/secded.hpp"
+#include "logsim/console.hpp"
+#include "parse/console.hpp"
+#include "parse/filter.hpp"
+#include "stats/correlation.hpp"
+#include "stats/distributions.hpp"
+#include "topology/torus.hpp"
+
+namespace {
+
+using namespace titan;
+
+void BM_SecdedEncode(benchmark::State& state) {
+  stats::Rng rng{1};
+  std::uint64_t data = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::secded_encode(data));
+    ++data;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecodeClean(benchmark::State& state) {
+  const auto word = gpu::secded_encode(0xdeadbeef12345678ULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::secded_decode(word));
+  }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void BM_SecdedDecodeCorrect(benchmark::State& state) {
+  auto word = gpu::secded_encode(0xdeadbeef12345678ULL);
+  word.flip(37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpu::secded_decode(word));
+  }
+}
+BENCHMARK(BM_SecdedDecodeCorrect);
+
+void BM_ConsoleLineEmit(benchmark::State& state) {
+  xid::Event e;
+  e.time = 1400000000;
+  e.node = 12345;
+  e.kind = xid::ErrorKind::kDoubleBitError;
+  e.structure = xid::MemoryStructure::kDeviceMemory;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logsim::console_line(e));
+  }
+}
+BENCHMARK(BM_ConsoleLineEmit);
+
+void BM_ConsoleLineParse(benchmark::State& state) {
+  xid::Event e;
+  e.time = 1400000000;
+  e.node = 12345;
+  e.kind = xid::ErrorKind::kDoubleBitError;
+  e.structure = xid::MemoryStructure::kDeviceMemory;
+  const std::string line = logsim::console_line(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse::parse_console_line(line));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(line.size()));
+}
+BENCHMARK(BM_ConsoleLineParse);
+
+void BM_FilterEvents(benchmark::State& state) {
+  stats::Rng rng{7};
+  std::vector<parse::ParsedEvent> events(static_cast<std::size_t>(state.range(0)));
+  stats::TimeSec t = 0;
+  for (auto& e : events) {
+    t += static_cast<stats::TimeSec>(rng.below(10));
+    e.time = t;
+    e.node = static_cast<topology::NodeId>(rng.below(topology::kNodeSlots));
+    e.kind = xid::ErrorKind::kGraphicsEngineException;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse::filter_events(events, parse::FilterParams{5.0}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterEvents)->Arg(1000)->Arg(100000);
+
+void BM_Spearman(benchmark::State& state) {
+  stats::Rng rng{9};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = x[i] * 0.5 + rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::spearman(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Spearman)->Arg(1000)->Arg(100000);
+
+void BM_TorusMath(benchmark::State& state) {
+  topology::NodeId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::torus_rank(topology::torus_coord(id)));
+    id = (id + 1) % topology::kNodeSlots;
+  }
+}
+BENCHMARK(BM_TorusMath);
+
+void BM_PoissonProcess(benchmark::State& state) {
+  stats::Rng rng{11};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::sample_poisson_process(rng, 1.0, 0.0, 10000.0));
+  }
+}
+BENCHMARK(BM_PoissonProcess);
+
+void BM_QuickStudyEndToEnd(benchmark::State& state) {
+  // Full machine, 3-month campaign: the integration-test workload.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_study(core::quick_config(42)));
+  }
+}
+BENCHMARK(BM_QuickStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Table 1: GPU hardware related errors.
+#include "bench/common.hpp"
+
+#include "xid/taxonomy.hpp"
+
+int main() {
+  using namespace titan;
+  bench::print_header("Table 1 -- GPU hardware related errors");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto kind : xid::table1_hardware()) {
+    const auto& info = xid::info(kind);
+    rows.push_back({std::string{info.name},
+                    info.xid ? std::to_string(*info.xid) : std::string{"-"},
+                    info.crashes_app ? "yes" : "no",
+                    info.thermally_sensitive ? "yes" : "no"});
+  }
+  // XID 64 shares Table 1's retirement row ("63,64") in the paper.
+  const std::vector<std::string> header{"GPU Error", "XID", "crashes app", "thermal"};
+  bench::print_block(render::table(header, rows));
+
+  bool ok = true;
+  ok &= bench::check("8 hardware rows as in the paper", xid::table1_hardware().size() == 8);
+  ok &= bench::check("SBE and OTB carry no XID code",
+                     !xid::info(xid::ErrorKind::kSingleBitError).xid &&
+                         !xid::info(xid::ErrorKind::kOffTheBus).xid);
+  ok &= bench::check("DBE is XID 48",
+                     xid::info(xid::ErrorKind::kDoubleBitError).xid == 48);
+  ok &= bench::check("retirement XIDs are 63/64",
+                     xid::info(xid::ErrorKind::kPageRetirement).xid == 63 &&
+                         xid::info(xid::ErrorKind::kPageRetirementFailed).xid == 64);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Table 2: GPU software/firmware related errors.
+#include "bench/common.hpp"
+
+#include "xid/taxonomy.hpp"
+
+namespace {
+
+std::string cause_list(std::uint8_t causes) {
+  using namespace titan::xid;
+  std::string out;
+  const auto add = [&](std::uint8_t flag, const char* name) {
+    if ((causes & flag) == 0) return;
+    if (!out.empty()) out += ", ";
+    out += name;
+  };
+  add(kCauseDriver, "Driver");
+  add(kCauseUserApp, "User App");
+  add(kCauseFbCorruption, "Memory/FB Corruption");
+  add(kCauseBusError, "Bus Error");
+  add(kCauseThermal, "Thermal");
+  add(kCauseHardware, "Hardware");
+  add(kCauseSystemIntegration, "System Integration");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace titan;
+  bench::print_header("Table 2 -- GPU software/firmware related errors");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto kind : xid::table2_software()) {
+    const auto& info = xid::info(kind);
+    rows.push_back({std::string{info.name}, std::to_string(*info.xid),
+                    cause_list(info.causes)});
+  }
+  const std::vector<std::string> header{"GPU Error", "XID", "possible cause"};
+  bench::print_block(render::table(header, rows));
+
+  bool ok = true;
+  ok &= bench::check("12 software/firmware rows as in the paper",
+                     xid::table2_software().size() == 12);
+  ok &= bench::check("XIDs 57/58 appear in both tables (ambiguous source)",
+                     xid::info(xid::ErrorKind::kVideoMemProgramming).klass ==
+                             xid::ErrorClass::kAmbiguous &&
+                         xid::info(xid::ErrorKind::kUnstableVideoMem).klass ==
+                             xid::ErrorClass::kAmbiguous);
+  ok &= bench::check("XID 13 lists user app among causes",
+                     (xid::info(xid::ErrorKind::kGraphicsEngineException).causes &
+                      xid::kCauseUserApp) != 0);
+  ok &= bench::check("micro-controller halts are 59 (old) / 62 (new, thermal)",
+                     xid::info(xid::ErrorKind::kUcHaltOldDriver).xid == 59 &&
+                         xid::info(xid::ErrorKind::kUcHaltNewDriver).xid == 62 &&
+                         xid::info(xid::ErrorKind::kUcHaltNewDriver).thermally_sensitive);
+  return ok ? 0 : 1;
+}

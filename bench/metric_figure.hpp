@@ -1,0 +1,74 @@
+// Shared driver for the Figs. 16-19 family: one job metric against
+// per-job SBE counts, normalized/sorted series, Spearman/Pearson, and the
+// exclude-top-10-offenders rerun.
+#pragma once
+
+#include "analysis/utilization.hpp"
+#include "bench/common.hpp"
+
+namespace titan::bench {
+
+inline const analysis::UtilizationStudy& utilization() {
+  static const analysis::UtilizationStudy study = [] {
+    const auto& d = full_study();
+    return analysis::utilization_study(d.trace, d.sbe_strikes, smi_window_begin(),
+                                       d.config.period.end);
+  }();
+  return study;
+}
+
+struct MetricFigureSpec {
+  analysis::JobMetric metric{};
+  std::string figure;            ///< "Fig. 16", ...
+  std::string paper_spearman;    ///< the paper's claim, as text
+  /// Shape checks.
+  double spearman_all_min = -1.0;
+  double spearman_all_max = 1.0;
+  bool expect_excl_below_half = false;
+};
+
+/// Prints the figure and evaluates its checks; returns process exit code.
+inline int run_metric_figure(const MetricFigureSpec& spec) {
+  const auto& study = utilization();
+  const analysis::MetricCorrelation* mc = nullptr;
+  for (const auto& m : study.metrics) {
+    if (m.metric == spec.metric) mc = &m;
+  }
+  if (mc == nullptr) return 2;
+
+  print_header(spec.figure + " -- " + std::string{analysis::metric_name(spec.metric)} +
+               " vs single bit errors");
+  std::printf("  window jobs: %zu   (excluding top-10 offender jobs: %zu)\n", mc->jobs_all,
+              mc->jobs_excl);
+
+  // The paper's presentation: jobs sorted by the metric, both series
+  // normalized to their means, shown here as 20 bins.
+  const auto bins =
+      analysis::sorted_series_bins(full_study().trace, study.job_sbe, spec.metric, 20);
+  std::printf("  bin |   metric/mean |  SBE/mean\n");
+  for (std::size_t b = 0; b < bins.metric_mean.size(); ++b) {
+    std::printf("  %3zu | %13.3f | %9.3f\n", b + 1, bins.metric_mean[b], bins.sbe_mean[b]);
+  }
+
+  print_row("Spearman (all jobs)", spec.paper_spearman,
+            render::fmt_double(mc->spearman_all.coefficient, 2) +
+                " (p=" + render::fmt_double(mc->spearman_all.p_value, 4) + ")");
+  print_row("Pearson (all jobs)", "lower than Spearman (nonlinear relationship)",
+            render::fmt_double(mc->pearson_all.coefficient, 2));
+  print_row("Spearman excluding top-10 offender jobs", "weakened",
+            render::fmt_double(mc->spearman_excl.coefficient, 2));
+
+  bool ok = true;
+  ok &= check("Spearman (all jobs) within the paper's band",
+              mc->spearman_all.coefficient >= spec.spearman_all_min &&
+                  mc->spearman_all.coefficient <= spec.spearman_all_max);
+  ok &= check("correlation is statistically significant (p < 0.05) or negligible",
+              mc->spearman_all.significant() || std::abs(mc->spearman_all.coefficient) < 0.2);
+  if (spec.expect_excl_below_half) {
+    ok &= check("excluding top-10 offenders drops Spearman below 0.50",
+                mc->spearman_excl.coefficient < analysis::paper::kExclTop10SpearmanBelow);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace titan::bench

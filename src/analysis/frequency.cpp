@@ -1,0 +1,35 @@
+#include "analysis/frequency.hpp"
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::analysis {
+
+stats::MonthlySeries monthly_frequency(std::span<const parse::ParsedEvent> events,
+                                       xid::ErrorKind kind, stats::TimeSec begin,
+                                       stats::TimeSec end) {
+  return stats::monthly_counts(times_of_kind(events, kind), begin, end);
+}
+
+stats::MtbfEstimate kind_mtbf(std::span<const parse::ParsedEvent> events, xid::ErrorKind kind,
+                              stats::TimeSec begin, stats::TimeSec end) {
+  return stats::estimate_mtbf(times_of_kind(events, kind), begin, end);
+}
+
+double daily_dispersion_index(std::span<const parse::ParsedEvent> events, xid::ErrorKind kind,
+                              stats::TimeSec begin, stats::TimeSec end) {
+  if (end <= begin) return 0.0;
+  const auto days = static_cast<std::size_t>((end - begin + stats::kSecondsPerDay - 1) /
+                                             stats::kSecondsPerDay);
+  std::vector<double> daily(days, 0.0);
+  for (const auto& e : events) {
+    if (e.kind != kind || e.time < begin || e.time >= end) continue;
+    daily[static_cast<std::size_t>((e.time - begin) / stats::kSecondsPerDay)] += 1.0;
+  }
+  const double m = stats::mean(daily);
+  if (m == 0.0) return 0.0;
+  return stats::variance(daily) / m;
+}
+
+}  // namespace titan::analysis

@@ -1,0 +1,63 @@
+#include "analysis/interruption.hpp"
+
+#include <unordered_map>
+
+namespace titan::analysis {
+
+namespace {
+
+[[nodiscard]] std::size_t size_class(std::size_t nodes) {
+  std::size_t cls = 0;
+  for (std::size_t i = 0; i < kSizeClassLowerBounds.size(); ++i) {
+    if (nodes >= kSizeClassLowerBounds[i]) cls = i;
+  }
+  return cls;
+}
+
+}  // namespace
+
+InterruptionStudy interruption_study(std::span<const xid::Event> events,
+                                     const sched::JobTrace& trace, stats::TimeSec begin,
+                                     stats::TimeSec end) {
+  InterruptionStudy out;
+
+  // First interruption per job: events are time-sorted, so the first hit
+  // wins.  Child events share the parent's job and would double-count, so
+  // only root (parent < 0) app-fatal events count as interruptions.
+  std::unordered_map<xid::JobId, stats::TimeSec> first_hit;
+  std::size_t app_fatal_events = 0;
+  for (const auto& e : events) {
+    if (e.time < begin || e.time >= end) continue;
+    if (!xid::info(e.kind).crashes_app) continue;
+    if (e.is_child()) continue;
+    ++app_fatal_events;
+    if (e.job == xid::kNoJob) continue;
+    first_hit.emplace(e.job, e.time);  // keeps the earliest (stream sorted)
+  }
+
+  for (const auto& job : trace.jobs()) {
+    if (job.start < begin || job.start >= end) continue;
+    ++out.total_jobs;
+    const double node_hours = static_cast<double>(job.node_count()) * job.wall_hours();
+    out.total_node_hours += node_hours;
+    auto& cls = out.by_size[size_class(job.node_count())];
+    ++cls.jobs;
+    const auto hit = first_hit.find(job.id);
+    if (hit == first_hit.end()) continue;
+    ++out.interrupted_jobs;
+    ++cls.interrupted;
+    const double hours_in =
+        static_cast<double>(hit->second - job.start) / static_cast<double>(stats::kSecondsPerHour);
+    const double lost = static_cast<double>(job.node_count()) * hours_in;
+    out.node_hours_lost += lost;
+    cls.node_hours_lost += lost;
+  }
+
+  const double window_hours =
+      static_cast<double>(end - begin) / static_cast<double>(stats::kSecondsPerHour);
+  out.full_machine_mtti_hours =
+      app_fatal_events > 0 ? window_hours / static_cast<double>(app_fatal_events) : 0.0;
+  return out;
+}
+
+}  // namespace titan::analysis

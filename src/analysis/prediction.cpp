@@ -1,0 +1,99 @@
+#include "analysis/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace titan::analysis {
+
+FailurePredictor FailurePredictor::fit(std::span<const parse::ParsedEvent> training,
+                                       xid::ErrorKind target, double horizon_s,
+                                       std::uint64_t min_support, bool allow_self) {
+  FailurePredictor predictor;
+  predictor.target_ = target;
+  predictor.horizon_s_ = horizon_s;
+
+  const auto horizon = static_cast<stats::TimeSec>(std::llround(horizon_s));
+  std::unordered_map<int, std::uint64_t> occurrences;
+  std::unordered_map<int, std::uint64_t> followed;
+
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    const int precursor = static_cast<int>(training[i].kind);
+    ++occurrences[precursor];
+    for (std::size_t j = i + 1; j < training.size(); ++j) {
+      if (training[j].time - training[i].time >= horizon) break;
+      if (training[j].kind == target) {
+        ++followed[precursor];
+        break;
+      }
+    }
+  }
+  for (const auto& [kind, count] : occurrences) {
+    if (count < min_support) continue;
+    const auto k = static_cast<xid::ErrorKind>(kind);
+    if (!allow_self && k == target) continue;
+    const auto hits = followed.contains(kind) ? followed.at(kind) : 0;
+    if (hits == 0) continue;
+    PrecursorRule rule;
+    rule.precursor = k;
+    rule.target = target;
+    rule.probability = static_cast<double>(hits) / static_cast<double>(count);
+    rule.support = count;
+    predictor.rules_.push_back(rule);
+  }
+  std::sort(predictor.rules_.begin(), predictor.rules_.end(),
+            [](const PrecursorRule& a, const PrecursorRule& b) {
+              return a.probability > b.probability;
+            });
+  return predictor;
+}
+
+std::vector<FailurePredictor::Alarm> FailurePredictor::predict(
+    std::span<const parse::ParsedEvent> stream, double threshold) const {
+  std::unordered_map<int, double> active;  // precursor kind -> probability
+  for (const auto& rule : rules_) {
+    if (rule.probability >= threshold) {
+      active.emplace(static_cast<int>(rule.precursor), rule.probability);
+    }
+  }
+  std::vector<Alarm> alarms;
+  for (const auto& e : stream) {
+    const auto it = active.find(static_cast<int>(e.kind));
+    if (it == active.end()) continue;
+    alarms.push_back(Alarm{e.time, e.kind, it->second});
+  }
+  return alarms;
+}
+
+FailurePredictor::Evaluation FailurePredictor::evaluate(
+    std::span<const parse::ParsedEvent> stream, double threshold) const {
+  const auto alarms = predict(stream, threshold);
+  const auto horizon = static_cast<stats::TimeSec>(std::llround(horizon_s_));
+
+  std::vector<stats::TimeSec> target_times;
+  for (const auto& e : stream) {
+    if (e.kind == target_) target_times.push_back(e.time);
+  }
+
+  Evaluation eval;
+  eval.alarms = alarms.size();
+  eval.targets = target_times.size();
+
+  // True positive: a target occurs in (alarm, alarm + horizon).
+  for (const auto& alarm : alarms) {
+    const auto it =
+        std::upper_bound(target_times.begin(), target_times.end(), alarm.time);
+    if (it != target_times.end() && *it - alarm.time < horizon) ++eval.true_positives;
+  }
+  // Coverage: a target is covered when some alarm precedes it in-horizon.
+  std::vector<stats::TimeSec> alarm_times;
+  alarm_times.reserve(alarms.size());
+  for (const auto& alarm : alarms) alarm_times.push_back(alarm.time);
+  for (const auto t : target_times) {
+    const auto it = std::lower_bound(alarm_times.begin(), alarm_times.end(), t);
+    if (it != alarm_times.begin() && t - *std::prev(it) < horizon) ++eval.targets_covered;
+  }
+  return eval;
+}
+
+}  // namespace titan::analysis

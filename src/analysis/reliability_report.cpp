@@ -1,0 +1,33 @@
+#include "analysis/reliability_report.hpp"
+
+namespace titan::analysis {
+
+SmiConsoleComparison smi_console_comparison(std::span<const parse::ParsedEvent> events,
+                                            const logsim::SmiSnapshot& snapshot) {
+  SmiConsoleComparison out;
+  for (const auto& e : events) {
+    if (e.kind == xid::ErrorKind::kDoubleBitError) ++out.console_dbe_count;
+  }
+  out.smi_dbe_count = snapshot.fleet_dbe_total();
+  for (const auto& r : snapshot.records) {
+    if (r.dbe_total == 0) continue;
+    ++out.cards_with_dbe;
+    if (r.dbe_total > r.sbe_total) ++out.cards_dbe_exceeds_sbe;
+  }
+  return out;
+}
+
+MtbfReport mtbf_report(std::span<const parse::ParsedEvent> events, stats::TimeSec begin,
+                       stats::TimeSec end, double datasheet_fleet_dbe_per_hour) {
+  MtbfReport out;
+  out.measured = stats::estimate_mtbf(times_of_kind(events, xid::ErrorKind::kDoubleBitError),
+                                      begin, end);
+  out.datasheet_mtbf_hours =
+      datasheet_fleet_dbe_per_hour > 0.0 ? 1.0 / datasheet_fleet_dbe_per_hour : 0.0;
+  out.improvement_factor = out.datasheet_mtbf_hours > 0.0
+                               ? out.measured.mtbf_hours / out.datasheet_mtbf_hours
+                               : 0.0;
+  return out;
+}
+
+}  // namespace titan::analysis

@@ -1,0 +1,86 @@
+#include "analysis/sbe_study.hpp"
+
+#include <algorithm>
+
+namespace titan::analysis {
+
+namespace {
+
+[[nodiscard]] std::unordered_set<xid::CardId> exclusion_set(
+    const std::vector<xid::CardId>& offenders, std::size_t k) {
+  return {offenders.begin(),
+          offenders.begin() + static_cast<std::ptrdiff_t>(std::min(k, offenders.size()))};
+}
+
+}  // namespace
+
+std::vector<xid::CardId> top_sbe_offenders(const logsim::SmiSnapshot& snapshot, std::size_t k) {
+  std::vector<const logsim::SmiCardRecord*> records;
+  records.reserve(snapshot.records.size());
+  for (const auto& r : snapshot.records) records.push_back(&r);
+  std::sort(records.begin(), records.end(), [](const auto* a, const auto* b) {
+    if (a->sbe_total != b->sbe_total) return a->sbe_total > b->sbe_total;
+    return a->serial < b->serial;
+  });
+  std::vector<xid::CardId> out;
+  out.reserve(std::min(k, records.size()));
+  for (std::size_t i = 0; i < records.size() && i < k; ++i) out.push_back(records[i]->serial);
+  return out;
+}
+
+SbeSpatialStudy sbe_spatial_study(const logsim::SmiSnapshot& snapshot) {
+  SbeSpatialStudy out;
+  out.top_offenders = top_sbe_offenders(snapshot, 50);
+
+  for (const auto& r : snapshot.records) {
+    if (r.sbe_total > 0) ++out.cards_with_any_sbe;
+  }
+  out.fraction_of_fleet = snapshot.records.empty()
+                              ? 0.0
+                              : static_cast<double>(out.cards_with_any_sbe) /
+                                    static_cast<double>(snapshot.records.size());
+
+  for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
+    const auto excluded = exclusion_set(out.top_offenders, kOffenderExclusions[level]);
+    stats::Grid2D grid{static_cast<std::size_t>(topology::kCabinetGridY),
+                       static_cast<std::size_t>(topology::kCabinetGridX)};
+    for (const auto& r : snapshot.records) {
+      if (excluded.contains(r.serial)) continue;
+      const auto loc = topology::locate(r.node);
+      grid.add(static_cast<std::size_t>(loc.cab_y), static_cast<std::size_t>(loc.cab_x),
+               static_cast<double>(r.sbe_total));
+    }
+    out.skew[level] = grid.coefficient_of_variation();
+    out.grids.push_back(std::move(grid));
+  }
+  return out;
+}
+
+SbeCageStudy sbe_cage_study(const logsim::SmiSnapshot& snapshot) {
+  SbeCageStudy out;
+  const auto offenders = top_sbe_offenders(snapshot, 50);
+  for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
+    const auto excluded = exclusion_set(offenders, kOffenderExclusions[level]);
+    for (const auto& r : snapshot.records) {
+      if (excluded.contains(r.serial) || r.sbe_total == 0) continue;
+      const auto cage = static_cast<std::size_t>(topology::locate(r.node).cage);
+      out.counts[level][cage] += r.sbe_total;
+      ++out.distinct_cards[level][cage];
+    }
+  }
+  return out;
+}
+
+std::array<std::uint64_t, xid::kMemoryStructureCount> fleet_sbe_by_structure(
+    const gpu::Fleet& fleet) {
+  std::array<std::uint64_t, xid::kMemoryStructureCount> out{};
+  for (std::size_t serial = 0; serial < fleet.card_count(); ++serial) {
+    const auto& inforom = fleet.card(static_cast<xid::CardId>(serial)).inforom();
+    for (std::size_t s = 0; s < xid::kMemoryStructureCount; ++s) {
+      out[s] += inforom.sbe_count(static_cast<xid::MemoryStructure>(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace titan::analysis

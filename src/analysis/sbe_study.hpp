@@ -1,0 +1,57 @@
+// Single-bit-error spatial/offender analyses (Figs. 14-15, Observation 10).
+//
+// SBEs are invisible to the console log; these analyses read the
+// end-of-study nvidia-smi sweep (aggregate per-card counters).  The
+// paper's key move is re-running every view after removing the top 10 and
+// top 50 offending cards, showing that the apparent spatial skew is a
+// property of a few weak cards, not of location.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "logsim/smi.hpp"
+#include "stats/histogram.hpp"
+#include "topology/machine.hpp"
+
+namespace titan::analysis {
+
+/// The exclusion levels the paper sweeps.
+inline constexpr std::array<std::size_t, 3> kOffenderExclusions = {0, 10, 50};
+
+struct SbeSpatialStudy {
+  /// One cabinet-grid of summed SBE counts per exclusion level (0/10/50).
+  std::vector<stats::Grid2D> grids;
+  /// Coefficient of variation of each grid (skew proxy: drops toward
+  /// homogeneous as offenders are removed).
+  std::array<double, 3> skew{};
+  std::size_t cards_with_any_sbe = 0;
+  double fraction_of_fleet = 0.0;   ///< paper: < 5%
+  /// Serials of the top-50 offenders, most-offending first.
+  std::vector<xid::CardId> top_offenders;
+};
+
+[[nodiscard]] SbeSpatialStudy sbe_spatial_study(const logsim::SmiSnapshot& snapshot);
+
+struct SbeCageStudy {
+  /// [exclusion level][cage] -> summed SBE counts.
+  std::array<std::array<std::uint64_t, topology::kCagesPerCabinet>, 3> counts{};
+  /// [exclusion level][cage] -> number of distinct cards with any SBE.
+  std::array<std::array<std::uint64_t, topology::kCagesPerCabinet>, 3> distinct_cards{};
+};
+
+[[nodiscard]] SbeCageStudy sbe_cage_study(const logsim::SmiSnapshot& snapshot);
+
+/// Top-k SBE offender card serials from a snapshot (most offending first).
+[[nodiscard]] std::vector<xid::CardId> top_sbe_offenders(const logsim::SmiSnapshot& snapshot,
+                                                         std::size_t k);
+
+/// Per-structure SBE totals across the fleet, from the InfoROM counters
+/// (Observation 11: "most of the single bit errors happen in the L2
+/// cache").  Needs the fleet because snapshots carry only totals.
+[[nodiscard]] std::array<std::uint64_t, xid::kMemoryStructureCount> fleet_sbe_by_structure(
+    const gpu::Fleet& fleet);
+
+}  // namespace titan::analysis

@@ -1,0 +1,51 @@
+// Spatial analyses: cabinet-grid heatmaps (Figs. 3(a), 5, 7, 12, 14),
+// cage distributions with all-events vs distinct-cards views (Figs. 3(b),
+// 5, 7, 15), and the per-structure breakdown (Fig. 3(c)).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "analysis/events_view.hpp"
+#include "gpu/fleet.hpp"
+#include "stats/histogram.hpp"
+#include "topology/machine.hpp"
+
+namespace titan::analysis {
+
+/// Cabinet-grid (kCabinetGridY rows x kCabinetGridX columns) event-count
+/// heatmap for one kind.  Grid rows are cab_y, columns cab_x.
+[[nodiscard]] stats::Grid2D cabinet_heatmap(std::span<const parse::ParsedEvent> events,
+                                            xid::ErrorKind kind);
+
+/// Cage-position distribution of one kind.
+struct CageDistribution {
+  std::array<std::uint64_t, topology::kCagesPerCabinet> event_counts{};
+  std::array<std::uint64_t, topology::kCagesPerCabinet> distinct_cards{};
+
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+  /// Top-cage excess: events in the top cage / events in the bottom cage
+  /// (the paper's thermal-sensitivity signal; > 1 means hotter is worse).
+  [[nodiscard]] double top_to_bottom_ratio() const noexcept;
+};
+
+/// Counts events per cage and, via the fleet ledger, the number of
+/// distinct cards that ever raised the kind in each cage ("counting only
+/// one DBE error per card ... shows that the trend only gets stronger").
+[[nodiscard]] CageDistribution cage_distribution(std::span<const parse::ParsedEvent> events,
+                                                 xid::ErrorKind kind,
+                                                 const gpu::FleetLedger& ledger);
+
+/// Per-structure breakdown of ECC events (Fig. 3(c)): counts by decoded
+/// memory structure.
+struct StructureBreakdown {
+  std::array<std::uint64_t, xid::kMemoryStructureCount> counts{};
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] double share(xid::MemoryStructure s) const noexcept;
+};
+
+[[nodiscard]] StructureBreakdown structure_breakdown(std::span<const parse::ParsedEvent> events,
+                                                     xid::ErrorKind kind);
+
+}  // namespace titan::analysis

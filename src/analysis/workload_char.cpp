@@ -1,0 +1,120 @@
+#include "analysis/workload_char.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::analysis {
+
+double field_value(const sched::JobRecord& job, JobField field) noexcept {
+  switch (field) {
+    case JobField::kGpuCoreHours: return job.gpu_core_hours;
+    case JobField::kNodeCount: return static_cast<double>(job.node_count());
+    case JobField::kWallHours: return job.wall_hours();
+    case JobField::kMaxMemory: return job.max_memory_gb;
+    case JobField::kTotalMemory: return job.total_memory_gb;
+  }
+  return 0.0;
+}
+
+Profile job_profile(const sched::JobTrace& trace, JobField sort_key, JobField target,
+                    std::size_t bins) {
+  Profile out;
+  const auto& jobs = trace.jobs();
+  if (jobs.empty() || bins == 0) return out;
+
+  std::vector<double> keys;
+  std::vector<double> targets;
+  keys.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    keys.push_back(field_value(job, sort_key));
+    targets.push_back(field_value(job, target));
+  }
+  const auto keys_norm = stats::normalize_to_mean(keys);
+  const auto targets_norm = stats::normalize_to_mean(targets);
+  const auto perm = stats::sort_permutation(keys_norm);
+  const auto k_sorted = stats::apply_permutation(keys_norm, perm);
+  const auto t_sorted = stats::apply_permutation(targets_norm, perm);
+
+  out.key_mean.assign(bins, 0.0);
+  out.target_mean.assign(bins, 0.0);
+  std::vector<std::size_t> counts(bins, 0);
+  for (std::size_t i = 0; i < k_sorted.size(); ++i) {
+    const std::size_t b = std::min(bins - 1, i * bins / k_sorted.size());
+    out.key_mean[b] += k_sorted[i];
+    out.target_mean[b] += t_sorted[i];
+    ++counts[b];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] > 0) {
+      out.key_mean[b] /= static_cast<double>(counts[b]);
+      out.target_mean[b] /= static_cast<double>(counts[b]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Mean percentile (0..1) that the top-`top_fraction` jobs by `rank_by`
+/// occupy in the ordering by `percentile_of`.
+[[nodiscard]] double cross_percentile(const std::vector<sched::JobRecord>& jobs,
+                                      JobField rank_by, JobField percentile_of,
+                                      double top_fraction) {
+  const std::size_t n = jobs.size();
+  if (n == 0) return 0.0;
+  std::vector<double> by;
+  std::vector<double> of;
+  by.reserve(n);
+  of.reserve(n);
+  for (const auto& job : jobs) {
+    by.push_back(field_value(job, rank_by));
+    of.push_back(field_value(job, percentile_of));
+  }
+  const auto of_ranks = stats::average_ranks(of);
+  const auto perm = stats::sort_permutation(by);  // ascending
+  const auto top = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                static_cast<double>(n) * top_fraction));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < top; ++i) {
+    acc += of_ranks[perm[n - 1 - i]] / static_cast<double>(n);
+  }
+  return acc / static_cast<double>(top);
+}
+
+}  // namespace
+
+WorkloadShape workload_shape(const sched::JobTrace& trace) {
+  WorkloadShape out;
+  const auto& jobs = trace.jobs();
+  if (jobs.empty()) return out;
+
+  std::vector<double> core_hours;
+  std::vector<double> node_counts;
+  std::vector<double> walls;
+  for (const auto& job : jobs) {
+    core_hours.push_back(job.gpu_core_hours);
+    node_counts.push_back(static_cast<double>(job.node_count()));
+    walls.push_back(job.wall_hours());
+  }
+  out.corehours_vs_nodes = stats::spearman(core_hours, node_counts);
+  out.top_memory_jobs_node_percentile =
+      cross_percentile(jobs, JobField::kMaxMemory, JobField::kNodeCount, 0.01);
+  out.top_memory_jobs_corehour_percentile =
+      cross_percentile(jobs, JobField::kTotalMemory, JobField::kGpuCoreHours, 0.01);
+
+  // Max wall among small (bottom quartile by nodes) vs large (top quartile).
+  const auto perm = stats::sort_permutation(node_counts);
+  const std::size_t q = jobs.size() / 4;
+  double small_max = 0.0;
+  double large_max = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double wall = walls[perm[i]];
+    if (i < q) small_max = std::max(small_max, wall);
+    if (i >= jobs.size() - q) large_max = std::max(large_max, wall);
+  }
+  out.small_vs_large_max_wall_ratio = large_max > 0.0 ? small_max / large_max : 0.0;
+  return out;
+}
+
+}  // namespace titan::analysis

@@ -1,0 +1,54 @@
+// GPU workload characterization (Fig. 21, Observation 14).
+//
+// Four panels: jobs sorted by GPU core hours against memory (a) and node
+// count (b); jobs sorted by node count against wall-clock time (c) and
+// max memory (d).  Plus the headline shape indicators the observation
+// states in prose.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "stats/correlation.hpp"
+
+namespace titan::analysis {
+
+/// Per-bin means of a target metric with jobs sorted by a key metric,
+/// both normalized to their own means (the paper's presentation).
+struct Profile {
+  std::vector<double> key_mean;
+  std::vector<double> target_mean;
+};
+
+/// Job-level metric extractor selectors for profiles.
+enum class JobField : std::uint8_t {
+  kGpuCoreHours,
+  kNodeCount,
+  kWallHours,
+  kMaxMemory,
+  kTotalMemory,
+};
+
+[[nodiscard]] double field_value(const sched::JobRecord& job, JobField field) noexcept;
+
+[[nodiscard]] Profile job_profile(const sched::JobTrace& trace, JobField sort_key,
+                                  JobField target, std::size_t bins);
+
+struct WorkloadShape {
+  /// Fig. 21(b): core hours and node count move together.
+  stats::Correlation corehours_vs_nodes;
+  /// Obs. 14: mean node-count percentile of the top-1% max-memory jobs
+  /// (low/medium => memory hogs run at modest scale).
+  double top_memory_jobs_node_percentile = 0.0;
+  /// Obs. 14: mean core-hour percentile of the top-1% total-memory jobs.
+  double top_memory_jobs_corehour_percentile = 0.0;
+  /// Fig. 21(c): max wall-hours among small jobs (bottom node-count
+  /// quartile) vs among large jobs (top quartile); > 1 shows some small
+  /// jobs out-run the big ones.
+  double small_vs_large_max_wall_ratio = 0.0;
+};
+
+[[nodiscard]] WorkloadShape workload_shape(const sched::JobTrace& trace);
+
+}  // namespace titan::analysis

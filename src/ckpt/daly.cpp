@@ -1,0 +1,72 @@
+#include "ckpt/daly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace titan::ckpt {
+
+namespace {
+
+void validate(const CheckpointParams& p) {
+  if (p.checkpoint_cost <= 0.0 || p.mtbf <= 0.0 || p.restart_cost < 0.0) {
+    throw std::invalid_argument{"CheckpointParams: need checkpoint_cost > 0, mtbf > 0, R >= 0"};
+  }
+}
+
+}  // namespace
+
+double young_interval(const CheckpointParams& p) {
+  validate(p);
+  return std::sqrt(2.0 * p.checkpoint_cost * p.mtbf);
+}
+
+double daly_interval(const CheckpointParams& p) {
+  validate(p);
+  const double delta = p.checkpoint_cost;
+  const double m = p.mtbf;
+  if (delta >= 2.0 * m) return m;
+  const double x = std::sqrt(delta / (2.0 * m));
+  return std::sqrt(2.0 * delta * m) * (1.0 + x / 3.0 + x * x / 9.0) - delta;
+}
+
+double expected_waste_fraction(const CheckpointParams& p, double interval) {
+  validate(p);
+  if (interval <= 0.0) return std::numeric_limits<double>::infinity();
+  const double segment = interval + p.checkpoint_cost;
+  const double overhead = p.checkpoint_cost / segment;
+  const double failure_loss = (p.restart_cost + segment / 2.0) / p.mtbf;
+  // Deliberately NOT clamped to 1: beyond the model's validity the value
+  // exceeds 1, which keeps the objective strictly unimodal for the
+  // numeric search (and signals "do not run in this regime" to callers).
+  return overhead + failure_loss;
+}
+
+double numeric_optimal_interval(const CheckpointParams& p) {
+  validate(p);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double lo = 1e-6;
+  double hi = 10.0 * p.mtbf;
+  double a = hi - (hi - lo) * kInvPhi;
+  double b = lo + (hi - lo) * kInvPhi;
+  double fa = expected_waste_fraction(p, a);
+  double fb = expected_waste_fraction(p, b);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-7 * p.mtbf; ++iter) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - (hi - lo) * kInvPhi;
+      fa = expected_waste_fraction(p, a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + (hi - lo) * kInvPhi;
+      fb = expected_waste_fraction(p, b);
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace titan::ckpt

@@ -1,0 +1,54 @@
+// Checkpoint-interval optimization (Young/Daly).
+//
+// The paper's motivation section: "HPC workloads are typically fairly
+// long running simulations that often rely on checkpointing mechanisms to
+// continue making forward progress even in the case of failures" -- and
+// its MTBF measurements are exactly the input such mechanisms need.  This
+// module turns a measured MTBF into checkpoint policy:
+//
+//   Young's first-order optimum:   tau = sqrt(2 * delta * M)
+//   Daly's higher-order optimum:   tau = sqrt(2 * delta * M)
+//                                        * [1 + (1/3)sqrt(delta/(2M))
+//                                           + (delta/(2M))/9] - delta
+//                                  (valid for delta < 2M)
+//
+// where delta is the checkpoint write cost and M the application-visible
+// MTBF, plus the analytic expected-waste model used to compare intervals.
+#pragma once
+
+#include <stdexcept>
+
+namespace titan::ckpt {
+
+/// Application-level checkpoint parameters (all in the same time unit,
+/// conventionally seconds).
+struct CheckpointParams {
+  double checkpoint_cost = 0.0;  ///< delta: time to write one checkpoint
+  double restart_cost = 0.0;     ///< R: time to load state after a failure
+  double mtbf = 0.0;             ///< M: mean time between app-fatal failures
+};
+
+/// Young's first-order optimal interval.
+[[nodiscard]] double young_interval(const CheckpointParams& p);
+
+/// Daly's higher-order optimal interval (falls back to tau = M when
+/// delta >= 2M, per Daly's recommendation).
+[[nodiscard]] double daly_interval(const CheckpointParams& p);
+
+/// Expected fraction of wall-clock time that is NOT useful work when
+/// checkpointing every `interval` seconds, under an exponential failure
+/// model (first-order analytic model):
+///
+///   waste(tau) = delta/(tau+delta)                 (checkpoint overhead)
+///              + (R + (tau+delta)/2) / M           (rework + restart)
+///
+/// Minimized near the Young/Daly point; exceeds 1 (and infinity for
+/// tau <= 0) where the first-order model stops being meaningful.
+[[nodiscard]] double expected_waste_fraction(const CheckpointParams& p, double interval);
+
+/// The interval minimizing expected_waste_fraction, found by golden-
+/// section search over (0, 10M] -- a reference for validating the closed
+/// forms and for regimes where the first-order model is inaccurate.
+[[nodiscard]] double numeric_optimal_interval(const CheckpointParams& p);
+
+}  // namespace titan::ckpt

@@ -1,0 +1,85 @@
+#include "ckpt/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace titan::ckpt {
+
+ReplayResult replay_run(double work_seconds, double interval, double checkpoint_cost,
+                        double restart_cost, stats::TimeSec start,
+                        std::span<const stats::TimeSec> failure_times) {
+  if (work_seconds <= 0.0 || interval <= 0.0 || checkpoint_cost < 0.0 || restart_cost < 0.0) {
+    throw std::invalid_argument{"replay_run: bad parameters"};
+  }
+  ReplayResult result;
+  result.useful_seconds = work_seconds;
+
+  // Clock runs in seconds since `start`; find the first relevant failure.
+  auto next_failure = std::lower_bound(failure_times.begin(), failure_times.end(), start);
+
+  double now = 0.0;   // wall clock (seconds since start)
+  double done = 0.0;  // committed (checkpointed) progress
+
+  const auto failure_at = [&](auto it) {
+    return it == failure_times.end()
+               ? std::numeric_limits<double>::infinity()
+               : static_cast<double>(*it - start);
+  };
+
+  while (done < work_seconds) {
+    // Next milestone: either finish the remaining work or reach the
+    // checkpoint interval (then pay the write cost).  Progress between
+    // commits is all-or-nothing: a failure anywhere in the segment rolls
+    // back to `done`.
+    const double to_finish = work_seconds - done;
+    const bool finishing = to_finish <= interval;
+    const double compute = finishing ? to_finish : interval;
+    const double write = finishing ? 0.0 : checkpoint_cost;
+    const double segment_end = now + compute + write;
+
+    const double fail_time = failure_at(next_failure);
+    if (fail_time < segment_end) {
+      // Failure mid-segment: lose the uncommitted work (and the in-flight
+      // checkpoint, if any), pay the restart, resume from `done`.
+      const double computed_before_failure = std::min(compute, fail_time - now);
+      result.rework_seconds += std::max(0.0, computed_before_failure);
+      result.checkpoint_seconds += std::max(0.0, fail_time - now - compute);
+      result.restart_seconds += restart_cost;
+      now = fail_time + restart_cost;
+      ++result.failures_hit;
+      ++next_failure;
+      // Skip failures that land inside the restart window (the job is
+      // already down; they cannot interrupt progress twice).
+      while (next_failure != failure_times.end() && failure_at(next_failure) < now) {
+        ++next_failure;
+      }
+      continue;
+    }
+    // Segment completes.
+    now = segment_end;
+    done += compute;
+    if (!finishing) {
+      result.checkpoint_seconds += checkpoint_cost;
+      ++result.checkpoints_written;
+    }
+  }
+  result.wall_seconds = now;
+  return result;
+}
+
+std::vector<SweepPoint> sweep_intervals(double work_seconds, double checkpoint_cost,
+                                        double restart_cost, stats::TimeSec start,
+                                        std::span<const stats::TimeSec> failure_times,
+                                        std::span<const double> intervals) {
+  std::vector<SweepPoint> out;
+  out.reserve(intervals.size());
+  for (const double interval : intervals) {
+    const auto result =
+        replay_run(work_seconds, interval, checkpoint_cost, restart_cost, start, failure_times);
+    out.push_back(SweepPoint{interval, result.waste_fraction()});
+  }
+  return out;
+}
+
+}  // namespace titan::ckpt

@@ -1,0 +1,56 @@
+// Trace-driven checkpoint/restart replay.
+//
+// Where daly.hpp is analytic, this replays an *actual* failure trace (the
+// app-fatal events a simulated campaign produced on a job's nodes)
+// against a checkpointing application, measuring real wall-clock cost.
+// This is how one validates interval policy against field data rather
+// than an exponential assumption -- the methodological step the paper's
+// related work (lazy checkpointing [32]) builds on, since real failures
+// show temporal locality that the analytic model ignores.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/calendar.hpp"
+
+namespace titan::ckpt {
+
+/// Outcome of replaying one application run.
+struct ReplayResult {
+  double wall_seconds = 0.0;        ///< total wall-clock to finish the work
+  double useful_seconds = 0.0;      ///< the work itself
+  double checkpoint_seconds = 0.0;  ///< time spent writing checkpoints
+  double rework_seconds = 0.0;      ///< recomputed work lost to failures
+  double restart_seconds = 0.0;     ///< time spent restarting
+  std::size_t failures_hit = 0;     ///< failures that interrupted the run
+  std::size_t checkpoints_written = 0;
+
+  [[nodiscard]] double waste_fraction() const noexcept {
+    return wall_seconds > 0.0 ? 1.0 - useful_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// Replay a run needing `work_seconds` of compute, checkpointing every
+/// `interval` seconds of *useful progress*, against absolute failure
+/// times (sorted ascending, interpreted on the run's own clock starting
+/// at `start`).  A failure rolls progress back to the last completed
+/// checkpoint; failures during checkpoint writes lose the in-flight
+/// checkpoint too.  Failures after the work completes are ignored.
+[[nodiscard]] ReplayResult replay_run(double work_seconds, double interval,
+                                      double checkpoint_cost, double restart_cost,
+                                      stats::TimeSec start,
+                                      std::span<const stats::TimeSec> failure_times);
+
+/// Sweep intervals over a failure trace and return (interval, waste)
+/// pairs -- the empirical counterpart of expected_waste_fraction.
+struct SweepPoint {
+  double interval = 0.0;
+  double waste = 0.0;
+};
+
+[[nodiscard]] std::vector<SweepPoint> sweep_intervals(
+    double work_seconds, double checkpoint_cost, double restart_cost, stats::TimeSec start,
+    std::span<const stats::TimeSec> failure_times, std::span<const double> intervals);
+
+}  // namespace titan::ckpt

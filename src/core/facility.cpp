@@ -1,0 +1,65 @@
+#include "core/facility.hpp"
+
+#include "logsim/console.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::core {
+
+FacilityConfig default_config(std::uint64_t seed) {
+  FacilityConfig config;
+  config.seed = seed;
+  config.workload.period = config.period;
+  config.campaign.period = config.period;
+  return config;
+}
+
+FacilityConfig quick_config(std::uint64_t seed) {
+  FacilityConfig config;
+  config.seed = seed;
+  // Three months straddling the two operational eras (solder rework and
+  // the new-driver deployment) so short runs still exercise both paths.
+  config.period.begin = stats::to_time(stats::CivilDate{2013, 11, 1});
+  config.period.end = stats::to_time(stats::CivilDate{2014, 2, 1});
+  config.workload.period = config.period;
+  config.campaign.period = config.period;
+  return config;
+}
+
+StudyDataset run_study(const FacilityConfig& config) {
+  const stats::Rng master{config.seed};
+
+  // 1. Workload: user population -> 21 months of batch jobs on the torus.
+  const auto users = sched::make_user_population(config.users, master.fork("users"));
+  auto workload = sched::simulate_workload(config.workload, users, master.fork("workload"));
+
+  // 2. Fleet: procure + install a card per compute node, sample latents.
+  gpu::Fleet fleet;
+  auto traits = fault::initialize_fleet(fleet, config.period.begin, master.fork("fleet"),
+                                        config.campaign.model);
+
+  // 3. Faults: the full error campaign over the job trace.
+  auto campaign = fault::run_fault_campaign(fleet, std::move(traits), workload.trace,
+                                            config.campaign, master.fork("faults"));
+
+  // 4. Logging: serialize what the SMW and nvidia-smi actually see.
+  StudyDataset dataset{config,
+                       std::move(workload.trace),
+                       std::move(workload.deadlines),
+                       workload.utilization(),
+                       std::move(fleet),
+                       std::move(campaign.traits),
+                       std::move(campaign.events),
+                       std::move(campaign.sbe_strikes),
+                       std::move(campaign.hot_spare_actions),
+                       campaign.bad_node,
+                       {},
+                       {}};
+  dataset.console_log = logsim::emit_console_log(dataset.events);
+  if (config.take_final_snapshot) {
+    dataset.final_snapshot = logsim::take_snapshot(dataset.fleet, config.period.end - 1,
+                                                   config.campaign.thermal);
+  }
+  return dataset;
+}
+
+}  // namespace titan::core

@@ -1,0 +1,64 @@
+// The facility simulation: wires topology, fleet, workload, fault
+// processes and logging into one reproducible study campaign, and bundles
+// everything the paper's analyses consume into a StudyDataset.
+//
+// One `run_study` call is the synthetic equivalent of "operate Titan from
+// Jun'2013 to Feb'2015 and collect the console logs, nvidia-smi snapshots
+// and job logs".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "gpu/fleet.hpp"
+#include "logsim/smi.hpp"
+#include "sched/users.hpp"
+#include "sched/workload.hpp"
+#include "stats/calendar.hpp"
+
+namespace titan::core {
+
+struct FacilityConfig {
+  /// Master seed: every stochastic stream in the study forks from it.
+  std::uint64_t seed = 20151115;  // SC'15 in Austin: Nov 15, 2015
+
+  stats::StudyPeriod period{};
+  sched::UserPopulationParams users{};
+  sched::WorkloadParams workload{};
+  fault::CampaignParams campaign{};
+
+  /// Take the end-of-study fleet-wide nvidia-smi snapshot (Figs. 14/15).
+  bool take_final_snapshot = true;
+};
+
+/// The canonical full-study configuration used by every figure bench.
+[[nodiscard]] FacilityConfig default_config(std::uint64_t seed = 20151115);
+
+/// A reduced configuration (3 months) for tests and examples that need a
+/// fast end-to-end run.
+[[nodiscard]] FacilityConfig quick_config(std::uint64_t seed = 7);
+
+/// Everything one study run produces.
+struct StudyDataset {
+  FacilityConfig config;
+  sched::JobTrace trace;
+  sched::DeadlineCalendar deadlines;
+  double workload_utilization = 0.0;
+
+  gpu::Fleet fleet;                          ///< end-of-study card state
+  std::vector<fault::CardTraits> traits;     ///< ground-truth latents
+  std::vector<xid::Event> events;            ///< ground truth, time-sorted
+  std::vector<fault::SbeStrike> sbe_strikes; ///< time-sorted
+  std::vector<fault::HotSpareAction> hot_spare_actions;
+  topology::NodeId bad_node = topology::kInvalidNode;
+
+  std::vector<std::string> console_log;      ///< what the SMW recorded
+  logsim::SmiSnapshot final_snapshot;        ///< end-of-study smi sweep
+};
+
+/// Run the full simulation pipeline.  Deterministic in `config`.
+[[nodiscard]] StudyDataset run_study(const FacilityConfig& config);
+
+}  // namespace titan::core

@@ -1,0 +1,616 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fault/hotspare.hpp"
+#include "stats/distributions.hpp"
+#include "topology/torus.hpp"
+
+namespace titan::fault {
+
+namespace {
+
+using stats::TimeSec;
+using topology::NodeId;
+using xid::CardId;
+using xid::ErrorKind;
+using xid::Event;
+using xid::MemoryStructure;
+
+constexpr double kSecondsPerDayD = 86400.0;
+
+/// A card's tenure in a node.
+struct Stint {
+  NodeId node = topology::kInvalidNode;
+  TimeSec from = 0;
+  TimeSec to = 0;
+};
+
+/// A root hardware strike scheduled in phase A/C, fed through the cards in
+/// phase D.
+struct HardwareStrike {
+  TimeSec time = 0;
+  NodeId node = topology::kInvalidNode;
+  MemoryStructure structure = MemoryStructure::kNone;
+  std::uint32_t page = 0;
+};
+
+[[nodiscard]] TimeSec to_timesec(double seconds) {
+  return static_cast<TimeSec>(std::llround(seconds));
+}
+
+/// All compute NodeIds, ascending.
+[[nodiscard]] std::vector<NodeId> compute_nodes() {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(topology::kComputeNodes));
+  for (NodeId n = 0; n < topology::kNodeSlots; ++n) {
+    if (!topology::is_service_node(n)) nodes.push_back(n);
+  }
+  return nodes;
+}
+
+/// Monthly maintenance reboot instants within the period.
+[[nodiscard]] std::vector<TimeSec> maintenance_reboots(const stats::StudyPeriod& period,
+                                                       int day_of_month) {
+  std::vector<TimeSec> out;
+  for (int m = 0; m < period.months(); ++m) {
+    const TimeSec t = stats::month_start(period.begin, m) +
+                      (day_of_month - 1) * stats::kSecondsPerDay +
+                      6 * stats::kSecondsPerHour;
+    if (period.contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+/// Ramp-shaped monthly intensity of the OTB epidemic (solder joints fail
+/// increasingly with thermal cycling until the rework).
+[[nodiscard]] TimeSec sample_epidemic_time(const stats::StudyPeriod& period, TimeSec fix,
+                                           stats::Rng& rng) {
+  const int months = stats::month_index(fix - 1, period.begin) + 1;
+  std::vector<double> weights(static_cast<std::size_t>(months));
+  for (int m = 0; m < months; ++m) {
+    // Linear ramp with a late-epidemic plateau.
+    weights[static_cast<std::size_t>(m)] = 0.4 + 1.6 * static_cast<double>(m + 1) /
+                                                     static_cast<double>(months);
+  }
+  const stats::DiscreteSampler pick{weights};
+  const int month = static_cast<int>(pick(rng));
+  const TimeSec lo = stats::month_start(period.begin, month);
+  const TimeSec hi = std::min(fix, stats::month_start(period.begin, month + 1));
+  return lo + static_cast<TimeSec>(rng.below(static_cast<std::uint64_t>(hi - lo)));
+}
+
+}  // namespace
+
+std::vector<CardTraits> initialize_fleet(gpu::Fleet& fleet, stats::TimeSec when,
+                                         stats::Rng rng, const FaultModelParams& model) {
+  if (fleet.card_count() != 0) throw std::invalid_argument{"initialize_fleet: fleet not empty"};
+  for (const NodeId node : compute_nodes()) {
+    const CardId serial = fleet.procure();
+    fleet.install(node, serial, when);
+  }
+  return sample_card_traits(fleet.card_count(), rng, model);
+}
+
+CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> traits,
+                                  const sched::JobTrace& trace, const CampaignParams& params,
+                                  stats::Rng rng) {
+  if (fleet.card_count() != traits.size()) {
+    throw std::invalid_argument{"run_fault_campaign: traits must match fleet size"};
+  }
+  const auto& period = params.period;
+  const auto& timeline = params.timeline;
+  const FaultModelParams& model = params.model;
+  const std::vector<NodeId> nodes = compute_nodes();
+
+  CampaignResult result;
+  std::vector<Event> events;  // parent = provisional index into this vector
+
+  // Per-card stints; replacements appended as they are procured.
+  std::vector<std::vector<Stint>> stints(traits.size());
+  for (const NodeId node : nodes) {
+    const CardId card = fleet.ledger().card_at(node, period.begin);
+    stints[static_cast<std::size_t>(card)].push_back(Stint{node, period.begin, period.end});
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase A: schedule DBE root strikes (fleet Poisson, weighted nodes).
+  // -------------------------------------------------------------------------
+  auto dbe_rng = rng.fork("dbe");
+  std::vector<HardwareStrike> dbe_strikes;
+  {
+    std::vector<double> weights;
+    weights.reserve(nodes.size());
+    for (const NodeId node : nodes) {
+      const CardId card = fleet.ledger().card_at(node, period.begin);
+      const auto loc = topology::locate(node);
+      weights.push_back(traits[static_cast<std::size_t>(card)].dbe_weight *
+                        topology::thermal_rate_multiplier(params.thermal, loc,
+                                                          model.dbe_thermal_factor));
+    }
+    const stats::DiscreteSampler pick{weights};
+    const double rate = 1.0 / (model.dbe_mtbf_hours * 3600.0);
+    for (const double t : stats::sample_poisson_process(
+             dbe_rng, rate, static_cast<double>(period.begin), static_cast<double>(period.end))) {
+      HardwareStrike s;
+      s.time = to_timesec(t);
+      s.node = nodes[pick(dbe_rng)];
+      s.structure = sample_dbe_structure(dbe_rng, model.dbe_device_share);
+      if (s.structure == MemoryStructure::kDeviceMemory) {
+        s.page = static_cast<std::uint32_t>(dbe_rng.below(gpu::kDevicePages));
+      }
+      dbe_strikes.push_back(s);
+    }
+    std::sort(dbe_strikes.begin(), dbe_strikes.end(),
+              [](const auto& a, const auto& b) { return a.time < b.time; });
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase B: hot-spare workflow (pull cards at the DBE threshold).
+  // -------------------------------------------------------------------------
+  auto spare_rng = rng.fork("hot-spare");
+  std::unordered_map<CardId, std::uint64_t> dbe_count;
+  for (const auto& strike : dbe_strikes) {
+    const CardId card = fleet.ledger().card_at(strike.node, strike.time);
+    if (card == xid::kInvalidCard) continue;
+    if (++dbe_count[card] < model.hot_spare_pull_threshold) continue;
+
+    const TimeSec pull_time = strike.time + stats::kSecondsPerDay;
+    if (!period.contains(pull_time)) continue;
+    // Close the card's stint and swap in a freshly procured spare.
+    auto& card_stints = stints[static_cast<std::size_t>(card)];
+    if (card_stints.empty() || card_stints.back().to <= pull_time) continue;  // already pulled
+    card_stints.back().to = pull_time;
+
+    const CardId spare = fleet.procure();
+    auto spare_trait_rng = spare_rng.fork("spare-traits", static_cast<std::uint64_t>(spare));
+    traits.push_back(sample_one_card(spare_trait_rng, model));
+    stints.emplace_back();
+    stints.back().push_back(Stint{strike.node, pull_time, period.end});
+    fleet.install(strike.node, spare, pull_time);
+
+    HotSpareAction action;
+    action.pulled_at = pull_time;
+    action.card = card;
+    action.node = strike.node;
+    action.replacement = spare;
+    // Burn-in in the hot-spare cluster; the RMA decision emerges from the
+    // card's latent susceptibility under accelerated stress.
+    fleet.card(card).set_health(gpu::CardHealth::kHotSpare);
+    auto stress_rng = spare_rng.fork("stress", static_cast<std::uint64_t>(card));
+    const auto stress = stress_test_card(fleet.card(card),
+                                         traits[static_cast<std::size_t>(card)],
+                                         StressTestParams{}, pull_time, stress_rng);
+    // Pass -> re-qualified spare stock (kShelf); fail -> RMA'd to the
+    // vendor.  Either way the card does not return to production here.
+    action.failed_stress = stress.returned_to_vendor;
+    result.hot_spare_actions.push_back(action);
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase C: Off-the-bus strikes.
+  // -------------------------------------------------------------------------
+  auto otb_rng = rng.fork("otb");
+  std::vector<HardwareStrike> otb_strikes;
+  {
+    // Epidemic era: each defective original card may manifest once, with
+    // probability scaled by its cage temperature (normalized to the middle
+    // cage so the fleet-average stays near the calibrated value).
+    for (const NodeId node : nodes) {
+      const CardId card = fleet.ledger().card_at(node, period.begin);
+      if (!traits[static_cast<std::size_t>(card)].solder_defect) continue;
+      const auto loc = topology::locate(node);
+      auto mid = loc;
+      mid.cage = 1;
+      const double scale =
+          topology::thermal_rate_multiplier(params.thermal, loc, model.otb_thermal_factor) /
+          topology::thermal_rate_multiplier(params.thermal, mid, model.otb_thermal_factor);
+      auto card_rng = otb_rng.fork("epidemic", static_cast<std::uint64_t>(card));
+      if (!card_rng.bernoulli(std::min(0.95, model.otb_manifest_probability * scale))) continue;
+      HardwareStrike s;
+      s.time = sample_epidemic_time(period, timeline.solder_fix, card_rng);
+      s.node = node;
+      otb_strikes.push_back(s);
+    }
+    // Post-rework residual trickle.
+    for (const double t : stats::sample_poisson_process(
+             otb_rng, model.otb_residual_per_day / kSecondsPerDayD,
+             static_cast<double>(timeline.solder_fix), static_cast<double>(period.end))) {
+      HardwareStrike s;
+      s.time = to_timesec(t);
+      s.node = nodes[otb_rng.below(nodes.size())];
+      otb_strikes.push_back(s);
+    }
+    std::sort(otb_strikes.begin(), otb_strikes.end(),
+              [](const auto& a, const auto& b) { return a.time < b.time; });
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase D: per-card chronological ECC processing.
+  // -------------------------------------------------------------------------
+  // Index DBE strikes and crash reboots by node.
+  std::unordered_map<NodeId, std::vector<HardwareStrike>> dbe_by_node;
+  std::unordered_map<NodeId, std::vector<TimeSec>> crash_reboots;
+  for (const auto& s : dbe_strikes) {
+    dbe_by_node[s.node].push_back(s);
+    crash_reboots[s.node].push_back(s.time + 600);  // warm boot after DBE
+  }
+  for (const auto& s : otb_strikes) {
+    crash_reboots[s.node].push_back(s.time + stats::kSecondsPerDay);  // repair
+  }
+  const std::vector<TimeSec> maintenance =
+      maintenance_reboots(period, model.maintenance_day_of_month);
+
+  enum class OpKind : std::uint8_t { kEnableRetirement, kReboot, kSbe, kDbe };
+  struct Op {
+    TimeSec time = 0;
+    OpKind kind = OpKind::kSbe;
+    MemoryStructure structure = MemoryStructure::kNone;
+    std::uint32_t page = 0;
+    bool weak = false;
+    NodeId node = topology::kInvalidNode;
+  };
+
+  // GPU-activity thinning for SBE strikes: busy silicon accumulates more
+  // strikes than parked silicon (the mechanism behind Fig. 19's core-hour
+  // correlation beating Fig. 18's node-count one).
+  const auto sbe_acceptance = [&](NodeId node, TimeSec when) {
+    const xid::JobId job = trace.job_at(node, when);
+    if (job == xid::kNoJob) return model.sbe_idle_acceptance;
+    const auto& record = trace.job(job);
+    const double node_hours =
+        static_cast<double>(record.node_count()) * record.wall_hours();
+    const double duty =
+        node_hours > 0.0 ? std::clamp(record.gpu_core_hours / node_hours, 0.0, 1.0) : 0.0;
+    return model.sbe_idle_acceptance + model.sbe_duty_acceptance * duty;
+  };
+
+  auto ecc_rng = rng.fork("ecc");
+  for (std::size_t serial = 0; serial < traits.size(); ++serial) {
+    const CardTraits& trait = traits[serial];
+    gpu::GpuCard& card = fleet.card(static_cast<CardId>(serial));
+    auto card_rng = ecc_rng.fork("card", serial);
+
+    std::vector<Op> ops;
+    bool card_has_dbe = false;
+    for (const Stint& stint : stints[serial]) {
+      const auto from_d = static_cast<double>(stint.from);
+      const auto to_d = static_cast<double>(stint.to);
+      // Background SBEs.
+      if (trait.background_sbe_per_day > 0.0) {
+        for (const double t : stats::sample_poisson_process(
+                 card_rng, trait.background_sbe_per_day / kSecondsPerDayD, from_d, to_d)) {
+          if (!card_rng.bernoulli(sbe_acceptance(stint.node, to_timesec(t)))) continue;
+          Op op;
+          op.time = to_timesec(t);
+          op.kind = OpKind::kSbe;
+          op.structure = sample_sbe_structure(card_rng);
+          if (op.structure == MemoryStructure::kDeviceMemory) {
+            op.page = static_cast<std::uint32_t>(card_rng.below(gpu::kDevicePages));
+          }
+          op.node = stint.node;
+          ops.push_back(op);
+        }
+      }
+      // Weak cells.
+      for (const WeakCell& cell : trait.weak_cells) {
+        for (const double t : stats::sample_poisson_process(
+                 card_rng, cell.sbe_per_day / kSecondsPerDayD, from_d, to_d)) {
+          if (!card_rng.bernoulli(sbe_acceptance(stint.node, to_timesec(t)))) continue;
+          Op op;
+          op.time = to_timesec(t);
+          op.kind = OpKind::kSbe;
+          op.structure = cell.structure;
+          op.page = cell.page;
+          op.weak = true;
+          op.node = stint.node;
+          ops.push_back(op);
+        }
+      }
+      // DBE strikes landing on this card's stint.
+      if (const auto it = dbe_by_node.find(stint.node); it != dbe_by_node.end()) {
+        for (const auto& s : it->second) {
+          if (s.time < stint.from || s.time >= stint.to) continue;
+          Op op;
+          op.time = s.time;
+          op.kind = OpKind::kDbe;
+          op.structure = s.structure;
+          op.page = s.page;
+          op.node = stint.node;
+          ops.push_back(op);
+          card_has_dbe = true;
+        }
+      }
+      // Reboots seen by this card.
+      const auto add_reboot = [&](TimeSec t) {
+        if (t < stint.from || t >= stint.to) return;
+        Op op;
+        op.time = t;
+        op.kind = OpKind::kReboot;
+        op.node = stint.node;
+        ops.push_back(op);
+      };
+      for (const TimeSec t : maintenance) add_reboot(t);
+      if (const auto it = crash_reboots.find(stint.node); it != crash_reboots.end()) {
+        for (const TimeSec t : it->second) add_reboot(t);
+      }
+    }
+    if (ops.empty() && !card_has_dbe) continue;
+    if (timeline.retirement_enabled(period.begin)) {
+      card.retirement().set_enabled(true);
+    } else {
+      Op op;
+      op.time = timeline.new_driver;
+      op.kind = OpKind::kEnableRetirement;
+      ops.push_back(op);
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const Op& a, const Op& b) { return a.time < b.time; });
+
+    for (const Op& op : ops) {
+      switch (op.kind) {
+        case OpKind::kEnableRetirement:
+          card.retirement().set_enabled(true);
+          break;
+        case OpKind::kReboot:
+          card.on_reboot();
+          break;
+        case OpKind::kSbe: {
+          const bool device = op.structure == MemoryStructure::kDeviceMemory;
+          if (device && card.retirement().page_blacklisted(op.page)) {
+            break;  // the weak page is retired: the cell is silent now
+          }
+          const auto outcome = card.record_sbe(
+              op.structure, device ? std::optional<std::uint32_t>{op.page} : std::nullopt,
+              op.time);
+          SbeStrike strike;
+          strike.time = op.time;
+          strike.node = op.node;
+          strike.card = static_cast<CardId>(serial);
+          strike.structure = op.structure;
+          strike.page = op.page;
+          strike.from_weak_cell = op.weak;
+          result.sbe_strikes.push_back(strike);
+          if (outcome.retirement) {
+            const TimeSec when = op.time + 5 + static_cast<TimeSec>(card_rng.below(55));
+            if (period.contains(when)) {
+              Event ev;
+              ev.time = when;
+              ev.node = op.node;
+              ev.card = static_cast<CardId>(serial);
+              ev.kind = outcome.retirement_recorded ? ErrorKind::kPageRetirement
+                                                    : ErrorKind::kPageRetirementFailed;
+              ev.structure = MemoryStructure::kDeviceMemory;
+              events.push_back(ev);
+            }
+          }
+          break;
+        }
+        case OpKind::kDbe: {
+          const bool device = op.structure == MemoryStructure::kDeviceMemory;
+          const bool commit = !card_rng.bernoulli(model.dbe_inforom_loss_probability);
+          const auto outcome = card.record_dbe(
+              op.structure, device ? std::optional<std::uint32_t>{op.page} : std::nullopt,
+              op.time, commit);
+          Event dbe_ev;
+          dbe_ev.time = op.time;
+          dbe_ev.node = op.node;
+          dbe_ev.card = static_cast<CardId>(serial);
+          dbe_ev.kind = ErrorKind::kDoubleBitError;
+          dbe_ev.structure = op.structure;
+          events.push_back(dbe_ev);
+          const auto dbe_index = static_cast<std::int64_t>(events.size()) - 1;
+
+          if (outcome.retirement && card_rng.bernoulli(model.retirement_logged_after_dbe)) {
+            const TimeSec when =
+                op.time + 30 +
+                static_cast<TimeSec>(card_rng.below(
+                    static_cast<std::uint64_t>(model.retirement_fast_max_s - 30.0)));
+            if (period.contains(when)) {
+              Event ev;
+              ev.time = when;
+              ev.node = op.node;
+              ev.card = static_cast<CardId>(serial);
+              ev.kind = (outcome.retirement_recorded || !commit)
+                            ? ErrorKind::kPageRetirement
+                            : ErrorKind::kPageRetirementFailed;
+              ev.structure = MemoryStructure::kDeviceMemory;
+              ev.parent = dbe_index;
+              events.push_back(ev);
+            }
+          }
+          // Preemptive cleanup often follows a DBE (Fig. 13: 48 -> 45).
+          if (card_rng.bernoulli(model.dbe_followed_by_45)) {
+            const TimeSec when = op.time + 1 + static_cast<TimeSec>(card_rng.below(119));
+            if (period.contains(when)) {
+              Event ev;
+              ev.time = when;
+              ev.node = op.node;
+              ev.card = static_cast<CardId>(serial);
+              ev.kind = ErrorKind::kPreemptiveCleanup;
+              ev.parent = dbe_index;
+              events.push_back(ev);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // OTB events (app-fatal, isolated; no InfoROM involvement).
+  for (const auto& s : otb_strikes) {
+    Event ev;
+    ev.time = s.time;
+    ev.node = s.node;
+    ev.card = fleet.ledger().card_at(s.node, s.time);
+    ev.kind = ErrorKind::kOffTheBus;
+    events.push_back(ev);
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase E: software / firmware / application XIDs.
+  // -------------------------------------------------------------------------
+  auto sw_rng = rng.fork("software");
+
+  // Debug-job crashes: user-application XIDs reported on every node of the
+  // job within the five-second propagation window (Observation 7).
+  for (const auto& job : trace.jobs()) {
+    if (!job.debug || job.nodes.empty()) continue;
+    auto job_rng = sw_rng.fork("debug-job", static_cast<std::uint64_t>(job.id));
+    const double u = job_rng.uniform();
+    ErrorKind kind{};
+    if (u < model.debug_job_xid13_probability) {
+      kind = ErrorKind::kGraphicsEngineException;
+    } else if (u < model.debug_job_xid13_probability + model.debug_job_xid31_probability) {
+      kind = ErrorKind::kMemoryPageFault;
+    } else {
+      continue;  // crashed CPU-side or exited cleanly after debugging
+    }
+    const TimeSec crash = std::max(job.start + 1, job.end - 2);
+    const std::size_t root_pick = job_rng.below(job.nodes.size());
+
+    Event root;
+    root.time = crash;
+    root.node = job.nodes[root_pick];
+    root.kind = kind;
+    root.job = job.id;
+    root.user = job.user;
+    events.push_back(root);
+    const auto root_index = static_cast<std::int64_t>(events.size()) - 1;
+
+    for (std::size_t i = 0; i < job.nodes.size(); ++i) {
+      if (i == root_pick) continue;
+      Event child = root;
+      child.node = job.nodes[i];
+      child.time = crash + static_cast<TimeSec>(
+                               job_rng.below(static_cast<std::uint64_t>(model.job_propagation_window_s)));
+      child.parent = root_index;
+      events.push_back(child);
+    }
+    if (kind == ErrorKind::kGraphicsEngineException &&
+        job_rng.bernoulli(model.xid13_followed_by_43)) {
+      Event follow = root;
+      follow.kind = ErrorKind::kGpuStoppedProcessing;
+      follow.time = crash + 1 + static_cast<TimeSec>(job_rng.below(59));
+      follow.parent = root_index;
+      events.push_back(follow);
+      const auto follow_index = static_cast<std::int64_t>(events.size()) - 1;
+      if (job_rng.bernoulli(model.xid43_followed_by_45)) {
+        Event cleanup = follow;
+        cleanup.kind = ErrorKind::kPreemptiveCleanup;
+        cleanup.time = follow.time + 1 + static_cast<TimeSec>(job_rng.below(30));
+        cleanup.parent = follow_index;
+        events.push_back(cleanup);
+      }
+    }
+  }
+
+  // Sparse driver errors: independent Poisson streams on random nodes.
+  const auto emit_poisson_kind = [&](ErrorKind kind, double per_day, TimeSec from, TimeSec to) {
+    if (to <= from || per_day <= 0.0) return;
+    for (const double t : stats::sample_poisson_process(sw_rng, per_day / kSecondsPerDayD,
+                                                        static_cast<double>(from),
+                                                        static_cast<double>(to))) {
+      Event ev;
+      ev.time = to_timesec(t);
+      ev.node = nodes[sw_rng.below(nodes.size())];
+      ev.kind = kind;
+      events.push_back(ev);
+    }
+  };
+  const auto emit_fixed_total = [&](ErrorKind kind, int total) {
+    for (int i = 0; i < total; ++i) {
+      Event ev;
+      ev.time = period.begin + static_cast<TimeSec>(
+                                   sw_rng.below(static_cast<std::uint64_t>(period.duration())));
+      ev.node = nodes[sw_rng.below(nodes.size())];
+      ev.kind = kind;
+      events.push_back(ev);
+    }
+  };
+  emit_poisson_kind(ErrorKind::kGpuStoppedProcessing, model.xid43_per_day, period.begin, period.end);
+  emit_poisson_kind(ErrorKind::kCtxSwitchFault, model.xid44_per_day, period.begin, period.end);
+  emit_poisson_kind(ErrorKind::kUcHaltOldDriver, model.xid59_per_day_old_driver, period.begin,
+                    timeline.new_driver);
+  emit_poisson_kind(ErrorKind::kUcHaltNewDriver, model.xid62_per_day_new_driver, timeline.new_driver,
+                    period.end);
+  emit_fixed_total(ErrorKind::kCorruptedPushBuffer, model.xid32_total);
+  emit_fixed_total(ErrorKind::kDriverFirmware, model.xid38_total);
+  emit_fixed_total(ErrorKind::kVideoProcessorDriver, model.xid42_total);  // zero: never observed
+  emit_fixed_total(ErrorKind::kDisplayEngine, model.xid56_total);
+  emit_fixed_total(ErrorKind::kVideoMemProgramming, model.xid57_total);
+  emit_fixed_total(ErrorKind::kUnstableVideoMem, model.xid58_total);
+  emit_fixed_total(ErrorKind::kVideoProcessorHw, model.xid65_total);
+
+  // The Observation 8 anecdote: one node raising XID 13 regardless of the
+  // application -- a hardware fault masquerading as a user error.
+  if (params.include_bad_node_anecdote) {
+    auto bad_rng = rng.fork("bad-node");
+    result.bad_node = nodes[bad_rng.below(nodes.size())];
+    const TimeSec active_from = stats::month_start(
+        period.begin, period.months() - model.bad_node_active_months);
+    for (const double t : stats::sample_poisson_process(
+             bad_rng, model.bad_node_xid13_per_day / kSecondsPerDayD, static_cast<double>(active_from),
+             static_cast<double>(period.end))) {
+      Event ev;
+      ev.time = to_timesec(t);
+      ev.node = result.bad_node;
+      ev.kind = ErrorKind::kGraphicsEngineException;
+      events.push_back(ev);
+      if (bad_rng.bernoulli(0.5)) {
+        Event follow = ev;
+        follow.kind = ErrorKind::kGpuStoppedProcessing;
+        follow.time = ev.time + 1 + static_cast<TimeSec>(bad_rng.below(30));
+        follow.parent = static_cast<std::int64_t>(events.size()) - 1;
+        events.push_back(follow);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase F: attribution, ordering, parent remapping.
+  // -------------------------------------------------------------------------
+  for (auto& ev : events) {
+    // Child/follow-on jitter can spill past the observation window; the
+    // console log simply stops at the end of the study period.
+    ev.time = std::min(ev.time, period.end - 1);
+    if (ev.job == xid::kNoJob) {
+      ev.job = trace.job_at(ev.node, ev.time);
+      if (ev.job != xid::kNoJob) ev.user = trace.job(ev.job).user;
+    }
+    if (ev.card == xid::kInvalidCard) {
+      ev.card = fleet.ledger().card_at(ev.node, ev.time);
+    }
+  }
+  // Stable sort, remembering where each provisional index went.
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (events[a].time != events[b].time) return events[a].time < events[b].time;
+    return a < b;
+  });
+  std::vector<std::int64_t> new_index(events.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    new_index[order[pos]] = static_cast<std::int64_t>(pos);
+  }
+  result.events.reserve(events.size());
+  for (const std::size_t old : order) {
+    Event ev = events[old];
+    if (ev.parent >= 0) ev.parent = new_index[static_cast<std::size_t>(ev.parent)];
+    result.events.push_back(ev);
+  }
+  std::sort(result.sbe_strikes.begin(), result.sbe_strikes.end(),
+            [](const SbeStrike& a, const SbeStrike& b) { return a.time < b.time; });
+
+  result.traits = std::move(traits);
+  return result;
+}
+
+}  // namespace titan::fault

@@ -1,0 +1,85 @@
+// Fault-campaign orchestration: turns the latent card traits, the job
+// trace and the operational timeline into the ground-truth event streams
+// that the logging emitters serialize and the analyses consume.
+//
+// Responsibilities (each maps to a paper finding):
+//  * fleet-level DBE process with per-card susceptibility and cage thermal
+//    weighting (Figs. 2-3, Obs. 1/3),
+//  * the 2013 Off-the-bus solder epidemic and its Dec'2013 resolution
+//    (Figs. 4-5, Obs. 4),
+//  * per-card SBE accrual -- background plus weak cells -- fed through the
+//    page-retirement engine with reboot-deferred blacklisting
+//    (Figs. 6-8 and 14-15, Obs. 5/10/11),
+//  * user-application and driver XID generation, with job-wide
+//    propagation and follow-on cascades (Figs. 9-13, Obs. 6-9),
+//  * the hot-spare card workflow (Sect. 3.1 operations),
+//  * InfoROM commit loss on fast node death (Obs. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/calibration.hpp"
+#include "fault/model_params.hpp"
+#include "fault/propensity.hpp"
+#include "fault/timeline.hpp"
+#include "gpu/fleet.hpp"
+#include "sched/workload.hpp"
+#include "stats/rng.hpp"
+#include "topology/thermal.hpp"
+#include "xid/event.hpp"
+
+namespace titan::fault {
+
+/// One corrected single-bit error (ground truth; SBEs never reach the
+/// console log -- only InfoROM counters and the per-job snapshot
+/// framework observe them).
+struct SbeStrike {
+  stats::TimeSec time = 0;
+  topology::NodeId node = topology::kInvalidNode;
+  xid::CardId card = xid::kInvalidCard;
+  xid::MemoryStructure structure = xid::MemoryStructure::kL2Cache;
+  std::uint32_t page = 0;       ///< device-memory strikes only
+  bool from_weak_cell = false;
+};
+
+/// One pass of the hot-spare workflow.
+struct HotSpareAction {
+  stats::TimeSec pulled_at = 0;
+  xid::CardId card = xid::kInvalidCard;
+  topology::NodeId node = topology::kInvalidNode;
+  bool failed_stress = false;        ///< true -> returned to vendor
+  xid::CardId replacement = xid::kInvalidCard;
+};
+
+struct CampaignParams {
+  stats::StudyPeriod period{};
+  DriverTimeline timeline{};
+  topology::ThermalModel thermal{};
+  FaultModelParams model{};               ///< calibrated rates (ablation knobs)
+  bool include_bad_node_anecdote = true;  ///< the Observation 8 node
+};
+
+struct CampaignResult {
+  std::vector<xid::Event> events;          ///< console-visible, time-sorted
+  std::vector<SbeStrike> sbe_strikes;      ///< time-sorted
+  std::vector<HotSpareAction> hot_spare_actions;
+  std::vector<CardTraits> traits;          ///< by card serial (incl. spares)
+  topology::NodeId bad_node = topology::kInvalidNode;  ///< Obs. 8 anecdote
+};
+
+/// Populate an empty fleet: procure and install one card per compute node
+/// at `when`, sampling latent traits.  Returns the traits by serial.
+[[nodiscard]] std::vector<CardTraits> initialize_fleet(
+    gpu::Fleet& fleet, stats::TimeSec when, stats::Rng rng,
+    const FaultModelParams& model = FaultModelParams{});
+
+/// Run the full fault campaign.  `fleet` must have been initialized; its
+/// cards' InfoROMs and retirement engines are mutated to their
+/// end-of-campaign state.  Deterministic in all inputs.
+[[nodiscard]] CampaignResult run_fault_campaign(gpu::Fleet& fleet,
+                                                std::vector<CardTraits> traits,
+                                                const sched::JobTrace& trace,
+                                                const CampaignParams& params, stats::Rng rng);
+
+}  // namespace titan::fault

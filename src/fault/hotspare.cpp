@@ -1,0 +1,37 @@
+#include "fault/hotspare.hpp"
+
+#include "fault/calibration.hpp"
+#include "gpu/k20x.hpp"
+#include "stats/distributions.hpp"
+
+namespace titan::fault {
+
+StressOutcome stress_test_card(gpu::GpuCard& card, const CardTraits& traits,
+                               const StressTestParams& params, stats::TimeSec start,
+                               stats::Rng& rng) {
+  StressOutcome outcome;
+  const double rate_per_day =
+      params.base_dbe_per_day * params.acceleration * traits.dbe_weight;
+  const double mean = rate_per_day * params.duration_days;
+  outcome.observed_dbes = stats::sample_poisson(rng, mean);
+
+  // Commit what the burn-in observed; structure mix as in production.
+  for (std::uint64_t i = 0; i < outcome.observed_dbes; ++i) {
+    const auto structure = sample_dbe_structure(rng);
+    const auto page =
+        structure == xid::MemoryStructure::kDeviceMemory
+            ? std::optional<std::uint32_t>{static_cast<std::uint32_t>(
+                  rng.below(gpu::kDevicePages))}
+            : std::nullopt;
+    const auto when =
+        start + static_cast<stats::TimeSec>(rng.below(static_cast<std::uint64_t>(
+                    params.duration_days * 86400.0)));
+    (void)card.record_dbe(structure, page, when, /*commit_to_inforom=*/true);
+  }
+  outcome.returned_to_vendor = outcome.observed_dbes >= params.fail_threshold;
+  card.set_health(outcome.returned_to_vendor ? gpu::CardHealth::kReturnedToVendor
+                                             : gpu::CardHealth::kShelf);
+  return outcome;
+}
+
+}  // namespace titan::fault

@@ -1,0 +1,75 @@
+// Runtime-configurable fault-model parameters.
+//
+// Defaults come from calibration.hpp (the values EXPERIMENTS.md was
+// recorded with); overriding fields enables ablation studies -- e.g. how
+// the Fig. 3(b) cage ratio responds to the thermal factor, or how the
+// Fig. 8 buckets respond to the retirement-logging probability -- without
+// recompiling.  Used by propensity sampling and the campaign generator.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/calibration.hpp"
+
+namespace titan::fault {
+
+struct FaultModelParams {
+  // Double-bit errors.
+  double dbe_mtbf_hours = kDbeMtbfHours;
+  double dbe_device_share = kDbeDeviceMemoryShare;
+  double dbe_thermal_factor = kDbeThermalFactorPer10F;
+  double dbe_card_sigma = kDbeCardSigma;
+
+  // Off-the-bus.
+  double otb_defect_probability = kOtbSolderDefectProbability;
+  double otb_manifest_probability = kOtbManifestProbability;
+  double otb_thermal_factor = kOtbThermalFactorPer10F;
+  double otb_residual_per_day = kOtbResidualPerDay;
+
+  // Single-bit errors.
+  double sbe_prone_probability = kSbeProneProbability;
+  double sbe_background_median_per_day = kSbeBackgroundMedianPerDay;
+  double sbe_background_sigma = kSbeBackgroundSigma;
+  double weak_card_probability_given_prone = kWeakCardProbabilityGivenProne;
+  double weak_cell_median_per_day = kWeakCellMedianPerDay;
+  double weak_cell_sigma = kWeakCellSigma;
+  double weak_cell_device_share = kWeakCellDeviceMemoryShare;
+  int weak_cells_min = static_cast<int>(kWeakCellsMin);
+  int weak_cells_max = static_cast<int>(kWeakCellsMax);
+  double sbe_idle_acceptance = kSbeIdleAcceptance;
+  double sbe_duty_acceptance = kSbeDutyAcceptance;
+
+  // Page retirement / logging pathologies.
+  double retirement_logged_after_dbe = kRetirementLoggedAfterDbe;
+  double retirement_fast_max_s = kRetirementFastMaxS;
+  double dbe_inforom_loss_probability = kDbeInfoRomLossProbability;
+
+  // Software / application errors.
+  double debug_job_xid13_probability = kDebugJobXid13Probability;
+  double debug_job_xid31_probability = kDebugJobXid31Probability;
+  double xid13_followed_by_43 = kXid13FollowedBy43;
+  double xid43_followed_by_45 = kXid43FollowedBy45;
+  double dbe_followed_by_45 = kDbeFollowedBy45;
+  double job_propagation_window_s = kJobPropagationWindowS;
+  double xid43_per_day = kXid43PerDay;
+  double xid44_per_day = kXid44PerDay;
+  double xid59_per_day_old_driver = kXid59PerDayOldDriver;
+  double xid62_per_day_new_driver = kXid62PerDayNewDriver;
+  int xid32_total = kXid32Total;
+  int xid38_total = kXid38Total;
+  int xid42_total = kXid42Total;
+  int xid56_total = kXid56Total;
+  int xid57_total = kXid57Total;
+  int xid58_total = kXid58Total;
+  int xid65_total = kXid65Total;
+
+  // Operations.
+  std::uint64_t hot_spare_pull_threshold = kHotSparePullThreshold;
+  int maintenance_day_of_month = kMaintenanceDayOfMonth;
+
+  // The Observation 8 anecdote.
+  double bad_node_xid13_per_day = kBadNodeXid13PerDay;
+  int bad_node_active_months = kBadNodeActiveMonths;
+};
+
+}  // namespace titan::fault

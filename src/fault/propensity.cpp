@@ -1,0 +1,72 @@
+#include "fault/propensity.hpp"
+
+#include <cmath>
+
+#include "fault/calibration.hpp"
+#include "stats/distributions.hpp"
+
+namespace titan::fault {
+
+xid::MemoryStructure sample_sbe_structure(stats::Rng& rng) {
+  const double u = rng.uniform();
+  double acc = kSbeShareL2;
+  if (u < acc) return xid::MemoryStructure::kL2Cache;
+  acc += kSbeShareDevice;
+  if (u < acc) return xid::MemoryStructure::kDeviceMemory;
+  acc += kSbeShareRegister;
+  if (u < acc) return xid::MemoryStructure::kRegisterFile;
+  acc += kSbeShareL1;
+  if (u < acc) return xid::MemoryStructure::kL1Shared;
+  return xid::MemoryStructure::kReadOnlyCache;
+}
+
+xid::MemoryStructure sample_dbe_structure(stats::Rng& rng, double device_share) {
+  return rng.bernoulli(device_share) ? xid::MemoryStructure::kDeviceMemory
+                                     : xid::MemoryStructure::kRegisterFile;
+}
+
+CardTraits sample_one_card(stats::Rng& rng, const FaultModelParams& model) {
+  CardTraits traits;
+  traits.dbe_weight = stats::sample_lognormal(rng, 0.0, model.dbe_card_sigma);
+  traits.solder_defect = rng.bernoulli(model.otb_defect_probability);
+  if (rng.bernoulli(model.sbe_prone_probability)) {
+    traits.background_sbe_per_day =
+        stats::sample_lognormal(rng, std::log(model.sbe_background_median_per_day), model.sbe_background_sigma);
+    if (rng.bernoulli(model.weak_card_probability_given_prone)) {
+      const auto min_cells = static_cast<std::uint64_t>(model.weak_cells_min);
+      const auto max_cells = static_cast<std::uint64_t>(model.weak_cells_max);
+      const auto cells =
+          static_cast<std::size_t>(min_cells + rng.below(max_cells - min_cells + 1));
+      traits.weak_cells.reserve(cells);
+      for (std::size_t i = 0; i < cells; ++i) {
+        WeakCell cell;
+        if (rng.bernoulli(model.weak_cell_device_share)) {
+          cell.structure = xid::MemoryStructure::kDeviceMemory;
+          cell.page = static_cast<std::uint32_t>(rng.below(gpu::kDevicePages));
+        } else {
+          // On-chip weak cells: dominated by L2 (largest on-chip SECDED
+          // structure), occasionally the register file.
+          cell.structure = rng.bernoulli(0.85) ? xid::MemoryStructure::kL2Cache
+                                               : xid::MemoryStructure::kRegisterFile;
+        }
+        cell.sbe_per_day =
+            stats::sample_lognormal(rng, std::log(model.weak_cell_median_per_day), model.weak_cell_sigma);
+        traits.weak_cells.push_back(cell);
+      }
+    }
+  }
+  return traits;
+}
+
+std::vector<CardTraits> sample_card_traits(std::size_t count, stats::Rng rng,
+                                           const FaultModelParams& model) {
+  std::vector<CardTraits> out;
+  out.reserve(count);
+  for (std::size_t serial = 0; serial < count; ++serial) {
+    auto card_rng = rng.fork("card-traits", serial);
+    out.push_back(sample_one_card(card_rng, model));
+  }
+  return out;
+}
+
+}  // namespace titan::fault

@@ -1,0 +1,58 @@
+// Latent per-card fault propensities.
+//
+// The paper's central spatial finding about SBEs (Observation 10) is that
+// "some cards are inherently more prone to SBEs rather than due to their
+// location": a small set of cards with weak cells dominates the fleet-wide
+// counts, and removing the top 10/50 offenders homogenizes the
+// distribution.  This module samples those latent traits at fleet
+// initialization time, deterministically per card serial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/model_params.hpp"
+#include "gpu/k20x.hpp"
+#include "stats/rng.hpp"
+#include "xid/event.hpp"
+
+namespace titan::fault {
+
+/// A weak memory cell: fires SBEs at its own rate until (for retirable
+/// device-memory cells) its page is blacklisted.
+struct WeakCell {
+  xid::MemoryStructure structure = xid::MemoryStructure::kL2Cache;
+  std::uint32_t page = 0;        ///< device-memory page, when retirable
+  double sbe_per_day = 0.0;
+};
+
+/// Latent traits of one physical card.
+struct CardTraits {
+  double dbe_weight = 1.0;          ///< relative DBE susceptibility
+  bool solder_defect = false;       ///< OTB-prone until the rework era ends
+  double background_sbe_per_day = 0.0;  ///< 0 for non-prone cards
+  std::vector<WeakCell> weak_cells;
+
+  [[nodiscard]] bool sbe_prone() const noexcept {
+    return background_sbe_per_day > 0.0 || !weak_cells.empty();
+  }
+};
+
+/// Sample traits for `count` cards.  Traits depend only on (rng seed,
+/// serial, model) so procurement order cannot perturb them.
+[[nodiscard]] std::vector<CardTraits> sample_card_traits(
+    std::size_t count, stats::Rng rng, const FaultModelParams& model = FaultModelParams{});
+
+/// Sample traits for one replacement card (same distribution).
+[[nodiscard]] CardTraits sample_one_card(stats::Rng& rng,
+                                         const FaultModelParams& model = FaultModelParams{});
+
+/// Sample the structure of a background SBE.
+[[nodiscard]] xid::MemoryStructure sample_sbe_structure(stats::Rng& rng);
+
+/// Sample the structure of a DBE (calibrated: 86% device memory / 14%
+/// register file).
+[[nodiscard]] xid::MemoryStructure sample_dbe_structure(
+    stats::Rng& rng, double device_share = kDbeDeviceMemoryShare);
+
+}  // namespace titan::fault

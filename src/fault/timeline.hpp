@@ -1,0 +1,36 @@
+// Operational timeline of the study period: the dated system changes the
+// paper's figures hinge on.
+//
+//  * Dec'2013 -- the OTB solder-defect rework completes ("a system
+//    integration issue ... was identified, and subsequently resolved by
+//    soldering"; Fig. 4 collapses after this).
+//  * Jan'2014 -- the new driver stack lands: ECC page retirement XIDs
+//    63/64 start existing (Fig. 6 "has started appearing only since
+//    Jan'2014") and the internal-micro-controller-halt XID switches from
+//    59 (old driver) to 62 (new driver) (Fig. 11, Table 2).
+#pragma once
+
+#include "stats/calendar.hpp"
+#include "xid/taxonomy.hpp"
+
+namespace titan::fault {
+
+struct DriverTimeline {
+  /// Completion of the fleet-wide re-soldering rework.
+  stats::TimeSec solder_fix = stats::to_time(stats::CivilDate{2013, 12, 1});
+  /// Deployment of the new driver stack.
+  stats::TimeSec new_driver = stats::to_time(stats::CivilDate{2014, 1, 1});
+
+  [[nodiscard]] constexpr bool retirement_enabled(stats::TimeSec t) const noexcept {
+    return t >= new_driver;
+  }
+  [[nodiscard]] constexpr bool otb_epidemic(stats::TimeSec t) const noexcept {
+    return t < solder_fix;
+  }
+  /// Which micro-controller-halt XID the installed driver raises at `t`.
+  [[nodiscard]] constexpr xid::ErrorKind uc_halt_kind(stats::TimeSec t) const noexcept {
+    return t < new_driver ? xid::ErrorKind::kUcHaltOldDriver : xid::ErrorKind::kUcHaltNewDriver;
+  }
+};
+
+}  // namespace titan::fault

@@ -1,0 +1,38 @@
+#include "gpu/card.hpp"
+
+namespace titan::gpu {
+
+EccOutcome GpuCard::record_sbe(xid::MemoryStructure structure, std::optional<std::uint32_t> page,
+                               stats::TimeSec when) {
+  EccOutcome out;
+  out.emitted_sbe = true;
+  inforom_.commit_sbe(structure);
+  if (structure == xid::MemoryStructure::kDeviceMemory && page) {
+    out.retirement = retirement_.on_device_sbe(*page);
+    if (out.retirement) {
+      out.retirement_recorded = inforom_.commit_retirement(out.retirement->page,
+                                                           out.retirement->cause, when);
+      // Second-strike (two-SBE) retirement does not crash the application.
+    }
+  }
+  return out;
+}
+
+EccOutcome GpuCard::record_dbe(xid::MemoryStructure structure, std::optional<std::uint32_t> page,
+                               stats::TimeSec when, bool commit_to_inforom) {
+  EccOutcome out;
+  out.emitted_dbe = true;
+  out.app_crash = true;  // SECDED always kills the program on a DBE
+  ++dbe_seen_;
+  if (commit_to_inforom) inforom_.commit_dbe(structure);
+  if (structure == xid::MemoryStructure::kDeviceMemory && page) {
+    out.retirement = retirement_.on_device_dbe(*page);
+    if (out.retirement && commit_to_inforom) {
+      out.retirement_recorded = inforom_.commit_retirement(out.retirement->page,
+                                                           out.retirement->cause, when);
+    }
+  }
+  return out;
+}
+
+}  // namespace titan::gpu

@@ -1,0 +1,78 @@
+// One physical K20X card: identity, InfoROM, retirement engine, and the
+// operational health state that OLCF's hot-spare workflow moves cards
+// through (paper Section 3.1: cards that incur DBEs are pulled from
+// production, stress-tested in a hot-spare cluster, and returned to the
+// vendor if they fail there).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gpu/inforom.hpp"
+#include "gpu/retirement.hpp"
+#include "xid/event.hpp"
+
+namespace titan::gpu {
+
+/// Operational state of a card.
+enum class CardHealth : std::uint8_t {
+  kProduction,       ///< installed in a compute node
+  kHotSpare,         ///< pulled for stress testing in the hot-spare cluster
+  kReturnedToVendor, ///< failed hot-spare stress testing, RMA'd
+  kShelf,            ///< spare stock, never installed or re-qualified
+};
+
+/// Result of feeding one ECC fault into a card.
+struct EccOutcome {
+  bool app_crash = false;       ///< DBE (or first-case retirement): app dies
+  bool emitted_sbe = false;     ///< counted a corrected single-bit error
+  bool emitted_dbe = false;     ///< counted a detected double-bit error
+  std::optional<RetirementRequest> retirement;  ///< page queued this event
+  bool retirement_recorded = false;  ///< InfoROM write succeeded (else XID 64)
+};
+
+class GpuCard {
+ public:
+  explicit GpuCard(xid::CardId serial) : serial_{serial} {}
+
+  [[nodiscard]] xid::CardId serial() const noexcept { return serial_; }
+  [[nodiscard]] CardHealth health() const noexcept { return health_; }
+  void set_health(CardHealth h) noexcept { health_ = h; }
+
+  [[nodiscard]] const InfoRom& inforom() const noexcept { return inforom_; }
+  [[nodiscard]] PageRetirementEngine& retirement() noexcept { return retirement_; }
+  [[nodiscard]] const PageRetirementEngine& retirement() const noexcept { return retirement_; }
+
+  /// Corrected single-bit error in `structure`; device-memory SBEs carry a
+  /// page and can trigger second-strike retirement.
+  [[nodiscard]] EccOutcome record_sbe(xid::MemoryStructure structure,
+                                      std::optional<std::uint32_t> page, stats::TimeSec when);
+
+  /// Detected double-bit error.  `commit_to_inforom` is false when the
+  /// node died before the NVML write completed (the Observation 2 loss
+  /// mechanism): the DBE then never shows up in nvidia-smi output even
+  /// though the console log recorded it.
+  [[nodiscard]] EccOutcome record_dbe(xid::MemoryStructure structure,
+                                      std::optional<std::uint32_t> page, stats::TimeSec when,
+                                      bool commit_to_inforom);
+
+  /// Node reboot: queued page retirements become effective and the
+  /// volatile ECC counters reset (aggregates persist).
+  void on_reboot() {
+    retirement_.on_reboot();
+    inforom_.reset_volatile();
+  }
+
+  [[nodiscard]] std::uint64_t dbe_seen() const noexcept { return dbe_seen_; }
+
+ private:
+  xid::CardId serial_;
+  CardHealth health_ = CardHealth::kShelf;
+  InfoRom inforom_;
+  PageRetirementEngine retirement_;
+  /// Ground-truth DBE count (console-log view), independent of whether the
+  /// InfoROM commit survived.
+  std::uint64_t dbe_seen_ = 0;
+};
+
+}  // namespace titan::gpu

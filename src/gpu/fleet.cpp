@@ -1,0 +1,69 @@
+#include "gpu/fleet.hpp"
+
+#include <algorithm>
+
+namespace titan::gpu {
+
+const std::vector<FleetLedger::Install>& FleetLedger::slot(topology::NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= history_.size()) {
+    throw std::out_of_range{"FleetLedger: node out of range"};
+  }
+  return history_[static_cast<std::size_t>(node)];
+}
+
+std::vector<FleetLedger::Install>& FleetLedger::slot(topology::NodeId node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= history_.size()) {
+    throw std::out_of_range{"FleetLedger: node out of range"};
+  }
+  return history_[static_cast<std::size_t>(node)];
+}
+
+void FleetLedger::install(topology::NodeId node, xid::CardId card, stats::TimeSec when) {
+  auto& installs = slot(node);
+  if (!installs.empty() && installs.back().when > when) {
+    throw std::invalid_argument{"FleetLedger: installs must be time-ordered"};
+  }
+  installs.push_back(Install{when, card});
+}
+
+xid::CardId FleetLedger::card_at(topology::NodeId node, stats::TimeSec when) const {
+  const auto& installs = slot(node);
+  // Last install at or before `when`.
+  xid::CardId found = xid::kInvalidCard;
+  for (const auto& inst : installs) {
+    if (inst.when <= when) {
+      found = inst.card;
+    } else {
+      break;
+    }
+  }
+  return found;
+}
+
+std::size_t FleetLedger::install_count(topology::NodeId node) const {
+  return slot(node).size();
+}
+
+xid::CardId Fleet::procure() {
+  const auto serial = static_cast<xid::CardId>(cards_.size());
+  cards_.emplace_back(serial);
+  return serial;
+}
+
+GpuCard& Fleet::card(xid::CardId serial) {
+  if (serial < 0 || static_cast<std::size_t>(serial) >= cards_.size()) {
+    throw std::out_of_range{"Fleet: unknown card serial"};
+  }
+  return cards_[static_cast<std::size_t>(serial)];
+}
+
+const GpuCard& Fleet::card(xid::CardId serial) const {
+  return const_cast<Fleet*>(this)->card(serial);
+}
+
+void Fleet::install(topology::NodeId node, xid::CardId serial, stats::TimeSec when) {
+  ledger_.install(node, serial, when);
+  card(serial).set_health(CardHealth::kProduction);
+}
+
+}  // namespace titan::gpu

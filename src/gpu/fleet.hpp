@@ -1,0 +1,73 @@
+// The GPU fleet: card inventory plus the node<->card installation ledger.
+//
+// The paper's "distinct GPU cards" analyses (Figs. 3(b), 15(b)) require
+// joining console-log events -- which identify only the *node* -- against
+// the facility's card inventory to recover which physical card was in the
+// node at the time.  FleetLedger is that inventory: an append-only install
+// history per node, supporting (node, time) -> card queries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "gpu/card.hpp"
+#include "stats/calendar.hpp"
+#include "topology/machine.hpp"
+#include "xid/event.hpp"
+
+namespace titan::gpu {
+
+class FleetLedger {
+ public:
+  explicit FleetLedger(std::size_t node_slots) : history_(node_slots) {}
+
+  /// Record that `card` was installed in `node` at time `when`.  Installs
+  /// for a node must be recorded in nondecreasing time order.
+  void install(topology::NodeId node, xid::CardId card, stats::TimeSec when);
+
+  /// Card installed in `node` at time `when`; kInvalidCard when the slot
+  /// was empty (service node or pre-install).
+  [[nodiscard]] xid::CardId card_at(topology::NodeId node, stats::TimeSec when) const;
+
+  /// Number of installs ever recorded for a node.
+  [[nodiscard]] std::size_t install_count(topology::NodeId node) const;
+
+  [[nodiscard]] std::size_t node_slots() const noexcept { return history_.size(); }
+
+ private:
+  struct Install {
+    stats::TimeSec when = 0;
+    xid::CardId card = xid::kInvalidCard;
+  };
+  std::vector<std::vector<Install>> history_;
+
+  [[nodiscard]] const std::vector<Install>& slot(topology::NodeId node) const;
+  [[nodiscard]] std::vector<Install>& slot(topology::NodeId node);
+};
+
+/// Card inventory: owns every GpuCard ever procured for the machine and
+/// the ledger binding cards to nodes over time.
+class Fleet {
+ public:
+  Fleet() : ledger_{static_cast<std::size_t>(topology::kNodeSlots)} {}
+
+  /// Procure a new card (health kShelf) and return its serial.
+  [[nodiscard]] xid::CardId procure();
+
+  [[nodiscard]] GpuCard& card(xid::CardId serial);
+  [[nodiscard]] const GpuCard& card(xid::CardId serial) const;
+  [[nodiscard]] std::size_t card_count() const noexcept { return cards_.size(); }
+
+  [[nodiscard]] FleetLedger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] const FleetLedger& ledger() const noexcept { return ledger_; }
+
+  /// Install a card into a node (marks it kProduction).
+  void install(topology::NodeId node, xid::CardId serial, stats::TimeSec when);
+
+ private:
+  std::vector<GpuCard> cards_;
+  FleetLedger ledger_;
+};
+
+}  // namespace titan::gpu

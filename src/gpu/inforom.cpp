@@ -1,0 +1,48 @@
+#include "gpu/inforom.hpp"
+
+#include <algorithm>
+
+namespace titan::gpu {
+
+void InfoRom::commit_sbe(xid::MemoryStructure structure, std::uint64_t count) {
+  sbe_total_ += count;
+  sbe_volatile_ += count;
+  sbe_by_structure_[static_cast<std::size_t>(structure)] += count;
+}
+
+void InfoRom::commit_dbe(xid::MemoryStructure structure, std::uint64_t count) {
+  dbe_total_ += count;
+  dbe_volatile_ += count;
+  dbe_by_structure_[static_cast<std::size_t>(structure)] += count;
+}
+
+void InfoRom::reset_volatile() noexcept {
+  sbe_volatile_ = 0;
+  dbe_volatile_ = 0;
+}
+
+bool InfoRom::commit_retirement(std::uint32_t page, RetireCause cause, stats::TimeSec when) {
+  if (pages_.size() >= kRetiredPageCapacity) return false;
+  pages_.push_back(RetiredPage{page, cause, when});
+  return true;
+}
+
+std::uint64_t InfoRom::sbe_count(xid::MemoryStructure s) const noexcept {
+  return sbe_by_structure_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t InfoRom::dbe_count(xid::MemoryStructure s) const noexcept {
+  return dbe_by_structure_[static_cast<std::size_t>(s)];
+}
+
+std::size_t InfoRom::retired_page_count(RetireCause cause) const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      pages_.begin(), pages_.end(), [&](const RetiredPage& p) { return p.cause == cause; }));
+}
+
+bool InfoRom::page_retired(std::uint32_t page) const noexcept {
+  return std::any_of(pages_.begin(), pages_.end(),
+                     [&](const RetiredPage& p) { return p.page == page; });
+}
+
+}  // namespace titan::gpu

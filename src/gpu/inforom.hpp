@@ -1,0 +1,80 @@
+// InfoROM model: the on-card persistent store queried by nvidia-smi.
+//
+// Holds the aggregate ECC counters and the retired-page table.  Two
+// behaviours the paper depends on are modeled faithfully:
+//
+//  1. Commits are not transactional with respect to node death.  The paper
+//     (Observation 2) found nvidia-smi reporting FEWER DBEs than the
+//     console logs because "a double bit error causes the node to shut
+//     down before the DBE incident is logged in the NVML InfoROM" -- the
+//     vendor confirmed this.  Callers therefore *may skip* committing a
+//     DBE when the node crashed fast; the InfoROM itself just stores what
+//     was committed.
+//
+//  2. The retired-page table has finite capacity; an attempt to retire
+//     beyond it fails (surfaced as XID 64 upstream).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/calendar.hpp"
+#include "xid/event.hpp"
+
+namespace titan::gpu {
+
+/// Why a page was retired.
+enum class RetireCause : std::uint8_t {
+  kDoubleBitError,    ///< one DBE on the page
+  kMultipleSbe,       ///< two SBEs on the same page
+};
+
+struct RetiredPage {
+  std::uint32_t page = 0;
+  RetireCause cause = RetireCause::kDoubleBitError;
+  stats::TimeSec retired_at = 0;
+};
+
+/// Maximum retired-page entries (model of the NVML limit).
+inline constexpr std::size_t kRetiredPageCapacity = 64;
+
+class InfoRom {
+ public:
+  /// Count a corrected single-bit error against a structure.  Updates
+  /// both the aggregate (persistent) and volatile (since last driver
+  /// reload) counters, like NVML.
+  void commit_sbe(xid::MemoryStructure structure, std::uint64_t count = 1);
+
+  /// Count a detected double-bit error against a structure.
+  void commit_dbe(xid::MemoryStructure structure, std::uint64_t count = 1);
+
+  /// Driver reload: volatile counters reset; aggregates persist.
+  void reset_volatile() noexcept;
+
+  /// Record a page retirement.  Returns false (and records nothing) when
+  /// the table is full.
+  [[nodiscard]] bool commit_retirement(std::uint32_t page, RetireCause cause,
+                                       stats::TimeSec when);
+
+  [[nodiscard]] std::uint64_t sbe_total() const noexcept { return sbe_total_; }
+  [[nodiscard]] std::uint64_t dbe_total() const noexcept { return dbe_total_; }
+  [[nodiscard]] std::uint64_t sbe_volatile() const noexcept { return sbe_volatile_; }
+  [[nodiscard]] std::uint64_t dbe_volatile() const noexcept { return dbe_volatile_; }
+  [[nodiscard]] std::uint64_t sbe_count(xid::MemoryStructure s) const noexcept;
+  [[nodiscard]] std::uint64_t dbe_count(xid::MemoryStructure s) const noexcept;
+  [[nodiscard]] const std::vector<RetiredPage>& retired_pages() const noexcept { return pages_; }
+  [[nodiscard]] std::size_t retired_page_count(RetireCause cause) const noexcept;
+  [[nodiscard]] bool page_retired(std::uint32_t page) const noexcept;
+
+ private:
+  std::uint64_t sbe_total_ = 0;
+  std::uint64_t dbe_total_ = 0;
+  std::uint64_t sbe_volatile_ = 0;
+  std::uint64_t dbe_volatile_ = 0;
+  std::uint64_t sbe_by_structure_[xid::kMemoryStructureCount] = {};
+  std::uint64_t dbe_by_structure_[xid::kMemoryStructureCount] = {};
+  std::vector<RetiredPage> pages_;
+};
+
+}  // namespace titan::gpu

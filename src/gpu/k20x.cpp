@@ -1,0 +1,41 @@
+#include "gpu/k20x.hpp"
+
+namespace titan::gpu {
+
+namespace {
+
+using xid::MemoryStructure;
+
+constexpr std::array<StructureSpec, 7> kStructures = {{
+    {MemoryStructure::kNone, 0, Protection::kUnprotected,
+     "control logic: queues, schedulers, dispatch, interconnect"},
+    {MemoryStructure::kDeviceMemory, kDeviceMemoryBytes, Protection::kSecded,
+     "6 GB GDDR5 framebuffer"},
+    {MemoryStructure::kRegisterFile, kSmCount * kRegistersPerSm * 4, Protection::kSecded,
+     "64K 32-bit registers per SM"},
+    {MemoryStructure::kL2Cache, kL2Bytes, Protection::kSecded, "1536 KB shared L2"},
+    {MemoryStructure::kL1Shared, kSmCount * kSharedL1BytesPerSm, Protection::kSecded,
+     "64 KB shared memory + L1 per SM"},
+    {MemoryStructure::kReadOnlyCache, kSmCount * kReadOnlyBytesPerSm, Protection::kParity,
+     "48 KB read-only data cache per SM"},
+    {MemoryStructure::kTextureMemory, kSmCount * kReadOnlyBytesPerSm, Protection::kParity,
+     "texture path (shares the read-only cache hardware)"},
+}};
+
+}  // namespace
+
+std::span<const StructureSpec> structures() noexcept { return kStructures; }
+
+const StructureSpec& structure_spec(xid::MemoryStructure s) noexcept {
+  return kStructures[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t secded_protected_bytes() noexcept {
+  std::uint64_t total = 0;
+  for (const auto& spec : kStructures) {
+    if (spec.protection == Protection::kSecded) total += spec.bytes;
+  }
+  return total;
+}
+
+}  // namespace titan::gpu

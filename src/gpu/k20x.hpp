@@ -1,0 +1,71 @@
+// Structural model of the NVIDIA Tesla K20X (GK110) GPU as deployed in
+// Titan (paper Section 2.1).
+//
+//  * 14 streaming multiprocessors (SMs), 192 CUDA cores each (2688 total)
+//  * per SM: 64K 32-bit registers, 64 KB combined shared memory + L1,
+//    48 KB read-only data cache
+//  * shared: 1536 KB L2 cache, 6 GB GDDR5 device memory
+//  * 3.95 / 1.31 Tflops single/double precision peak
+//
+// ECC coverage (Section 2.1): register files, shared memory, L1, L2 and
+// device memory are SECDED protected; the read-only data cache is parity
+// protected; control logic (queues, schedulers, dispatch, interconnect) is
+// unprotected -- a soft error there can cause a crash or silent data
+// corruption without being caught, but the unprotected area is small.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "xid/event.hpp"
+
+namespace titan::gpu {
+
+inline constexpr int kSmCount = 14;
+inline constexpr int kCudaCoresPerSm = 192;
+inline constexpr int kCudaCores = kSmCount * kCudaCoresPerSm;  // 2688
+inline constexpr double kPeakSingleTflops = 3.95;
+inline constexpr double kPeakDoubleTflops = 1.31;
+inline constexpr int kProcessNm = 28;
+
+inline constexpr std::uint64_t kRegistersPerSm = 64 * 1024;          // 32-bit registers
+inline constexpr std::uint64_t kSharedL1BytesPerSm = 64 * 1024;      // combined shared+L1
+inline constexpr std::uint64_t kReadOnlyBytesPerSm = 48 * 1024;
+inline constexpr std::uint64_t kL2Bytes = 1536 * 1024;
+inline constexpr std::uint64_t kDeviceMemoryBytes = 6ULL * 1024 * 1024 * 1024;  // 6 GB GDDR5
+
+/// Dynamic-page-retirement granularity.  Modeling choice: NVIDIA retires
+/// framebuffer pages; we use 64 KiB pages, giving 98,304 retirable pages
+/// per card.
+inline constexpr std::uint64_t kPageBytes = 64 * 1024;
+inline constexpr std::uint32_t kDevicePages =
+    static_cast<std::uint32_t>(kDeviceMemoryBytes / kPageBytes);  // 98,304
+
+/// ECC scheme protecting a structure.
+enum class Protection : std::uint8_t {
+  kSecded,       ///< single-error-correct, double-error-detect
+  kParity,       ///< detect-only
+  kUnprotected,  ///< no coverage (control logic)
+};
+
+/// Capacity and protection of one memory structure, whole-GPU totals.
+struct StructureSpec {
+  xid::MemoryStructure structure{};
+  std::uint64_t bytes = 0;
+  Protection protection = Protection::kSecded;
+  std::string_view description;
+};
+
+/// All ECC-relevant structures of the K20X (whole-GPU capacities).
+[[nodiscard]] std::span<const StructureSpec> structures() noexcept;
+
+/// Lookup (total over enum values that have a spec; structures without a
+/// spec -- kNone -- return a zero-capacity unprotected spec).
+[[nodiscard]] const StructureSpec& structure_spec(xid::MemoryStructure s) noexcept;
+
+/// Total SECDED-protected bytes (the denominator for per-bit rate models).
+[[nodiscard]] std::uint64_t secded_protected_bytes() noexcept;
+
+}  // namespace titan::gpu

@@ -1,0 +1,28 @@
+#include "gpu/retirement.hpp"
+
+namespace titan::gpu {
+
+std::optional<RetirementRequest> PageRetirementEngine::on_device_sbe(std::uint32_t page) {
+  if (!enabled_) return std::nullopt;
+  if (queued_.contains(page)) return std::nullopt;  // already queued: no repeat
+  auto& count = sbe_per_page_[page];
+  if (count < 255) ++count;
+  if (count >= 2) {
+    queued_.insert(page);
+    return RetirementRequest{page, RetireCause::kMultipleSbe};
+  }
+  return std::nullopt;
+}
+
+std::optional<RetirementRequest> PageRetirementEngine::on_device_dbe(std::uint32_t page) {
+  if (!enabled_) return std::nullopt;
+  if (queued_.contains(page)) return std::nullopt;
+  queued_.insert(page);
+  return RetirementRequest{page, RetireCause::kDoubleBitError};
+}
+
+void PageRetirementEngine::on_reboot() {
+  for (std::uint32_t page : queued_) effective_.insert(page);
+}
+
+}  // namespace titan::gpu

@@ -1,0 +1,75 @@
+// Dynamic page retirement state machine (paper Section 3.1, Fig. 6-8,
+// Observation 5).
+//
+// ECC page retirement triggers under two circumstances:
+//   (1) one double-bit error on a device-memory page  -> the app crashes,
+//       the page is queued for retirement;
+//   (2) two single-bit errors on the same page        -> no crash, the
+//       page is queued for retirement.
+//
+// A queued page's address is stored in the InfoROM; it only stops being
+// used at the *next driver load* (node reboot), when the framebuffer
+// allocator blacklists it.  That deferred effectiveness is what lets the
+// fault model keep producing SBEs from a weak cell until the node reboots,
+// and it is why retirement "effectively improves the life of the card".
+//
+// The engine is pure state-machine: it decides *when* to retire; the
+// owning GpuCard commits the retirement to the InfoROM (which can fail
+// when the table is full -- surfaced upstream as XID 64).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gpu/inforom.hpp"
+
+namespace titan::gpu {
+
+/// Retirement request produced by the engine.
+struct RetirementRequest {
+  std::uint32_t page = 0;
+  RetireCause cause = RetireCause::kDoubleBitError;
+};
+
+class PageRetirementEngine {
+ public:
+  /// Enable/disable the feature (the XID 63/64 machinery only exists on
+  /// Titan from Jan'2014, when the new driver stack was deployed).
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Process a device-memory SBE on `page`.  Returns a retirement request
+  /// on the second SBE to hit a not-yet-queued page.
+  [[nodiscard]] std::optional<RetirementRequest> on_device_sbe(std::uint32_t page);
+
+  /// Process a device-memory DBE on `page`.  Always returns a request when
+  /// the feature is enabled and the page is not already queued.
+  [[nodiscard]] std::optional<RetirementRequest> on_device_dbe(std::uint32_t page);
+
+  /// Driver reload: all queued retirements become effective (the
+  /// framebuffer will no longer hand out those pages).
+  void on_reboot();
+
+  /// True once a page is blacklisted *and* the node has rebooted since.
+  [[nodiscard]] bool page_blacklisted(std::uint32_t page) const noexcept {
+    return effective_.contains(page);
+  }
+  /// True when the page has been queued for retirement (whether or not a
+  /// reboot has made the blacklist effective yet).
+  [[nodiscard]] bool page_queued(std::uint32_t page) const noexcept {
+    return queued_.contains(page);
+  }
+
+  [[nodiscard]] std::size_t queued_count() const noexcept { return queued_.size(); }
+  [[nodiscard]] std::size_t effective_count() const noexcept { return effective_.size(); }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_map<std::uint32_t, std::uint8_t> sbe_per_page_;
+  std::unordered_set<std::uint32_t> queued_;
+  std::unordered_set<std::uint32_t> effective_;
+};
+
+}  // namespace titan::gpu

@@ -1,0 +1,102 @@
+#include "gpu/secded.hpp"
+
+#include <array>
+
+namespace titan::gpu {
+
+namespace {
+
+constexpr bool is_power_of_two(int x) noexcept { return x > 0 && (x & (x - 1)) == 0; }
+
+// Codeword positions (1..71) that carry data bits, in ascending order.
+constexpr std::array<int, kDataBits> make_data_positions() noexcept {
+  std::array<int, kDataBits> out{};
+  int idx = 0;
+  for (int pos = 1; pos < kCodewordBits; ++pos) {
+    if (!is_power_of_two(pos)) out[static_cast<std::size_t>(idx++)] = pos;
+  }
+  return out;
+}
+
+constexpr std::array<int, kDataBits> kDataPositions = make_data_positions();
+
+// 7-bit syndrome: XOR of the positions of all set bits in 1..71.
+int compute_syndrome(const Codeword72& word) noexcept {
+  int s = 0;
+  for (int pos = 1; pos < kCodewordBits; ++pos) {
+    if (word.get(pos)) s ^= pos;
+  }
+  return s;
+}
+
+// Even parity over the full 72-bit word (true = odd = parity violated).
+bool overall_parity_odd(const Codeword72& word) noexcept {
+  const auto popcount = [](std::uint64_t v) {
+    return static_cast<unsigned>(__builtin_popcountll(v));
+  };
+  return ((popcount(word.low) + popcount(word.high)) & 1U) != 0;
+}
+
+}  // namespace
+
+std::uint64_t secded_extract_data(const Codeword72& word) noexcept {
+  std::uint64_t data = 0;
+  for (int i = 0; i < kDataBits; ++i) {
+    if (word.get(kDataPositions[static_cast<std::size_t>(i)])) data |= 1ULL << i;
+  }
+  return data;
+}
+
+Codeword72 secded_encode(std::uint64_t data) noexcept {
+  Codeword72 word;
+  for (int i = 0; i < kDataBits; ++i) {
+    word.set(kDataPositions[static_cast<std::size_t>(i)], ((data >> i) & 1ULL) != 0);
+  }
+  // Hamming check bits: parity bit at position p covers all positions with
+  // bit p set; setting it to the syndrome's bit makes the syndrome zero.
+  const int syndrome = compute_syndrome(word);
+  for (int p = 1; p < kCodewordBits; p <<= 1) {
+    if ((syndrome & p) != 0) word.flip(p);
+  }
+  // Overall parity bit makes total weight even.
+  if (overall_parity_odd(word)) word.flip(0);
+  return word;
+}
+
+DecodeResult secded_decode(const Codeword72& word) noexcept {
+  DecodeResult result;
+  const int syndrome = compute_syndrome(word);
+  const bool parity_odd = overall_parity_odd(word);
+
+  if (syndrome == 0 && !parity_odd) {
+    result.status = EccStatus::kClean;
+    result.data = secded_extract_data(word);
+    return result;
+  }
+  if (parity_odd) {
+    // Odd total weight change => odd number of flips; assume one.
+    Codeword72 fixed = word;
+    if (syndrome == 0) {
+      // The overall parity bit itself flipped.
+      fixed.flip(0);
+      result.corrected_position = 0;
+    } else if (syndrome < kCodewordBits) {
+      fixed.flip(syndrome);
+      result.corrected_position = syndrome;
+    } else {
+      // Syndrome points outside the word: >= 3 flips pretending to be one.
+      // Uncorrectable in truth; SECDED can only flag it as a multi-bit
+      // detection here.
+      result.status = EccStatus::kDetectedDouble;
+      return result;
+    }
+    result.status = EccStatus::kCorrectedSingle;
+    result.data = secded_extract_data(fixed);
+    return result;
+  }
+  // Even number of flips (>= 2) with a non-zero syndrome: detected DBE.
+  result.status = EccStatus::kDetectedDouble;
+  return result;
+}
+
+}  // namespace titan::gpu

@@ -1,0 +1,76 @@
+// A working (72,64) SECDED code: the error-correction mechanism that
+// underlies every "SBE corrected / DBE detected-but-not-corrected" fact in
+// the paper (Section 2.1).
+//
+// Construction: extended Hamming code.  Positions 1..71 form a Hamming(71,64)
+// codeword -- positions that are powers of two (1,2,4,8,16,32,64) hold
+// check bits, the other 64 positions hold data -- and position 0 holds an
+// overall (even) parity bit over positions 1..71.  Decoding computes the
+// 7-bit syndrome S and the overall parity check P:
+//
+//   S == 0, P even  -> clean word
+//   S != 0, P odd   -> single-bit error at position S: corrected
+//   S == 0, P odd   -> the overall parity bit itself flipped: corrected
+//   S != 0, P even  -> double-bit error: DETECTED, NOT CORRECTABLE
+//
+// Exactly the SECDED semantics the K20X applies to its register files,
+// shared memory, L1, L2 and device memory.  Three or more flipped bits can
+// alias to a valid or correctable word (silent corruption / miscorrection);
+// the property tests quantify that, mirroring the paper's remark that
+// unprotected or under-protected state can corrupt silently.
+#pragma once
+
+#include <cstdint>
+
+namespace titan::gpu {
+
+/// A 72-bit SECDED codeword (bit 0 = overall parity, bits 1..71 = Hamming).
+struct Codeword72 {
+  std::uint64_t low = 0;   ///< bits 0..63
+  std::uint8_t high = 0;   ///< bits 64..71
+
+  [[nodiscard]] constexpr bool get(int pos) const noexcept {
+    return pos < 64 ? ((low >> pos) & 1U) != 0 : ((high >> (pos - 64)) & 1U) != 0;
+  }
+  constexpr void set(int pos, bool value) noexcept {
+    if (pos < 64) {
+      low = (low & ~(1ULL << pos)) | (static_cast<std::uint64_t>(value) << pos);
+    } else {
+      const int p = pos - 64;
+      high = static_cast<std::uint8_t>((high & ~(1U << p)) |
+                                       (static_cast<unsigned>(value) << p));
+    }
+  }
+  constexpr void flip(int pos) noexcept { set(pos, !get(pos)); }
+
+  friend constexpr bool operator==(const Codeword72&, const Codeword72&) = default;
+};
+
+inline constexpr int kCodewordBits = 72;
+inline constexpr int kDataBits = 64;
+inline constexpr int kCheckBits = 8;  ///< 7 Hamming + 1 overall parity
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+enum class EccStatus : std::uint8_t {
+  kClean,            ///< no error
+  kCorrectedSingle,  ///< single-bit error corrected (an "SBE")
+  kDetectedDouble,   ///< double-bit error detected, uncorrectable (a "DBE")
+};
+
+struct DecodeResult {
+  EccStatus status = EccStatus::kClean;
+  std::uint64_t data = 0;       ///< recovered data (valid unless kDetectedDouble)
+  int corrected_position = -1;  ///< codeword bit fixed, when kCorrectedSingle
+};
+
+/// Encode 64 data bits into a SECDED codeword.
+[[nodiscard]] Codeword72 secded_encode(std::uint64_t data) noexcept;
+
+/// Decode a codeword, correcting a single-bit error if present.
+[[nodiscard]] DecodeResult secded_decode(const Codeword72& word) noexcept;
+
+/// Extract the 64 data bits from a codeword without checking (used by
+/// tests to verify data-bit placement round-trips).
+[[nodiscard]] std::uint64_t secded_extract_data(const Codeword72& word) noexcept;
+
+}  // namespace titan::gpu

@@ -1,0 +1,40 @@
+#include "logsim/console.hpp"
+
+#include <string_view>
+
+#include "stats/calendar.hpp"
+#include "topology/machine.hpp"
+
+namespace titan::logsim {
+
+std::string console_line(const xid::Event& event) {
+  const auto& info = xid::info(event.kind);
+  std::string line;
+  line.reserve(96);
+  line += '[';
+  line += stats::format_timestamp(event.time);
+  line += "] ";
+  line += topology::cname(event.node);
+  line += " GPU ";
+  line += xid::token(event.kind);
+  line += ": ";
+  line += info.name;
+  if (event.structure != xid::MemoryStructure::kNone) {
+    line += " (";
+    line += xid::structure_token(event.structure);
+    line += ')';
+  }
+  return line;
+}
+
+std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events) {
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const auto& event : events) {
+    if (event.kind == xid::ErrorKind::kSingleBitError) continue;
+    lines.push_back(console_line(event));
+  }
+  return lines;
+}
+
+}  // namespace titan::logsim

@@ -1,0 +1,31 @@
+// Console-log emission: the SMW/SEC-processed critical-event stream the
+// paper's primary analyses are built on ("more than 280 million node hours
+// worth of console logs").
+//
+// Line format (one event per line):
+//
+//   [YYYY-MM-DD HH:MM:SS] <cname> GPU <TOKEN>: <description> [(STRUCT)]
+//
+// where TOKEN is the short error token ("DBE", "OTB", "XID13", ...) and
+// the optional STRUCT suffix is the decoded memory structure for ECC
+// events ("we did this by decoding the error log for DBE occurrences").
+// Single-bit errors never appear here -- "console logs do not capture the
+// single bit error information" -- which is why the paper needs nvidia-smi
+// at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xid/event.hpp"
+
+namespace titan::logsim {
+
+/// Serialize one event to its console line.
+[[nodiscard]] std::string console_line(const xid::Event& event);
+
+/// Serialize a whole (time-sorted) event stream.  SBE events are skipped,
+/// mirroring the real console log's blindness to corrected errors.
+[[nodiscard]] std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events);
+
+}  // namespace titan::logsim

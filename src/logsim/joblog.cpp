@@ -1,0 +1,70 @@
+#include "logsim/joblog.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace titan::logsim {
+
+namespace {
+
+/// Split off the next pipe-separated field.
+std::optional<std::string_view> next_field(std::string_view& rest) {
+  if (rest.empty()) return std::nullopt;
+  const auto pos = rest.find('|');
+  std::string_view field = rest.substr(0, pos);
+  rest = pos == std::string_view::npos ? std::string_view{} : rest.substr(pos + 1);
+  return field;
+}
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+std::string job_log_line(const sched::JobRecord& job) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%lld|%d|%lld|%lld|%zu|%.4f|%.4f|%.4f",
+                static_cast<long long>(job.id), job.user, static_cast<long long>(job.start),
+                static_cast<long long>(job.end), job.nodes.size(), job.gpu_core_hours,
+                job.max_memory_gb, job.total_memory_gb);
+  return buf;
+}
+
+std::vector<std::string> emit_job_log(const sched::JobTrace& trace) {
+  std::vector<std::string> lines;
+  lines.reserve(trace.jobs().size());
+  for (const auto& job : trace.jobs()) lines.push_back(job_log_line(job));
+  return lines;
+}
+
+std::optional<JobLogRecord> parse_job_log_line(std::string_view line) {
+  JobLogRecord rec;
+  std::string_view rest = line;
+  const auto id = next_field(rest);
+  const auto user = next_field(rest);
+  const auto start = next_field(rest);
+  const auto end = next_field(rest);
+  const auto nodes = next_field(rest);
+  const auto core_hours = next_field(rest);
+  const auto max_mem = next_field(rest);
+  const auto total_mem = next_field(rest);
+  if (!id || !user || !start || !end || !nodes || !core_hours || !max_mem || !total_mem ||
+      !rest.empty()) {
+    return std::nullopt;
+  }
+  if (!parse_number(*id, rec.id) || !parse_number(*user, rec.user) ||
+      !parse_number(*start, rec.start) || !parse_number(*end, rec.end) ||
+      !parse_number(*nodes, rec.node_count) || !parse_number(*core_hours, rec.gpu_core_hours) ||
+      !parse_number(*max_mem, rec.max_memory_gb) ||
+      !parse_number(*total_mem, rec.total_memory_gb)) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+}  // namespace titan::logsim

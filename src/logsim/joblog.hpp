@@ -1,0 +1,36 @@
+// Batch-job accounting log (RUR-style): the "job logs and resource
+// utilization logs" the Section 4 correlation study joins against.
+//
+// One record per line, pipe-separated:
+//   jobid|userid|start|end|nodes|gpu_core_hours|max_mem_gb|total_mem_gb
+// Node lists are not serialized (real RUR stores an allocation id); the
+// trace remains the authority for placement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace titan::logsim {
+
+/// Fields recoverable from one accounting line.
+struct JobLogRecord {
+  xid::JobId id = xid::kNoJob;
+  xid::UserId user = xid::kNoUser;
+  stats::TimeSec start = 0;
+  stats::TimeSec end = 0;
+  std::size_t node_count = 0;
+  double gpu_core_hours = 0.0;
+  double max_memory_gb = 0.0;
+  double total_memory_gb = 0.0;
+};
+
+[[nodiscard]] std::string job_log_line(const sched::JobRecord& job);
+[[nodiscard]] std::vector<std::string> emit_job_log(const sched::JobTrace& trace);
+
+/// Parse one accounting line; std::nullopt on malformed input.
+[[nodiscard]] std::optional<JobLogRecord> parse_job_log_line(std::string_view line);
+
+}  // namespace titan::logsim

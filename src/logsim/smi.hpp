@@ -1,0 +1,63 @@
+// nvidia-smi modeling: whole-fleet snapshots of the InfoROM counters, and
+// the per-batch-job before/after snapshot framework the paper recently
+// deployed ("we can take nvidia-smi snapshots before and after each batch
+// job ... the SBE counts can not be collected on a per aprun basis").
+//
+// The snapshot view inherits every InfoROM pathology the paper documents
+// (Observation 2): DBEs lost to fast node death, SBE counts aggregated
+// without timestamps, and the resulting possibility of a card showing
+// more DBEs than SBEs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "gpu/fleet.hpp"
+#include "sched/job.hpp"
+#include "stats/calendar.hpp"
+#include "topology/thermal.hpp"
+
+namespace titan::logsim {
+
+/// One card's row in an `nvidia-smi -q` sweep across the machine.
+struct SmiCardRecord {
+  topology::NodeId node = topology::kInvalidNode;
+  xid::CardId serial = xid::kInvalidCard;
+  std::uint64_t sbe_total = 0;          ///< aggregate, no timestamps
+  std::uint64_t dbe_total = 0;          ///< aggregate (lossy, see Obs. 2)
+  std::uint64_t sbe_volatile = 0;       ///< since last driver reload
+  std::uint64_t dbe_volatile = 0;
+  std::uint64_t retired_pages_sbe = 0;  ///< pages retired for 2-SBE
+  std::uint64_t retired_pages_dbe = 0;  ///< pages retired for DBE
+  double temperature_f = 0.0;
+};
+
+struct SmiSnapshot {
+  stats::TimeSec taken_at = 0;
+  std::vector<SmiCardRecord> records;  ///< one per populated compute node
+
+  [[nodiscard]] std::uint64_t fleet_sbe_total() const noexcept;
+  [[nodiscard]] std::uint64_t fleet_dbe_total() const noexcept;
+};
+
+/// Sweep the fleet as installed at `when`, reading each card's InfoROM.
+/// (Counter state reflects everything committed so far; run this after the
+/// campaign for the end-of-study snapshot the Fig. 14/15 analyses use.)
+[[nodiscard]] SmiSnapshot take_snapshot(const gpu::Fleet& fleet, stats::TimeSec when,
+                                        const topology::ThermalModel& thermal);
+
+/// Per-batch-job SBE accounting: the before/after snapshot framework.
+struct JobSbeRecord {
+  xid::JobId job = xid::kNoJob;
+  std::uint64_t sbe_count = 0;
+};
+
+/// Count SBE strikes landing on each job's nodes during its execution,
+/// for jobs that *start* within [window_begin, window_end).  This is
+/// exactly what differencing per-job nvidia-smi snapshots yields.
+[[nodiscard]] std::vector<JobSbeRecord> per_job_sbe_counts(
+    const std::vector<fault::SbeStrike>& strikes, const sched::JobTrace& trace,
+    stats::TimeSec window_begin, stats::TimeSec window_end);
+
+}  // namespace titan::logsim

@@ -1,0 +1,125 @@
+#include "ops/health.hpp"
+
+#include <algorithm>
+
+namespace titan::ops {
+
+namespace {
+
+[[nodiscard]] bool is_hardware_crash(xid::ErrorKind kind) {
+  return kind == xid::ErrorKind::kDoubleBitError || kind == xid::ErrorKind::kOffTheBus;
+}
+
+[[nodiscard]] bool is_user_app_kind(xid::ErrorKind kind) {
+  const auto& info = xid::info(kind);
+  return (info.causes & xid::kCauseUserApp) != 0;
+}
+
+}  // namespace
+
+std::vector<OperatorAction> NodeHealthMonitor::observe(const xid::Event& event) {
+  std::vector<OperatorAction> actions;
+  auto& record = nodes_[event.node];
+
+  // Lazily complete a pending repair.
+  if (record.down_until != 0 && event.time >= record.down_until) {
+    actions.push_back(OperatorAction{record.down_until, event.node,
+                                     ActionKind::kReturnToService, event.kind});
+    record.down_until = 0;
+  }
+
+  if (is_hardware_crash(event.kind)) {
+    actions.push_back(
+        OperatorAction{event.time, event.node, ActionKind::kTakeDown, event.kind});
+    record.down_until = event.time + policy_.repair_seconds;
+
+    if (event.kind == xid::ErrorKind::kDoubleBitError) {
+      auto& dbes = record.recent_dbes;
+      dbes.push_back(event.time);
+      std::erase_if(dbes, [&](stats::TimeSec t) { return event.time - t > policy_.dbe_window; });
+      if (!record.escalated && static_cast<int>(dbes.size()) >= policy_.dbe_escalation_count) {
+        record.escalated = true;
+        actions.push_back(OperatorAction{event.time, event.node,
+                                         ActionKind::kEscalateHotSpare, event.kind});
+      }
+    }
+  } else if (is_user_app_kind(event.kind)) {
+    // User-application errors never take the node down; remember the
+    // occurrence for the periodic diagnostics review.  Repeats from the
+    // same job collapse to one entry (a crashing job reports once per
+    // node); job-less occurrences -- exactly what a hardware-faulty node
+    // produces while idle or across short windows -- always count.
+    auto& errors = record.app_errors;
+    const bool same_job_repeat = event.job != xid::kNoJob && !errors.empty() &&
+                                 errors.back().job == event.job;
+    if (!same_job_repeat) {
+      errors.push_back(AppError{event.time, event.job});
+    }
+  }
+
+  log_.insert(log_.end(), actions.begin(), actions.end());
+  return actions;
+}
+
+std::size_t NodeHealthMonitor::occurrences_in_window(NodeRecord& record, stats::TimeSec now,
+                                                       stats::TimeSec window) {
+  std::erase_if(record.app_errors,
+                [&](const AppError& e) { return now - e.time > window; });
+  // Entries are already job-deduped at ingest; job-less occurrences each
+  // count on their own.
+  return record.app_errors.size();
+}
+
+std::vector<OperatorAction> NodeHealthMonitor::review_suspects(stats::TimeSec now) {
+  // Pass 1: per-node distinct-job counts within the window.
+  std::vector<std::pair<topology::NodeId, std::size_t>> counts;
+  for (auto& [node, record] : nodes_) {
+    const std::size_t distinct =
+        occurrences_in_window(record, now, policy_.suspect_window);
+    if (distinct > 0) counts.emplace_back(node, distinct);
+  }
+  if (counts.empty()) return {};
+
+  // Fleet median of affected nodes: the peer baseline.
+  std::vector<std::size_t> values;
+  values.reserve(counts.size());
+  for (const auto& [node, c] : counts) values.push_back(c);
+  const auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+  std::nth_element(values.begin(), mid, values.end());
+  const double median = static_cast<double>(*mid);
+
+  const double threshold = std::max(static_cast<double>(policy_.suspect_min_jobs),
+                                    policy_.suspect_outlier_factor * median);
+
+  std::vector<OperatorAction> actions;
+  for (const auto& [node, count] : counts) {
+    auto& record = nodes_[node];
+    if (record.suspect) continue;
+    if (static_cast<double>(count) >= threshold) {
+      record.suspect = true;
+      actions.push_back(OperatorAction{now, node, ActionKind::kFlagSuspect,
+                                       xid::ErrorKind::kGraphicsEngineException});
+    }
+  }
+  log_.insert(log_.end(), actions.begin(), actions.end());
+  return actions;
+}
+
+NodeState NodeHealthMonitor::state(topology::NodeId node, stats::TimeSec now) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return NodeState::kUp;
+  if (it->second.down_until != 0 && now < it->second.down_until) return NodeState::kDown;
+  if (it->second.suspect) return NodeState::kSuspect;
+  return NodeState::kUp;
+}
+
+std::vector<topology::NodeId> NodeHealthMonitor::suspects() const {
+  std::vector<topology::NodeId> out;
+  for (const auto& [node, record] : nodes_) {
+    if (record.suspect) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace titan::ops

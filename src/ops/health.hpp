@@ -1,0 +1,111 @@
+// Node-health monitoring policy: the operator-side state machine that
+// consumes the live console-event stream and decides when a node leaves
+// the schedulable pool.
+//
+// Encodes the practices the paper describes:
+//  * hardware app-fatal errors (DBE, OTB) take a node down for repair
+//    immediately (it crashed anyway) -- then it returns after service;
+//  * repeated DBEs on the same node escalate to the hot-spare pull
+//    (Section 3.1);
+//  * "user-application" XIDs do NOT take a node down ("since XID 13 is
+//    not associated with hardware, we did not take the node down
+//    immediately") -- but a node that keeps raising them across many
+//    *distinct jobs* becomes a diagnostics suspect, which is exactly how
+//    the Observation 8 hardware fault was eventually caught.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xid/event.hpp"
+
+namespace titan::ops {
+
+enum class NodeState : std::uint8_t {
+  kUp,        ///< schedulable
+  kDown,      ///< crashed / in repair
+  kSuspect,   ///< flagged for diagnostics (still schedulable)
+};
+
+enum class ActionKind : std::uint8_t {
+  kTakeDown,        ///< hardware crash: node leaves the pool
+  kReturnToService, ///< repair window elapsed
+  kFlagSuspect,     ///< diagnostics requested (Observation 8 policy)
+  kEscalateHotSpare,///< repeated DBEs: pull the card
+};
+
+struct OperatorAction {
+  stats::TimeSec time = 0;
+  topology::NodeId node = topology::kInvalidNode;
+  ActionKind kind{};
+  xid::ErrorKind trigger{};
+};
+
+struct HealthPolicy {
+  /// Repair turnaround after a hardware crash.
+  stats::TimeSec repair_seconds = 4 * 3600;
+  /// DBEs on one node within `dbe_window` that trigger the hot-spare pull.
+  int dbe_escalation_count = 2;
+  stats::TimeSec dbe_window = 30 * stats::kSecondsPerDay;
+  /// Diagnostics review: a node is a suspect when the number of user-app
+  /// XID occurrences on it within `suspect_window` (one per job, plus any
+  /// job-less occurrences) is both at least `suspect_min_jobs` and at
+  /// least `suspect_outlier_factor` times the fleet median (counting only
+  /// nodes with any such errors).  An absolute threshold alone is useless
+  /// on a busy machine -- every node eventually hosts crashing debug
+  /// jobs; what exposed the Observation 8 node was standing out against
+  /// its peers.
+  stats::TimeSec suspect_window = 30 * stats::kSecondsPerDay;
+  int suspect_min_jobs = 8;
+  double suspect_outlier_factor = 4.0;
+};
+
+class NodeHealthMonitor {
+ public:
+  explicit NodeHealthMonitor(HealthPolicy policy = {}) : policy_{policy} {}
+
+  /// Feed one event (events must arrive in time order).  Returns actions
+  /// triggered by it (take-downs, returns, hot-spare escalations).
+  std::vector<OperatorAction> observe(const xid::Event& event);
+
+  /// Periodic diagnostics review (operators run this on a cadence):
+  /// evaluates the suspect policy at `now` over the rolling window and
+  /// returns newly flagged nodes.
+  std::vector<OperatorAction> review_suspects(stats::TimeSec now);
+
+  /// Current state of a node (applies pending repair completions lazily
+  /// against `now`).
+  [[nodiscard]] NodeState state(topology::NodeId node, stats::TimeSec now) const;
+
+  /// All actions emitted so far, in order.
+  [[nodiscard]] const std::vector<OperatorAction>& log() const noexcept { return log_; }
+
+  /// Nodes currently flagged for diagnostics.
+  [[nodiscard]] std::vector<topology::NodeId> suspects() const;
+
+ private:
+  struct AppError {
+    stats::TimeSec time = 0;
+    xid::JobId job = xid::kNoJob;
+  };
+  struct NodeRecord {
+    stats::TimeSec down_until = 0;
+    std::vector<stats::TimeSec> recent_dbes;
+    std::vector<AppError> app_errors;  ///< pruned to the rolling window
+    bool suspect = false;
+    bool escalated = false;
+  };
+
+  /// App-error occurrences (job-deduped at ingest) in the node's window
+  /// ending at `now` (prunes in place).
+  [[nodiscard]] static std::size_t occurrences_in_window(NodeRecord& record,
+                                                         stats::TimeSec now,
+                                                         stats::TimeSec window);
+
+  HealthPolicy policy_;
+  std::unordered_map<topology::NodeId, NodeRecord> nodes_;
+  std::vector<OperatorAction> log_;
+};
+
+}  // namespace titan::ops

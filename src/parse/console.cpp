@@ -1,0 +1,62 @@
+#include "parse/console.hpp"
+
+namespace titan::parse {
+
+namespace {
+
+constexpr std::string_view kTimestampClose = "] ";
+constexpr std::string_view kGpuMarker = " GPU ";
+
+}  // namespace
+
+std::optional<ParsedEvent> parse_console_line(std::string_view line) {
+  if (line.empty() || line.front() != '[') return std::nullopt;
+  const auto ts_end = line.find(kTimestampClose);
+  if (ts_end == std::string_view::npos) return std::nullopt;
+
+  ParsedEvent out;
+  if (!stats::parse_timestamp(line.substr(1, ts_end - 1), out.time)) return std::nullopt;
+
+  std::string_view rest = line.substr(ts_end + kTimestampClose.size());
+  const auto marker = rest.find(kGpuMarker);
+  if (marker == std::string_view::npos) return std::nullopt;
+
+  const auto loc = topology::parse_cname(rest.substr(0, marker));
+  if (!loc) return std::nullopt;
+  out.node = topology::node_id(*loc);
+
+  rest = rest.substr(marker + kGpuMarker.size());
+  const auto colon = rest.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto kind = xid::parse_token(rest.substr(0, colon));
+  if (!kind) return std::nullopt;
+  out.kind = *kind;
+
+  // Optional trailing "(STRUCT)" decode.
+  if (!rest.empty() && rest.back() == ')') {
+    const auto open = rest.rfind('(');
+    if (open != std::string_view::npos) {
+      const auto structure =
+          xid::parse_structure_token(rest.substr(open + 1, rest.size() - open - 2));
+      if (structure) out.structure = *structure;
+    }
+  }
+  return out;
+}
+
+ParseResult parse_console_log(std::span<const std::string> lines) {
+  ParseResult result;
+  result.events.reserve(lines.size());
+  for (const auto& line : lines) {
+    if (auto event = parse_console_line(line)) {
+      result.events.push_back(*event);
+    } else if (line.find(kGpuMarker) != std::string_view::npos) {
+      ++result.malformed_lines;
+    } else {
+      ++result.unrelated_lines;
+    }
+  }
+  return result;
+}
+
+}  // namespace titan::parse

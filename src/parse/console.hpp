@@ -1,0 +1,43 @@
+// Console-log parsing: recovers the event stream from raw SMW lines.
+//
+// A parsed event is deliberately poorer than the ground-truth record: the
+// console line carries no card serial, no job id and no parent linkage.
+// Downstream analyses recover cards by joining against the fleet ledger
+// and jobs by joining against the job log -- exactly the joins the paper
+// had to perform.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/calendar.hpp"
+#include "topology/machine.hpp"
+#include "xid/event.hpp"
+
+namespace titan::parse {
+
+/// What a console line yields.
+struct ParsedEvent {
+  stats::TimeSec time = 0;
+  topology::NodeId node = topology::kInvalidNode;
+  xid::ErrorKind kind = xid::ErrorKind::kSingleBitError;
+  xid::MemoryStructure structure = xid::MemoryStructure::kNone;
+};
+
+/// Parse one console line; std::nullopt on anything malformed.
+[[nodiscard]] std::optional<ParsedEvent> parse_console_line(std::string_view line);
+
+/// Parse a whole log.  Malformed lines are counted, not fatal (real
+/// console logs are full of unrelated chatter).
+struct ParseResult {
+  std::vector<ParsedEvent> events;
+  std::size_t malformed_lines = 0;
+  std::size_t unrelated_lines = 0;  ///< well-formed but not a GPU event
+};
+
+[[nodiscard]] ParseResult parse_console_log(std::span<const std::string> lines);
+
+}  // namespace titan::parse

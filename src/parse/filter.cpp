@@ -1,0 +1,36 @@
+#include "parse/filter.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace titan::parse {
+
+namespace {
+
+/// Key identifying "the same event" under a scope.
+[[nodiscard]] std::uint64_t scope_key(const ParsedEvent& e, FilterScope scope) {
+  const auto kind = static_cast<std::uint64_t>(e.kind);
+  if (scope == FilterScope::kMachineWide) return kind;
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.node)) << 8) | kind;
+}
+
+}  // namespace
+
+FilterOutcome filter_events(const std::vector<ParsedEvent>& events, const FilterParams& params) {
+  FilterOutcome out;
+  out.roots.reserve(events.size() / 4 + 1);
+  const auto window = static_cast<stats::TimeSec>(std::llround(params.window_s));
+
+  // Last occurrence time (root or child) per key: bursts extend windows.
+  std::unordered_map<std::uint64_t, stats::TimeSec> last_seen;
+  for (const auto& event : events) {
+    const std::uint64_t key = scope_key(event, params.scope);
+    const auto it = last_seen.find(key);
+    const bool child = it != last_seen.end() && (event.time - it->second) < window;
+    last_seen[key] = event.time;
+    (child ? out.children : out.roots).push_back(event);
+  }
+  return out;
+}
+
+}  // namespace titan::parse

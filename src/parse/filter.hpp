@@ -1,0 +1,46 @@
+// Temporal event filtering (paper Section 2.2 and Fig. 12).
+//
+// "Some error events may be followed by multiple system error events
+// shortly after the initial error's occurrence ... there may be one real
+// 'parent' event and multiple 'child' events.  One can exclude these
+// 'child' error events by applying a filtering."  The paper uses a
+// five-second window for user-application XIDs -- "effectively, this
+// counts only one XID 13 event per job" -- and studies both the surviving
+// roots (Fig. 12 middle) and the filtered-out children (Fig. 12 bottom).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parse/console.hpp"
+
+namespace titan::parse {
+
+/// What counts as "the same event" for dedup purposes.
+enum class FilterScope : std::uint8_t {
+  kMachineWide,  ///< same kind anywhere on the machine (the paper's Fig. 12 rule)
+  kPerNode,      ///< same kind on the same node
+};
+
+struct FilterParams {
+  double window_s = 5.0;
+  FilterScope scope = FilterScope::kMachineWide;
+};
+
+/// Split a time-sorted event stream into roots (kept) and children
+/// (suppressed by the window rule).
+struct FilterOutcome {
+  std::vector<ParsedEvent> roots;
+  std::vector<ParsedEvent> children;
+};
+
+/// Apply the window rule to events of every kind independently: an event
+/// is a child when a previous same-kind (and same-node, if per-node
+/// scope) event occurred strictly less than `window_s` earlier, measured
+/// against the last *kept or suppressed* occurrence -- i.e. a burst
+/// extends its own window, which is how the paper's rule collapses a
+/// whole job's reports into one.
+[[nodiscard]] FilterOutcome filter_events(const std::vector<ParsedEvent>& events,
+                                          const FilterParams& params);
+
+}  // namespace titan::parse

@@ -1,0 +1,74 @@
+#include "parse/sec.hpp"
+
+#include <cmath>
+
+#include "xid/taxonomy.hpp"
+
+namespace titan::parse {
+
+SimpleEventCorrelator::SimpleEventCorrelator(std::vector<SecRule> rules) {
+  rules_.reserve(rules.size());
+  for (auto& rule : rules) rules_.push_back(RuleState{std::move(rule), {}, 0, 0});
+}
+
+std::vector<SecAlert> SimpleEventCorrelator::feed(std::string_view line, stats::TimeSec time) {
+  std::vector<SecAlert> alerts;
+  for (auto& state : rules_) {
+    if (line.find(state.rule.pattern) == std::string_view::npos) continue;
+    ++state.total_matches;
+    const auto window = static_cast<stats::TimeSec>(std::llround(state.rule.window_s));
+    state.recent.push_back(time);
+    while (!state.recent.empty() && time - state.recent.front() >= window) {
+      state.recent.pop_front();
+    }
+    if (static_cast<int>(state.recent.size()) >= state.rule.threshold &&
+        time >= state.suppressed_until) {
+      SecAlert alert;
+      alert.rule = state.rule.name;
+      alert.time = time;
+      alert.match_count = static_cast<int>(state.recent.size());
+      alert.sample = std::string{line};
+      alerts.push_back(std::move(alert));
+      state.suppressed_until =
+          time + static_cast<stats::TimeSec>(std::llround(state.rule.suppress_s));
+    }
+  }
+  return alerts;
+}
+
+std::vector<SecAlert> SimpleEventCorrelator::process(const std::vector<std::string>& lines) {
+  std::vector<SecAlert> alerts;
+  for (const auto& line : lines) {
+    if (line.size() < 21 || line.front() != '[') continue;
+    stats::TimeSec time = 0;
+    if (!stats::parse_timestamp(std::string_view{line}.substr(1, 19), time)) continue;
+    auto fired = feed(line, time);
+    alerts.insert(alerts.end(), std::make_move_iterator(fired.begin()),
+                  std::make_move_iterator(fired.end()));
+  }
+  return alerts;
+}
+
+std::uint64_t SimpleEventCorrelator::match_count(std::string_view rule_name) const {
+  for (const auto& state : rules_) {
+    if (state.rule.name == rule_name) return state.total_matches;
+  }
+  return 0;
+}
+
+std::vector<SecRule> default_gpu_rules() {
+  std::vector<SecRule> rules;
+  for (const auto& info : xid::all_errors()) {
+    if (info.kind == xid::ErrorKind::kSingleBitError) continue;  // never in console logs
+    SecRule rule;
+    rule.name = std::string{"gpu-"} + std::string{xid::token(info.kind)};
+    rule.pattern = std::string{"GPU "} + std::string{xid::token(info.kind)} + ":";
+    rules.push_back(std::move(rule));
+  }
+  // Operator pages.
+  rules.push_back(SecRule{"page-dbe-repeat", "GPU DBE:", 6.0 * 3600.0, 2, 3600.0});
+  rules.push_back(SecRule{"page-otb-cluster", "GPU OTB:", 24.0 * 3600.0, 3, 6.0 * 3600.0});
+  return rules;
+}
+
+}  // namespace titan::parse

@@ -1,0 +1,152 @@
+#include "render/ascii.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace titan::render {
+
+namespace {
+
+constexpr std::string_view kRamp = " .:-=+*#%@";
+
+[[nodiscard]] char ramp_char(double normalized) {
+  normalized = std::clamp(normalized, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(normalized * static_cast<double>(kRamp.size() - 1));
+  return kRamp[idx];
+}
+
+[[nodiscard]] std::size_t max_width(std::span<const std::string> items) {
+  std::size_t w = 0;
+  for (const auto& s : items) w = std::max(w, s.size());
+  return w;
+}
+
+}  // namespace
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string comparison(std::string_view metric, std::string_view paper_value,
+                       std::string_view measured_value) {
+  std::string out;
+  out += "  ";
+  out += metric;
+  out += "\n    paper:    ";
+  out += paper_value;
+  out += "\n    measured: ";
+  out += measured_value;
+  out += '\n';
+  return out;
+}
+
+std::string bar_chart(std::span<const std::string> labels, std::span<const double> values,
+                      int width) {
+  if (labels.size() != values.size()) throw std::invalid_argument{"bar_chart: size mismatch"};
+  const double max_v = values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
+  const std::size_t label_w = max_width(labels);
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out += "  ";
+    out += labels[i];
+    out.append(label_w - labels[i].size(), ' ');
+    out += " | ";
+    const int bar =
+        max_v > 0.0 ? static_cast<int>(values[i] / max_v * static_cast<double>(width)) : 0;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += ' ';
+    out += fmt_double(values[i], values[i] == static_cast<double>(static_cast<long long>(values[i]))
+                                     ? 0
+                                     : 2);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string bar_chart(std::span<const std::string> labels,
+                      std::span<const std::uint64_t> values, int width) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return bar_chart(labels, as_double, width);
+}
+
+std::string heatmap(const stats::Grid2D& grid) {
+  const double max_v = grid.max_value();
+  std::string out;
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    out += "  ";
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      out += max_v > 0.0 ? ramp_char(grid.at(r, c) / max_v) : ' ';
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string labeled_heatmap(const stats::Grid2D& grid, std::span<const std::string> row_labels,
+                            std::span<const std::string> col_labels) {
+  if (row_labels.size() != grid.rows() || col_labels.size() != grid.cols()) {
+    throw std::invalid_argument{"labeled_heatmap: label count mismatch"};
+  }
+  const std::size_t label_w = max_width(row_labels);
+  const double max_v = grid.max_value();
+  std::string out;
+  // Column header, one char per label (first character), spaced like cells.
+  out.append(label_w + 4, ' ');
+  for (const auto& c : col_labels) {
+    out += c.empty() ? ' ' : c.front();
+    out += ' ';
+  }
+  out += '\n';
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    out += "  ";
+    out += row_labels[r];
+    out.append(label_w - row_labels[r].size(), ' ');
+    out += "  ";
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      out += max_v > 0.0 ? ramp_char(grid.at(r, c) / max_v) : ' ';
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string table(std::span<const std::string> header,
+                  std::span<const std::vector<std::string>> rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) throw std::invalid_argument{"table: row width mismatch"};
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto emit_row = [&](std::span<const std::string> cells, std::string& out) {
+    out += "  ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(header, out);
+  out += "  ";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out.append(widths[c], '-');
+    out += "  ";
+  }
+  out += '\n';
+  for (const auto& row : rows) emit_row(row, out);
+  return out;
+}
+
+}  // namespace titan::render

@@ -1,0 +1,44 @@
+// ASCII rendering for the bench harness: every figure reproduction prints
+// its series/heatmap in the terminal next to the paper's expectation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace titan::render {
+
+/// Horizontal bar chart: one row per (label, value).
+/// `width` is the maximum bar length in characters.
+[[nodiscard]] std::string bar_chart(std::span<const std::string> labels,
+                                    std::span<const double> values, int width = 50);
+
+/// Convenience overload for count series.
+[[nodiscard]] std::string bar_chart(std::span<const std::string> labels,
+                                    std::span<const std::uint64_t> values, int width = 50);
+
+/// Intensity heatmap of a 2-D grid using a density ramp; rows rendered
+/// top-down.  Cell values are normalized to the grid maximum.
+[[nodiscard]] std::string heatmap(const stats::Grid2D& grid);
+
+/// Heatmap with row/column labels (used for the Fig. 13 XID matrix).
+[[nodiscard]] std::string labeled_heatmap(const stats::Grid2D& grid,
+                                          std::span<const std::string> row_labels,
+                                          std::span<const std::string> col_labels);
+
+/// Fixed-width table: header row plus data rows, columns padded.
+[[nodiscard]] std::string table(std::span<const std::string> header,
+                                std::span<const std::vector<std::string>> rows);
+
+/// Format helpers.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+/// A "paper: ... / measured: ..." comparison row used by every bench.
+[[nodiscard]] std::string comparison(std::string_view metric, std::string_view paper_value,
+                                     std::string_view measured_value);
+
+}  // namespace titan::render

@@ -1,0 +1,168 @@
+#include "sched/allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace titan::sched {
+
+namespace {
+
+using topology::kGeminiCount;
+using topology::kNodeSlots;
+using topology::NodeId;
+
+// Torus rank of the Gemini serving a node.
+[[nodiscard]] std::size_t rank_of_node(NodeId node) {
+  return static_cast<std::size_t>(topology::torus_rank(topology::torus_coord(node)));
+}
+
+// Cage (0..2) hosting the Gemini at torus rank `rank`.
+[[nodiscard]] int cage_of_rank(std::size_t rank) {
+  const auto coord = topology::coord_from_rank(static_cast<int>(rank));
+  return coord.z / topology::kBladesPerCage;
+}
+
+}  // namespace
+
+TorusAllocator::TorusAllocator(const std::vector<bool>& usable, PlacementPolicy policy)
+    : geminis_(static_cast<std::size_t>(kGeminiCount)),
+      node_usable_{usable},
+      node_held_(static_cast<std::size_t>(kNodeSlots), false) {
+  if (usable.size() != static_cast<std::size_t>(kNodeSlots)) {
+    throw std::invalid_argument{"TorusAllocator: usable mask must cover all node slots"};
+  }
+  for (std::size_t rank = 0; rank < geminis_.size(); ++rank) {
+    const auto nodes = topology::gemini_nodes(topology::coord_from_rank(static_cast<int>(rank)));
+    bool any = false;
+    for (NodeId n : nodes) {
+      if (node_usable_[static_cast<std::size_t>(n)]) {
+        any = true;
+        ++free_node_count_;
+      }
+    }
+    geminis_[rank].usable = any;
+    geminis_[rank].free = any;
+  }
+  total_node_count_ = free_node_count_;
+
+  // Search order: production walks plain torus-rank order; the cool-cage
+  // policy visits lower cages first (Observation 4 ablation).
+  for (std::size_t rank = 0; rank < geminis_.size(); ++rank) {
+    if (geminis_[rank].usable) search_order_.push_back(rank);
+  }
+  if (policy == PlacementPolicy::kCoolCageFirst) {
+    std::stable_sort(search_order_.begin(), search_order_.end(),
+                     [](std::size_t a, std::size_t b) { return cage_of_rank(a) < cage_of_rank(b); });
+  }
+}
+
+TorusAllocator TorusAllocator::production(PlacementPolicy policy) {
+  std::vector<bool> usable(static_cast<std::size_t>(kNodeSlots));
+  for (NodeId n = 0; n < kNodeSlots; ++n) {
+    usable[static_cast<std::size_t>(n)] = !topology::is_service_node(n);
+  }
+  return TorusAllocator{usable, policy};
+}
+
+std::optional<std::size_t> TorusAllocator::find_contiguous(std::size_t count) const {
+  // A "contiguous" block is a run of consecutive entries in the search
+  // order, all currently free; busy routers break a run.  Returns the
+  // starting index into search_order_.
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < search_order_.size(); ++i) {
+    if (geminis_[search_order_[i]].free) {
+      ++run;
+      if (run >= count) return i + 1 - count;
+    } else {
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+void TorusAllocator::collect_nodes(std::size_t rank, std::vector<NodeId>& out,
+                                   std::size_t& remaining) {
+  const auto nodes = topology::gemini_nodes(topology::coord_from_rank(static_cast<int>(rank)));
+  // Skip routers whose nodes are all held: reserving them would leak the
+  // reservation (a rollback only revisits routers that yielded a node).
+  const bool any_effective = std::any_of(nodes.begin(), nodes.end(), [&](NodeId n) {
+    const auto idx = static_cast<std::size_t>(n);
+    return node_usable_[idx] && !node_held_[idx];
+  });
+  if (!any_effective) return;
+  geminis_[rank].free = false;
+  for (NodeId n : nodes) {
+    const auto idx = static_cast<std::size_t>(n);
+    if (!node_usable_[idx] || node_held_[idx]) continue;
+    --free_node_count_;  // the whole router is reserved either way
+    if (remaining > 0) {
+      out.push_back(n);
+      --remaining;
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> TorusAllocator::allocate(std::size_t node_count) {
+  if (node_count == 0) return std::vector<NodeId>{};
+  if (node_count > free_node_count_) return std::nullopt;
+
+  // Router demand assumes two usable nodes per router; holds or service
+  // sharing can make a router yield one, handled by the scattered pass.
+  const std::size_t gemini_demand = (node_count + 1) / 2;
+
+  std::vector<NodeId> out;
+  out.reserve(node_count);
+  std::size_t remaining = node_count;
+
+  if (const auto start = find_contiguous(gemini_demand)) {
+    for (std::size_t i = *start; remaining > 0 && i < search_order_.size(); ++i) {
+      // The found window is free by construction; continue past it only if
+      // holds made some routers yield fewer nodes than expected.
+      if (!geminis_[search_order_[i]].free) continue;
+      collect_nodes(search_order_[i], out, remaining);
+    }
+  }
+  // Scattered fill (fallback, or tail after an under-yielding window).
+  for (std::size_t i = 0; remaining > 0 && i < search_order_.size(); ++i) {
+    if (!geminis_[search_order_[i]].free) continue;
+    collect_nodes(search_order_[i], out, remaining);
+  }
+  if (remaining > 0) {
+    // Could not satisfy after all (holds shrank effective capacity):
+    // roll back.
+    release(out);
+    return std::nullopt;
+  }
+  return out;
+}
+
+void TorusAllocator::release(const std::vector<NodeId>& nodes) {
+  // A job owns whole routers; freeing any node of a router frees it.
+  for (NodeId n : nodes) {
+    const std::size_t rank = rank_of_node(n);
+    if (geminis_[rank].free) continue;  // already freed via its sibling node
+    geminis_[rank].free = true;
+    const auto pair = topology::gemini_nodes(topology::coord_from_rank(static_cast<int>(rank)));
+    for (NodeId sibling : pair) {
+      const auto idx = static_cast<std::size_t>(sibling);
+      if (node_usable_[idx] && !node_held_[idx]) ++free_node_count_;
+    }
+  }
+}
+
+void TorusAllocator::hold_node(topology::NodeId node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (node_held_[idx]) return;
+  node_held_[idx] = true;
+  if (node_usable_[idx] && geminis_[rank_of_node(node)].free) --free_node_count_;
+}
+
+void TorusAllocator::unhold_node(topology::NodeId node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (!node_held_[idx]) return;
+  node_held_[idx] = false;
+  if (node_usable_[idx] && geminis_[rank_of_node(node)].free) ++free_node_count_;
+}
+
+}  // namespace titan::sched

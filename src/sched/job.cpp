@@ -1,0 +1,57 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace titan::sched {
+
+JobTrace::JobTrace(std::vector<JobRecord> jobs) : jobs_{std::move(jobs)} {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].id != static_cast<xid::JobId>(i)) {
+      throw std::invalid_argument{"JobTrace: job ids must be dense and 0-based"};
+    }
+  }
+  node_index_.resize(static_cast<std::size_t>(topology::kNodeSlots));
+  for (const auto& job : jobs_) {
+    for (topology::NodeId node : job.nodes) {
+      node_index_[static_cast<std::size_t>(node)].emplace_back(job.start, job.id);
+    }
+  }
+  for (auto& entries : node_index_) {
+    std::sort(entries.begin(), entries.end());
+  }
+}
+
+const JobRecord& JobTrace::job(xid::JobId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+    throw std::out_of_range{"JobTrace: unknown job id"};
+  }
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+xid::JobId JobTrace::job_at(topology::NodeId node, stats::TimeSec when) const {
+  const auto& entries = node_index_.at(static_cast<std::size_t>(node));
+  // Last job starting at or before `when`, if it is still running.
+  auto it = std::upper_bound(entries.begin(), entries.end(),
+                             std::make_pair(when, std::numeric_limits<xid::JobId>::max()));
+  if (it == entries.begin()) return xid::kNoJob;
+  --it;
+  const JobRecord& record = jobs_[static_cast<std::size_t>(it->second)];
+  return (when >= record.start && when < record.end) ? record.id : xid::kNoJob;
+}
+
+std::vector<JobTrace::Occupancy> JobTrace::occupancy(topology::NodeId node, stats::TimeSec begin,
+                                                     stats::TimeSec end) const {
+  std::vector<Occupancy> out;
+  const auto& entries = node_index_.at(static_cast<std::size_t>(node));
+  for (const auto& [start, id] : entries) {
+    const JobRecord& record = jobs_[static_cast<std::size_t>(id)];
+    if (record.end <= begin) continue;
+    if (record.start >= end) break;
+    out.push_back(Occupancy{id, std::max(begin, record.start), std::min(end, record.end)});
+  }
+  return out;
+}
+
+}  // namespace titan::sched

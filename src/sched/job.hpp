@@ -1,0 +1,60 @@
+// Batch-job records: what Titan's job logs and resource-utilization logs
+// provide for the Section 4 analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/calendar.hpp"
+#include "topology/machine.hpp"
+#include "xid/event.hpp"
+
+namespace titan::sched {
+
+/// One completed batch job.
+struct JobRecord {
+  xid::JobId id = xid::kNoJob;
+  xid::UserId user = xid::kNoUser;
+  stats::TimeSec start = 0;
+  stats::TimeSec end = 0;                 ///< exclusive
+  std::vector<topology::NodeId> nodes;    ///< allocation, torus-rank order
+  double gpu_core_hours = 0.0;            ///< node-hours x GPU duty factor
+  double max_memory_gb = 0.0;             ///< peak per-node GPU memory (RUR maxrss style, <= 6)
+  double total_memory_gb = 0.0;           ///< time-integrated per-node memory (GB x hours)
+  bool debug = false;                     ///< ground truth: debug/test run (error-prone)
+
+  [[nodiscard]] double wall_hours() const noexcept {
+    return static_cast<double>(end - start) / static_cast<double>(stats::kSecondsPerHour);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes.size(); }
+};
+
+/// A job trace plus per-node occupancy index for (node, time) -> job
+/// attribution, which the fault generators and the per-job nvidia-smi
+/// framework both need.
+class JobTrace {
+ public:
+  explicit JobTrace(std::vector<JobRecord> jobs);
+
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] const JobRecord& job(xid::JobId id) const;
+
+  /// Job running on `node` at `when`; kNoJob when idle.
+  [[nodiscard]] xid::JobId job_at(topology::NodeId node, stats::TimeSec when) const;
+
+  /// All (job, overlap-seconds) pairs for `node` within [begin, end).
+  struct Occupancy {
+    xid::JobId job = xid::kNoJob;
+    stats::TimeSec begin = 0;
+    stats::TimeSec end = 0;
+  };
+  [[nodiscard]] std::vector<Occupancy> occupancy(topology::NodeId node, stats::TimeSec begin,
+                                                 stats::TimeSec end) const;
+
+ private:
+  std::vector<JobRecord> jobs_;  ///< indexed by JobId (ids are dense, 0-based)
+  /// Per node: (start, job) pairs sorted by start; intervals never overlap.
+  std::vector<std::vector<std::pair<stats::TimeSec, xid::JobId>>> node_index_;
+};
+
+}  // namespace titan::sched

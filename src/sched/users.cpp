@@ -1,0 +1,87 @@
+#include "sched/users.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace titan::sched {
+
+std::vector<UserProfile> make_user_population(const UserPopulationParams& params,
+                                              stats::Rng rng) {
+  std::vector<UserProfile> users;
+  users.reserve(params.user_count);
+  const stats::ZipfSampler zipf{params.user_count, params.zipf_s};
+
+  for (std::size_t i = 0; i < params.user_count; ++i) {
+    UserProfile u;
+    u.id = static_cast<xid::UserId>(i);
+    u.activity_weight = zipf.pmf(i);
+
+    // Archetypes: capability users run huge short campaigns; capacity users
+    // run mid-size production; a long tail runs small jobs.  Memory-heavy
+    // analytics jobs deliberately sit at SMALL scale (Fig. 21(d):
+    // "jobs consuming the maximum amount of memory may be running on a
+    // relatively smaller node count") and long-runners at small scale too
+    // (Fig. 21(c)).
+    const double archetype = rng.uniform();
+    if (archetype < 0.08) {
+      // Capability: thousands of nodes, shorter walls.
+      u.scale_mu = std::log(2500.0);
+      u.scale_sigma = 0.7;
+      u.duration_mu = std::log(2.5 * 3600.0);
+      u.duration_sigma = 0.7;
+      u.memory_appetite = rng.uniform(0.05, 0.20);
+      u.gpu_duty = rng.uniform(0.6, 0.95);
+    } else if (archetype < 0.30) {
+      // Capacity production: hundreds of nodes.
+      u.scale_mu = std::log(300.0);
+      u.scale_sigma = 0.8;
+      u.duration_mu = std::log(5.0 * 3600.0);
+      u.duration_sigma = 0.8;
+      u.memory_appetite = rng.uniform(0.15, 0.6);
+      u.gpu_duty = rng.uniform(0.4, 0.9);
+    } else if (archetype < 0.42) {
+      // Memory-heavy analytics at modest scale and low GPU duty: these top
+      // the memory rankings without topping core hours (Fig. 21(a)/(d)).
+      u.scale_mu = std::log(384.0);
+      u.scale_sigma = 0.6;
+      u.duration_mu = std::log(8.0 * 3600.0);
+      u.duration_sigma = 0.7;
+      u.memory_appetite = rng.uniform(0.75, 0.98);
+      u.gpu_duty = rng.uniform(0.15, 0.35);
+    } else if (archetype < 0.55) {
+      // Small-but-long runners (Fig. 21(c) outliers).
+      u.scale_mu = std::log(8.0);
+      u.scale_sigma = 0.8;
+      u.duration_mu = std::log(20.0 * 3600.0);
+      u.duration_sigma = 0.6;
+      u.memory_appetite = rng.uniform(0.2, 0.6);
+      u.gpu_duty = rng.uniform(0.3, 0.8);
+    } else {
+      // Long tail: small, short, varied.
+      u.scale_mu = std::log(16.0);
+      u.scale_sigma = 1.1;
+      u.duration_mu = std::log(1.5 * 3600.0);
+      u.duration_sigma = 1.0;
+      u.memory_appetite = rng.uniform(0.05, 0.5);
+      u.gpu_duty = rng.uniform(0.2, 0.8);
+    }
+
+    // Debug propensity is itself heavy-tailed: most users rarely crash,
+    // a few (actively porting codes) crash a lot.
+    const double roll = rng.uniform();
+    if (roll < 0.10) {
+      u.debug_propensity = rng.uniform(0.15, 0.45);
+    } else if (roll < 0.40) {
+      u.debug_propensity = rng.uniform(0.03, 0.12);
+    } else {
+      u.debug_propensity = rng.uniform(0.0, 0.02);
+    }
+    u.deadline_factor = rng.uniform(2.0, 8.0);
+    users.push_back(u);
+  }
+  return users;
+}
+
+}  // namespace titan::sched

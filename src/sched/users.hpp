@@ -1,0 +1,45 @@
+// Synthetic user population.
+//
+// The paper withholds application identity ("many applications that are
+// run on Titan may be mission critical") and uses userID as a proxy for
+// the code being run (Observation 13, Fig. 20).  We model a population of
+// project users with heavy-tailed (Zipf) activity -- a few INCITE-scale
+// projects dominate GPU hours -- plus per-user traits that shape their
+// jobs: preferred scale, typical duration, memory appetite, GPU duty
+// factor, and debug propensity (how often their runs die with
+// user-application XIDs; Observation 6's bursts come from these users'
+// deadline crunches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "xid/event.hpp"
+
+namespace titan::sched {
+
+struct UserProfile {
+  xid::UserId id = xid::kNoUser;
+  double activity_weight = 1.0;   ///< Zipf share of submitted jobs
+  double scale_mu = 3.0;          ///< lognormal mu of node count
+  double scale_sigma = 1.2;       ///< lognormal sigma of node count
+  double duration_mu = 8.5;       ///< lognormal mu of wall seconds
+  double duration_sigma = 1.0;
+  double memory_appetite = 0.3;   ///< typical fraction of 6 GB used per node
+  double gpu_duty = 0.6;          ///< fraction of wall time GPUs are busy
+  double debug_propensity = 0.02; ///< P(job is an error-prone debug run)
+  /// Multiplier on deadline-season debug propensity (some teams crunch hard).
+  double deadline_factor = 4.0;
+};
+
+struct UserPopulationParams {
+  std::size_t user_count = 400;
+  double zipf_s = 1.1;  ///< activity skew
+};
+
+/// Deterministically sample a user population.
+[[nodiscard]] std::vector<UserProfile> make_user_population(const UserPopulationParams& params,
+                                                            stats::Rng rng);
+
+}  // namespace titan::sched

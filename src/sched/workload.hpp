@@ -1,0 +1,66 @@
+// Campaign-length batch workload simulation.
+//
+// Drives arrivals from the user population through the torus allocator to
+// produce the 21-month job trace that every Section 4 analysis consumes.
+// Also owns the "deadline calendar": weeks in which error-prone debug jobs
+// spike ("sudden rise in such errors may also correlate with domain
+// scientists' project or paper deadlines", Section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/allocator.hpp"
+#include "sched/job.hpp"
+#include "sched/users.hpp"
+#include "stats/calendar.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::sched {
+
+/// Weeks flagged as deadline crunches.
+class DeadlineCalendar {
+ public:
+  DeadlineCalendar(const stats::StudyPeriod& period, double week_probability, stats::Rng rng);
+
+  [[nodiscard]] bool is_deadline(stats::TimeSec t) const noexcept;
+  [[nodiscard]] std::size_t deadline_week_count() const noexcept;
+
+ private:
+  stats::TimeSec origin_;
+  std::vector<bool> weeks_;
+};
+
+struct WorkloadParams {
+  stats::StudyPeriod period{};
+  /// Mean gap between job submissions (tunes machine utilization; the
+  /// default targets roughly 85% busy node-hours).
+  double mean_arrival_gap_s = 450.0;
+  /// Cap on queued-but-not-started jobs; beyond it, submissions are shed.
+  std::size_t max_queue = 4000;
+  /// Jobs larger than this fraction of the machine are clamped down.
+  double max_job_fraction = 0.65;
+  /// Wall-clock limit (Titan queue policy).
+  double wall_cap_hours = 24.0;
+  double deadline_week_probability = 0.15;
+  PlacementPolicy policy = PlacementPolicy::kTorusOrder;
+};
+
+struct WorkloadResult {
+  JobTrace trace;
+  DeadlineCalendar deadlines;
+  std::size_t shed_jobs = 0;          ///< submissions dropped at the queue cap
+  double busy_node_hours = 0.0;       ///< sum over jobs of nodes x wall
+  double capacity_node_hours = 0.0;   ///< compute nodes x campaign hours
+
+  [[nodiscard]] double utilization() const noexcept {
+    return capacity_node_hours > 0.0 ? busy_node_hours / capacity_node_hours : 0.0;
+  }
+};
+
+/// Simulate the campaign workload.  Deterministic in (params, users, rng).
+[[nodiscard]] WorkloadResult simulate_workload(const WorkloadParams& params,
+                                               std::span<const UserProfile> users,
+                                               stats::Rng rng);
+
+}  // namespace titan::sched

@@ -1,0 +1,46 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::stats {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                double level, std::size_t resamples, Rng rng) {
+  if (level <= 0.0 || level >= 1.0) throw std::invalid_argument{"bootstrap_ci: level in (0,1)"};
+  if (resamples < 10) throw std::invalid_argument{"bootstrap_ci: need >= 10 resamples"};
+  ConfidenceInterval ci;
+  if (sample.empty()) return ci;
+  ci.point = statistic(sample);
+
+  std::vector<double> replicate(sample.size());
+  std::vector<double> stats_out;
+  stats_out.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& value : replicate) {
+      value = sample[rng.below(sample.size())];
+    }
+    stats_out.push_back(statistic(replicate));
+  }
+  std::sort(stats_out.begin(), stats_out.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto pick = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(stats_out.size() - 1) + 0.5);
+    return stats_out[std::min(idx, stats_out.size() - 1)];
+  };
+  ci.lower = pick(alpha);
+  ci.upper = pick(1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, double level,
+                                     std::size_t resamples, Rng rng) {
+  return bootstrap_ci(sample, [](std::span<const double> xs) { return mean(xs); }, level,
+                      resamples, rng);
+}
+
+}  // namespace titan::stats

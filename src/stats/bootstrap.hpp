@@ -1,0 +1,40 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// A 21-month window yields fewer than a hundred DBEs, so point MTBF
+// estimates deserve error bars; the percentile bootstrap provides them
+// without distributional assumptions (the inter-arrival data is NOT
+// exponential for every family -- see stats/hazard.hpp).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace titan::stats {
+
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double point = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Percentile-bootstrap CI for `statistic` over `sample`.
+/// `level` is the two-sided coverage (e.g. 0.95); `resamples` the number
+/// of bootstrap replicates.  Empty samples yield a degenerate {0,0,0}.
+[[nodiscard]] ConfidenceInterval bootstrap_ci(
+    std::span<const double> sample, const std::function<double(std::span<const double>)>& statistic,
+    double level, std::size_t resamples, Rng rng);
+
+/// Convenience: CI of the sample mean.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                                   double level = 0.95,
+                                                   std::size_t resamples = 2000,
+                                                   Rng rng = Rng{0x9e3779b9});
+
+}  // namespace titan::stats

@@ -1,0 +1,73 @@
+#include "stats/calendar.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace titan::stats {
+
+namespace {
+constexpr std::array<const char*, 12> kMonthNames = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                                     "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Parses exactly `width` digits starting at `pos`, advancing `pos`.
+bool parse_digits(std::string_view text, std::size_t& pos, int width, int& out) {
+  if (pos + static_cast<std::size_t>(width) > text.size()) return false;
+  int value = 0;
+  for (int i = 0; i < width; ++i) {
+    const char c = text[pos + static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  pos += static_cast<std::size_t>(width);
+  out = value;
+  return true;
+}
+
+bool expect(std::string_view text, std::size_t& pos, char c) {
+  if (pos >= text.size() || text[pos] != c) return false;
+  ++pos;
+  return true;
+}
+}  // namespace
+
+std::string month_label(TimeSec t) {
+  const CivilDate d = to_civil(t).date;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s'%02d", kMonthNames[static_cast<std::size_t>(d.month - 1)],
+                d.year % 100);
+  return buf;
+}
+
+std::string format_timestamp(TimeSec t) {
+  const CivilDateTime dt = to_civil(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year, dt.date.month,
+                dt.date.day, dt.hour, dt.minute, dt.second);
+  return buf;
+}
+
+bool parse_timestamp(std::string_view text, TimeSec& out) {
+  std::size_t pos = 0;
+  CivilDateTime dt;
+  if (!parse_digits(text, pos, 4, dt.date.year)) return false;
+  if (!expect(text, pos, '-')) return false;
+  if (!parse_digits(text, pos, 2, dt.date.month)) return false;
+  if (!expect(text, pos, '-')) return false;
+  if (!parse_digits(text, pos, 2, dt.date.day)) return false;
+  if (!expect(text, pos, ' ')) return false;
+  if (!parse_digits(text, pos, 2, dt.hour)) return false;
+  if (!expect(text, pos, ':')) return false;
+  if (!parse_digits(text, pos, 2, dt.minute)) return false;
+  if (!expect(text, pos, ':')) return false;
+  if (!parse_digits(text, pos, 2, dt.second)) return false;
+  if (pos != text.size()) return false;
+  if (dt.date.month < 1 || dt.date.month > 12 || dt.date.day < 1 || dt.date.day > 31 ||
+      dt.hour > 23 || dt.minute > 59 || dt.second > 60) {
+    return false;
+  }
+  out = to_time(dt);
+  return true;
+}
+
+}  // namespace titan::stats

@@ -1,0 +1,147 @@
+// Civil-calendar arithmetic for the study period.
+//
+// All timestamps in titanrel are UTC seconds since the Unix epoch
+// (`TimeSec`).  The analyses in the paper bucket events by calendar month
+// (Jun'2013 .. Feb'2015), so we need exact civil-date math; the algorithms
+// here are the public-domain days-from-civil/civil-from-days routines
+// (Howard Hinnant), valid far beyond the study period.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace titan::stats {
+
+/// UTC seconds since the Unix epoch.
+using TimeSec = std::int64_t;
+
+inline constexpr TimeSec kSecondsPerMinute = 60;
+inline constexpr TimeSec kSecondsPerHour = 3600;
+inline constexpr TimeSec kSecondsPerDay = 86400;
+
+/// A civil (proleptic Gregorian, UTC) date.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend constexpr auto operator<=>(const CivilDate&, const CivilDate&) = default;
+};
+
+/// A civil date-time, second resolution.
+struct CivilDateTime {
+  CivilDate date;
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  friend constexpr auto operator<=>(const CivilDateTime&, const CivilDateTime&) = default;
+};
+
+/// Days since the Unix epoch for a civil date.
+[[nodiscard]] constexpr std::int64_t days_from_civil(const CivilDate& d) noexcept {
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+[[nodiscard]] constexpr CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return CivilDate{static_cast<int>(y + (m <= 2 ? 1 : 0)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+/// TimeSec for a civil date-time (UTC).
+[[nodiscard]] constexpr TimeSec to_time(const CivilDateTime& dt) noexcept {
+  return days_from_civil(dt.date) * kSecondsPerDay + dt.hour * kSecondsPerHour +
+         dt.minute * kSecondsPerMinute + dt.second;
+}
+
+/// TimeSec for midnight (UTC) of a civil date.
+[[nodiscard]] constexpr TimeSec to_time(const CivilDate& d) noexcept {
+  return to_time(CivilDateTime{d, 0, 0, 0});
+}
+
+/// Civil date-time for a TimeSec (UTC).
+[[nodiscard]] constexpr CivilDateTime to_civil(TimeSec t) noexcept {
+  std::int64_t days = t / kSecondsPerDay;
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilDateTime out;
+  out.date = civil_from_days(days);
+  out.hour = static_cast<int>(rem / kSecondsPerHour);
+  out.minute = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  out.second = static_cast<int>(rem % kSecondsPerMinute);
+  return out;
+}
+
+/// Zero-based month index since year 0 (for month arithmetic).
+[[nodiscard]] constexpr int month_ordinal(const CivilDate& d) noexcept {
+  return d.year * 12 + (d.month - 1);
+}
+
+/// Month index of `t` relative to the month containing `origin` (0 = same
+/// month).  Used for "monthly frequency" figures.
+[[nodiscard]] constexpr int month_index(TimeSec t, TimeSec origin) noexcept {
+  return month_ordinal(to_civil(t).date) - month_ordinal(to_civil(origin).date);
+}
+
+/// First instant of the month that is `offset` months after the month
+/// containing `origin`.
+[[nodiscard]] constexpr TimeSec month_start(TimeSec origin, int offset) noexcept {
+  const int ord = month_ordinal(to_civil(origin).date) + offset;
+  const int year = (ord >= 0 ? ord : ord - 11) / 12;
+  const int month = ord - year * 12 + 1;
+  return to_time(CivilDate{year, month, 1});
+}
+
+/// Number of days in the month containing `t`.
+[[nodiscard]] constexpr int days_in_month(TimeSec t) noexcept {
+  return static_cast<int>((month_start(t, 1) - month_start(t, 0)) / kSecondsPerDay);
+}
+
+/// "Jun'13"-style month label, as used on the paper's x axes.
+[[nodiscard]] std::string month_label(TimeSec t);
+
+/// "2014-01-12 13:45:01" timestamp string (console-log format).
+[[nodiscard]] std::string format_timestamp(TimeSec t);
+
+/// Parse a "YYYY-MM-DD HH:MM:SS" timestamp.  Returns false on malformed
+/// input (without touching `out`).
+[[nodiscard]] bool parse_timestamp(std::string_view text, TimeSec& out);
+
+/// The study period covered by the paper: Jun'2013 .. Feb'2015 (inclusive).
+struct StudyPeriod {
+  TimeSec begin = to_time(CivilDate{2013, 6, 1});
+  TimeSec end = to_time(CivilDate{2015, 3, 1});  ///< exclusive
+
+  [[nodiscard]] constexpr TimeSec duration() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr double hours() const noexcept {
+    return static_cast<double>(duration()) / static_cast<double>(kSecondsPerHour);
+  }
+  [[nodiscard]] constexpr int months() const noexcept {
+    return month_ordinal(to_civil(end - 1).date) - month_ordinal(to_civil(begin).date) + 1;
+  }
+  [[nodiscard]] constexpr bool contains(TimeSec t) const noexcept {
+    return t >= begin && t < end;
+  }
+};
+
+}  // namespace titan::stats

@@ -1,0 +1,114 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::stats {
+
+namespace {
+
+// Continued-fraction evaluation for the regularized incomplete beta
+// function (Numerical Recipes style modified Lentz algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) throw std::invalid_argument{"regularized_incomplete_beta: a,b > 0"};
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (dof <= 0.0) throw std::invalid_argument{"student_t_cdf: dof > 0"};
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double correlation_p_value(double r, std::size_t n) {
+  if (n < 3) return 1.0;
+  const double dof = static_cast<double>(n - 2);
+  const double denom = 1.0 - r * r;
+  if (denom <= 0.0) return 0.0;  // |r| == 1: perfectly correlated
+  const double t = r * std::sqrt(dof / denom);
+  return 2.0 * (1.0 - student_t_cdf(std::abs(t), dof));
+}
+
+Correlation pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument{"pearson: size mismatch"};
+  Correlation out;
+  out.n = x.size();
+  if (out.n < 2) return out;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return out;  // constant input: undefined
+  out.coefficient = sxy / std::sqrt(sxx * syy);
+  // Guard against rounding drift outside [-1, 1].
+  out.coefficient = std::max(-1.0, std::min(1.0, out.coefficient));
+  out.p_value = correlation_p_value(out.coefficient, out.n);
+  return out;
+}
+
+Correlation spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument{"spearman: size mismatch"};
+  const auto rx = average_ranks(x);
+  const auto ry = average_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace titan::stats

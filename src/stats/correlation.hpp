@@ -1,0 +1,37 @@
+// Pearson and Spearman correlation with significance, as used throughout
+// Section 4 of the paper ("both the Spearman and Pearson coefficient were
+// less than 0.50 with p-value < 0.05").
+#pragma once
+
+#include <span>
+
+namespace titan::stats {
+
+/// A correlation estimate plus its two-sided significance.
+struct Correlation {
+  double coefficient = 0.0;  ///< in [-1, 1]; 0 when undefined (n < 2 or zero variance)
+  double p_value = 1.0;      ///< two-sided, t-approximation; 1 when undefined
+  std::size_t n = 0;         ///< number of paired observations
+
+  [[nodiscard]] bool significant(double alpha = 0.05) const noexcept { return p_value < alpha; }
+};
+
+/// Pearson product-moment correlation of paired samples.
+[[nodiscard]] Correlation pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (tie-aware: Pearson over average ranks).
+[[nodiscard]] Correlation spearman(std::span<const double> x, std::span<const double> y);
+
+/// Two-sided p-value for a correlation coefficient r over n pairs, using
+/// the exact t-statistic t = r*sqrt((n-2)/(1-r^2)) and a numeric
+/// Student-t CDF (regularized incomplete beta via continued fractions).
+[[nodiscard]] double correlation_p_value(double r, std::size_t n);
+
+/// Regularized incomplete beta function I_x(a, b) (Lentz continued
+/// fraction).  Exposed for testing; domain x in [0,1], a, b > 0.
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
+/// Student-t distribution: P(T <= t) with `dof` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+}  // namespace titan::stats

@@ -1,0 +1,145 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace titan::stats {
+
+double sample_exponential(Rng& rng, double rate) {
+  if (rate <= 0.0) throw std::invalid_argument{"sample_exponential: rate must be > 0"};
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+double sample_normal(Rng& rng) {
+  // Polar (Marsaglia) method; one of the pair is discarded so that the
+  // number of variates consumed per call is data-independent only in
+  // expectation -- acceptable because all streams are forked per consumer.
+  while (true) {
+    const double u = rng.uniform(-1.0, 1.0);
+    const double v = rng.uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  return mean + stddev * sample_normal(rng);
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+std::uint64_t sample_poisson(Rng& rng, double mean) {
+  if (mean < 0.0) throw std::invalid_argument{"sample_poisson: mean must be >= 0"};
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion by multiplication.
+    const double limit = std::exp(-mean);
+    double product = rng.uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      product *= rng.uniform();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction, rejecting negatives.
+  // For the event counts used in this framework (mean up to ~1e5), the
+  // relative error of this approximation is far below the stochastic noise
+  // of the study itself.
+  while (true) {
+    const double x = sample_normal(rng, mean, std::sqrt(mean));
+    if (x >= -0.5) return static_cast<std::uint64_t>(std::llround(std::max(0.0, x)));
+  }
+}
+
+double sample_pareto(Rng& rng, double xm, double alpha) {
+  if (xm <= 0.0 || alpha <= 0.0) throw std::invalid_argument{"sample_pareto: bad parameters"};
+  return xm / std::pow(1.0 - rng.uniform(), 1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be > 0"};
+  if (s < 0.0) throw std::invalid_argument{"ZipfSampler: s must be >= 0"};
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument{"DiscreteSampler: no weights"};
+  cdf_.reserve(weights.size());
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"DiscreteSampler: negative weight"};
+    total_ += w;
+    cdf_.push_back(total_);
+  }
+  if (total_ <= 0.0) throw std::invalid_argument{"DiscreteSampler: all weights zero"};
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform() * total_;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  return std::min(idx, cdf_.size() - 1);
+}
+
+std::vector<double> sample_poisson_process(Rng& rng, double rate, double begin, double end) {
+  std::vector<double> out;
+  if (rate <= 0.0 || end <= begin) return out;
+  out.reserve(static_cast<std::size_t>(rate * (end - begin) * 1.2) + 4);
+  double t = begin;
+  while (true) {
+    t += sample_exponential(rng, rate);
+    if (t >= end) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<double> sample_mmpp2(Rng& rng, const Mmpp2Params& params, double begin, double end) {
+  std::vector<double> out;
+  if (end <= begin) return out;
+  if (params.mean_quiet_sojourn <= 0.0 || params.mean_burst_sojourn <= 0.0) {
+    throw std::invalid_argument{"sample_mmpp2: sojourn means must be > 0"};
+  }
+  // Start in the quiet state with the stationary phase randomized by an
+  // initial exponential residual.
+  bool bursting = rng.bernoulli(params.mean_burst_sojourn /
+                                (params.mean_burst_sojourn + params.mean_quiet_sojourn));
+  double t = begin;
+  while (t < end) {
+    const double sojourn = sample_exponential(
+        rng, 1.0 / (bursting ? params.mean_burst_sojourn : params.mean_quiet_sojourn));
+    const double seg_end = std::min(end, t + sojourn);
+    const double rate = bursting ? params.rate_burst : params.rate_quiet;
+    auto seg = sample_poisson_process(rng, rate, t, seg_end);
+    out.insert(out.end(), seg.begin(), seg.end());
+    t = seg_end;
+    bursting = !bursting;
+  }
+  return out;
+}
+
+}  // namespace titan::stats

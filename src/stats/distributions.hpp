@@ -1,0 +1,103 @@
+// Sampling routines used by the fault and workload generators.
+//
+// Deliberately self-contained (no <random> distribution objects): the
+// sequences must be identical across standard libraries so that the figure
+// reproductions are portable-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace titan::stats {
+
+/// Exponential variate with the given rate (events per unit time).
+[[nodiscard]] double sample_exponential(Rng& rng, double rate);
+
+/// Standard normal variate (polar Marsaglia method).
+[[nodiscard]] double sample_normal(Rng& rng);
+
+/// Normal variate with mean/stddev.
+[[nodiscard]] double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Log-normal variate: exp(N(mu, sigma)).  Heavy-tailed card propensities
+/// and job durations use this.
+[[nodiscard]] double sample_lognormal(Rng& rng, double mu, double sigma);
+
+/// Poisson variate with the given mean.  Inversion for small means,
+/// PTRD-style rejection for large means; exact for mean == 0.
+[[nodiscard]] std::uint64_t sample_poisson(Rng& rng, double mean);
+
+/// Pareto (type I) variate with scale xm > 0 and shape alpha > 0.
+[[nodiscard]] double sample_pareto(Rng& rng, double xm, double alpha);
+
+/// Zipf-distributed rank in [0, n) with exponent s >= 0 (s == 0 is uniform).
+/// Used for the user-activity population (a few users dominate GPU hours).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, back() == 1.0
+};
+
+/// Weighted discrete sampler over arbitrary non-negative weights
+/// (linear-time build, log-time sample via binary search on the CDF).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+/// Homogeneous Poisson process: event times in [begin, end) at `rate`
+/// events per unit time.  Times are sorted.
+[[nodiscard]] std::vector<double> sample_poisson_process(Rng& rng, double rate, double begin,
+                                                         double end);
+
+/// Two-state Markov-modulated Poisson process (MMPP-2).
+///
+/// Models the paper's "bursty" user-application XID arrivals (Observation 6):
+/// the process alternates between a quiet state (rate_quiet) and a burst
+/// state (rate_burst), with exponentially distributed sojourn times.  Burst
+/// weeks correspond to deadline crunches in the paper's narrative.
+struct Mmpp2Params {
+  double rate_quiet = 0.0;       ///< events per unit time in the quiet state
+  double rate_burst = 0.0;       ///< events per unit time in the burst state
+  double mean_quiet_sojourn = 1.0;  ///< mean time spent quiet
+  double mean_burst_sojourn = 1.0;  ///< mean time spent bursting
+};
+
+[[nodiscard]] std::vector<double> sample_mmpp2(Rng& rng, const Mmpp2Params& params, double begin,
+                                               double end);
+
+/// Non-homogeneous Poisson process by thinning against a piecewise-constant
+/// envelope.  `rate_at` must return a rate <= `rate_max` everywhere.
+template <typename RateFn>
+[[nodiscard]] std::vector<double> sample_nhpp(Rng& rng, RateFn&& rate_at, double rate_max,
+                                              double begin, double end) {
+  std::vector<double> out;
+  if (rate_max <= 0.0 || end <= begin) return out;
+  double t = begin;
+  while (true) {
+    t += sample_exponential(rng, rate_max);
+    if (t >= end) break;
+    if (rng.uniform() * rate_max < rate_at(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace titan::stats

@@ -1,0 +1,60 @@
+#include "stats/hazard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::stats {
+
+double dispersion_of_counts(std::span<const TimeSec> times, TimeSec begin, TimeSec end,
+                            TimeSec window) {
+  if (window <= 0 || end <= begin) return 0.0;
+  const auto windows = static_cast<std::size_t>((end - begin) / window);
+  if (windows == 0) return 0.0;
+  std::vector<double> counts(windows, 0.0);
+  for (const TimeSec t : times) {
+    if (t < begin || t >= end) continue;
+    const auto w = static_cast<std::size_t>((t - begin) / window);
+    if (w < windows) counts[w] += 1.0;
+  }
+  const double m = mean(counts);
+  return m > 0.0 ? variance(counts) / m : 0.0;
+}
+
+double conditional_intensity_ratio(std::span<const TimeSec> times, TimeSec begin, TimeSec end,
+                                   TimeSec window) {
+  if (times.size() < 2 || end <= begin || window <= 0) return 0.0;
+  std::size_t followed = 0;
+  std::size_t eligible = 0;
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    if (times[i] < begin || times[i] >= end - window) continue;  // full window only
+    ++eligible;
+    if (times[i + 1] - times[i] < window) ++followed;
+  }
+  if (eligible == 0) return 0.0;
+  const double observed = static_cast<double>(followed) / static_cast<double>(eligible);
+  const double rate = static_cast<double>(times.size()) / static_cast<double>(end - begin);
+  const double poisson = 1.0 - std::exp(-rate * static_cast<double>(window));
+  return poisson > 0.0 ? observed / poisson : 0.0;
+}
+
+double ks_vs_exponential(std::span<const double> gaps) {
+  if (gaps.empty()) return 0.0;
+  std::vector<double> sorted(gaps.begin(), gaps.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double m = mean(sorted);
+  if (m <= 0.0) return 1.0;
+  const double rate = 1.0 / m;
+  double ks = 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = 1.0 - std::exp(-rate * sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    ks = std::max({ks, std::abs(model - lo), std::abs(model - hi)});
+  }
+  return ks;
+}
+
+}  // namespace titan::stats

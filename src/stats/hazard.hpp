@@ -1,0 +1,37 @@
+// Temporal-locality statistics for failure streams.
+//
+// The paper's companion work (lazy checkpointing, DSN'14 [32]) exploits
+// the fact that real failures cluster in time: right after a failure the
+// hazard of another is elevated, so checkpointing lazily right after one
+// is safe.  These estimators quantify that property for any event stream:
+//
+//  * index of dispersion of windowed counts (1 for Poisson, > 1 bursty),
+//  * conditional intensity ratio: rate of a follow-up event within W of
+//    an event, relative to the stream's unconditional rate,
+//  * Kolmogorov-Smirnov distance of the inter-arrival distribution from
+//    the fitted exponential.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/calendar.hpp"
+
+namespace titan::stats {
+
+/// Variance/mean of event counts in fixed windows over [begin, end).
+/// Returns 0 when there are no events or no complete windows.
+[[nodiscard]] double dispersion_of_counts(std::span<const TimeSec> times, TimeSec begin,
+                                          TimeSec end, TimeSec window);
+
+/// P(another event within `window` after an event) divided by the same
+/// probability for a Poisson process of equal mean rate.  > 1 indicates
+/// temporal locality.  `times` must be sorted; requires >= 2 events.
+[[nodiscard]] double conditional_intensity_ratio(std::span<const TimeSec> times, TimeSec begin,
+                                                 TimeSec end, TimeSec window);
+
+/// Two-sided Kolmogorov-Smirnov statistic between the inter-arrival
+/// sample and the exponential fitted to its mean (0 = perfect fit).
+[[nodiscard]] double ks_vs_exponential(std::span<const double> gaps);
+
+}  // namespace titan::stats

@@ -1,0 +1,53 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::stats {
+
+EdgeHistogram::EdgeHistogram(std::vector<double> edges) : edges_{std::move(edges)} {
+  if (edges_.size() < 2) throw std::invalid_argument{"EdgeHistogram: need at least 2 edges"};
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument{"EdgeHistogram: edges must be strictly increasing"};
+  }
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+void EdgeHistogram::add(double value, std::uint64_t weight) {
+  if (value < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin] += weight;
+}
+
+std::uint64_t EdgeHistogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0}) + underflow_ +
+         overflow_;
+}
+
+double Grid2D::total() const noexcept {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Grid2D::max_value() const noexcept {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Grid2D::coefficient_of_variation() const noexcept {
+  const double m = mean(data_);
+  if (m == 0.0) return 0.0;
+  return stddev(data_) / m;
+}
+
+}  // namespace titan::stats

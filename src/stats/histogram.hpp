@@ -1,0 +1,71 @@
+// Histogram utilities: fixed-width 1-D bins, explicit-edge bins (Fig. 8's
+// irregular delay buckets), and dense 2-D count grids (spatial heatmaps).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace titan::stats {
+
+/// 1-D histogram over explicit, strictly increasing bin edges.
+/// A value v falls in bin i when edges[i] <= v < edges[i+1]; values outside
+/// [edges.front(), edges.back()) are counted in underflow/overflow.
+class EdgeHistogram {
+ public:
+  explicit EdgeHistogram(std::vector<double> edges);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::span<const double> edges() const noexcept { return edges_; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Dense 2-D grid of counts, used for the row x column cabinet heatmaps.
+class Grid2D {
+ public:
+  Grid2D(std::size_t rows, std::size_t cols) : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {
+    if (rows == 0 || cols == 0) throw std::invalid_argument{"Grid2D: empty grid"};
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_.at(index(r, c)); }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_.at(index(r, c)); }
+  void add(std::size_t r, std::size_t c, double w = 1.0) { data_.at(index(r, c)) += w; }
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double max_value() const noexcept;
+  /// Coefficient of variation of the cell values (stddev/mean); the
+  /// skewness proxy used when the paper says a spatial distribution
+  /// "becomes relatively homogeneous".
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range{"Grid2D: index out of range"};
+    return r * cols_ + c;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace titan::stats

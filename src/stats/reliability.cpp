@@ -1,0 +1,73 @@
+#include "stats/reliability.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace titan::stats {
+
+MtbfEstimate estimate_mtbf(std::vector<TimeSec> events, TimeSec begin, TimeSec end) {
+  if (end <= begin) throw std::invalid_argument{"estimate_mtbf: empty window"};
+  std::erase_if(events, [&](TimeSec t) { return t < begin || t >= end; });
+  std::sort(events.begin(), events.end());
+
+  MtbfEstimate out;
+  out.event_count = events.size();
+  out.window_hours = static_cast<double>(end - begin) / static_cast<double>(kSecondsPerHour);
+  if (!events.empty()) {
+    out.mtbf_hours = out.window_hours / static_cast<double>(events.size());
+  }
+  if (events.size() >= 2) {
+    std::vector<double> gaps;
+    gaps.reserve(events.size() - 1);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      gaps.push_back(static_cast<double>(events[i] - events[i - 1]) /
+                     static_cast<double>(kSecondsPerHour));
+    }
+    out.mean_gap_hours = mean(gaps);
+    out.median_gap_hours = median(gaps);
+  }
+  return out;
+}
+
+std::vector<double> inter_arrival_seconds(std::vector<TimeSec> events) {
+  std::sort(events.begin(), events.end());
+  std::vector<double> gaps;
+  if (events.size() < 2) return gaps;
+  gaps.reserve(events.size() - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    gaps.push_back(static_cast<double>(events[i] - events[i - 1]));
+  }
+  return gaps;
+}
+
+std::uint64_t MonthlySeries::total() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+}
+
+std::vector<std::string> MonthlySeries::labels() const {
+  std::vector<std::string> out;
+  out.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out.push_back(month_label(month_start(origin, static_cast<int>(i))));
+  }
+  return out;
+}
+
+MonthlySeries monthly_counts(std::span<const TimeSec> events, TimeSec begin, TimeSec end) {
+  if (end <= begin) throw std::invalid_argument{"monthly_counts: empty window"};
+  MonthlySeries out;
+  out.origin = begin;
+  const int n_months = month_index(end - 1, begin) + 1;
+  out.counts.assign(static_cast<std::size_t>(n_months), 0);
+  for (TimeSec t : events) {
+    if (t < begin || t >= end) continue;
+    const int idx = month_index(t, begin);
+    out.counts[static_cast<std::size_t>(idx)] += 1;
+  }
+  return out;
+}
+
+}  // namespace titan::stats

@@ -1,0 +1,42 @@
+// MTBF and inter-arrival statistics (Observation 1 and Fig. 8 analysis).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/calendar.hpp"
+
+namespace titan::stats {
+
+/// Mean time between failures over an observation window, plus the raw
+/// inter-arrival sample the estimate was made from.
+struct MtbfEstimate {
+  double mtbf_hours = 0.0;         ///< window_hours / event_count (0 if no events)
+  double mean_gap_hours = 0.0;     ///< mean of inter-arrival gaps (0 if < 2 events)
+  double median_gap_hours = 0.0;   ///< median of inter-arrival gaps
+  std::size_t event_count = 0;
+  double window_hours = 0.0;
+};
+
+/// Estimate MTBF of a sorted event-time sequence over [begin, end).
+/// `events` need not be sorted; a copy is sorted internally.
+[[nodiscard]] MtbfEstimate estimate_mtbf(std::vector<TimeSec> events, TimeSec begin, TimeSec end);
+
+/// Inter-arrival gaps (seconds) of a sorted copy of `events`.
+[[nodiscard]] std::vector<double> inter_arrival_seconds(std::vector<TimeSec> events);
+
+/// Per-month event counts between `begin` and `end` (month of `begin` is
+/// index 0).  Events outside the window are ignored.
+struct MonthlySeries {
+  TimeSec origin = 0;                 ///< start of month 0
+  std::vector<std::uint64_t> counts;  ///< one entry per month in the window
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  /// x-axis labels ("Jun'13", ...).
+  [[nodiscard]] std::vector<std::string> labels() const;
+};
+
+[[nodiscard]] MonthlySeries monthly_counts(std::span<const TimeSec> events, TimeSec begin,
+                                           TimeSec end);
+
+}  // namespace titan::stats

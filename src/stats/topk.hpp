@@ -1,0 +1,38 @@
+// Top-k offender selection, used throughout Sections 3.3 and 4 where the
+// paper re-runs analyses "excluding the top 10 / top 50 SBE offending
+// cards".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace titan::stats {
+
+/// Return the keys of the k largest values (ties broken by smaller key for
+/// determinism).  k may exceed the map size.
+template <typename Key>
+[[nodiscard]] std::vector<Key> top_k_keys(const std::unordered_map<Key, std::uint64_t>& counts,
+                                          std::size_t k) {
+  std::vector<std::pair<Key, std::uint64_t>> items(counts.begin(), counts.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<Key> out;
+  out.reserve(std::min(k, items.size()));
+  for (std::size_t i = 0; i < items.size() && i < k; ++i) out.push_back(items[i].first);
+  return out;
+}
+
+/// Set view of top_k_keys for O(1) exclusion checks.
+template <typename Key>
+[[nodiscard]] std::unordered_set<Key> top_k_set(const std::unordered_map<Key, std::uint64_t>& counts,
+                                                std::size_t k) {
+  const auto keys = top_k_keys(counts, k);
+  return std::unordered_set<Key>(keys.begin(), keys.end());
+}
+
+}  // namespace titan::stats

@@ -1,0 +1,65 @@
+#include "topology/machine.hpp"
+
+#include <cstdio>
+
+namespace titan::topology {
+
+namespace {
+
+// Parse a decimal integer starting at `pos`; requires at least one digit.
+bool parse_int(std::string_view text, std::size_t& pos, int& out) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
+  int value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + (text[pos] - '0');
+    if (value > 1'000'000) return false;  // reject absurd coordinates early
+    ++pos;
+  }
+  out = value;
+  return true;
+}
+
+bool expect(std::string_view text, std::size_t& pos, char c) {
+  if (pos >= text.size() || text[pos] != c) return false;
+  ++pos;
+  return true;
+}
+
+}  // namespace
+
+int compute_node_count() noexcept {
+  int count = 0;
+  for (NodeId id = 0; id < kNodeSlots; ++id) {
+    if (!is_service_node(id)) ++count;
+  }
+  return count;
+}
+
+std::string cname(const NodeLocation& loc) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%d-%dc%ds%dn%d", loc.cab_x, loc.cab_y, loc.cage, loc.slot,
+                loc.node);
+  return buf;
+}
+
+std::string cname(NodeId id) { return cname(locate(id)); }
+
+std::optional<NodeLocation> parse_cname(std::string_view text) {
+  NodeLocation loc;
+  std::size_t pos = 0;
+  if (!expect(text, pos, 'c')) return std::nullopt;
+  if (!parse_int(text, pos, loc.cab_x)) return std::nullopt;
+  if (!expect(text, pos, '-')) return std::nullopt;
+  if (!parse_int(text, pos, loc.cab_y)) return std::nullopt;
+  if (!expect(text, pos, 'c')) return std::nullopt;
+  if (!parse_int(text, pos, loc.cage)) return std::nullopt;
+  if (!expect(text, pos, 's')) return std::nullopt;
+  if (!parse_int(text, pos, loc.slot)) return std::nullopt;
+  if (!expect(text, pos, 'n')) return std::nullopt;
+  if (!parse_int(text, pos, loc.node)) return std::nullopt;
+  if (pos != text.size()) return std::nullopt;
+  if (!loc.valid()) return std::nullopt;
+  return loc;
+}
+
+}  // namespace titan::topology

@@ -1,0 +1,52 @@
+// Cabinet thermal model.
+//
+// The paper reports (Sections 3.1, 3.2) that "GPUs in the uppermost cage
+// are on average more than 10 degrees F hotter than the GPUs in the
+// lowermost cage" due to Titan's bottom-to-top airflow, and ties this
+// gradient to the cage-position sensitivity of DBE and Off-the-bus errors
+// (Observations 1, 4).  This model captures exactly that: a per-cage base
+// temperature plus small deterministic per-slot variation and stochastic
+// jitter supplied by the caller.
+#pragma once
+
+#include <cmath>
+
+#include "topology/machine.hpp"
+
+namespace titan::topology {
+
+struct ThermalModel {
+  double inlet_f = 65.0;          ///< machine-room supply air temperature (F)
+  double gpu_rise_f = 20.0;       ///< GPU die rise over inlet at the bottom cage
+  double per_cage_rise_f = 5.5;   ///< added rise per cage going up (>10 F cage0->cage2)
+  double slot_spread_f = 1.5;     ///< deterministic spread across blades in a cage
+
+  /// Nominal steady-state GPU temperature (F) for a node location.
+  [[nodiscard]] constexpr double nominal_gpu_temp_f(const NodeLocation& loc) const noexcept {
+    const double cage_term = per_cage_rise_f * static_cast<double>(loc.cage);
+    // Blades toward the middle of a cage run slightly warmer.
+    const double mid = (kBladesPerCage - 1) / 2.0;
+    const double slot_dev = 1.0 - (loc.slot > mid ? loc.slot - mid : mid - loc.slot) / mid;
+    return inlet_f + gpu_rise_f + cage_term + slot_spread_f * slot_dev;
+  }
+
+  /// Temperature difference (F) between the top and bottom cage.
+  [[nodiscard]] constexpr double top_to_bottom_delta_f() const noexcept {
+    return per_cage_rise_f * static_cast<double>(kCagesPerCabinet - 1);
+  }
+};
+
+/// Multiplicative fault-rate modifier for temperature-sensitive error
+/// families: rate scales by `factor_per_10f` for every 10 F over the
+/// bottom-cage temperature.  An Arrhenius-flavored but deliberately simple
+/// model; what the reproduced figures need is a monotone cage ordering.
+[[nodiscard]] inline double thermal_rate_multiplier(const ThermalModel& model,
+                                                    const NodeLocation& loc,
+                                                    double factor_per_10f) noexcept {
+  NodeLocation bottom = loc;
+  bottom.cage = 0;
+  const double delta = model.nominal_gpu_temp_f(loc) - model.nominal_gpu_temp_f(bottom);
+  return std::pow(factor_per_10f, delta / 10.0);
+}
+
+}  // namespace titan::topology

@@ -1,0 +1,107 @@
+// Gemini 3-D torus geometry and the folded-torus cabling order.
+//
+// Titan's Gemini interconnect is a 25 x 16 x 24 3-D torus of routers
+// (9,600 Geminis, two nodes each):
+//   X = cabinet position along a row          (0..24)
+//   Y = 2 * row + gemini-within-blade         (0..15)
+//   Z = cage * 8 + slot                       (0..23)
+//
+// The X dimension is *folded* (paper Section 3.2, citing Ezell [8]): to
+// keep inter-cabinet cable lengths uniform, the torus ring visits physical
+// cabinets in the order 0, 2, 4, ..., 24, 23, 21, ..., 1 rather than
+// 0, 1, 2, ....  Consecutive torus-X coordinates therefore land in
+// *alternating* physical cabinets, which is exactly what produces the
+// alternating-cabinet density pattern of Fig. 12 when a large job is
+// allocated a contiguous span of the torus.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "topology/machine.hpp"
+
+namespace titan::topology {
+
+inline constexpr int kTorusX = kCabinetGridX;                    // 25
+inline constexpr int kTorusY = kCabinetGridY * 2;                // 16
+inline constexpr int kTorusZ = kCagesPerCabinet * kBladesPerCage;  // 24
+inline constexpr int kGeminiCount = kTorusX * kTorusY * kTorusZ;   // 9,600
+
+static_assert(kGeminiCount == kNodeSlots / kNodesPerGemini);
+
+/// Router coordinate in the 3-D torus.
+struct TorusCoord {
+  int x = 0;  ///< 0..24
+  int y = 0;  ///< 0..15
+  int z = 0;  ///< 0..23
+
+  friend constexpr auto operator<=>(const TorusCoord&, const TorusCoord&) = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return x >= 0 && x < kTorusX && y >= 0 && y < kTorusY && z >= 0 && z < kTorusZ;
+  }
+};
+
+/// Folded cabling: torus-X position -> physical cabinet x.
+/// Sequence: 0, 2, 4, ..., 24, 23, 21, ..., 1.
+[[nodiscard]] constexpr int folded_x_to_physical(int torus_x) noexcept {
+  return torus_x <= kTorusX / 2 ? 2 * torus_x : 2 * (kTorusX - torus_x) - 1;
+}
+
+/// Inverse of folded_x_to_physical.
+[[nodiscard]] constexpr int physical_x_to_folded(int phys_x) noexcept {
+  return phys_x % 2 == 0 ? phys_x / 2 : kTorusX - (phys_x + 1) / 2;
+}
+
+/// Torus coordinate of the Gemini router serving a node.
+[[nodiscard]] constexpr TorusCoord torus_coord(NodeId id) noexcept {
+  const NodeLocation loc = locate(id);
+  TorusCoord c;
+  c.x = physical_x_to_folded(loc.cab_x);
+  c.y = loc.cab_y * 2 + loc.node / kNodesPerGemini;  // two Geminis per blade
+  c.z = loc.cage * kBladesPerCage + loc.slot;
+  return c;
+}
+
+/// Linear "allocation rank" that walks the torus Z-major within a Y column
+/// within an X ring: consecutive ranks are torus-adjacent, so allocating a
+/// contiguous rank span gives a compact torus block.  Each Gemini rank
+/// covers its two nodes, keeping job placements router-aligned.
+[[nodiscard]] constexpr int torus_rank(const TorusCoord& c) noexcept {
+  return (c.x * kTorusY + c.y) * kTorusZ + c.z;
+}
+
+[[nodiscard]] constexpr TorusCoord coord_from_rank(int rank) noexcept {
+  TorusCoord c;
+  c.z = rank % kTorusZ;
+  rank /= kTorusZ;
+  c.y = rank % kTorusY;
+  c.x = rank / kTorusY;
+  return c;
+}
+
+/// The two NodeIds served by the Gemini at `c` (lower id first).
+[[nodiscard]] constexpr std::array<NodeId, 2> gemini_nodes(const TorusCoord& c) noexcept {
+  NodeLocation loc;
+  loc.cab_x = folded_x_to_physical(c.x);
+  loc.cab_y = c.y / 2;
+  loc.cage = c.z / kBladesPerCage;
+  loc.slot = c.z % kBladesPerCage;
+  loc.node = (c.y % 2) * kNodesPerGemini;
+  const NodeId first = node_id(loc);
+  return {first, static_cast<NodeId>(first + 1)};
+}
+
+/// Hop distance between two routers on the torus (shortest path per
+/// dimension with wraparound) -- used by placement-quality metrics.
+[[nodiscard]] constexpr int torus_hops(const TorusCoord& a, const TorusCoord& b) noexcept {
+  const auto dim = [](int u, int v, int size) {
+    int d = u - v;
+    if (d < 0) d = -d;
+    return d < size - d ? d : size - d;
+  };
+  return dim(a.x, b.x, kTorusX) + dim(a.y, b.y, kTorusY) + dim(a.z, b.z, kTorusZ);
+}
+
+}  // namespace titan::topology

@@ -1,0 +1,41 @@
+#include "xid/event.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace titan::xid {
+
+namespace {
+constexpr std::array<std::string_view, kMemoryStructureCount> kStructureTokens = {
+    "NONE", "DRAM", "RF", "L2", "L1SHM", "ROC", "TEX",
+};
+}  // namespace
+
+std::string_view structure_token(MemoryStructure s) noexcept {
+  return kStructureTokens[static_cast<std::size_t>(s)];
+}
+
+std::optional<MemoryStructure> parse_structure_token(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kStructureTokens.size(); ++i) {
+    if (kStructureTokens[i] == text) return static_cast<MemoryStructure>(i);
+  }
+  return std::nullopt;
+}
+
+void sort_events(std::vector<Event>& events) {
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.node != b.node) return a.node < b.node;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+}
+
+std::vector<stats::TimeSec> times_of(const std::vector<Event>& events, ErrorKind kind) {
+  std::vector<stats::TimeSec> out;
+  for (const auto& e : events) {
+    if (e.kind == kind) out.push_back(e.time);
+  }
+  return out;
+}
+
+}  // namespace titan::xid

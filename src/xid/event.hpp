@@ -1,0 +1,76 @@
+// The unified GPU error event record.
+//
+// `Event` is the ground-truth record produced by the fault generators and
+// carried through the whole pipeline.  The console-log emitter serializes a
+// *subset* of these fields (a real console line has no card serial and no
+// parent linkage); the parser recovers what it can, and tests compare the
+// recovered stream against ground truth to validate the paper's filtering
+// methodology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/calendar.hpp"
+#include "topology/machine.hpp"
+#include "xid/taxonomy.hpp"
+
+namespace titan::xid {
+
+/// GPU memory structure affected by an ECC event (paper Fig. 3(c)).
+/// kNone for error kinds that are not memory-structure specific.
+enum class MemoryStructure : std::uint8_t {
+  kNone,
+  kDeviceMemory,   ///< 6 GB GDDR5 framebuffer
+  kRegisterFile,   ///< 64K registers per SM
+  kL2Cache,        ///< 1536 KB shared
+  kL1Shared,       ///< 64 KB combined shared memory / L1 per SM
+  kReadOnlyCache,  ///< 48 KB per SM (parity, not SECDED)
+  kTextureMemory,  ///< texture path (paper Fig. 3(c) category)
+};
+
+inline constexpr std::size_t kMemoryStructureCount = 7;
+
+/// Console-log decode token for a structure ("DRAM", "RF", ...).
+[[nodiscard]] std::string_view structure_token(MemoryStructure s) noexcept;
+[[nodiscard]] std::optional<MemoryStructure> parse_structure_token(std::string_view text) noexcept;
+
+/// Physical GPU card identifier (stable across node moves / hot-spare
+/// swaps; the fleet ledger maps (node, time) -> card).
+using CardId = std::int32_t;
+inline constexpr CardId kInvalidCard = -1;
+
+/// Batch-job identifier.
+using JobId = std::int64_t;
+inline constexpr JobId kNoJob = -1;
+
+/// User identifier (the paper uses userID as an application proxy, Fig 20).
+using UserId = std::int32_t;
+inline constexpr UserId kNoUser = -1;
+
+/// Ground-truth error event.
+struct Event {
+  stats::TimeSec time = 0;
+  topology::NodeId node = topology::kInvalidNode;
+  CardId card = kInvalidCard;
+  ErrorKind kind = ErrorKind::kSingleBitError;
+  MemoryStructure structure = MemoryStructure::kNone;
+  JobId job = kNoJob;
+  UserId user = kNoUser;
+  /// Index (into the owning event vector) of the parent event when this
+  /// record is a propagated "child" (same failure reported again on another
+  /// node of the job, or a follow-on error); -1 for root events.
+  std::int64_t parent = -1;
+
+  [[nodiscard]] bool is_child() const noexcept { return parent >= 0; }
+};
+
+/// Sort events by (time, node, kind) -- the canonical stream order.
+void sort_events(std::vector<Event>& events);
+
+/// Extract the timestamps of all events matching `kind` (sorted if the
+/// input is sorted).
+[[nodiscard]] std::vector<stats::TimeSec> times_of(const std::vector<Event>& events,
+                                                   ErrorKind kind);
+
+}  // namespace titan::xid

@@ -1,0 +1,102 @@
+#include "xid/taxonomy.hpp"
+
+namespace titan::xid {
+
+namespace {
+
+constexpr std::array<ErrorInfo, kErrorKindCount> kRegistry = {{
+    {ErrorKind::kSingleBitError, std::nullopt, "Single Bit Error (corrected by the SECDED ECC)",
+     ErrorClass::kHardware, kCauseHardware, /*crashes=*/false, /*per_job=*/false,
+     /*thermal=*/false, /*bursty=*/false},
+    {ErrorKind::kDoubleBitError, 48, "Double Bit Error (detected by SECDED ECC, not corrected)",
+     ErrorClass::kHardware, kCauseHardware, true, false, true, false},
+    {ErrorKind::kOffTheBus, std::nullopt, "Off the Bus", ErrorClass::kHardware,
+     kCauseSystemIntegration | kCauseBusError | kCauseThermal, true, false, true, false},
+    {ErrorKind::kDisplayEngine, 56, "Display Engine error", ErrorClass::kHardware, kCauseHardware,
+     true, false, false, false},
+    {ErrorKind::kVideoMemProgramming, 57, "Error programming video memory interface",
+     ErrorClass::kAmbiguous, kCauseHardware | kCauseDriver, true, false, false, false},
+    {ErrorKind::kUnstableVideoMem, 58, "Unstable video memory interface detected",
+     ErrorClass::kAmbiguous, kCauseHardware | kCauseDriver, true, false, false, false},
+    {ErrorKind::kPageRetirement, 63, "ECC page retirement error", ErrorClass::kHardware,
+     kCauseHardware, false, false, true, false},
+    {ErrorKind::kPageRetirementFailed, 64, "ECC page retirement recording failure",
+     ErrorClass::kHardware, kCauseHardware, false, false, true, false},
+    {ErrorKind::kVideoProcessorHw, 65, "Video processor exception", ErrorClass::kHardware,
+     kCauseHardware, true, false, false, false},
+    {ErrorKind::kGraphicsEngineException, 13, "Graphics Engine Exception",
+     ErrorClass::kSoftwareFirmware,
+     kCauseDriver | kCauseUserApp | kCauseFbCorruption | kCauseBusError | kCauseThermal, true,
+     true, false, true},
+    {ErrorKind::kMemoryPageFault, 31, "GPU memory page fault", ErrorClass::kSoftwareFirmware,
+     kCauseDriver | kCauseUserApp, true, true, false, true},
+    {ErrorKind::kCorruptedPushBuffer, 32, "Invalid or corrupted push buffer stream",
+     ErrorClass::kSoftwareFirmware,
+     kCauseDriver | kCauseUserApp | kCauseFbCorruption | kCauseBusError | kCauseThermal, true,
+     false, false, false},
+    {ErrorKind::kDriverFirmware, 38, "Driver firmware error", ErrorClass::kSoftwareFirmware,
+     kCauseDriver, true, false, false, false},
+    {ErrorKind::kVideoProcessorDriver, 42, "Video processor exception (driver)",
+     ErrorClass::kSoftwareFirmware, kCauseDriver, true, false, false, false},
+    {ErrorKind::kGpuStoppedProcessing, 43, "GPU stopped processing", ErrorClass::kSoftwareFirmware,
+     kCauseDriver, true, true, false, false},
+    {ErrorKind::kCtxSwitchFault, 44, "Graphics Engine fault during context switch",
+     ErrorClass::kSoftwareFirmware, kCauseDriver, true, false, false, false},
+    {ErrorKind::kPreemptiveCleanup, 45, "Preemptive cleanup, due to previous errors",
+     ErrorClass::kSoftwareFirmware, kCauseDriver, false, true, false, false},
+    {ErrorKind::kUcHaltOldDriver, 59, "Internal micro-controller halt (old driver)",
+     ErrorClass::kSoftwareFirmware, kCauseDriver, true, false, false, false},
+    {ErrorKind::kUcHaltNewDriver, 62, "Internal micro-controller halt (new driver, thermal)",
+     ErrorClass::kSoftwareFirmware, kCauseDriver | kCauseThermal, true, false, true, false},
+}};
+
+constexpr std::array<std::string_view, kErrorKindCount> kTokens = {
+    "SBE",   "DBE",   "OTB",   "XID56", "XID57", "XID58", "XID63", "XID64", "XID65", "XID13",
+    "XID31", "XID32", "XID38", "XID42", "XID43", "XID44", "XID45", "XID59", "XID62",
+};
+
+constexpr std::array<ErrorKind, 8> kTable1 = {
+    ErrorKind::kSingleBitError,   ErrorKind::kDoubleBitError,   ErrorKind::kOffTheBus,
+    ErrorKind::kDisplayEngine,    ErrorKind::kVideoMemProgramming, ErrorKind::kUnstableVideoMem,
+    ErrorKind::kPageRetirement,   ErrorKind::kVideoProcessorHw,
+};
+
+constexpr std::array<ErrorKind, 12> kTable2 = {
+    ErrorKind::kGraphicsEngineException, ErrorKind::kMemoryPageFault,
+    ErrorKind::kCorruptedPushBuffer,     ErrorKind::kDriverFirmware,
+    ErrorKind::kVideoProcessorDriver,    ErrorKind::kGpuStoppedProcessing,
+    ErrorKind::kCtxSwitchFault,          ErrorKind::kPreemptiveCleanup,
+    ErrorKind::kVideoMemProgramming,     ErrorKind::kUnstableVideoMem,
+    ErrorKind::kUcHaltOldDriver,         ErrorKind::kUcHaltNewDriver,
+};
+
+}  // namespace
+
+std::span<const ErrorInfo> all_errors() noexcept { return kRegistry; }
+
+const ErrorInfo& info(ErrorKind kind) noexcept {
+  return kRegistry[static_cast<std::size_t>(kind)];
+}
+
+std::optional<ErrorKind> from_xid(int xid_code) noexcept {
+  for (const auto& e : kRegistry) {
+    if (e.xid && *e.xid == xid_code) return e.kind;
+  }
+  return std::nullopt;
+}
+
+std::string_view token(ErrorKind kind) noexcept {
+  return kTokens[static_cast<std::size_t>(kind)];
+}
+
+std::optional<ErrorKind> parse_token(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kTokens.size(); ++i) {
+    if (kTokens[i] == text) return static_cast<ErrorKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::span<const ErrorKind> table1_hardware() noexcept { return kTable1; }
+std::span<const ErrorKind> table2_software() noexcept { return kTable2; }
+
+}  // namespace titan::xid

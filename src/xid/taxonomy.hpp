@@ -1,0 +1,102 @@
+// GPU error taxonomy: the union of the paper's Table 1 (hardware-related
+// errors) and Table 2 (software/firmware-related errors), plus the two
+// hardware conditions that carry no XID code (SBE and Off-the-bus).
+//
+// Each entry records everything the paper's analyses key on:
+//  * XID code (when the condition has one),
+//  * hardware vs software/firmware classification (note some XIDs appear
+//    in BOTH paper tables -- 57 and 58 -- because "determining the precise
+//    source of a particular error is not always possible"),
+//  * NVIDIA's documented possible causes,
+//  * whether the error crashes the running application,
+//  * whether the console log reports it on every node of the affected job
+//    (user-application errors do; isolated hardware events do not),
+//  * whether the family is temperature-sensitive,
+//  * whether the family shows bursty arrivals (Observation 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace titan::xid {
+
+/// Unified error-kind enumeration covering every row of Tables 1 and 2.
+enum class ErrorKind : std::uint8_t {
+  kSingleBitError,          ///< corrected by SECDED ECC; no XID, smi counters only
+  kDoubleBitError,          ///< XID 48; detected, not corrected; crashes the app
+  kOffTheBus,               ///< no XID; host loses the GPU (system integration)
+  kDisplayEngine,           ///< XID 56
+  kVideoMemProgramming,     ///< XID 57 (both tables)
+  kUnstableVideoMem,        ///< XID 58 (both tables)
+  kPageRetirement,          ///< XID 63: retirement recorded in InfoROM
+  kPageRetirementFailed,    ///< XID 64: retirement recording failed
+  kVideoProcessorHw,        ///< XID 65 (Table 1 flavor)
+  kGraphicsEngineException, ///< XID 13
+  kMemoryPageFault,         ///< XID 31
+  kCorruptedPushBuffer,     ///< XID 32
+  kDriverFirmware,          ///< XID 38
+  kVideoProcessorDriver,    ///< XID 42 (Table 2 flavor; never observed on Titan)
+  kGpuStoppedProcessing,    ///< XID 43
+  kCtxSwitchFault,          ///< XID 44
+  kPreemptiveCleanup,       ///< XID 45
+  kUcHaltOldDriver,         ///< XID 59 (old driver stack)
+  kUcHaltNewDriver,         ///< XID 62 (new driver stack; thermal)
+};
+
+inline constexpr std::size_t kErrorKindCount = 19;
+
+/// High-level source classification matching the two paper tables.
+enum class ErrorClass : std::uint8_t {
+  kHardware,        ///< Table 1 only
+  kSoftwareFirmware,///< Table 2 only
+  kAmbiguous,       ///< appears in both tables (XIDs 57, 58)
+};
+
+/// NVIDIA's documented "possible cause" flags (Table 2 parentheticals).
+enum Cause : std::uint8_t {
+  kCauseHardware = 1U << 0,
+  kCauseDriver = 1U << 1,
+  kCauseUserApp = 1U << 2,
+  kCauseFbCorruption = 1U << 3,  ///< system memory or framebuffer corruption
+  kCauseBusError = 1U << 4,
+  kCauseThermal = 1U << 5,
+  kCauseSystemIntegration = 1U << 6,
+};
+
+/// Static description of one error kind.
+struct ErrorInfo {
+  ErrorKind kind{};
+  std::optional<int> xid;     ///< XID code, when the condition has one
+  std::string_view name;      ///< paper wording
+  ErrorClass klass{};
+  std::uint8_t causes = 0;    ///< bitmask of Cause
+  bool crashes_app = false;   ///< terminates the running application
+  bool reported_per_job = false;  ///< console log repeats it on all job nodes
+  bool thermally_sensitive = false;
+  bool bursty = false;        ///< Observation 6 arrival character
+};
+
+/// Immutable registry of all error kinds.
+[[nodiscard]] std::span<const ErrorInfo> all_errors() noexcept;
+
+/// Lookup by kind (total function).
+[[nodiscard]] const ErrorInfo& info(ErrorKind kind) noexcept;
+
+/// Lookup by XID code.  Codes 57/58/65-vs-42 map to their Table 1 flavor
+/// first; std::nullopt for unknown codes.
+[[nodiscard]] std::optional<ErrorKind> from_xid(int xid_code) noexcept;
+
+/// Short machine-readable token used in console lines ("DBE", "XID13",
+/// "OTB", "SBE", ...).  Round-trips through parse_token.
+[[nodiscard]] std::string_view token(ErrorKind kind) noexcept;
+[[nodiscard]] std::optional<ErrorKind> parse_token(std::string_view text) noexcept;
+
+/// Rows of paper Table 1 (hardware) in paper order.
+[[nodiscard]] std::span<const ErrorKind> table1_hardware() noexcept;
+/// Rows of paper Table 2 (software/firmware) in paper order.
+[[nodiscard]] std::span<const ErrorKind> table2_software() noexcept;
+
+}  // namespace titan::xid

@@ -1,0 +1,71 @@
+#include "ckpt/daly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace titan::ckpt {
+namespace {
+
+TEST(Daly, YoungFormula) {
+  const CheckpointParams p{/*delta=*/200.0, /*R=*/300.0, /*M=*/160.0 * 3600.0};
+  EXPECT_NEAR(young_interval(p), std::sqrt(2.0 * 200.0 * 160.0 * 3600.0), 1e-9);
+}
+
+TEST(Daly, DalyRefinesYoung) {
+  const CheckpointParams p{200.0, 300.0, 160.0 * 3600.0};
+  const double young = young_interval(p);
+  const double daly = daly_interval(p);
+  // For delta << M the two agree within a few percent.
+  EXPECT_NEAR(daly / young, 1.0, 0.05);
+}
+
+TEST(Daly, DegenerateRegimeFallsBackToMtbf) {
+  const CheckpointParams p{1000.0, 0.0, 400.0};  // delta >= 2M
+  EXPECT_DOUBLE_EQ(daly_interval(p), 400.0);
+}
+
+TEST(Daly, RejectsBadParameters) {
+  EXPECT_THROW((void)young_interval({0.0, 0.0, 100.0}), std::invalid_argument);
+  EXPECT_THROW((void)young_interval({10.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)young_interval({10.0, -1.0, 100.0}), std::invalid_argument);
+  EXPECT_THROW((void)expected_waste_fraction({10.0, -1.0, 100.0}, 50.0),
+               std::invalid_argument);
+}
+
+TEST(Daly, WasteIsInfiniteForNonPositiveInterval) {
+  const CheckpointParams p{10.0, 10.0, 1000.0};
+  EXPECT_TRUE(std::isinf(expected_waste_fraction(p, 0.0)));
+  EXPECT_TRUE(std::isinf(expected_waste_fraction(p, -5.0)));
+}
+
+TEST(Daly, WasteIsConvexAroundOptimum) {
+  const CheckpointParams p{60.0, 120.0, 24.0 * 3600.0};
+  const double opt = numeric_optimal_interval(p);
+  const double at_opt = expected_waste_fraction(p, opt);
+  EXPECT_LT(at_opt, expected_waste_fraction(p, opt / 4.0));
+  EXPECT_LT(at_opt, expected_waste_fraction(p, opt * 4.0));
+}
+
+TEST(Daly, NumericOptimumMatchesYoung) {
+  // In the delta << M regime the analytic and numeric optima agree.
+  const CheckpointParams p{30.0, 60.0, 100.0 * 3600.0};
+  const double numeric = numeric_optimal_interval(p);
+  EXPECT_NEAR(numeric / young_interval(p), 1.0, 0.05);
+}
+
+class MtbfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MtbfSweep, OptimalIntervalGrowsWithMtbf) {
+  const double mtbf_hours = GetParam();
+  const CheckpointParams shorter{120.0, 300.0, mtbf_hours * 3600.0};
+  const CheckpointParams longer{120.0, 300.0, 2.0 * mtbf_hours * 3600.0};
+  EXPECT_LT(daly_interval(shorter), daly_interval(longer));
+  EXPECT_GT(expected_waste_fraction(shorter, daly_interval(shorter)),
+            expected_waste_fraction(longer, daly_interval(longer)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtbfs, MtbfSweep, ::testing::Values(1.0, 10.0, 160.0, 1000.0));
+
+}  // namespace
+}  // namespace titan::ckpt

@@ -1,0 +1,118 @@
+#include "ckpt/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ckpt/daly.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::ckpt {
+namespace {
+
+TEST(Replay, NoFailuresJustOverhead) {
+  // 10 units of work, checkpoint every 3, cost 1: segments 3+1,3+1,3+1,1.
+  const auto result = replay_run(10.0, 3.0, 1.0, 5.0, 0, {});
+  EXPECT_DOUBLE_EQ(result.useful_seconds, 10.0);
+  EXPECT_EQ(result.checkpoints_written, 3U);
+  EXPECT_DOUBLE_EQ(result.checkpoint_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(result.wall_seconds, 13.0);
+  EXPECT_EQ(result.failures_hit, 0U);
+  EXPECT_DOUBLE_EQ(result.rework_seconds, 0.0);
+}
+
+TEST(Replay, ExactFinishNeedsNoTrailingCheckpoint) {
+  const auto result = replay_run(6.0, 3.0, 1.0, 5.0, 0, {});
+  // Segments: 3 work + ckpt, then exactly 3 work to finish (no write).
+  EXPECT_EQ(result.checkpoints_written, 1U);
+  EXPECT_DOUBLE_EQ(result.wall_seconds, 7.0);
+}
+
+TEST(Replay, FailureRollsBackToLastCheckpoint) {
+  // Work 10, interval 4, ckpt 1.  Failure at t=6 (during the second
+  // segment, after 1 unit of new work).  Lost: 1 unit of work.
+  const std::vector<stats::TimeSec> failures{6};
+  const auto result = replay_run(10.0, 4.0, 1.0, 2.0, 0, failures);
+  EXPECT_EQ(result.failures_hit, 1U);
+  EXPECT_DOUBLE_EQ(result.rework_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(result.restart_seconds, 2.0);
+  // Timeline: [0,4) work, [4,5) ckpt, [5,6) work, fail, restart to 8,
+  // [8,12) work, [12,13) ckpt, [13,15) final 2 work.
+  EXPECT_DOUBLE_EQ(result.wall_seconds, 15.0);
+  EXPECT_EQ(result.checkpoints_written, 2U);
+}
+
+TEST(Replay, FailureDuringCheckpointLosesSegment) {
+  // Interval 4, ckpt 2; failure at t=5 is inside the first write.
+  const std::vector<stats::TimeSec> failures{5};
+  const auto result = replay_run(8.0, 4.0, 2.0, 1.0, 0, failures);
+  EXPECT_EQ(result.failures_hit, 1U);
+  // The whole 4 units of work are recomputed; the 1 s of in-flight write
+  // counts as checkpoint time (wasted either way).
+  EXPECT_DOUBLE_EQ(result.rework_seconds, 4.0);
+  // Timeline: [0,4) work, [4,5) write fails, restart to 6, [6,10) work,
+  // [10,12) ckpt, [12,16) final 4 work (no trailing write).
+  EXPECT_EQ(result.checkpoints_written, 1U);
+  EXPECT_DOUBLE_EQ(result.checkpoint_seconds, 3.0);  // 1 in-flight + 2 committed
+  EXPECT_DOUBLE_EQ(result.wall_seconds, 16.0);
+}
+
+TEST(Replay, FailuresDuringRestartIgnored) {
+  const std::vector<stats::TimeSec> failures{2, 3, 4};  // burst while down
+  const auto result = replay_run(6.0, 10.0, 1.0, 5.0, 0, failures);
+  // First failure at 2 hits; the ones at 3,4 land inside [2,7) restart.
+  EXPECT_EQ(result.failures_hit, 1U);
+}
+
+TEST(Replay, FailuresBeforeStartIgnored) {
+  const std::vector<stats::TimeSec> failures{-100, -5};
+  const auto result = replay_run(5.0, 10.0, 1.0, 1.0, 0, failures);
+  EXPECT_EQ(result.failures_hit, 0U);
+}
+
+TEST(Replay, WasteFractionConsistent) {
+  const std::vector<stats::TimeSec> failures{1000, 5000, 9000};
+  const auto result = replay_run(8000.0, 600.0, 30.0, 60.0, 0, failures);
+  EXPECT_NEAR(result.wall_seconds,
+              result.useful_seconds + result.checkpoint_seconds + result.rework_seconds +
+                  result.restart_seconds,
+              1e-6);
+  EXPECT_GT(result.waste_fraction(), 0.0);
+  EXPECT_LT(result.waste_fraction(), 1.0);
+}
+
+TEST(Replay, RejectsBadParameters) {
+  EXPECT_THROW((void)replay_run(0.0, 1.0, 1.0, 1.0, 0, {}), std::invalid_argument);
+  EXPECT_THROW((void)replay_run(1.0, 0.0, 1.0, 1.0, 0, {}), std::invalid_argument);
+  EXPECT_THROW((void)replay_run(1.0, 1.0, -1.0, 1.0, 0, {}), std::invalid_argument);
+}
+
+TEST(Replay, SweepFindsInteriorMinimumNearDaly) {
+  // Generate Poisson failures at MTBF 2000 s; work 100000 s; delta 20 s.
+  stats::Rng rng{5};
+  std::vector<stats::TimeSec> failures;
+  for (const double t : stats::sample_poisson_process(rng, 1.0 / 2000.0, 0.0, 1e7)) {
+    failures.push_back(static_cast<stats::TimeSec>(t));
+  }
+  const CheckpointParams p{20.0, 60.0, 2000.0};
+  const double daly = daly_interval(p);
+  std::vector<double> intervals;
+  for (double mult : {0.05, 0.25, 1.0, 4.0, 20.0}) intervals.push_back(daly * mult);
+  const auto sweep = sweep_intervals(100000.0, 20.0, 60.0, 0, failures, intervals);
+  ASSERT_EQ(sweep.size(), 5U);
+  // The Daly point beats the extremes.
+  EXPECT_LT(sweep[2].waste, sweep[0].waste);
+  EXPECT_LT(sweep[2].waste, sweep[4].waste);
+}
+
+TEST(Replay, TooFrequentFailuresStillTerminate) {
+  // Failures every 30 s with interval 10 s and delta 2: progress is slow
+  // but monotone (12 s per committed segment vs 30 s between failures).
+  std::vector<stats::TimeSec> failures;
+  for (stats::TimeSec t = 30; t < 100000; t += 30) failures.push_back(t);
+  const auto result = replay_run(500.0, 10.0, 2.0, 3.0, 0, failures);
+  EXPECT_DOUBLE_EQ(result.useful_seconds, 500.0);
+  EXPECT_GT(result.failures_hit, 10U);
+}
+
+}  // namespace
+}  // namespace titan::ckpt

@@ -1,0 +1,220 @@
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/facility.hpp"
+
+namespace titan::fault {
+namespace {
+
+using xid::ErrorKind;
+
+/// One shared quick study for all campaign tests (3 months, full machine).
+const core::StudyDataset& dataset() {
+  static const core::StudyDataset data = core::run_study(core::quick_config(21));
+  return data;
+}
+
+TEST(Campaign, EventsAreTimeSortedAndInWindow) {
+  const auto& events = dataset().events;
+  ASSERT_FALSE(events.empty());
+  const auto& period = dataset().config.period;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(events[i - 1].time, events[i].time);
+    }
+    EXPECT_GE(events[i].time, period.begin);
+    EXPECT_LT(events[i].time, period.end);
+  }
+}
+
+TEST(Campaign, ParentsPrecedeChildren) {
+  const auto& events = dataset().events;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].parent < 0) continue;
+    const auto p = static_cast<std::size_t>(events[i].parent);
+    ASSERT_LT(p, events.size());
+    EXPECT_LE(events[p].time, events[i].time);
+  }
+}
+
+TEST(Campaign, UserAppErrorsPropagateWithinFiveSeconds) {
+  // Observation 7.
+  const auto& events = dataset().events;
+  for (const auto& e : events) {
+    if (e.parent < 0 || e.kind != ErrorKind::kGraphicsEngineException) continue;
+    const auto& parent = events[static_cast<std::size_t>(e.parent)];
+    if (parent.kind != e.kind) continue;  // follow-on of another kind
+    EXPECT_LE(e.time - parent.time, 5);
+    EXPECT_EQ(e.job, parent.job);
+  }
+}
+
+TEST(Campaign, ChildrenCoverWholeJob) {
+  // Find a root XID 13 with children and verify each job node reported.
+  const auto& events = dataset().events;
+  const auto& trace = dataset().trace;
+  bool verified = false;
+  for (std::size_t i = 0; i < events.size() && !verified; ++i) {
+    const auto& root = events[i];
+    if (root.kind != ErrorKind::kGraphicsEngineException || root.parent >= 0 ||
+        root.job == xid::kNoJob) {
+      continue;
+    }
+    const auto& job = trace.job(root.job);
+    if (job.nodes.size() < 4 || !job.debug) continue;
+    std::unordered_set<topology::NodeId> reported{root.node};
+    for (const auto& e : events) {
+      if (e.parent == static_cast<std::int64_t>(i) && e.kind == root.kind) {
+        reported.insert(e.node);
+      }
+    }
+    EXPECT_EQ(reported.size(), job.nodes.size());
+    verified = true;
+  }
+  EXPECT_TRUE(verified) << "no multi-node debug XID 13 found in quick run";
+}
+
+TEST(Campaign, NoSbeEventsInConsoleStream) {
+  for (const auto& e : dataset().events) {
+    EXPECT_NE(e.kind, ErrorKind::kSingleBitError);
+  }
+}
+
+TEST(Campaign, DbeCountPlausibleForWindow) {
+  // 3 months at one per ~160 h => roughly 13; accept a broad band.
+  std::size_t dbe = 0;
+  for (const auto& e : dataset().events) {
+    if (e.kind == ErrorKind::kDoubleBitError) ++dbe;
+  }
+  EXPECT_GE(dbe, 4U);
+  EXPECT_LE(dbe, 35U);
+}
+
+TEST(Campaign, DbeStructuresOnlyDeviceOrRegister) {
+  for (const auto& e : dataset().events) {
+    if (e.kind != ErrorKind::kDoubleBitError) continue;
+    EXPECT_TRUE(e.structure == xid::MemoryStructure::kDeviceMemory ||
+                e.structure == xid::MemoryStructure::kRegisterFile);
+  }
+}
+
+TEST(Campaign, RetirementOnlyAfterNewDriver) {
+  const auto new_driver = dataset().config.campaign.timeline.new_driver;
+  for (const auto& e : dataset().events) {
+    if (e.kind == ErrorKind::kPageRetirement || e.kind == ErrorKind::kPageRetirementFailed) {
+      EXPECT_GE(e.time, new_driver);
+    }
+  }
+}
+
+TEST(Campaign, UcHaltXidTracksDriverEra) {
+  const auto new_driver = dataset().config.campaign.timeline.new_driver;
+  for (const auto& e : dataset().events) {
+    if (e.kind == ErrorKind::kUcHaltOldDriver) {
+      EXPECT_LT(e.time, new_driver);
+    }
+    if (e.kind == ErrorKind::kUcHaltNewDriver) {
+      EXPECT_GE(e.time, new_driver);
+    }
+  }
+}
+
+TEST(Campaign, OtbCollapsesAfterSolderFix) {
+  const auto fix = dataset().config.campaign.timeline.solder_fix;
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const auto& e : dataset().events) {
+    if (e.kind != ErrorKind::kOffTheBus) continue;
+    (e.time < fix ? before : after) += 1;
+  }
+  EXPECT_GT(before, after);
+}
+
+TEST(Campaign, Xid42NeverOccurs) {
+  for (const auto& e : dataset().events) {
+    EXPECT_NE(e.kind, ErrorKind::kVideoProcessorDriver);
+  }
+}
+
+TEST(Campaign, EventsCarryCardAttribution) {
+  for (const auto& e : dataset().events) {
+    EXPECT_NE(e.card, xid::kInvalidCard) << "event on node " << e.node;
+  }
+}
+
+TEST(Campaign, SbeStrikesSortedAndAttributed) {
+  const auto& strikes = dataset().sbe_strikes;
+  ASSERT_FALSE(strikes.empty());
+  for (std::size_t i = 0; i < strikes.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(strikes[i - 1].time, strikes[i].time);
+    }
+    EXPECT_NE(strikes[i].card, xid::kInvalidCard);
+    EXPECT_FALSE(topology::is_service_node(strikes[i].node));
+  }
+}
+
+TEST(Campaign, SbeStrikesMatchInfoRomTotals) {
+  // Every strike was committed through record_sbe, so fleet totals agree.
+  std::uint64_t strike_total = dataset().sbe_strikes.size();
+  std::uint64_t inforom_total = 0;
+  const auto& fleet = dataset().fleet;
+  for (std::size_t s = 0; s < fleet.card_count(); ++s) {
+    inforom_total += fleet.card(static_cast<xid::CardId>(s)).inforom().sbe_total();
+  }
+  EXPECT_EQ(strike_total, inforom_total);
+}
+
+TEST(Campaign, HotSpareActionsConsistent) {
+  for (const auto& action : dataset().hot_spare_actions) {
+    EXPECT_NE(action.card, action.replacement);
+    const auto health = dataset().fleet.card(action.card).health();
+    // Pulled cards either passed burn-in (back to the shelf as qualified
+    // spares) or failed it (RMA'd).
+    EXPECT_TRUE(health == gpu::CardHealth::kShelf ||
+                health == gpu::CardHealth::kReturnedToVendor);
+    EXPECT_EQ(health == gpu::CardHealth::kReturnedToVendor, action.failed_stress);
+    // The ledger reflects the swap.
+    EXPECT_EQ(dataset().fleet.ledger().card_at(action.node, action.pulled_at),
+              action.replacement);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const auto a = core::run_study(core::quick_config(33));
+  const auto b = core::run_study(core::quick_config(33));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); i += 13) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+  }
+  EXPECT_EQ(a.sbe_strikes.size(), b.sbe_strikes.size());
+}
+
+TEST(Campaign, SeedChangesOutput) {
+  const auto a = core::run_study(core::quick_config(1));
+  const auto b = core::run_study(core::quick_config(2));
+  EXPECT_NE(a.events.size(), b.events.size());
+}
+
+TEST(InitializeFleet, RejectsNonEmptyFleet) {
+  gpu::Fleet fleet;
+  (void)fleet.procure();
+  EXPECT_THROW((void)initialize_fleet(fleet, 0, stats::Rng{1}), std::invalid_argument);
+}
+
+TEST(InitializeFleet, CoversAllComputeNodes) {
+  gpu::Fleet fleet;
+  const auto traits = initialize_fleet(fleet, 1000, stats::Rng{2});
+  EXPECT_EQ(fleet.card_count(), static_cast<std::size_t>(topology::kComputeNodes));
+  EXPECT_EQ(traits.size(), fleet.card_count());
+  EXPECT_EQ(fleet.ledger().card_at(0, 2000), xid::kInvalidCard);  // node 0 is service
+}
+
+}  // namespace
+}  // namespace titan::fault

@@ -1,0 +1,88 @@
+#include "fault/hotspare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::fault {
+namespace {
+
+CardTraits unit_traits(double dbe_weight) {
+  CardTraits traits;
+  traits.dbe_weight = dbe_weight;
+  return traits;
+}
+
+TEST(HotSpare, CleanCardUsuallyPasses) {
+  stats::Rng rng{1};
+  int rma = 0;
+  for (int i = 0; i < 300; ++i) {
+    gpu::GpuCard card{static_cast<xid::CardId>(i)};
+    const auto outcome =
+        stress_test_card(card, unit_traits(1.0), StressTestParams{}, 0, rng);
+    if (outcome.returned_to_vendor) ++rma;
+  }
+  // Unit susceptibility: expected burn-in DBEs ~0.45 -> mostly passes.
+  EXPECT_LT(rma, 180);
+  EXPECT_GT(rma, 30);  // but the stress is harsh enough to catch some
+}
+
+TEST(HotSpare, SusceptibleCardUsuallyFails) {
+  stats::Rng rng{2};
+  int rma = 0;
+  for (int i = 0; i < 300; ++i) {
+    gpu::GpuCard card{static_cast<xid::CardId>(i)};
+    const auto outcome =
+        stress_test_card(card, unit_traits(10.0), StressTestParams{}, 0, rng);
+    if (outcome.returned_to_vendor) ++rma;
+  }
+  EXPECT_GT(rma, 280);
+}
+
+TEST(HotSpare, BurnInDbesReachInfoRom) {
+  stats::Rng rng{3};
+  gpu::GpuCard card{7};
+  StressTestParams params;
+  params.acceleration = 1e7;  // force many events
+  const auto outcome = stress_test_card(card, unit_traits(1.0), params, 1000, rng);
+  EXPECT_GT(outcome.observed_dbes, 10U);
+  EXPECT_EQ(card.inforom().dbe_total(), outcome.observed_dbes);
+  EXPECT_TRUE(outcome.returned_to_vendor);
+  EXPECT_EQ(card.health(), gpu::CardHealth::kReturnedToVendor);
+}
+
+TEST(HotSpare, PassedCardGoesToShelf) {
+  stats::Rng rng{4};
+  gpu::GpuCard card{8};
+  StressTestParams params;
+  params.acceleration = 0.0;  // no hazard at all
+  const auto outcome = stress_test_card(card, unit_traits(1.0), params, 0, rng);
+  EXPECT_EQ(outcome.observed_dbes, 0U);
+  EXPECT_FALSE(outcome.returned_to_vendor);
+  EXPECT_EQ(card.health(), gpu::CardHealth::kShelf);
+}
+
+TEST(HotSpare, ThresholdRespected) {
+  stats::Rng rng{5};
+  StressTestParams params;
+  params.acceleration = 2e5;  // expected ~22 DBEs at unit weight
+  params.fail_threshold = 1000;
+  gpu::GpuCard card{9};
+  const auto outcome = stress_test_card(card, unit_traits(1.0), params, 0, rng);
+  EXPECT_FALSE(outcome.returned_to_vendor);
+}
+
+TEST(InfoRomVolatile, ResetOnReboot) {
+  gpu::GpuCard card{10};
+  (void)card.record_sbe(xid::MemoryStructure::kL2Cache, std::nullopt, 100);
+  (void)card.record_dbe(xid::MemoryStructure::kRegisterFile, std::nullopt, 200, true);
+  EXPECT_EQ(card.inforom().sbe_volatile(), 1U);
+  EXPECT_EQ(card.inforom().dbe_volatile(), 1U);
+  card.on_reboot();
+  EXPECT_EQ(card.inforom().sbe_volatile(), 0U);
+  EXPECT_EQ(card.inforom().dbe_volatile(), 0U);
+  // Aggregates persist across the reboot.
+  EXPECT_EQ(card.inforom().sbe_total(), 1U);
+  EXPECT_EQ(card.inforom().dbe_total(), 1U);
+}
+
+}  // namespace
+}  // namespace titan::fault

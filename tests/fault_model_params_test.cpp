@@ -1,0 +1,89 @@
+// The runtime fault-model knobs must actually steer the campaign: each
+// override here switches one mechanism off (or to an extreme) and checks
+// the corresponding signal vanishes/explodes.  Full-machine quick runs
+// (~0.7 s each).
+#include <gtest/gtest.h>
+
+#include "core/facility.hpp"
+
+namespace titan::fault {
+namespace {
+
+std::size_t count_kind(const core::StudyDataset& study, xid::ErrorKind kind) {
+  std::size_t n = 0;
+  for (const auto& e : study.events) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(ModelParams, ZeroProneProbabilityKillsSbes) {
+  auto config = core::quick_config(77);
+  config.campaign.model.sbe_prone_probability = 0.0;
+  const auto study = core::run_study(config);
+  EXPECT_TRUE(study.sbe_strikes.empty());
+  EXPECT_EQ(study.final_snapshot.fleet_sbe_total(), 0U);
+}
+
+TEST(ModelParams, ZeroDefectProbabilityKillsEpidemic) {
+  auto config = core::quick_config(77);
+  config.campaign.model.otb_defect_probability = 0.0;
+  config.campaign.model.otb_residual_per_day = 0.0;
+  const auto study = core::run_study(config);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kOffTheBus), 0U);
+}
+
+TEST(ModelParams, DbeRateScalesWithMtbf) {
+  auto slow = core::quick_config(77);
+  slow.campaign.model.dbe_mtbf_hours = 1000.0;
+  auto fast = core::quick_config(77);
+  fast.campaign.model.dbe_mtbf_hours = 20.0;
+  const auto slow_study = core::run_study(slow);
+  const auto fast_study = core::run_study(fast);
+  EXPECT_GT(count_kind(fast_study, xid::ErrorKind::kDoubleBitError) + 1,
+            5 * (count_kind(slow_study, xid::ErrorKind::kDoubleBitError) + 1));
+}
+
+TEST(ModelParams, DisablingDebugCrashesKillsUserAppXids) {
+  auto config = core::quick_config(77);
+  config.campaign.model.debug_job_xid13_probability = 0.0;
+  config.campaign.model.debug_job_xid31_probability = 0.0;
+  config.campaign.include_bad_node_anecdote = false;
+  const auto study = core::run_study(config);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kGraphicsEngineException), 0U);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kMemoryPageFault), 0U);
+  EXPECT_EQ(study.bad_node, topology::kInvalidNode);
+}
+
+TEST(ModelParams, SparseXidTotalsHonored) {
+  auto config = core::quick_config(77);
+  config.campaign.model.xid32_total = 25;
+  config.campaign.model.xid56_total = 0;
+  const auto study = core::run_study(config);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kCorruptedPushBuffer), 25U);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kDisplayEngine), 0U);
+}
+
+TEST(ModelParams, RetirementLoggingKnob) {
+  auto none = core::quick_config(77);
+  none.campaign.model.retirement_logged_after_dbe = 0.0;
+  none.campaign.model.weak_card_probability_given_prone = 0.0;  // no 2-SBE path
+  const auto study = core::run_study(none);
+  EXPECT_EQ(count_kind(study, xid::ErrorKind::kPageRetirement), 0U);
+}
+
+TEST(ModelParams, PullThresholdOneMaximizesPulls) {
+  auto aggressive = core::quick_config(77);
+  aggressive.campaign.model.hot_spare_pull_threshold = 1;
+  aggressive.campaign.model.dbe_mtbf_hours = 40.0;  // more DBEs to act on
+  auto lenient = core::quick_config(77);
+  lenient.campaign.model.hot_spare_pull_threshold = 100;
+  lenient.campaign.model.dbe_mtbf_hours = 40.0;
+  const auto a = core::run_study(aggressive);
+  const auto l = core::run_study(lenient);
+  EXPECT_GT(a.hot_spare_actions.size(), 10U);
+  EXPECT_TRUE(l.hot_spare_actions.empty());
+}
+
+}  // namespace
+}  // namespace titan::fault

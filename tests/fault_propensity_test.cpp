@@ -1,0 +1,93 @@
+#include "fault/propensity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/calibration.hpp"
+#include "gpu/k20x.hpp"
+
+namespace titan::fault {
+namespace {
+
+TEST(Propensity, Deterministic) {
+  const auto a = sample_card_traits(1000, stats::Rng{3});
+  const auto b = sample_card_traits(1000, stats::Rng{3});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dbe_weight, b[i].dbe_weight);
+    EXPECT_EQ(a[i].weak_cells.size(), b[i].weak_cells.size());
+  }
+}
+
+TEST(Propensity, ProneFractionMatchesCalibration) {
+  const auto traits = sample_card_traits(20000, stats::Rng{5});
+  std::size_t prone = 0;
+  std::size_t weak = 0;
+  std::size_t defect = 0;
+  for (const auto& t : traits) {
+    if (t.sbe_prone()) ++prone;
+    if (!t.weak_cells.empty()) ++weak;
+    if (t.solder_defect) ++defect;
+  }
+  // < 5% of cards ever see an SBE (Observation 10).
+  EXPECT_LT(static_cast<double>(prone) / 20000.0, 0.05);
+  EXPECT_GT(prone, 500U);
+  EXPECT_GT(weak, 20U);
+  EXPECT_LT(weak, 200U);
+  EXPECT_NEAR(static_cast<double>(defect) / 20000.0, kOtbSolderDefectProbability, 0.004);
+}
+
+TEST(Propensity, WeakCellsAreValid) {
+  const auto traits = sample_card_traits(20000, stats::Rng{7});
+  for (const auto& t : traits) {
+    for (const auto& cell : t.weak_cells) {
+      EXPECT_GT(cell.sbe_per_day, 0.0);
+      if (cell.structure == xid::MemoryStructure::kDeviceMemory) {
+        EXPECT_LT(cell.page, gpu::kDevicePages);
+      } else {
+        EXPECT_TRUE(cell.structure == xid::MemoryStructure::kL2Cache ||
+                    cell.structure == xid::MemoryStructure::kRegisterFile);
+      }
+    }
+  }
+}
+
+TEST(Propensity, WeakCellRatesHeavyTailed) {
+  // The top weak cell must dwarf the median one (top-10 offender physics).
+  const auto traits = sample_card_traits(20000, stats::Rng{9});
+  std::vector<double> rates;
+  for (const auto& t : traits) {
+    for (const auto& cell : t.weak_cells) rates.push_back(cell.sbe_per_day);
+  }
+  ASSERT_GT(rates.size(), 30U);
+  std::sort(rates.begin(), rates.end());
+  EXPECT_GT(rates.back() / rates[rates.size() / 2], 10.0);
+}
+
+TEST(Propensity, DbeStructureSplitMatchesPaper) {
+  stats::Rng rng{11};
+  int device = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const auto s = sample_dbe_structure(rng);
+    ASSERT_TRUE(s == xid::MemoryStructure::kDeviceMemory ||
+                s == xid::MemoryStructure::kRegisterFile);
+    if (s == xid::MemoryStructure::kDeviceMemory) ++device;
+  }
+  EXPECT_NEAR(static_cast<double>(device) / kN, kDbeDeviceMemoryShare, 0.01);
+}
+
+TEST(Propensity, SbeStructureMixFavorsL2) {
+  stats::Rng rng{13};
+  std::array<int, xid::kMemoryStructureCount> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(sample_sbe_structure(rng))];
+  }
+  const auto l2 = counts[static_cast<std::size_t>(xid::MemoryStructure::kL2Cache)];
+  const auto dev = counts[static_cast<std::size_t>(xid::MemoryStructure::kDeviceMemory)];
+  EXPECT_GT(l2, dev);  // "most of the single bit errors happen in the L2 cache"
+  EXPECT_NEAR(static_cast<double>(l2) / kN, kSbeShareL2, 0.01);
+}
+
+}  // namespace
+}  // namespace titan::fault

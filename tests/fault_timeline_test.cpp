@@ -1,0 +1,43 @@
+#include "fault/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::fault {
+namespace {
+
+TEST(Timeline, DefaultDatesMatchPaper) {
+  const DriverTimeline timeline;
+  EXPECT_EQ(timeline.solder_fix, stats::to_time(stats::CivilDate{2013, 12, 1}));
+  EXPECT_EQ(timeline.new_driver, stats::to_time(stats::CivilDate{2014, 1, 1}));
+}
+
+TEST(Timeline, RetirementOnlyUnderNewDriver) {
+  const DriverTimeline timeline;
+  EXPECT_FALSE(timeline.retirement_enabled(timeline.new_driver - 1));
+  EXPECT_TRUE(timeline.retirement_enabled(timeline.new_driver));
+}
+
+TEST(Timeline, EpidemicEndsAtSolderFix) {
+  const DriverTimeline timeline;
+  EXPECT_TRUE(timeline.otb_epidemic(timeline.solder_fix - 1));
+  EXPECT_FALSE(timeline.otb_epidemic(timeline.solder_fix));
+}
+
+TEST(Timeline, UcHaltKindSwitchesWithDriver) {
+  const DriverTimeline timeline;
+  EXPECT_EQ(timeline.uc_halt_kind(timeline.new_driver - 1),
+            xid::ErrorKind::kUcHaltOldDriver);
+  EXPECT_EQ(timeline.uc_halt_kind(timeline.new_driver), xid::ErrorKind::kUcHaltNewDriver);
+}
+
+TEST(Timeline, CustomDatesRespected) {
+  DriverTimeline timeline;
+  timeline.new_driver = 5000;
+  timeline.solder_fix = 3000;
+  EXPECT_TRUE(timeline.retirement_enabled(5000));
+  EXPECT_FALSE(timeline.otb_epidemic(3000));
+  EXPECT_EQ(timeline.uc_halt_kind(4999), xid::ErrorKind::kUcHaltOldDriver);
+}
+
+}  // namespace
+}  // namespace titan::fault

@@ -1,0 +1,78 @@
+#include "gpu/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::gpu {
+namespace {
+
+TEST(FleetLedger, CardAtRespectsHistory) {
+  FleetLedger ledger{10};
+  ledger.install(3, 100, 1000);
+  ledger.install(3, 200, 2000);
+  EXPECT_EQ(ledger.card_at(3, 999), xid::kInvalidCard);
+  EXPECT_EQ(ledger.card_at(3, 1000), 100);
+  EXPECT_EQ(ledger.card_at(3, 1999), 100);
+  EXPECT_EQ(ledger.card_at(3, 2000), 200);
+  EXPECT_EQ(ledger.card_at(3, 99999), 200);
+  EXPECT_EQ(ledger.install_count(3), 2U);
+}
+
+TEST(FleetLedger, EmptySlot) {
+  const FleetLedger ledger{4};
+  EXPECT_EQ(ledger.card_at(0, 1000), xid::kInvalidCard);
+  EXPECT_EQ(ledger.install_count(0), 0U);
+}
+
+TEST(FleetLedger, RejectsOutOfOrderInstalls) {
+  FleetLedger ledger{4};
+  ledger.install(1, 7, 500);
+  EXPECT_THROW(ledger.install(1, 8, 400), std::invalid_argument);
+}
+
+TEST(FleetLedger, RejectsBadNode) {
+  FleetLedger ledger{4};
+  EXPECT_THROW(ledger.install(-1, 7, 0), std::out_of_range);
+  EXPECT_THROW(ledger.install(4, 7, 0), std::out_of_range);
+  EXPECT_THROW((void)ledger.card_at(99, 0), std::out_of_range);
+}
+
+TEST(Fleet, ProcureAssignsDenseSerials) {
+  Fleet fleet;
+  EXPECT_EQ(fleet.procure(), 0);
+  EXPECT_EQ(fleet.procure(), 1);
+  EXPECT_EQ(fleet.card_count(), 2U);
+  EXPECT_EQ(fleet.card(0).serial(), 0);
+  EXPECT_EQ(fleet.card(1).health(), CardHealth::kShelf);
+}
+
+TEST(Fleet, InstallMarksProduction) {
+  Fleet fleet;
+  const auto serial = fleet.procure();
+  fleet.install(42, serial, 1000);
+  EXPECT_EQ(fleet.card(serial).health(), CardHealth::kProduction);
+  EXPECT_EQ(fleet.ledger().card_at(42, 1500), serial);
+}
+
+TEST(Fleet, UnknownSerialThrows) {
+  Fleet fleet;
+  EXPECT_THROW((void)fleet.card(0), std::out_of_range);
+  EXPECT_THROW((void)fleet.card(-1), std::out_of_range);
+}
+
+TEST(Fleet, SwapPreservesOldCardState) {
+  // The hot-spare scenario: the pulled card's InfoROM keeps its history.
+  Fleet fleet;
+  const auto first = fleet.procure();
+  const auto second = fleet.procure();
+  fleet.install(7, first, 0);
+  (void)fleet.card(first).record_dbe(xid::MemoryStructure::kDeviceMemory, 3, 500, true);
+  fleet.card(first).set_health(CardHealth::kHotSpare);
+  fleet.install(7, second, 1000);
+  EXPECT_EQ(fleet.ledger().card_at(7, 500), first);
+  EXPECT_EQ(fleet.ledger().card_at(7, 1500), second);
+  EXPECT_EQ(fleet.card(first).inforom().dbe_total(), 1U);
+  EXPECT_EQ(fleet.card(second).inforom().dbe_total(), 0U);
+}
+
+}  // namespace
+}  // namespace titan::gpu

@@ -1,0 +1,81 @@
+#include "gpu/inforom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/k20x.hpp"
+
+namespace titan::gpu {
+namespace {
+
+using xid::MemoryStructure;
+
+TEST(InfoRom, CountsByStructure) {
+  InfoRom rom;
+  rom.commit_sbe(MemoryStructure::kL2Cache, 3);
+  rom.commit_sbe(MemoryStructure::kDeviceMemory);
+  rom.commit_dbe(MemoryStructure::kDeviceMemory);
+  EXPECT_EQ(rom.sbe_total(), 4U);
+  EXPECT_EQ(rom.dbe_total(), 1U);
+  EXPECT_EQ(rom.sbe_count(MemoryStructure::kL2Cache), 3U);
+  EXPECT_EQ(rom.sbe_count(MemoryStructure::kDeviceMemory), 1U);
+  EXPECT_EQ(rom.dbe_count(MemoryStructure::kDeviceMemory), 1U);
+  EXPECT_EQ(rom.dbe_count(MemoryStructure::kRegisterFile), 0U);
+}
+
+TEST(InfoRom, RetirementTableCapacity) {
+  InfoRom rom;
+  for (std::size_t i = 0; i < kRetiredPageCapacity; ++i) {
+    EXPECT_TRUE(rom.commit_retirement(static_cast<std::uint32_t>(i),
+                                      RetireCause::kDoubleBitError, 100));
+  }
+  // Table full: the 65th write fails (surfaced upstream as XID 64).
+  EXPECT_FALSE(rom.commit_retirement(9999, RetireCause::kMultipleSbe, 200));
+  EXPECT_EQ(rom.retired_pages().size(), kRetiredPageCapacity);
+}
+
+TEST(InfoRom, RetirementCauseCounts) {
+  InfoRom rom;
+  ASSERT_TRUE(rom.commit_retirement(1, RetireCause::kDoubleBitError, 10));
+  ASSERT_TRUE(rom.commit_retirement(2, RetireCause::kMultipleSbe, 20));
+  ASSERT_TRUE(rom.commit_retirement(3, RetireCause::kMultipleSbe, 30));
+  EXPECT_EQ(rom.retired_page_count(RetireCause::kDoubleBitError), 1U);
+  EXPECT_EQ(rom.retired_page_count(RetireCause::kMultipleSbe), 2U);
+  EXPECT_TRUE(rom.page_retired(2));
+  EXPECT_FALSE(rom.page_retired(4));
+}
+
+TEST(K20x, StructureSpecsMatchPaper) {
+  EXPECT_EQ(kSmCount, 14);
+  EXPECT_EQ(kCudaCores, 2688);
+  EXPECT_EQ(structure_spec(MemoryStructure::kDeviceMemory).bytes, 6ULL << 30);
+  EXPECT_EQ(structure_spec(MemoryStructure::kL2Cache).bytes, 1536ULL * 1024);
+  // 14 SMs x 64K x 32-bit registers.
+  EXPECT_EQ(structure_spec(MemoryStructure::kRegisterFile).bytes, 14ULL * 65536 * 4);
+}
+
+TEST(K20x, ProtectionMapMatchesPaper) {
+  // "register files, shared-memory, L1 and L2 caches are SECDED ECC
+  // protected, while the read-only data cache is parity protected."
+  EXPECT_EQ(structure_spec(MemoryStructure::kRegisterFile).protection, Protection::kSecded);
+  EXPECT_EQ(structure_spec(MemoryStructure::kL1Shared).protection, Protection::kSecded);
+  EXPECT_EQ(structure_spec(MemoryStructure::kL2Cache).protection, Protection::kSecded);
+  EXPECT_EQ(structure_spec(MemoryStructure::kDeviceMemory).protection, Protection::kSecded);
+  EXPECT_EQ(structure_spec(MemoryStructure::kReadOnlyCache).protection, Protection::kParity);
+  EXPECT_EQ(structure_spec(MemoryStructure::kNone).protection, Protection::kUnprotected);
+}
+
+TEST(K20x, DeviceMemoryDominatesProtectedBytes) {
+  // "Device memory is larger than other memory structures by orders of
+  // magnitude" -- the context for 86% of DBEs landing there.
+  const auto total = secded_protected_bytes();
+  const auto device = structure_spec(MemoryStructure::kDeviceMemory).bytes;
+  EXPECT_GT(static_cast<double>(device) / static_cast<double>(total), 0.99);
+}
+
+TEST(K20x, PageGeometry) {
+  EXPECT_EQ(kDevicePages, 98304U);
+  EXPECT_EQ(static_cast<std::uint64_t>(kDevicePages) * kPageBytes, kDeviceMemoryBytes);
+}
+
+}  // namespace
+}  // namespace titan::gpu

@@ -1,0 +1,132 @@
+#include "gpu/retirement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/card.hpp"
+
+namespace titan::gpu {
+namespace {
+
+TEST(Retirement, DisabledEngineDoesNothing) {
+  PageRetirementEngine engine;
+  EXPECT_FALSE(engine.enabled());
+  EXPECT_EQ(engine.on_device_sbe(7), std::nullopt);
+  EXPECT_EQ(engine.on_device_sbe(7), std::nullopt);
+  EXPECT_EQ(engine.on_device_dbe(7), std::nullopt);
+  EXPECT_EQ(engine.queued_count(), 0U);
+}
+
+TEST(Retirement, SecondSbeOnSamePageRetires) {
+  // Paper: retirement happens on "(2) two single bit errors in the same
+  // page", without crashing the app.
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  EXPECT_EQ(engine.on_device_sbe(42), std::nullopt);
+  const auto req = engine.on_device_sbe(42);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->page, 42U);
+  EXPECT_EQ(req->cause, RetireCause::kMultipleSbe);
+}
+
+TEST(Retirement, SbesOnDifferentPagesDoNotRetire) {
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  for (std::uint32_t page = 0; page < 100; ++page) {
+    EXPECT_EQ(engine.on_device_sbe(page), std::nullopt);
+  }
+}
+
+TEST(Retirement, DbeRetiresImmediately) {
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  const auto req = engine.on_device_dbe(7);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->cause, RetireCause::kDoubleBitError);
+}
+
+TEST(Retirement, NoDoubleRetirementOfSamePage) {
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  ASSERT_TRUE(engine.on_device_dbe(7).has_value());
+  EXPECT_EQ(engine.on_device_dbe(7), std::nullopt);
+  EXPECT_EQ(engine.on_device_sbe(7), std::nullopt);
+  EXPECT_EQ(engine.queued_count(), 1U);
+}
+
+TEST(Retirement, BlacklistDeferredToReboot) {
+  // "Page address is stored in the InfoROM and when the driver loads ...
+  // framebuffer can ensure that these pages are not used."
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  ASSERT_TRUE(engine.on_device_dbe(5).has_value());
+  EXPECT_TRUE(engine.page_queued(5));
+  EXPECT_FALSE(engine.page_blacklisted(5));
+  engine.on_reboot();
+  EXPECT_TRUE(engine.page_blacklisted(5));
+}
+
+TEST(Retirement, SbeCountsSurviveEnableToggle) {
+  PageRetirementEngine engine;
+  engine.set_enabled(true);
+  EXPECT_EQ(engine.on_device_sbe(3), std::nullopt);
+  engine.set_enabled(false);
+  EXPECT_EQ(engine.on_device_sbe(3), std::nullopt);  // ignored while off
+  engine.set_enabled(true);
+  EXPECT_TRUE(engine.on_device_sbe(3).has_value());  // second counted strike
+}
+
+TEST(Card, SbeOutcomeNeverCrashes) {
+  GpuCard card{1};
+  card.retirement().set_enabled(true);
+  auto outcome = card.record_sbe(xid::MemoryStructure::kDeviceMemory, 9, 100);
+  EXPECT_FALSE(outcome.app_crash);
+  EXPECT_TRUE(outcome.emitted_sbe);
+  outcome = card.record_sbe(xid::MemoryStructure::kDeviceMemory, 9, 200);
+  EXPECT_FALSE(outcome.app_crash);  // two-SBE retirement does not crash
+  ASSERT_TRUE(outcome.retirement.has_value());
+  EXPECT_TRUE(outcome.retirement_recorded);
+  EXPECT_EQ(card.inforom().retired_page_count(RetireCause::kMultipleSbe), 1U);
+}
+
+TEST(Card, DbeAlwaysCrashes) {
+  GpuCard card{2};
+  const auto outcome =
+      card.record_dbe(xid::MemoryStructure::kRegisterFile, std::nullopt, 100, true);
+  EXPECT_TRUE(outcome.app_crash);
+  EXPECT_TRUE(outcome.emitted_dbe);
+  EXPECT_EQ(card.dbe_seen(), 1U);
+  EXPECT_EQ(card.inforom().dbe_total(), 1U);
+}
+
+TEST(Card, UncommittedDbeInvisibleToInfoRom) {
+  // The Observation 2 loss path: the node died before the NVML write.
+  GpuCard card{3};
+  const auto outcome =
+      card.record_dbe(xid::MemoryStructure::kDeviceMemory, 11, 100, /*commit=*/false);
+  EXPECT_TRUE(outcome.app_crash);
+  EXPECT_EQ(card.dbe_seen(), 1U);            // console view still has it
+  EXPECT_EQ(card.inforom().dbe_total(), 0U);  // smi view lost it
+}
+
+TEST(Card, NonDeviceSbeNeverRetires) {
+  GpuCard card{4};
+  card.retirement().set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    const auto outcome = card.record_sbe(xid::MemoryStructure::kL2Cache, std::nullopt, i);
+    EXPECT_FALSE(outcome.retirement.has_value());
+  }
+  EXPECT_EQ(card.inforom().sbe_count(xid::MemoryStructure::kL2Cache), 10U);
+}
+
+TEST(Card, HealthTransitions) {
+  GpuCard card{5};
+  EXPECT_EQ(card.health(), CardHealth::kShelf);
+  card.set_health(CardHealth::kProduction);
+  EXPECT_EQ(card.health(), CardHealth::kProduction);
+  card.set_health(CardHealth::kHotSpare);
+  card.set_health(CardHealth::kReturnedToVendor);
+  EXPECT_EQ(card.health(), CardHealth::kReturnedToVendor);
+}
+
+}  // namespace
+}  // namespace titan::gpu

@@ -1,0 +1,56 @@
+#include "logsim/console.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::logsim {
+namespace {
+
+xid::Event make_event() {
+  xid::Event e;
+  e.time = stats::to_time(stats::CivilDateTime{stats::CivilDate{2014, 1, 12}, 13, 45, 1});
+  e.node = topology::node_id(topology::NodeLocation{12, 3, 1, 4, 2});
+  e.kind = xid::ErrorKind::kDoubleBitError;
+  e.structure = xid::MemoryStructure::kDeviceMemory;
+  return e;
+}
+
+TEST(Console, LineFormat) {
+  EXPECT_EQ(console_line(make_event()),
+            "[2014-01-12 13:45:01] c12-3c1s4n2 GPU DBE: "
+            "Double Bit Error (detected by SECDED ECC, not corrected) (DRAM)");
+}
+
+TEST(Console, NoStructureSuffixWhenNone) {
+  auto e = make_event();
+  e.kind = xid::ErrorKind::kOffTheBus;
+  e.structure = xid::MemoryStructure::kNone;
+  const auto line = console_line(e);
+  EXPECT_NE(line.find("GPU OTB: Off the Bus"), std::string::npos);
+  EXPECT_EQ(line.find("(NONE)"), std::string::npos);
+}
+
+TEST(Console, XidTokensInLines) {
+  auto e = make_event();
+  e.kind = xid::ErrorKind::kGraphicsEngineException;
+  e.structure = xid::MemoryStructure::kNone;
+  EXPECT_NE(console_line(e).find("GPU XID13:"), std::string::npos);
+}
+
+TEST(Console, EmitSkipsSbes) {
+  std::vector<xid::Event> events(3, make_event());
+  events[1].kind = xid::ErrorKind::kSingleBitError;
+  const auto lines = emit_console_log(events);
+  EXPECT_EQ(lines.size(), 2U);
+}
+
+TEST(Console, EmitPreservesOrder) {
+  std::vector<xid::Event> events(2, make_event());
+  events[1].time += 100;
+  events[1].kind = xid::ErrorKind::kPreemptiveCleanup;
+  const auto lines = emit_console_log(events);
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_LT(lines[0].substr(0, 21), lines[1].substr(0, 21));
+}
+
+}  // namespace
+}  // namespace titan::logsim

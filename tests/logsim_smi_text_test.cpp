@@ -1,0 +1,93 @@
+#include "logsim/smi_text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::logsim {
+namespace {
+
+SmiCardRecord sample_record() {
+  SmiCardRecord rec;
+  rec.node = topology::node_id(topology::NodeLocation{4, 2, 1, 3, 2});
+  rec.serial = 12345;
+  rec.sbe_total = 987;
+  rec.dbe_total = 2;
+  rec.sbe_volatile = 55;
+  rec.dbe_volatile = 1;
+  rec.retired_pages_sbe = 3;
+  rec.retired_pages_dbe = 1;
+  rec.temperature_f = 91.5;
+  return rec;
+}
+
+TEST(SmiText, BlockContainsAllFields) {
+  const auto text = smi_query_text(sample_record());
+  EXPECT_NE(text.find("GPU c4-2c1s3n2"), std::string::npos);
+  EXPECT_NE(text.find("Serial Number"), std::string::npos);
+  EXPECT_NE(text.find("987"), std::string::npos);
+  EXPECT_NE(text.find("91.5 F"), std::string::npos);
+}
+
+TEST(SmiText, BlockRoundTrips) {
+  const auto rec = sample_record();
+  const auto parsed = parse_smi_query_text(smi_query_text(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->node, rec.node);
+  EXPECT_EQ(parsed->serial, rec.serial);
+  EXPECT_EQ(parsed->sbe_total, rec.sbe_total);
+  EXPECT_EQ(parsed->dbe_total, rec.dbe_total);
+  EXPECT_EQ(parsed->sbe_volatile, rec.sbe_volatile);
+  EXPECT_EQ(parsed->dbe_volatile, rec.dbe_volatile);
+  EXPECT_EQ(parsed->retired_pages_sbe, rec.retired_pages_sbe);
+  EXPECT_EQ(parsed->retired_pages_dbe, rec.retired_pages_dbe);
+  EXPECT_NEAR(parsed->temperature_f, rec.temperature_f, 0.05);
+}
+
+TEST(SmiText, MalformedBlocksRejected) {
+  EXPECT_FALSE(parse_smi_query_text("").has_value());
+  EXPECT_FALSE(parse_smi_query_text("GPU notacname\n").has_value());
+  EXPECT_FALSE(parse_smi_query_text("GPU c1-1c1s1n1\nno fields\n").has_value());
+}
+
+TEST(SmiText, SweepRoundTrips) {
+  SmiSnapshot snap;
+  snap.taken_at = stats::to_time(stats::CivilDate{2015, 2, 28});
+  for (int i = 0; i < 5; ++i) {
+    auto rec = sample_record();
+    rec.node = static_cast<topology::NodeId>(100 + i);
+    rec.serial = 100 + i;
+    rec.sbe_total = static_cast<std::uint64_t>(i * 7);
+    snap.records.push_back(rec);
+  }
+  const auto parsed = parse_smi_sweep_text(smi_sweep_text(snap));
+  EXPECT_EQ(parsed.taken_at, snap.taken_at);
+  EXPECT_EQ(parsed.malformed_blocks, 0U);
+  ASSERT_EQ(parsed.records.size(), 5U);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(parsed.records[i].serial, snap.records[i].serial);
+    EXPECT_EQ(parsed.records[i].sbe_total, snap.records[i].sbe_total);
+  }
+}
+
+TEST(SmiText, SweepCountsMalformedBlocks) {
+  const std::string text =
+      "==============NVSMI LOG==============\n"
+      "Timestamp                           : 2015-02-28 00:00:00\n"
+      "Attached GPUs                       : 2\n\n"
+      "GPU c1-1c1s1n1\n    Serial Number                   : 7\n"
+      "    Temperature\n        GPU Current Temp            : 90.0 F\n"
+      "    ECC Errors\n        Volatile\n"
+      "            Single Bit Volatile     : 0\n"
+      "            Double Bit Volatile     : 0\n"
+      "        Aggregate\n"
+      "            Single Bit Total        : 1\n"
+      "            Double Bit Total        : 0\n"
+      "    Retired Pages\n        Single Bit ECC              : 0\n"
+      "        Double Bit ECC              : 0\n\n"
+      "GPU garbage-here\n   broken block\n";
+  const auto parsed = parse_smi_sweep_text(text);
+  EXPECT_EQ(parsed.records.size(), 1U);
+  EXPECT_EQ(parsed.malformed_blocks, 1U);
+}
+
+}  // namespace
+}  // namespace titan::logsim

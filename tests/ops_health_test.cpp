@@ -1,0 +1,165 @@
+#include "ops/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::ops {
+namespace {
+
+xid::Event ev(stats::TimeSec t, topology::NodeId node, xid::ErrorKind kind,
+              xid::JobId job = xid::kNoJob) {
+  xid::Event e;
+  e.time = t;
+  e.node = node;
+  e.kind = kind;
+  e.job = job;
+  return e;
+}
+
+TEST(Health, FreshNodesAreUp) {
+  const NodeHealthMonitor monitor;
+  EXPECT_EQ(monitor.state(5, 1000), NodeState::kUp);
+}
+
+TEST(Health, HardwareCrashTakesNodeDown) {
+  NodeHealthMonitor monitor;
+  const auto actions = monitor.observe(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
+  ASSERT_EQ(actions.size(), 1U);
+  EXPECT_EQ(actions[0].kind, ActionKind::kTakeDown);
+  EXPECT_EQ(monitor.state(7, 1001), NodeState::kDown);
+}
+
+TEST(Health, NodeReturnsAfterRepair) {
+  HealthPolicy policy;
+  policy.repair_seconds = 100;
+  NodeHealthMonitor monitor{policy};
+  (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kOffTheBus));
+  EXPECT_EQ(monitor.state(7, 1050), NodeState::kDown);
+  EXPECT_EQ(monitor.state(7, 1100), NodeState::kUp);
+}
+
+TEST(Health, RepeatedDbesEscalateToHotSpare) {
+  NodeHealthMonitor monitor;
+  (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
+  const auto actions =
+      monitor.observe(ev(1000 + 86400, 7, xid::ErrorKind::kDoubleBitError));
+  bool escalated = false;
+  for (const auto& a : actions) escalated |= a.kind == ActionKind::kEscalateHotSpare;
+  EXPECT_TRUE(escalated);
+}
+
+TEST(Health, DbesOutsideWindowDoNotEscalate) {
+  HealthPolicy policy;
+  policy.dbe_window = 10 * stats::kSecondsPerDay;
+  NodeHealthMonitor monitor{policy};
+  (void)monitor.observe(ev(0, 7, xid::ErrorKind::kDoubleBitError));
+  const auto actions =
+      monitor.observe(ev(60 * stats::kSecondsPerDay, 7, xid::ErrorKind::kDoubleBitError));
+  for (const auto& a : actions) {
+    EXPECT_NE(a.kind, ActionKind::kEscalateHotSpare);
+  }
+}
+
+TEST(Health, EscalationFiresOnce) {
+  NodeHealthMonitor monitor;
+  int escalations = 0;
+  for (int i = 0; i < 5; ++i) {
+    for (const auto& a : monitor.observe(ev(1000 + i * 3600, 7,
+                                            xid::ErrorKind::kDoubleBitError))) {
+      if (a.kind == ActionKind::kEscalateHotSpare) ++escalations;
+    }
+  }
+  EXPECT_EQ(escalations, 1);
+}
+
+TEST(Health, UserAppErrorsNeverTakeNodeDown) {
+  // "Since XID 13 is not associated with hardware, we did not take the
+  // node down immediately."
+  NodeHealthMonitor monitor;
+  (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kGraphicsEngineException, 1));
+  EXPECT_EQ(monitor.state(7, 1001), NodeState::kUp);
+}
+
+TEST(Health, RepeatOffenderStandsOutAtReview) {
+  // The Observation 8 policy: the node with anomalously many DISTINCT
+  // jobs raising XID 13 (vs the fleet median) is flagged at review time.
+  NodeHealthMonitor monitor;
+  // Peer baseline: nodes 100..119 each see one crashing job.
+  for (int n = 0; n < 20; ++n) {
+    (void)monitor.observe(ev(1000 + n, 100 + n, xid::ErrorKind::kGraphicsEngineException,
+                             1000 + n));
+  }
+  // The bad node sees nine distinct jobs.
+  for (int j = 0; j < 9; ++j) {
+    (void)monitor.observe(ev(2000 + j, 7, xid::ErrorKind::kGraphicsEngineException, j));
+  }
+  const auto actions = monitor.review_suspects(10000);
+  ASSERT_EQ(actions.size(), 1U);
+  EXPECT_EQ(actions[0].kind, ActionKind::kFlagSuspect);
+  EXPECT_EQ(actions[0].node, 7);
+  EXPECT_EQ(monitor.state(7, 10001), NodeState::kSuspect);
+  EXPECT_EQ(monitor.suspects(), std::vector<topology::NodeId>{7});
+  // A second review does not re-flag.
+  EXPECT_TRUE(monitor.review_suspects(20000).empty());
+}
+
+TEST(Health, SameJobRepeatsDoNotAccumulate) {
+  // A single crashing job reports on the node many times (fan-out);
+  // that is one job, not many.
+  NodeHealthMonitor monitor;
+  for (int i = 0; i < 10; ++i) {
+    (void)monitor.observe(ev(1000 + i, 7, xid::ErrorKind::kGraphicsEngineException, 42));
+  }
+  EXPECT_TRUE(monitor.review_suspects(5000).empty());
+  EXPECT_EQ(monitor.state(7, 5000), NodeState::kUp);
+}
+
+TEST(Health, OldAppErrorsAgeOutOfTheWindow) {
+  HealthPolicy policy;
+  policy.suspect_window = 10 * stats::kSecondsPerDay;
+  NodeHealthMonitor monitor{policy};
+  for (int j = 0; j < 9; ++j) {
+    (void)monitor.observe(ev(1000 + j, 7, xid::ErrorKind::kGraphicsEngineException, j));
+  }
+  // Reviewed long after the window: nothing left to flag.
+  EXPECT_TRUE(monitor.review_suspects(1000 + 30 * stats::kSecondsPerDay).empty());
+}
+
+TEST(Health, JoblessAppErrorsCountTowardReview) {
+  // A hardware-faulty node raises XID 13 even between jobs; those
+  // occurrences must count (they carry the strongest signal).
+  NodeHealthMonitor monitor;
+  // Peer baseline so the fleet median is 1.
+  for (int n = 0; n < 20; ++n) {
+    (void)monitor.observe(ev(1000 + n, 100 + n, xid::ErrorKind::kGraphicsEngineException,
+                             1000 + n));
+  }
+  for (int i = 0; i < 9; ++i) {
+    (void)monitor.observe(ev(2000 + i * 100, 7, xid::ErrorKind::kGraphicsEngineException,
+                             xid::kNoJob));
+  }
+  const auto actions = monitor.review_suspects(10000);
+  ASSERT_EQ(actions.size(), 1U);
+  EXPECT_EQ(actions[0].node, 7);
+}
+
+TEST(Health, SingleJoblessAppErrorDoesNotFlag) {
+  NodeHealthMonitor monitor;
+  (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kGraphicsEngineException, xid::kNoJob));
+  EXPECT_TRUE(monitor.review_suspects(2000).empty());
+  EXPECT_EQ(monitor.state(7, 1001), NodeState::kUp);
+}
+
+TEST(Health, ReviewOnEmptyMonitorIsEmpty) {
+  NodeHealthMonitor monitor;
+  EXPECT_TRUE(monitor.review_suspects(1000).empty());
+}
+
+TEST(Health, LogAccumulatesAllActions) {
+  NodeHealthMonitor monitor;
+  (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
+  (void)monitor.observe(ev(2000, 8, xid::ErrorKind::kOffTheBus));
+  EXPECT_EQ(monitor.log().size(), 2U);
+}
+
+}  // namespace
+}  // namespace titan::ops

@@ -1,0 +1,108 @@
+#include "parse/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::parse {
+namespace {
+
+ParsedEvent ev(stats::TimeSec t, topology::NodeId node,
+               xid::ErrorKind kind = xid::ErrorKind::kGraphicsEngineException) {
+  ParsedEvent e;
+  e.time = t;
+  e.node = node;
+  e.kind = kind;
+  return e;
+}
+
+TEST(Filter, CollapsesJobBurstToOneRoot) {
+  // A job's 8 nodes all report within 5 s: one root, seven children.
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 8; ++i) events.push_back(ev(1000 + i % 5, static_cast<topology::NodeId>(i)));
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size(), 1U);
+  EXPECT_EQ(out.children.size(), 7U);
+}
+
+TEST(Filter, SeparatedEventsAllRoots) {
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 5; ++i) events.push_back(ev(i * 100, 0));
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size(), 5U);
+  EXPECT_TRUE(out.children.empty());
+}
+
+TEST(Filter, WindowBoundaryIsExclusive) {
+  // "ignored if the time difference is less than five seconds": a gap of
+  // exactly 5 s survives.
+  const std::vector<ParsedEvent> events{ev(0, 0), ev(5, 1)};
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size(), 2U);
+}
+
+TEST(Filter, BurstExtendsItsOwnWindow) {
+  // Events at 0, 4, 8, 12: each within 5 s of the previous -> one root.
+  std::vector<ParsedEvent> events;
+  for (int t = 0; t <= 12; t += 4) events.push_back(ev(t, 0));
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size(), 1U);
+  EXPECT_EQ(out.children.size(), 3U);
+}
+
+TEST(Filter, DifferentKindsIndependent) {
+  const std::vector<ParsedEvent> events{
+      ev(0, 0, xid::ErrorKind::kGraphicsEngineException),
+      ev(1, 0, xid::ErrorKind::kGpuStoppedProcessing),
+      ev(2, 0, xid::ErrorKind::kDoubleBitError),
+  };
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size(), 3U);
+}
+
+TEST(Filter, PerNodeScopeKeepsPerNodeRoots) {
+  // Same kind on two nodes within the window: machine-wide keeps one,
+  // per-node keeps both.
+  const std::vector<ParsedEvent> events{ev(0, 0), ev(1, 1)};
+  const auto machine = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  const auto per_node = filter_events(events, FilterParams{5.0, FilterScope::kPerNode});
+  EXPECT_EQ(machine.roots.size(), 1U);
+  EXPECT_EQ(per_node.roots.size(), 2U);
+}
+
+TEST(Filter, RootsPlusChildrenPartitionInput) {
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(ev(i * 3, static_cast<topology::NodeId>(i % 7),
+                        i % 2 == 0 ? xid::ErrorKind::kGraphicsEngineException
+                                   : xid::ErrorKind::kGpuStoppedProcessing));
+  }
+  const auto out = filter_events(events, FilterParams{5.0, FilterScope::kMachineWide});
+  EXPECT_EQ(out.roots.size() + out.children.size(), events.size());
+}
+
+TEST(Filter, EmptyInput) {
+  const auto out = filter_events({}, FilterParams{});
+  EXPECT_TRUE(out.roots.empty());
+  EXPECT_TRUE(out.children.empty());
+}
+
+class WindowSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowSweep, LargerWindowsNeverIncreaseRoots) {
+  std::vector<ParsedEvent> events;
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(ev(i * 7 % 500, static_cast<topology::NodeId>(i % 5)));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  const auto narrow = filter_events(events, FilterParams{GetParam(), FilterScope::kMachineWide});
+  const auto wide =
+      filter_events(events, FilterParams{GetParam() * 2.0, FilterScope::kMachineWide});
+  EXPECT_LE(wide.roots.size(), narrow.roots.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(1.0, 5.0, 60.0, 300.0));
+
+}  // namespace
+}  // namespace titan::parse

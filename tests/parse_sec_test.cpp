@@ -1,0 +1,106 @@
+#include "parse/sec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xid/taxonomy.hpp"
+
+namespace titan::parse {
+namespace {
+
+TEST(Sec, ThresholdOneAlertsImmediately) {
+  SimpleEventCorrelator sec{{SecRule{"dbe", "GPU DBE:", 1.0, 1, 0.0}}};
+  const auto alerts = sec.feed("[...] c0-0c1s0n1 GPU DBE: Double Bit Error", 1000);
+  ASSERT_EQ(alerts.size(), 1U);
+  EXPECT_EQ(alerts[0].rule, "dbe");
+  EXPECT_EQ(alerts[0].time, 1000);
+}
+
+TEST(Sec, NonMatchingLineIgnored) {
+  SimpleEventCorrelator sec{{SecRule{"dbe", "GPU DBE:", 1.0, 1, 0.0}}};
+  EXPECT_TRUE(sec.feed("GPU XID13: something else", 1000).empty());
+  EXPECT_EQ(sec.match_count("dbe"), 0U);
+}
+
+TEST(Sec, ThresholdNeedsEnoughMatchesInWindow) {
+  SimpleEventCorrelator sec{{SecRule{"repeat", "GPU DBE:", 100.0, 3, 0.0}}};
+  EXPECT_TRUE(sec.feed("GPU DBE: a", 0).empty());
+  EXPECT_TRUE(sec.feed("GPU DBE: b", 10).empty());
+  const auto alerts = sec.feed("GPU DBE: c", 20);
+  ASSERT_EQ(alerts.size(), 1U);
+  EXPECT_EQ(alerts[0].match_count, 3);
+}
+
+TEST(Sec, WindowExpiryResetsCount) {
+  SimpleEventCorrelator sec{{SecRule{"repeat", "GPU DBE:", 100.0, 3, 0.0}}};
+  EXPECT_TRUE(sec.feed("GPU DBE: a", 0).empty());
+  EXPECT_TRUE(sec.feed("GPU DBE: b", 50).empty());
+  // The first match has aged out of the 100 s window by t=150.
+  EXPECT_TRUE(sec.feed("GPU DBE: c", 150).empty());
+}
+
+TEST(Sec, SuppressionHoldsOffRepeatAlerts) {
+  SimpleEventCorrelator sec{{SecRule{"dbe", "GPU DBE:", 1.0, 1, 3600.0}}};
+  EXPECT_EQ(sec.feed("GPU DBE: a", 0).size(), 1U);
+  EXPECT_TRUE(sec.feed("GPU DBE: b", 100).empty());       // suppressed
+  EXPECT_EQ(sec.feed("GPU DBE: c", 3600).size(), 1U);     // holdoff elapsed
+  EXPECT_EQ(sec.match_count("dbe"), 3U);                  // all matches counted
+}
+
+TEST(Sec, MultipleRulesCanFireOnOneLine) {
+  SimpleEventCorrelator sec{{SecRule{"a", "GPU", 1.0, 1, 0.0},
+                             SecRule{"b", "DBE", 1.0, 1, 0.0}}};
+  EXPECT_EQ(sec.feed("GPU DBE: x", 0).size(), 2U);
+}
+
+TEST(Sec, ProcessExtractsEmbeddedTimestamps) {
+  SimpleEventCorrelator sec{{SecRule{"dbe", "GPU DBE:", 1.0, 1, 0.0}}};
+  const std::vector<std::string> lines = {
+      "[2014-01-12 13:45:01] c0-0c1s0n1 GPU DBE: Double Bit Error",
+      "not a console line, skipped",
+  };
+  const auto alerts = sec.process(lines);
+  ASSERT_EQ(alerts.size(), 1U);
+  stats::TimeSec expected = 0;
+  ASSERT_TRUE(stats::parse_timestamp("2014-01-12 13:45:01", expected));
+  EXPECT_EQ(alerts[0].time, expected);
+}
+
+TEST(Sec, DefaultRulesCoverAllConsoleKinds) {
+  const auto rules = default_gpu_rules();
+  SimpleEventCorrelator sec{rules};
+  EXPECT_EQ(sec.rule_count(), rules.size());
+  // One rule per non-SBE error kind plus two operator pages.
+  EXPECT_EQ(rules.size(), xid::all_errors().size() - 1 + 2);
+}
+
+TEST(Sec, NewXidNeedsNewRule) {
+  // Observation 5's operational lesson: before XID 63 existed, no rule
+  // matched it; operators must update their rule sets.
+  std::vector<SecRule> old_rules{{"dbe", "GPU DBE:", 1.0, 1, 0.0}};
+  SimpleEventCorrelator old_sec{old_rules};
+  const std::string retirement = "[2014-01-05 00:00:00] c1-1c0s0n1 GPU XID63: retirement";
+  EXPECT_TRUE(old_sec.process({retirement}).empty());
+
+  auto new_rules = old_rules;
+  new_rules.push_back(SecRule{"retirement", "GPU XID63:", 1.0, 1, 0.0});
+  SimpleEventCorrelator new_sec{new_rules};
+  EXPECT_EQ(new_sec.process({retirement}).size(), 1U);
+}
+
+TEST(Sec, DbeRepeatPageFiresOnSecondDbeInSixHours) {
+  SimpleEventCorrelator sec{default_gpu_rules()};
+  const auto mk = [](stats::TimeSec offset) {
+    return "[2014-01-05 0" + std::to_string(offset) + ":00:00] c1-1c0s0n1 GPU DBE: Double Bit";
+  };
+  auto alerts = sec.process({mk(1)});
+  bool page_fired = false;
+  for (const auto& a : alerts) page_fired |= a.rule == "page-dbe-repeat";
+  EXPECT_FALSE(page_fired);
+  alerts = sec.process({mk(3)});
+  page_fired = false;
+  for (const auto& a : alerts) page_fired |= a.rule == "page-dbe-repeat";
+  EXPECT_TRUE(page_fired);
+}
+
+}  // namespace
+}  // namespace titan::parse

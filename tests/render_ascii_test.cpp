@@ -1,0 +1,76 @@
+#include "render/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::render {
+namespace {
+
+TEST(Render, BarChartScalesToWidth) {
+  const std::vector<std::string> labels{"a", "bb"};
+  const std::vector<double> values{10.0, 5.0};
+  const auto chart = bar_chart(labels, values, 20);
+  // Max value gets the full 20-char bar.
+  EXPECT_NE(chart.find("####################"), std::string::npos);
+  EXPECT_NE(chart.find("bb"), std::string::npos);
+  EXPECT_NE(chart.find("10"), std::string::npos);
+}
+
+TEST(Render, BarChartHandlesZeros) {
+  const std::vector<std::string> labels{"x"};
+  const std::vector<double> values{0.0};
+  const auto chart = bar_chart(labels, values, 20);
+  EXPECT_EQ(chart.find('#'), std::string::npos);
+}
+
+TEST(Render, BarChartSizeMismatchThrows) {
+  const std::vector<std::string> labels{"x"};
+  const std::vector<double> values{1.0, 2.0};
+  EXPECT_THROW((void)bar_chart(labels, values), std::invalid_argument);
+}
+
+TEST(Render, HeatmapDimensions) {
+  stats::Grid2D grid{2, 3};
+  grid.add(0, 0, 9.0);
+  const auto hm = heatmap(grid);
+  // Two rows, each ending in newline.
+  EXPECT_EQ(std::count(hm.begin(), hm.end(), '\n'), 2);
+  EXPECT_NE(hm.find('@'), std::string::npos);  // hottest cell uses densest char
+}
+
+TEST(Render, LabeledHeatmapValidatesLabels) {
+  stats::Grid2D grid{2, 2};
+  const std::vector<std::string> two{"a", "b"};
+  const std::vector<std::string> one{"a"};
+  EXPECT_NO_THROW((void)labeled_heatmap(grid, two, two));
+  EXPECT_THROW((void)labeled_heatmap(grid, one, two), std::invalid_argument);
+}
+
+TEST(Render, TableAlignsColumns) {
+  const std::vector<std::string> header{"name", "count"};
+  const std::vector<std::vector<std::string>> rows{{"dbe", "98"}, {"otb", "123"}};
+  const auto t = table(header, rows);
+  EXPECT_NE(t.find("name"), std::string::npos);
+  EXPECT_NE(t.find("123"), std::string::npos);
+  EXPECT_NE(t.find("----"), std::string::npos);
+}
+
+TEST(Render, TableRowWidthMismatchThrows) {
+  const std::vector<std::string> header{"a", "b"};
+  const std::vector<std::vector<std::string>> rows{{"only-one"}};
+  EXPECT_THROW((void)table(header, rows), std::invalid_argument);
+}
+
+TEST(Render, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(5.0, 0), "5");
+  EXPECT_EQ(fmt_percent(0.856, 1), "85.6%");
+}
+
+TEST(Render, ComparisonBlock) {
+  const auto c = comparison("DBE MTBF", "160 h", "155.2 h");
+  EXPECT_NE(c.find("paper:    160 h"), std::string::npos);
+  EXPECT_NE(c.find("measured: 155.2 h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace titan::render

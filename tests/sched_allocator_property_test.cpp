@@ -1,0 +1,111 @@
+// Property tests: the allocator must preserve its invariants under long
+// random sequences of allocate / release / hold / unhold operations.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sched/allocator.hpp"
+#include "stats/rng.hpp"
+#include "topology/torus.hpp"
+
+namespace titan::sched {
+namespace {
+
+class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzz, InvariantsHoldUnderRandomOps) {
+  stats::Rng rng{GetParam()};
+  auto alloc = TorusAllocator::production();
+  const std::size_t total = alloc.total_nodes();
+
+  std::vector<std::vector<topology::NodeId>> live;
+  std::set<topology::NodeId> allocated;
+  std::set<topology::NodeId> held;
+
+  for (int step = 0; step < 400; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.5) {
+      // Allocate a random size (skewed small, occasionally huge).
+      const std::size_t request =
+          rng.bernoulli(0.1) ? 1 + rng.below(8000) : 1 + rng.below(64);
+      const auto nodes = alloc.allocate(request);
+      if (nodes) {
+        ASSERT_EQ(nodes->size(), request);
+        for (const auto n : *nodes) {
+          ASSERT_FALSE(topology::is_service_node(n));
+          ASSERT_FALSE(held.contains(n)) << "held node handed out";
+          ASSERT_TRUE(allocated.insert(n).second) << "double allocation of node " << n;
+        }
+        live.push_back(std::move(*nodes));
+      } else {
+        // Refusal implies genuinely insufficient capacity for the request.
+        ASSERT_GT(request, alloc.free_nodes());
+      }
+    } else if (action < 0.85 && !live.empty()) {
+      // Release a random live job.
+      const std::size_t idx = rng.below(live.size());
+      for (const auto n : live[idx]) allocated.erase(n);
+      alloc.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (action < 0.95) {
+      // Hold a random currently-free compute node.
+      const auto node = static_cast<topology::NodeId>(rng.below(topology::kNodeSlots));
+      if (!topology::is_service_node(node) && !allocated.contains(node)) {
+        alloc.hold_node(node);
+        held.insert(node);
+      }
+    } else if (!held.empty()) {
+      const auto node = *held.begin();
+      alloc.unhold_node(node);
+      held.erase(node);
+    }
+    // Conservation: free nodes never exceed capacity minus live usage.
+    ASSERT_LE(alloc.free_nodes(), total);
+  }
+
+  // Drain everything; capacity must be fully restored (minus holds).
+  for (const auto& job : live) alloc.release(job);
+  for (const auto n : held) alloc.unhold_node(n);
+  EXPECT_EQ(alloc.free_nodes(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(AllocatorProperty, RepeatedFillDrainIsStable) {
+  auto alloc = TorusAllocator::production();
+  const std::size_t total = alloc.total_nodes();
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::vector<topology::NodeId>> jobs;
+    while (alloc.free_nodes() >= 1000) {
+      auto nodes = alloc.allocate(1000);
+      ASSERT_TRUE(nodes.has_value());
+      jobs.push_back(std::move(*nodes));
+    }
+    for (const auto& job : jobs) alloc.release(job);
+    ASSERT_EQ(alloc.free_nodes(), total);
+  }
+}
+
+TEST(AllocatorProperty, FragmentationStillServes) {
+  // Allocate pairs, free every other one, then ask for a large block: the
+  // scattered fallback must serve it from the freed holes.
+  auto alloc = TorusAllocator::production();
+  std::vector<std::vector<topology::NodeId>> jobs;
+  while (alloc.free_nodes() >= 2) {
+    auto nodes = alloc.allocate(2);
+    ASSERT_TRUE(nodes.has_value());
+    jobs.push_back(std::move(*nodes));
+  }
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < jobs.size(); i += 2) {
+    alloc.release(jobs[i]);
+    freed += jobs[i].size();
+  }
+  const auto big = alloc.allocate(freed);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->size(), freed);
+}
+
+}  // namespace
+}  // namespace titan::sched

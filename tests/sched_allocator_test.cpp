@@ -1,0 +1,146 @@
+#include "sched/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/torus.hpp"
+
+namespace titan::sched {
+namespace {
+
+using topology::NodeId;
+
+TEST(Allocator, ProductionCapacityMatchesComputeNodes) {
+  const auto alloc = TorusAllocator::production();
+  EXPECT_EQ(alloc.total_nodes(), static_cast<std::size_t>(topology::kComputeNodes));
+  EXPECT_EQ(alloc.free_nodes(), alloc.total_nodes());
+}
+
+TEST(Allocator, AllocateReturnsRequestedCount) {
+  auto alloc = TorusAllocator::production();
+  const auto nodes = alloc.allocate(100);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 100U);
+  // Nodes are unique and never service nodes.
+  std::set<NodeId> unique(nodes->begin(), nodes->end());
+  EXPECT_EQ(unique.size(), 100U);
+  for (const NodeId n : *nodes) EXPECT_FALSE(topology::is_service_node(n));
+}
+
+TEST(Allocator, ZeroNodeRequest) {
+  auto alloc = TorusAllocator::production();
+  const auto nodes = alloc.allocate(0);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_TRUE(nodes->empty());
+}
+
+TEST(Allocator, OversizedRequestFails) {
+  auto alloc = TorusAllocator::production();
+  EXPECT_FALSE(alloc.allocate(alloc.total_nodes() + 1).has_value());
+}
+
+TEST(Allocator, WholeMachineAllocatable) {
+  auto alloc = TorusAllocator::production();
+  const auto nodes = alloc.allocate(alloc.total_nodes());
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), alloc.total_nodes());
+  EXPECT_EQ(alloc.free_nodes(), 0U);
+}
+
+TEST(Allocator, ReleaseRestoresCapacity) {
+  auto alloc = TorusAllocator::production();
+  const auto a = alloc.allocate(500);
+  ASSERT_TRUE(a.has_value());
+  const auto before = alloc.free_nodes();
+  alloc.release(*a);
+  EXPECT_EQ(alloc.free_nodes(), before + 500);
+  EXPECT_EQ(alloc.free_nodes(), alloc.total_nodes());
+}
+
+TEST(Allocator, OddRequestReservesWholeRouter) {
+  auto alloc = TorusAllocator::production();
+  const auto nodes = alloc.allocate(3);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 3U);
+  // 2 routers reserved -> 4 nodes leave the free pool.
+  EXPECT_EQ(alloc.free_nodes(), alloc.total_nodes() - 4);
+  alloc.release(*nodes);
+  EXPECT_EQ(alloc.free_nodes(), alloc.total_nodes());
+}
+
+TEST(Allocator, NoDoubleAllocation) {
+  auto alloc = TorusAllocator::production();
+  const auto a = alloc.allocate(1000);
+  const auto b = alloc.allocate(1000);
+  ASSERT_TRUE(a && b);
+  std::set<NodeId> seen(a->begin(), a->end());
+  for (const NodeId n : *b) EXPECT_FALSE(seen.contains(n)) << n;
+}
+
+TEST(Allocator, LargeJobSpansAlternatingCabinets) {
+  // The Fig. 12 signature: a contiguous torus allocation of a large job
+  // concentrates in even (or odd) cabinets before spilling to the other
+  // parity arm.
+  auto alloc = TorusAllocator::production();
+  const auto nodes = alloc.allocate(2000);
+  ASSERT_TRUE(nodes.has_value());
+  int even = 0;
+  int odd = 0;
+  for (const NodeId n : *nodes) {
+    (topology::locate(n).cab_x % 2 == 0 ? even : odd) += 1;
+  }
+  // With folded cabling, one parity dominates heavily.
+  EXPECT_GT(std::max(even, odd), 4 * std::min(even, odd));
+}
+
+TEST(Allocator, HeldNodesNotHandedOut) {
+  auto alloc = TorusAllocator::production();
+  // Hold the first 32 compute nodes.
+  std::vector<NodeId> held;
+  for (NodeId n = 0; n < topology::kNodeSlots && held.size() < 32; ++n) {
+    if (!topology::is_service_node(n)) {
+      alloc.hold_node(n);
+      held.push_back(n);
+    }
+  }
+  const auto nodes = alloc.allocate(alloc.free_nodes());
+  ASSERT_TRUE(nodes.has_value());
+  const std::set<NodeId> got(nodes->begin(), nodes->end());
+  for (const NodeId n : held) EXPECT_FALSE(got.contains(n));
+}
+
+TEST(Allocator, UnholdRestores) {
+  auto alloc = TorusAllocator::production();
+  const auto total = alloc.free_nodes();
+  NodeId target = 0;
+  while (topology::is_service_node(target)) ++target;
+  alloc.hold_node(target);
+  EXPECT_EQ(alloc.free_nodes(), total - 1);
+  alloc.unhold_node(target);
+  EXPECT_EQ(alloc.free_nodes(), total);
+  // Idempotent.
+  alloc.unhold_node(target);
+  EXPECT_EQ(alloc.free_nodes(), total);
+}
+
+TEST(Allocator, CoolCagePolicyPrefersLowerCages) {
+  auto cool = TorusAllocator::production(PlacementPolicy::kCoolCageFirst);
+  const auto nodes = cool.allocate(4000);
+  ASSERT_TRUE(nodes.has_value());
+  std::array<int, 3> per_cage{};
+  for (const NodeId n : *nodes) {
+    per_cage[static_cast<std::size_t>(topology::locate(n).cage)] += 1;
+  }
+  // 4000 nodes fit entirely in cage 0 (6400-ish compute nodes there).
+  EXPECT_EQ(per_cage[1] + per_cage[2], 0);
+  EXPECT_EQ(per_cage[0], 4000);
+}
+
+TEST(Allocator, RejectsBadMask) {
+  const std::vector<bool> wrong_size(10, true);
+  EXPECT_THROW(TorusAllocator{wrong_size}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace titan::sched

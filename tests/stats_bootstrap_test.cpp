@@ -1,0 +1,74 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace titan::stats {
+namespace {
+
+TEST(Bootstrap, DegenerateInputs) {
+  const auto ci = bootstrap_mean_ci({});
+  EXPECT_EQ(ci.lower, 0.0);
+  EXPECT_EQ(ci.upper, 0.0);
+}
+
+TEST(Bootstrap, RejectsBadParameters) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.95, 5), std::invalid_argument);
+}
+
+TEST(Bootstrap, PointEstimateIsSampleStatistic) {
+  const std::vector<double> xs{2, 4, 6, 8};
+  const auto ci = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.point, 5.0);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+}
+
+TEST(Bootstrap, ConstantSampleCollapsesInterval) {
+  const std::vector<double> xs(50, 7.0);
+  const auto ci = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(ci.lower, 7.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 7.0);
+}
+
+TEST(Bootstrap, CoversTrueMeanMostOfTheTime) {
+  // 50 repetitions of a 95% CI for the mean of Exp(1): coverage should be
+  // well above chance (bootstrap under-covers slightly at n=40).
+  Rng rng{5};
+  int covered = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(sample_exponential(rng, 1.0));
+    const auto ci = bootstrap_mean_ci(xs, 0.95, 500, Rng{static_cast<std::uint64_t>(rep)});
+    if (ci.contains(1.0)) ++covered;
+  }
+  EXPECT_GE(covered, 40);
+}
+
+TEST(Bootstrap, WiderLevelsGiveWiderIntervals) {
+  Rng rng{9};
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(sample_normal(rng, 10.0, 3.0));
+  const auto narrow = bootstrap_mean_ci(xs, 0.80);
+  const auto wide = bootstrap_mean_ci(xs, 0.99);
+  EXPECT_LT(wide.lower, narrow.lower);
+  EXPECT_GT(wide.upper, narrow.upper);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return median(std::vector<double>(s.begin(), s.end())); },
+      0.95, 500, Rng{3});
+  // The median is robust: the CI stays away from the outlier.
+  EXPECT_LT(ci.upper, 1000.0);
+  EXPECT_DOUBLE_EQ(ci.point, 5.5);
+}
+
+}  // namespace
+}  // namespace titan::stats

@@ -1,0 +1,106 @@
+#include "stats/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::stats {
+namespace {
+
+TEST(Calendar, EpochIsZero) {
+  EXPECT_EQ(days_from_civil(CivilDate{1970, 1, 1}), 0);
+  EXPECT_EQ(to_time(CivilDate{1970, 1, 1}), 0);
+}
+
+TEST(Calendar, KnownDates) {
+  // 2013-06-01 00:00:00 UTC == 1370044800 (study start).
+  EXPECT_EQ(to_time(CivilDate{2013, 6, 1}), 1370044800);
+  // 2015-03-01 00:00:00 UTC == 1425168000 (study end, exclusive).
+  EXPECT_EQ(to_time(CivilDate{2015, 3, 1}), 1425168000);
+}
+
+TEST(Calendar, RoundTripThroughDays) {
+  for (std::int64_t day = -1000; day <= 30000; day += 13) {
+    const CivilDate d = civil_from_days(day);
+    EXPECT_EQ(days_from_civil(d), day);
+  }
+}
+
+TEST(Calendar, ToCivilRoundTrip) {
+  const CivilDateTime dt{CivilDate{2014, 2, 28}, 23, 59, 58};
+  EXPECT_EQ(to_civil(to_time(dt)), dt);
+}
+
+TEST(Calendar, LeapYearHandling) {
+  // 2016 is a leap year; 2015 is not; 2000 was; 1900 was not.
+  EXPECT_EQ(days_in_month(to_time(CivilDate{2016, 2, 1})), 29);
+  EXPECT_EQ(days_in_month(to_time(CivilDate{2015, 2, 1})), 28);
+  EXPECT_EQ(days_in_month(to_time(CivilDate{2000, 2, 1})), 29);
+  EXPECT_EQ(days_in_month(to_time(CivilDate{1900, 2, 1})), 28);
+}
+
+TEST(Calendar, MonthIndexWithinStudy) {
+  const TimeSec origin = to_time(CivilDate{2013, 6, 1});
+  EXPECT_EQ(month_index(origin, origin), 0);
+  EXPECT_EQ(month_index(to_time(CivilDate{2013, 6, 30}), origin), 0);
+  EXPECT_EQ(month_index(to_time(CivilDate{2013, 7, 1}), origin), 1);
+  EXPECT_EQ(month_index(to_time(CivilDate{2014, 6, 1}), origin), 12);
+  EXPECT_EQ(month_index(to_time(CivilDate{2015, 2, 28}), origin), 20);
+}
+
+TEST(Calendar, MonthStartInverse) {
+  const TimeSec origin = to_time(CivilDate{2013, 6, 15});
+  EXPECT_EQ(month_start(origin, 0), to_time(CivilDate{2013, 6, 1}));
+  EXPECT_EQ(month_start(origin, 7), to_time(CivilDate{2014, 1, 1}));
+  EXPECT_EQ(month_start(origin, -6), to_time(CivilDate{2012, 12, 1}));
+}
+
+TEST(Calendar, StudyPeriodProperties) {
+  const StudyPeriod period;
+  EXPECT_EQ(period.months(), 21);  // Jun'13 .. Feb'15
+  EXPECT_TRUE(period.contains(period.begin));
+  EXPECT_FALSE(period.contains(period.end));
+  EXPECT_NEAR(period.hours(), 15312.0, 48.0);  // ~638 days
+}
+
+TEST(Calendar, MonthLabelFormat) {
+  EXPECT_EQ(month_label(to_time(CivilDate{2013, 6, 5})), "Jun'13");
+  EXPECT_EQ(month_label(to_time(CivilDate{2015, 2, 1})), "Feb'15");
+  EXPECT_EQ(month_label(to_time(CivilDate{2009, 12, 31})), "Dec'09");
+}
+
+TEST(Calendar, FormatTimestamp) {
+  const TimeSec t = to_time(CivilDateTime{CivilDate{2014, 1, 12}, 13, 45, 1});
+  EXPECT_EQ(format_timestamp(t), "2014-01-12 13:45:01");
+}
+
+TEST(Calendar, ParseTimestampRoundTrip) {
+  for (TimeSec t : {TimeSec{0}, to_time(CivilDate{2013, 6, 1}),
+                    to_time(CivilDateTime{CivilDate{2014, 12, 31}, 23, 59, 59})}) {
+    TimeSec parsed = -1;
+    ASSERT_TRUE(parse_timestamp(format_timestamp(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+class BadTimestamp : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadTimestamp, Rejected) {
+  TimeSec out = 0;
+  EXPECT_FALSE(parse_timestamp(GetParam(), out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadTimestamp,
+                         ::testing::Values("", "2014-01-12", "2014-01-12 13:45",
+                                           "2014-13-12 13:45:01", "2014-01-32 13:45:01",
+                                           "2014-01-12 24:45:01", "2014-01-12 13:60:01",
+                                           "2014-01-12T13:45:01", "14-01-12 13:45:01",
+                                           "2014-01-12 13:45:01 ", "garbage here!!"));
+
+TEST(Calendar, NegativeTimesToCivil) {
+  const CivilDateTime dt = to_civil(-1);
+  EXPECT_EQ(dt.date, (CivilDate{1969, 12, 31}));
+  EXPECT_EQ(dt.hour, 23);
+  EXPECT_EQ(dt.second, 59);
+}
+
+}  // namespace
+}  // namespace titan::stats

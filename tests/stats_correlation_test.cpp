@@ -1,0 +1,161 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  const auto c = pearson(x, y);
+  EXPECT_NEAR(c.coefficient, 1.0, 1e-12);
+  EXPECT_LT(c.p_value, 0.001);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y).coefficient, -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputUndefined) {
+  const std::vector<double> x{3, 3, 3, 3};
+  const std::vector<double> y{1, 2, 3, 4};
+  const auto c = pearson(x, y);
+  EXPECT_EQ(c.coefficient, 0.0);
+  EXPECT_EQ(c.p_value, 1.0);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+}
+
+TEST(Pearson, TooFewPairs) {
+  const std::vector<double> x{1};
+  const std::vector<double> y{2};
+  const auto c = pearson(x, y);
+  EXPECT_EQ(c.coefficient, 0.0);
+  EXPECT_FALSE(c.significant());
+}
+
+TEST(Pearson, KnownValue) {
+  // Hand-computed: x = {1,2,3,4}, y = {1,3,2,5} ->
+  // r = 5.5 / sqrt(5 * 8.75).
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 2, 5};
+  EXPECT_NEAR(pearson(x, y).coefficient, 5.5 / std::sqrt(5.0 * 8.75), 1e-12);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));  // monotone, very nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y).coefficient, 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y).coefficient, 0.8);  // Pearson misses it
+}
+
+TEST(Spearman, HandlesTies) {
+  // With ties the tie-aware formula must still be bounded and symmetric.
+  const std::vector<double> x{1, 1, 2, 2, 3, 3};
+  const std::vector<double> y{1, 2, 2, 3, 3, 4};
+  const auto c = spearman(x, y);
+  EXPECT_GT(c.coefficient, 0.8);
+  EXPECT_LE(c.coefficient, 1.0);
+  EXPECT_NEAR(spearman(y, x).coefficient, c.coefficient, 1e-12);
+}
+
+TEST(Spearman, ManyZerosStillWorks) {
+  // The Fig. 16-19 regime: most jobs have zero SBEs.
+  std::vector<double> metric;
+  std::vector<double> sbe;
+  Rng rng{12};
+  for (int i = 0; i < 1000; ++i) {
+    const double m = rng.uniform(0.0, 100.0);
+    metric.push_back(m);
+    sbe.push_back(m > 90.0 && rng.bernoulli(0.8) ? m / 10.0 : 0.0);
+  }
+  const auto c = spearman(metric, sbe);
+  EXPECT_GT(c.coefficient, 0.2);
+  EXPECT_TRUE(c.significant());
+}
+
+TEST(PValue, LargeSampleSmallCorrelationSignificant) {
+  EXPECT_LT(correlation_p_value(0.1, 10000), 0.05);
+  EXPECT_GT(correlation_p_value(0.1, 20), 0.05);
+}
+
+TEST(PValue, DegenerateInputs) {
+  EXPECT_EQ(correlation_p_value(0.5, 2), 1.0);
+  EXPECT_EQ(correlation_p_value(1.0, 100), 0.0);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a,b) == 1 - I_{1-x}(b,a).
+  for (const double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(2.5, 4.0, x),
+                1.0 - regularized_incomplete_beta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // I_x(1,1) == x.
+  for (const double x : {0.2, 0.4, 0.6, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentT, SymmetricAroundZero) {
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-10);
+  EXPECT_NEAR(student_t_cdf(1.3, 7.0) + student_t_cdf(-1.3, 7.0), 1.0, 1e-10);
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // t_{0.975, 10} = 2.228; t_{0.975, 1} = 12.706.
+  EXPECT_NEAR(student_t_cdf(2.228, 10.0), 0.975, 0.001);
+  EXPECT_NEAR(student_t_cdf(12.706, 1.0), 0.975, 0.001);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  // Phi(1.96) ~= 0.975.
+  EXPECT_NEAR(student_t_cdf(1.96, 100000.0), 0.975, 0.001);
+}
+
+class CorrelationRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationRecovery, RecoversPlantedCorrelation) {
+  // Generate y = rho*x + sqrt(1-rho^2)*noise; Pearson must recover rho.
+  const double rho = GetParam();
+  Rng rng{99};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    const double a = sample_normal(rng);
+    const double b = sample_normal(rng);
+    x.push_back(a);
+    y.push_back(rho * a + std::sqrt(1.0 - rho * rho) * b);
+  }
+  EXPECT_NEAR(pearson(x, y).coefficient, rho, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, CorrelationRecovery,
+                         ::testing::Values(-0.9, -0.5, 0.0, 0.3, 0.57, 0.7, 0.9));
+
+}  // namespace
+}  // namespace titan::stats

@@ -1,0 +1,208 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace titan::stats {
+namespace {
+
+TEST(Exponential, MeanMatchesRate) {
+  Rng rng{1};
+  constexpr double kRate = 0.25;
+  double acc = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) acc += sample_exponential(rng, kRate);
+  EXPECT_NEAR(acc / kN, 1.0 / kRate, 0.1);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng rng{1};
+  EXPECT_THROW((void)sample_exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sample_exponential(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Normal, MomentsMatch) {
+  Rng rng{2};
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_normal(rng, 3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Lognormal, MedianIsExpMu) {
+  Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(sample_lognormal(rng, std::log(5.0), 1.0));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 5.0, 0.3);
+}
+
+class PoissonMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanSweep, MeanAndVarianceMatch) {
+  Rng rng{4};
+  const double mean = GetParam();
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = static_cast<double>(sample_poisson(rng, mean));
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / kN;
+  const double v = sq / kN - m * m;
+  const double tol = std::max(0.05, 4.0 * std::sqrt(mean / kN) + mean * 0.02);
+  EXPECT_NEAR(m, mean, tol);
+  EXPECT_NEAR(v, mean, std::max(0.1, mean * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanSweep,
+                         ::testing::Values(0.01, 0.5, 1.0, 5.0, 29.9, 30.0, 100.0, 1000.0));
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0U);
+}
+
+TEST(Poisson, RejectsNegativeMean) {
+  Rng rng{4};
+  EXPECT_THROW((void)sample_poisson(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Pareto, RespectsScale) {
+  Rng rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sample_pareto(rng, 2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Zipf, FirstRankDominates) {
+  Rng rng{6};
+  const ZipfSampler zipf{100, 1.2};
+  std::vector<int> counts(100, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], kN / 10);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf{50, 0.8};
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.pmf(50), 0.0);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf{10, 0.0};
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(Discrete, FollowsWeights) {
+  Rng rng{7};
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  const DiscreteSampler pick{weights};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[pick(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Discrete, RejectsDegenerateInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(DiscreteSampler{empty}, std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{zeros}, std::invalid_argument);
+  const std::vector<double> negative{1.0, -2.0};
+  EXPECT_THROW(DiscreteSampler{negative}, std::invalid_argument);
+}
+
+TEST(PoissonProcess, CountMatchesRate) {
+  Rng rng{8};
+  const auto times = sample_poisson_process(rng, 2.0, 0.0, 10000.0);
+  EXPECT_NEAR(static_cast<double>(times.size()), 20000.0, 600.0);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (const double t : times) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 10000.0);
+  }
+}
+
+TEST(PoissonProcess, EmptyCases) {
+  Rng rng{8};
+  EXPECT_TRUE(sample_poisson_process(rng, 0.0, 0.0, 10.0).empty());
+  EXPECT_TRUE(sample_poisson_process(rng, 1.0, 10.0, 10.0).empty());
+  EXPECT_TRUE(sample_poisson_process(rng, 1.0, 10.0, 5.0).empty());
+}
+
+TEST(Mmpp2, BlendsBetweenRates) {
+  Rng rng{9};
+  Mmpp2Params params;
+  params.rate_quiet = 0.1;
+  params.rate_burst = 10.0;
+  params.mean_quiet_sojourn = 100.0;
+  params.mean_burst_sojourn = 100.0;
+  const auto times = sample_mmpp2(rng, params, 0.0, 100000.0);
+  // Stationary mean rate = (0.1 + 10) / 2 = 5.05 per unit.
+  EXPECT_GT(times.size(), 100000U * 3);
+  EXPECT_LT(times.size(), 100000U * 8);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST(Mmpp2, BurstierThanPoisson) {
+  Rng rng{10};
+  Mmpp2Params params;
+  params.rate_quiet = 0.01;
+  params.rate_burst = 5.0;
+  params.mean_quiet_sojourn = 500.0;
+  params.mean_burst_sojourn = 50.0;
+  const auto times = sample_mmpp2(rng, params, 0.0, 200000.0);
+  // Index of dispersion of counts in windows of 100 units must exceed 1.
+  std::vector<double> window_counts(2000, 0.0);
+  for (const double t : times) {
+    ++window_counts[static_cast<std::size_t>(t / 100.0)];
+  }
+  const double mean =
+      std::accumulate(window_counts.begin(), window_counts.end(), 0.0) / 2000.0;
+  double var = 0.0;
+  for (const double c : window_counts) var += (c - mean) * (c - mean);
+  var /= 1999.0;
+  EXPECT_GT(var / mean, 2.0);
+}
+
+TEST(Nhpp, ThinningRespectsEnvelope) {
+  Rng rng{11};
+  // Rate ramps linearly 0 -> 1 over [0, 1000): expect ~500 events,
+  // concentrated late.
+  const auto rate = [](double t) { return t / 1000.0; };
+  const auto times = sample_nhpp(rng, rate, 1.0, 0.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(times.size()), 500.0, 90.0);
+  int early = 0;
+  for (const double t : times) {
+    if (t < 500.0) ++early;
+  }
+  EXPECT_LT(early, static_cast<int>(times.size()) / 2);
+}
+
+}  // namespace
+}  // namespace titan::stats

@@ -1,0 +1,93 @@
+#include "stats/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::stats {
+namespace {
+
+std::vector<TimeSec> poisson_times(double rate, TimeSec begin, TimeSec end, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<TimeSec> out;
+  for (const double t : sample_poisson_process(rng, rate, static_cast<double>(begin),
+                                               static_cast<double>(end))) {
+    out.push_back(static_cast<TimeSec>(t));
+  }
+  return out;
+}
+
+std::vector<TimeSec> clustered_times(TimeSec begin, TimeSec end, std::uint64_t seed) {
+  // Bursts of 8 events within 100 s, separated by long quiet gaps.
+  Rng rng{seed};
+  std::vector<TimeSec> out;
+  TimeSec t = begin;
+  while (t < end) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(t + static_cast<TimeSec>(rng.below(100)));
+    }
+    t += 50000 + static_cast<TimeSec>(rng.below(20000));
+  }
+  std::sort(out.begin(), out.end());
+  std::erase_if(out, [&](TimeSec x) { return x >= end; });
+  return out;
+}
+
+TEST(Hazard, DispersionNearOneForPoisson) {
+  const auto times = poisson_times(0.01, 0, 1000000, 1);
+  const double d = dispersion_of_counts(times, 0, 1000000, 10000);
+  EXPECT_GT(d, 0.5);
+  EXPECT_LT(d, 1.8);
+}
+
+TEST(Hazard, DispersionLargeForClustered) {
+  const auto times = clustered_times(0, 1000000, 2);
+  EXPECT_GT(dispersion_of_counts(times, 0, 1000000, 10000), 4.0);
+}
+
+TEST(Hazard, DispersionDegenerateInputs) {
+  EXPECT_EQ(dispersion_of_counts({}, 0, 1000, 100), 0.0);
+  const std::vector<TimeSec> one{5};
+  EXPECT_EQ(dispersion_of_counts(one, 0, 0, 100), 0.0);
+  EXPECT_EQ(dispersion_of_counts(one, 0, 1000, 0), 0.0);
+}
+
+TEST(Hazard, IntensityRatioNearOneForPoisson) {
+  const auto times = poisson_times(0.01, 0, 1000000, 3);
+  const double r = conditional_intensity_ratio(times, 0, 1000000, 100);
+  EXPECT_GT(r, 0.5);
+  EXPECT_LT(r, 1.6);
+}
+
+TEST(Hazard, IntensityRatioElevatedForClustered) {
+  const auto times = clustered_times(0, 1000000, 4);
+  EXPECT_GT(conditional_intensity_ratio(times, 0, 1000000, 200), 3.0);
+}
+
+TEST(Hazard, IntensityRatioDegenerate) {
+  EXPECT_EQ(conditional_intensity_ratio({}, 0, 1000, 10), 0.0);
+  const std::vector<TimeSec> one{5};
+  EXPECT_EQ(conditional_intensity_ratio(one, 0, 1000, 10), 0.0);
+}
+
+TEST(Hazard, KsSmallForExponentialGaps) {
+  Rng rng{5};
+  std::vector<double> gaps;
+  for (int i = 0; i < 5000; ++i) gaps.push_back(sample_exponential(rng, 0.1));
+  EXPECT_LT(ks_vs_exponential(gaps), 0.05);
+}
+
+TEST(Hazard, KsLargeForConstantGaps) {
+  const std::vector<double> gaps(1000, 42.0);
+  EXPECT_GT(ks_vs_exponential(gaps), 0.4);
+}
+
+TEST(Hazard, KsDegenerate) {
+  EXPECT_EQ(ks_vs_exponential({}), 0.0);
+  const std::vector<double> zeros(5, 0.0);
+  EXPECT_EQ(ks_vs_exponential(zeros), 1.0);
+}
+
+}  // namespace
+}  // namespace titan::stats

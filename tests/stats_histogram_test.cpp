@@ -1,0 +1,78 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::stats {
+namespace {
+
+TEST(EdgeHistogram, BinsAndOverflow) {
+  EdgeHistogram h{{0.0, 10.0, 60.0, 600.0}};
+  h.add(-1.0);       // underflow
+  h.add(0.0);        // bin 0 (inclusive low edge)
+  h.add(9.999);      // bin 0
+  h.add(10.0);       // bin 1
+  h.add(599.0);      // bin 2
+  h.add(600.0);      // overflow (exclusive high edge)
+  h.add(1e9);        // overflow
+  EXPECT_EQ(h.bin_count(), 3U);
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(2), 1U);
+  EXPECT_EQ(h.underflow(), 1U);
+  EXPECT_EQ(h.overflow(), 2U);
+  EXPECT_EQ(h.total(), 7U);
+}
+
+TEST(EdgeHistogram, WeightedAdd) {
+  EdgeHistogram h{{0.0, 1.0}};
+  h.add(0.5, 10);
+  EXPECT_EQ(h.count(0), 10U);
+}
+
+TEST(EdgeHistogram, RejectsBadEdges) {
+  EXPECT_THROW(EdgeHistogram{{1.0}}, std::invalid_argument);
+  EXPECT_THROW(EdgeHistogram({3.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(EdgeHistogram({1.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Grid2D, AddAndTotal) {
+  Grid2D g{2, 3};
+  g.add(0, 0);
+  g.add(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(g.total(), 5.0);
+  EXPECT_DOUBLE_EQ(g.max_value(), 4.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 0.0);
+}
+
+TEST(Grid2D, OutOfRangeThrows) {
+  Grid2D g{2, 2};
+  EXPECT_THROW((void)g.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)g.at(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add(5, 5), std::out_of_range);
+}
+
+TEST(Grid2D, EmptyGridRejected) {
+  EXPECT_THROW(Grid2D(0, 3), std::invalid_argument);
+  EXPECT_THROW(Grid2D(3, 0), std::invalid_argument);
+}
+
+TEST(Grid2D, CoefficientOfVariation) {
+  Grid2D uniform{2, 2};
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) uniform.add(r, c, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(uniform.coefficient_of_variation(), 0.0);
+
+  Grid2D skewed{2, 2};
+  skewed.add(0, 0, 100.0);
+  EXPECT_GT(skewed.coefficient_of_variation(), 1.5);
+}
+
+TEST(Grid2D, ZeroGridCovIsZero) {
+  const Grid2D g{3, 3};
+  EXPECT_DOUBLE_EQ(g.coefficient_of_variation(), 0.0);
+}
+
+}  // namespace
+}  // namespace titan::stats

@@ -1,0 +1,96 @@
+#include "stats/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace titan::stats {
+namespace {
+
+constexpr TimeSec kHour = kSecondsPerHour;
+
+TEST(Mtbf, BasicEstimate) {
+  // 4 events over a 400-hour window -> MTBF 100 h.
+  const TimeSec begin = 0;
+  const TimeSec end = 400 * kHour;
+  const std::vector<TimeSec> events{10 * kHour, 110 * kHour, 210 * kHour, 310 * kHour};
+  const auto est = estimate_mtbf(events, begin, end);
+  EXPECT_EQ(est.event_count, 4U);
+  EXPECT_DOUBLE_EQ(est.mtbf_hours, 100.0);
+  EXPECT_DOUBLE_EQ(est.mean_gap_hours, 100.0);
+  EXPECT_DOUBLE_EQ(est.median_gap_hours, 100.0);
+}
+
+TEST(Mtbf, EventsOutsideWindowIgnored) {
+  const std::vector<TimeSec> events{-5 * kHour, 10 * kHour, 500 * kHour};
+  const auto est = estimate_mtbf(events, 0, 400 * kHour);
+  EXPECT_EQ(est.event_count, 1U);
+  EXPECT_DOUBLE_EQ(est.mtbf_hours, 400.0);
+  EXPECT_DOUBLE_EQ(est.mean_gap_hours, 0.0);  // < 2 events in window
+}
+
+TEST(Mtbf, NoEvents) {
+  const auto est = estimate_mtbf({}, 0, 100 * kHour);
+  EXPECT_EQ(est.event_count, 0U);
+  EXPECT_DOUBLE_EQ(est.mtbf_hours, 0.0);
+}
+
+TEST(Mtbf, UnsortedInputHandled) {
+  const std::vector<TimeSec> events{300 * kHour, 100 * kHour, 200 * kHour};
+  const auto est = estimate_mtbf(events, 0, 400 * kHour);
+  EXPECT_DOUBLE_EQ(est.mean_gap_hours, 100.0);
+}
+
+TEST(Mtbf, EmptyWindowThrows) {
+  EXPECT_THROW((void)estimate_mtbf({}, 10, 10), std::invalid_argument);
+}
+
+TEST(InterArrival, ComputesGaps) {
+  const auto gaps = inter_arrival_seconds({100, 10, 40});
+  ASSERT_EQ(gaps.size(), 2U);
+  EXPECT_DOUBLE_EQ(gaps[0], 30.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 60.0);
+}
+
+TEST(InterArrival, FewEvents) {
+  EXPECT_TRUE(inter_arrival_seconds({}).empty());
+  EXPECT_TRUE(inter_arrival_seconds({42}).empty());
+}
+
+TEST(Monthly, BucketsByCalendarMonth) {
+  const TimeSec begin = to_time(CivilDate{2013, 6, 1});
+  const TimeSec end = to_time(CivilDate{2013, 9, 1});
+  const std::vector<TimeSec> events{
+      to_time(CivilDate{2013, 6, 1}),   to_time(CivilDate{2013, 6, 30}),
+      to_time(CivilDate{2013, 8, 15}),  to_time(CivilDate{2013, 5, 31}),  // before window
+      to_time(CivilDate{2013, 9, 1}),                                     // at end: excluded
+  };
+  const auto series = monthly_counts(events, begin, end);
+  ASSERT_EQ(series.counts.size(), 3U);
+  EXPECT_EQ(series.counts[0], 2U);
+  EXPECT_EQ(series.counts[1], 0U);
+  EXPECT_EQ(series.counts[2], 1U);
+  EXPECT_EQ(series.total(), 3U);
+}
+
+TEST(Monthly, LabelsMatchMonths) {
+  const TimeSec begin = to_time(CivilDate{2013, 11, 1});
+  const TimeSec end = to_time(CivilDate{2014, 2, 1});
+  const auto series = monthly_counts({}, begin, end);
+  const auto labels = series.labels();
+  ASSERT_EQ(labels.size(), 3U);
+  EXPECT_EQ(labels[0], "Nov'13");
+  EXPECT_EQ(labels[1], "Dec'13");
+  EXPECT_EQ(labels[2], "Jan'14");
+}
+
+TEST(Monthly, StudyPeriodHas21Buckets) {
+  const StudyPeriod period;
+  const auto series = monthly_counts({}, period.begin, period.end);
+  EXPECT_EQ(series.counts.size(), 21U);
+}
+
+TEST(Monthly, EmptyWindowThrows) {
+  EXPECT_THROW((void)monthly_counts({}, 100, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace titan::stats

@@ -1,0 +1,69 @@
+#include "topology/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace titan::topology {
+namespace {
+
+TEST(Thermal, UpperCagesAreHotter) {
+  const ThermalModel model;
+  NodeLocation loc;
+  const double t0 = model.nominal_gpu_temp_f(loc);
+  loc.cage = 1;
+  const double t1 = model.nominal_gpu_temp_f(loc);
+  loc.cage = 2;
+  const double t2 = model.nominal_gpu_temp_f(loc);
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(Thermal, TopToBottomExceedsTenF) {
+  // Paper: "GPUs in the uppermost cage are on an average more than 10F
+  // hotter than the GPUs in the lowermost cage."
+  const ThermalModel model;
+  EXPECT_GT(model.top_to_bottom_delta_f(), 10.0);
+}
+
+TEST(Thermal, SlotVariationIsSmall) {
+  const ThermalModel model;
+  double min_t = 1e9;
+  double max_t = -1e9;
+  for (int slot = 0; slot < kBladesPerCage; ++slot) {
+    NodeLocation loc;
+    loc.slot = slot;
+    const double t = model.nominal_gpu_temp_f(loc);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_LE(max_t - min_t, model.slot_spread_f + 1e-9);
+}
+
+TEST(Thermal, RateMultiplierMonotoneInCage) {
+  const ThermalModel model;
+  NodeLocation loc;
+  const double m0 = thermal_rate_multiplier(model, loc, 1.5);
+  loc.cage = 2;
+  const double m2 = thermal_rate_multiplier(model, loc, 1.5);
+  EXPECT_DOUBLE_EQ(m0, 1.0);
+  EXPECT_GT(m2, 1.3);
+}
+
+TEST(Thermal, MultiplierMatchesClosedForm) {
+  const ThermalModel model;
+  NodeLocation loc;
+  loc.cage = 2;
+  const double delta = model.per_cage_rise_f * 2.0;
+  EXPECT_NEAR(thermal_rate_multiplier(model, loc, 1.8), std::pow(1.8, delta / 10.0), 1e-12);
+}
+
+TEST(Thermal, UnityFactorMeansNoEffect) {
+  const ThermalModel model;
+  NodeLocation loc;
+  loc.cage = 2;
+  EXPECT_DOUBLE_EQ(thermal_rate_multiplier(model, loc, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace titan::topology

@@ -1,0 +1,112 @@
+#include "topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace titan::topology {
+namespace {
+
+TEST(Torus, DimensionsMatchTitan) {
+  EXPECT_EQ(kTorusX, 25);
+  EXPECT_EQ(kTorusY, 16);
+  EXPECT_EQ(kTorusZ, 24);
+  EXPECT_EQ(kGeminiCount, 9600);
+}
+
+TEST(Torus, FoldedOrderIsPermutation) {
+  std::set<int> seen;
+  for (int t = 0; t < kTorusX; ++t) {
+    const int phys = folded_x_to_physical(t);
+    EXPECT_GE(phys, 0);
+    EXPECT_LT(phys, kTorusX);
+    EXPECT_TRUE(seen.insert(phys).second);
+  }
+}
+
+TEST(Torus, FoldedOrderMatchesCabling) {
+  // 0, 2, 4, ..., 24, 23, 21, ..., 1.
+  EXPECT_EQ(folded_x_to_physical(0), 0);
+  EXPECT_EQ(folded_x_to_physical(1), 2);
+  EXPECT_EQ(folded_x_to_physical(12), 24);
+  EXPECT_EQ(folded_x_to_physical(13), 23);
+  EXPECT_EQ(folded_x_to_physical(24), 1);
+}
+
+TEST(Torus, FoldInverse) {
+  for (int t = 0; t < kTorusX; ++t) {
+    EXPECT_EQ(physical_x_to_folded(folded_x_to_physical(t)), t);
+  }
+}
+
+TEST(Torus, ConsecutiveTorusXAlternatesCabinetParity) {
+  // The root cause of the Fig. 12 pattern: adjacent torus-X positions sit
+  // in physically alternating (even/odd) cabinets.
+  for (int t = 0; t + 1 < kTorusX; ++t) {
+    const int a = folded_x_to_physical(t) % 2;
+    const int b = folded_x_to_physical(t + 1) % 2;
+    if (t == 12) continue;  // the fold's turning point
+    EXPECT_EQ(a, b) << "within each arm parity is constant";
+  }
+  // And the two arms have opposite parity.
+  EXPECT_NE(folded_x_to_physical(0) % 2, folded_x_to_physical(24) % 2);
+}
+
+TEST(Torus, RankRoundTrip) {
+  for (int rank = 0; rank < kGeminiCount; ++rank) {
+    const TorusCoord c = coord_from_rank(rank);
+    EXPECT_TRUE(c.valid());
+    EXPECT_EQ(torus_rank(c), rank);
+  }
+}
+
+TEST(Torus, NodeCoordConsistency) {
+  for (NodeId id = 0; id < kNodeSlots; id += 5) {
+    const TorusCoord c = torus_coord(id);
+    ASSERT_TRUE(c.valid());
+    const auto pair = gemini_nodes(c);
+    EXPECT_TRUE(pair[0] == id || pair[1] == id);
+    EXPECT_EQ(pair[0] + 1, pair[1]);
+  }
+}
+
+TEST(Torus, EveryGeminiCoversTwoNodes) {
+  std::set<NodeId> covered;
+  for (int rank = 0; rank < kGeminiCount; ++rank) {
+    for (const NodeId n : gemini_nodes(coord_from_rank(rank))) {
+      EXPECT_TRUE(covered.insert(n).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), static_cast<std::size_t>(kNodeSlots));
+}
+
+TEST(Torus, HopsAreAMetric) {
+  const TorusCoord a{0, 0, 0};
+  const TorusCoord b{24, 15, 23};
+  EXPECT_EQ(torus_hops(a, a), 0);
+  EXPECT_EQ(torus_hops(a, b), torus_hops(b, a));
+  // Wraparound: x distance 24 is 1 hop around the ring.
+  EXPECT_EQ(torus_hops(a, TorusCoord{24, 0, 0}), 1);
+  EXPECT_EQ(torus_hops(a, TorusCoord{12, 0, 0}), 12);
+  EXPECT_EQ(torus_hops(a, TorusCoord{13, 0, 0}), 12);
+}
+
+TEST(Torus, ContiguousRanksSpanAlternatingCabinets) {
+  // Walk a contiguous rank span longer than one X column (kTorusY *
+  // kTorusZ ranks) and verify it visits at least two different physical
+  // cabinets with non-adjacent x.
+  std::set<int> phys_x;
+  const int span = kTorusY * kTorusZ * 3;
+  for (int rank = 0; rank < span; ++rank) {
+    const auto nodes = gemini_nodes(coord_from_rank(rank));
+    phys_x.insert(locate(nodes[0]).cab_x);
+  }
+  ASSERT_GE(phys_x.size(), 3U);
+  // Physical cabinets 0, 2, 4 -- skipping odd ones -- is the signature.
+  EXPECT_TRUE(phys_x.contains(0));
+  EXPECT_TRUE(phys_x.contains(2));
+  EXPECT_FALSE(phys_x.contains(1));
+}
+
+}  // namespace
+}  // namespace titan::topology

@@ -1,0 +1,135 @@
+#include "xid/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xid/event.hpp"
+
+namespace titan::xid {
+namespace {
+
+TEST(Taxonomy, RegistryIndexedByEnumValue) {
+  for (const auto& e : all_errors()) {
+    EXPECT_EQ(&info(e.kind), &e);
+  }
+  EXPECT_EQ(all_errors().size(), kErrorKindCount);
+}
+
+TEST(Taxonomy, Table1MatchesPaper) {
+  // Paper Table 1: SBE, DBE(48), OTB, 56, 57, 58, 63(/64), 65.
+  const auto rows = table1_hardware();
+  ASSERT_EQ(rows.size(), 8U);
+  EXPECT_EQ(rows[0], ErrorKind::kSingleBitError);
+  EXPECT_EQ(*info(rows[1]).xid, 48);
+  EXPECT_EQ(rows[2], ErrorKind::kOffTheBus);
+  EXPECT_FALSE(info(rows[2]).xid.has_value());
+  EXPECT_EQ(*info(rows[7]).xid, 65);
+}
+
+TEST(Taxonomy, Table2MatchesPaper) {
+  // Paper Table 2 XIDs: 13, 31, 32, 38, 42, 43, 44, 45, 57, 58, 59, 62.
+  const auto rows = table2_software();
+  std::multiset<int> xids;
+  for (const auto kind : rows) xids.insert(*info(kind).xid);
+  EXPECT_EQ(xids, (std::multiset<int>{13, 31, 32, 38, 42, 43, 44, 45, 57, 58, 59, 62}));
+}
+
+TEST(Taxonomy, AmbiguousXidsAppearInBothTables) {
+  // "Some errors may appear in both tables": XIDs 57 and 58.
+  for (const auto kind : {ErrorKind::kVideoMemProgramming, ErrorKind::kUnstableVideoMem}) {
+    EXPECT_EQ(info(kind).klass, ErrorClass::kAmbiguous);
+    EXPECT_TRUE(std::find(table1_hardware().begin(), table1_hardware().end(), kind) !=
+                table1_hardware().end());
+    EXPECT_TRUE(std::find(table2_software().begin(), table2_software().end(), kind) !=
+                table2_software().end());
+  }
+}
+
+TEST(Taxonomy, FromXidLookup) {
+  EXPECT_EQ(from_xid(48), ErrorKind::kDoubleBitError);
+  EXPECT_EQ(from_xid(13), ErrorKind::kGraphicsEngineException);
+  EXPECT_EQ(from_xid(63), ErrorKind::kPageRetirement);
+  EXPECT_EQ(from_xid(999), std::nullopt);
+  EXPECT_EQ(from_xid(-1), std::nullopt);
+}
+
+TEST(Taxonomy, TokenRoundTrip) {
+  for (const auto& e : all_errors()) {
+    const auto parsed = parse_token(token(e.kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e.kind);
+  }
+  EXPECT_EQ(parse_token("XID99"), std::nullopt);
+  EXPECT_EQ(parse_token(""), std::nullopt);
+}
+
+TEST(Taxonomy, SbeNeverCrashes) {
+  EXPECT_FALSE(info(ErrorKind::kSingleBitError).crashes_app);
+}
+
+TEST(Taxonomy, DbeAlwaysCrashes) {
+  // "When a DBE is encountered, SECDED mechanism always crashes the
+  // program."
+  EXPECT_TRUE(info(ErrorKind::kDoubleBitError).crashes_app);
+}
+
+TEST(Taxonomy, UserAppErrorsReportedPerJob) {
+  // Observation 7: user-application errors appear on all job nodes.
+  EXPECT_TRUE(info(ErrorKind::kGraphicsEngineException).reported_per_job);
+  EXPECT_TRUE(info(ErrorKind::kMemoryPageFault).reported_per_job);
+  EXPECT_FALSE(info(ErrorKind::kDoubleBitError).reported_per_job);
+  EXPECT_FALSE(info(ErrorKind::kOffTheBus).reported_per_job);
+}
+
+TEST(Taxonomy, BurstyKindsAreUserAppKinds) {
+  // Observation 6.
+  EXPECT_TRUE(info(ErrorKind::kGraphicsEngineException).bursty);
+  EXPECT_FALSE(info(ErrorKind::kUcHaltOldDriver).bursty);
+  EXPECT_FALSE(info(ErrorKind::kGpuStoppedProcessing).bursty);
+}
+
+TEST(Taxonomy, ThermalKinds) {
+  EXPECT_TRUE(info(ErrorKind::kOffTheBus).thermally_sensitive);
+  EXPECT_TRUE(info(ErrorKind::kDoubleBitError).thermally_sensitive);
+  EXPECT_TRUE(info(ErrorKind::kUcHaltNewDriver).thermally_sensitive);
+  EXPECT_FALSE(info(ErrorKind::kUcHaltOldDriver).thermally_sensitive);
+}
+
+TEST(Taxonomy, StructureTokenRoundTrip) {
+  for (std::size_t i = 0; i < kMemoryStructureCount; ++i) {
+    const auto s = static_cast<MemoryStructure>(i);
+    const auto parsed = parse_structure_token(structure_token(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_EQ(parse_structure_token("BOGUS"), std::nullopt);
+}
+
+TEST(Event, SortOrdersByTimeNodeKind) {
+  std::vector<Event> events(3);
+  events[0].time = 10;
+  events[0].node = 5;
+  events[1].time = 5;
+  events[1].node = 9;
+  events[2].time = 10;
+  events[2].node = 2;
+  sort_events(events);
+  EXPECT_EQ(events[0].time, 5);
+  EXPECT_EQ(events[1].node, 2);
+  EXPECT_EQ(events[2].node, 5);
+}
+
+TEST(Event, TimesOfFiltersKind) {
+  std::vector<Event> events(2);
+  events[0].kind = ErrorKind::kDoubleBitError;
+  events[0].time = 7;
+  events[1].kind = ErrorKind::kOffTheBus;
+  events[1].time = 9;
+  const auto times = times_of(events, ErrorKind::kDoubleBitError);
+  ASSERT_EQ(times.size(), 1U);
+  EXPECT_EQ(times[0], 7);
+}
+
+}  // namespace
+}  // namespace titan::xid
