@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_checkpoint.dir/bench_ext_checkpoint.cpp.o"
+  "CMakeFiles/bench_ext_checkpoint.dir/bench_ext_checkpoint.cpp.o.d"
+  "bench_ext_checkpoint"
+  "bench_ext_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_interruption.dir/bench_ext_interruption.cpp.o"
+  "CMakeFiles/bench_ext_interruption.dir/bench_ext_interruption.cpp.o.d"
+  "bench_ext_interruption"
+  "bench_ext_interruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_topology.dir/bench_fig01_topology.cpp.o"
+  "CMakeFiles/bench_fig01_topology.dir/bench_fig01_topology.cpp.o.d"
+  "bench_fig01_topology"
+  "bench_fig01_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_otb_monthly.dir/bench_fig04_otb_monthly.cpp.o"
+  "CMakeFiles/bench_fig04_otb_monthly.dir/bench_fig04_otb_monthly.cpp.o.d"
+  "bench_fig04_otb_monthly"
+  "bench_fig04_otb_monthly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_otb_monthly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_retirement_after_dbe.dir/bench_fig08_retirement_after_dbe.cpp.o"
+  "CMakeFiles/bench_fig08_retirement_after_dbe.dir/bench_fig08_retirement_after_dbe.cpp.o.d"
+  "bench_fig08_retirement_after_dbe"
+  "bench_fig08_retirement_after_dbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_retirement_after_dbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_retirement_after_dbe.
+# This may be replaced when dependencies are built.

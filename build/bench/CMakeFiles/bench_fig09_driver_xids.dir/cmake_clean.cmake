@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_driver_xids.dir/bench_fig09_driver_xids.cpp.o"
+  "CMakeFiles/bench_fig09_driver_xids.dir/bench_fig09_driver_xids.cpp.o.d"
+  "bench_fig09_driver_xids"
+  "bench_fig09_driver_xids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_driver_xids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

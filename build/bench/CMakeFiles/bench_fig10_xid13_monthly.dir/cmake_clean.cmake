@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_xid13_monthly.dir/bench_fig10_xid13_monthly.cpp.o"
+  "CMakeFiles/bench_fig10_xid13_monthly.dir/bench_fig10_xid13_monthly.cpp.o.d"
+  "bench_fig10_xid13_monthly"
+  "bench_fig10_xid13_monthly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_xid13_monthly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_uc_halt.dir/bench_fig11_uc_halt.cpp.o"
+  "CMakeFiles/bench_fig11_uc_halt.dir/bench_fig11_uc_halt.cpp.o.d"
+  "bench_fig11_uc_halt"
+  "bench_fig11_uc_halt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_uc_halt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sbe_spatial.dir/bench_fig14_sbe_spatial.cpp.o"
+  "CMakeFiles/bench_fig14_sbe_spatial.dir/bench_fig14_sbe_spatial.cpp.o.d"
+  "bench_fig14_sbe_spatial"
+  "bench_fig14_sbe_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sbe_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

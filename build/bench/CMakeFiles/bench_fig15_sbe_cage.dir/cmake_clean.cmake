@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sbe_cage.dir/bench_fig15_sbe_cage.cpp.o"
+  "CMakeFiles/bench_fig15_sbe_cage.dir/bench_fig15_sbe_cage.cpp.o.d"
+  "bench_fig15_sbe_cage"
+  "bench_fig15_sbe_cage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sbe_cage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_maxmem_sbe.dir/bench_fig16_maxmem_sbe.cpp.o"
+  "CMakeFiles/bench_fig16_maxmem_sbe.dir/bench_fig16_maxmem_sbe.cpp.o.d"
+  "bench_fig16_maxmem_sbe"
+  "bench_fig16_maxmem_sbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_maxmem_sbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

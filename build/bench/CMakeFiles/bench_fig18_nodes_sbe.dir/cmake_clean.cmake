@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_nodes_sbe.dir/bench_fig18_nodes_sbe.cpp.o"
+  "CMakeFiles/bench_fig18_nodes_sbe.dir/bench_fig18_nodes_sbe.cpp.o.d"
+  "bench_fig18_nodes_sbe"
+  "bench_fig18_nodes_sbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_nodes_sbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_user_sbe.dir/bench_fig20_user_sbe.cpp.o"
+  "CMakeFiles/bench_fig20_user_sbe.dir/bench_fig20_user_sbe.cpp.o.d"
+  "bench_fig20_user_sbe"
+  "bench_fig20_user_sbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_user_sbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

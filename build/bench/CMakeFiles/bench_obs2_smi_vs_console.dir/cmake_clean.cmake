@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs2_smi_vs_console.dir/bench_obs2_smi_vs_console.cpp.o"
+  "CMakeFiles/bench_obs2_smi_vs_console.dir/bench_obs2_smi_vs_console.cpp.o.d"
+  "bench_obs2_smi_vs_console"
+  "bench_obs2_smi_vs_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs2_smi_vs_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

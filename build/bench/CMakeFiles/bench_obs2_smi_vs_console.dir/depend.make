@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs2_smi_vs_console.
+# This may be replaced when dependencies are built.

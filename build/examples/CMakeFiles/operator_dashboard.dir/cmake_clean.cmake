@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_dashboard.dir/operator_dashboard.cpp.o"
+  "CMakeFiles/operator_dashboard.dir/operator_dashboard.cpp.o.d"
+  "operator_dashboard"
+  "operator_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_policy.dir/placement_policy.cpp.o"
+  "CMakeFiles/placement_policy.dir/placement_policy.cpp.o.d"
+  "placement_policy"
+  "placement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

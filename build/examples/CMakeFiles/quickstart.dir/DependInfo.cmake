@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/titan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/titan_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/titan_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/titan_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/logsim/CMakeFiles/titan_logsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/titan_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/titan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/titan_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/xid/CMakeFiles/titan_xid.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/titan_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

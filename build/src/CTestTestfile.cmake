@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("topology")
+subdirs("xid")
+subdirs("gpu")
+subdirs("fault")
+subdirs("sched")
+subdirs("logsim")
+subdirs("parse")
+subdirs("analysis")
+subdirs("ckpt")
+subdirs("ops")
+subdirs("render")
+subdirs("core")

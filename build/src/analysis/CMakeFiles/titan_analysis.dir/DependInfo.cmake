@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/events_view.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/events_view.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/events_view.cpp.o.d"
+  "/root/repo/src/analysis/frequency.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/frequency.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/frequency.cpp.o.d"
+  "/root/repo/src/analysis/interruption.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/interruption.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/interruption.cpp.o.d"
+  "/root/repo/src/analysis/prediction.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/prediction.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/prediction.cpp.o.d"
+  "/root/repo/src/analysis/reliability_report.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/reliability_report.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/reliability_report.cpp.o.d"
+  "/root/repo/src/analysis/retirement_study.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/retirement_study.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/retirement_study.cpp.o.d"
+  "/root/repo/src/analysis/sbe_study.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/sbe_study.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/sbe_study.cpp.o.d"
+  "/root/repo/src/analysis/spatial.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/spatial.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/spatial.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/utilization.cpp.o.d"
+  "/root/repo/src/analysis/workload_char.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/workload_char.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/workload_char.cpp.o.d"
+  "/root/repo/src/analysis/xid_matrix.cpp" "src/analysis/CMakeFiles/titan_analysis.dir/xid_matrix.cpp.o" "gcc" "src/analysis/CMakeFiles/titan_analysis.dir/xid_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/titan_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xid/CMakeFiles/titan_xid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/titan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/titan_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/titan_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/logsim/CMakeFiles/titan_logsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/titan_parse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

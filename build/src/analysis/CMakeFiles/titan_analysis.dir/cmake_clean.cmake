@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_analysis.dir/events_view.cpp.o"
+  "CMakeFiles/titan_analysis.dir/events_view.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/frequency.cpp.o"
+  "CMakeFiles/titan_analysis.dir/frequency.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/interruption.cpp.o"
+  "CMakeFiles/titan_analysis.dir/interruption.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/prediction.cpp.o"
+  "CMakeFiles/titan_analysis.dir/prediction.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/reliability_report.cpp.o"
+  "CMakeFiles/titan_analysis.dir/reliability_report.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/retirement_study.cpp.o"
+  "CMakeFiles/titan_analysis.dir/retirement_study.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/sbe_study.cpp.o"
+  "CMakeFiles/titan_analysis.dir/sbe_study.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/spatial.cpp.o"
+  "CMakeFiles/titan_analysis.dir/spatial.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/titan_analysis.dir/utilization.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/workload_char.cpp.o"
+  "CMakeFiles/titan_analysis.dir/workload_char.cpp.o.d"
+  "CMakeFiles/titan_analysis.dir/xid_matrix.cpp.o"
+  "CMakeFiles/titan_analysis.dir/xid_matrix.cpp.o.d"
+  "libtitan_analysis.a"
+  "libtitan_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/daly.cpp" "src/ckpt/CMakeFiles/titan_ckpt.dir/daly.cpp.o" "gcc" "src/ckpt/CMakeFiles/titan_ckpt.dir/daly.cpp.o.d"
+  "/root/repo/src/ckpt/replay.cpp" "src/ckpt/CMakeFiles/titan_ckpt.dir/replay.cpp.o" "gcc" "src/ckpt/CMakeFiles/titan_ckpt.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

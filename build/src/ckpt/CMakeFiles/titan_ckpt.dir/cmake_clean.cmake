@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_ckpt.dir/daly.cpp.o"
+  "CMakeFiles/titan_ckpt.dir/daly.cpp.o.d"
+  "CMakeFiles/titan_ckpt.dir/replay.cpp.o"
+  "CMakeFiles/titan_ckpt.dir/replay.cpp.o.d"
+  "libtitan_ckpt.a"
+  "libtitan_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

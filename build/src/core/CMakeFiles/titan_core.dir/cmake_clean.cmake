@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_core.dir/facility.cpp.o"
+  "CMakeFiles/titan_core.dir/facility.cpp.o.d"
+  "libtitan_core.a"
+  "libtitan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

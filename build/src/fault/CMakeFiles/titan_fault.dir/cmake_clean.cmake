@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_fault.dir/campaign.cpp.o"
+  "CMakeFiles/titan_fault.dir/campaign.cpp.o.d"
+  "CMakeFiles/titan_fault.dir/hotspare.cpp.o"
+  "CMakeFiles/titan_fault.dir/hotspare.cpp.o.d"
+  "CMakeFiles/titan_fault.dir/propensity.cpp.o"
+  "CMakeFiles/titan_fault.dir/propensity.cpp.o.d"
+  "libtitan_fault.a"
+  "libtitan_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

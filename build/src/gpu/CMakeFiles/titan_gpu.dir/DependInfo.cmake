@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/card.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/card.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/card.cpp.o.d"
+  "/root/repo/src/gpu/fleet.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/fleet.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/fleet.cpp.o.d"
+  "/root/repo/src/gpu/inforom.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/inforom.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/inforom.cpp.o.d"
+  "/root/repo/src/gpu/k20x.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/k20x.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/k20x.cpp.o.d"
+  "/root/repo/src/gpu/retirement.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/retirement.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/retirement.cpp.o.d"
+  "/root/repo/src/gpu/secded.cpp" "src/gpu/CMakeFiles/titan_gpu.dir/secded.cpp.o" "gcc" "src/gpu/CMakeFiles/titan_gpu.dir/secded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/titan_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xid/CMakeFiles/titan_xid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

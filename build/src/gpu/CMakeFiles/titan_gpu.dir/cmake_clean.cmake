@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_gpu.dir/card.cpp.o"
+  "CMakeFiles/titan_gpu.dir/card.cpp.o.d"
+  "CMakeFiles/titan_gpu.dir/fleet.cpp.o"
+  "CMakeFiles/titan_gpu.dir/fleet.cpp.o.d"
+  "CMakeFiles/titan_gpu.dir/inforom.cpp.o"
+  "CMakeFiles/titan_gpu.dir/inforom.cpp.o.d"
+  "CMakeFiles/titan_gpu.dir/k20x.cpp.o"
+  "CMakeFiles/titan_gpu.dir/k20x.cpp.o.d"
+  "CMakeFiles/titan_gpu.dir/retirement.cpp.o"
+  "CMakeFiles/titan_gpu.dir/retirement.cpp.o.d"
+  "CMakeFiles/titan_gpu.dir/secded.cpp.o"
+  "CMakeFiles/titan_gpu.dir/secded.cpp.o.d"
+  "libtitan_gpu.a"
+  "libtitan_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

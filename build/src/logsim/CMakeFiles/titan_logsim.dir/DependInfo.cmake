@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logsim/console.cpp" "src/logsim/CMakeFiles/titan_logsim.dir/console.cpp.o" "gcc" "src/logsim/CMakeFiles/titan_logsim.dir/console.cpp.o.d"
+  "/root/repo/src/logsim/joblog.cpp" "src/logsim/CMakeFiles/titan_logsim.dir/joblog.cpp.o" "gcc" "src/logsim/CMakeFiles/titan_logsim.dir/joblog.cpp.o.d"
+  "/root/repo/src/logsim/smi.cpp" "src/logsim/CMakeFiles/titan_logsim.dir/smi.cpp.o" "gcc" "src/logsim/CMakeFiles/titan_logsim.dir/smi.cpp.o.d"
+  "/root/repo/src/logsim/smi_text.cpp" "src/logsim/CMakeFiles/titan_logsim.dir/smi_text.cpp.o" "gcc" "src/logsim/CMakeFiles/titan_logsim.dir/smi_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/titan_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xid/CMakeFiles/titan_xid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/titan_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/titan_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/titan_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

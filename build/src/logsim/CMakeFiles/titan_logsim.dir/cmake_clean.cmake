@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_logsim.dir/console.cpp.o"
+  "CMakeFiles/titan_logsim.dir/console.cpp.o.d"
+  "CMakeFiles/titan_logsim.dir/joblog.cpp.o"
+  "CMakeFiles/titan_logsim.dir/joblog.cpp.o.d"
+  "CMakeFiles/titan_logsim.dir/smi.cpp.o"
+  "CMakeFiles/titan_logsim.dir/smi.cpp.o.d"
+  "CMakeFiles/titan_logsim.dir/smi_text.cpp.o"
+  "CMakeFiles/titan_logsim.dir/smi_text.cpp.o.d"
+  "libtitan_logsim.a"
+  "libtitan_logsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_logsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_ops.dir/health.cpp.o"
+  "CMakeFiles/titan_ops.dir/health.cpp.o.d"
+  "libtitan_ops.a"
+  "libtitan_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_parse.dir/console.cpp.o"
+  "CMakeFiles/titan_parse.dir/console.cpp.o.d"
+  "CMakeFiles/titan_parse.dir/filter.cpp.o"
+  "CMakeFiles/titan_parse.dir/filter.cpp.o.d"
+  "CMakeFiles/titan_parse.dir/sec.cpp.o"
+  "CMakeFiles/titan_parse.dir/sec.cpp.o.d"
+  "libtitan_parse.a"
+  "libtitan_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_render.dir/ascii.cpp.o"
+  "CMakeFiles/titan_render.dir/ascii.cpp.o.d"
+  "libtitan_render.a"
+  "libtitan_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

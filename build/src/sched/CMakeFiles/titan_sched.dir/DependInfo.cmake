@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocator.cpp" "src/sched/CMakeFiles/titan_sched.dir/allocator.cpp.o" "gcc" "src/sched/CMakeFiles/titan_sched.dir/allocator.cpp.o.d"
+  "/root/repo/src/sched/job.cpp" "src/sched/CMakeFiles/titan_sched.dir/job.cpp.o" "gcc" "src/sched/CMakeFiles/titan_sched.dir/job.cpp.o.d"
+  "/root/repo/src/sched/users.cpp" "src/sched/CMakeFiles/titan_sched.dir/users.cpp.o" "gcc" "src/sched/CMakeFiles/titan_sched.dir/users.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/titan_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/titan_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/titan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/titan_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xid/CMakeFiles/titan_xid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_sched.dir/allocator.cpp.o"
+  "CMakeFiles/titan_sched.dir/allocator.cpp.o.d"
+  "CMakeFiles/titan_sched.dir/job.cpp.o"
+  "CMakeFiles/titan_sched.dir/job.cpp.o.d"
+  "CMakeFiles/titan_sched.dir/users.cpp.o"
+  "CMakeFiles/titan_sched.dir/users.cpp.o.d"
+  "CMakeFiles/titan_sched.dir/workload.cpp.o"
+  "CMakeFiles/titan_sched.dir/workload.cpp.o.d"
+  "libtitan_sched.a"
+  "libtitan_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

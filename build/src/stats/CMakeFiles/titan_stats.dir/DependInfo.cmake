@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/titan_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/calendar.cpp" "src/stats/CMakeFiles/titan_stats.dir/calendar.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/calendar.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/titan_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/titan_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/titan_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/hazard.cpp" "src/stats/CMakeFiles/titan_stats.dir/hazard.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/hazard.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/titan_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/reliability.cpp" "src/stats/CMakeFiles/titan_stats.dir/reliability.cpp.o" "gcc" "src/stats/CMakeFiles/titan_stats.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/titan_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/calendar.cpp.o"
+  "CMakeFiles/titan_stats.dir/calendar.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/correlation.cpp.o"
+  "CMakeFiles/titan_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/titan_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/distributions.cpp.o"
+  "CMakeFiles/titan_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/hazard.cpp.o"
+  "CMakeFiles/titan_stats.dir/hazard.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/histogram.cpp.o"
+  "CMakeFiles/titan_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/titan_stats.dir/reliability.cpp.o"
+  "CMakeFiles/titan_stats.dir/reliability.cpp.o.d"
+  "libtitan_stats.a"
+  "libtitan_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_topology.dir/machine.cpp.o"
+  "CMakeFiles/titan_topology.dir/machine.cpp.o.d"
+  "libtitan_topology.a"
+  "libtitan_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/titan_xid.dir/event.cpp.o"
+  "CMakeFiles/titan_xid.dir/event.cpp.o.d"
+  "CMakeFiles/titan_xid.dir/taxonomy.cpp.o"
+  "CMakeFiles/titan_xid.dir/taxonomy.cpp.o.d"
+  "libtitan_xid.a"
+  "libtitan_xid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/titan_xid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

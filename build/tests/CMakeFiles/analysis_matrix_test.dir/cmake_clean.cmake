@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_matrix_test.dir/analysis_matrix_test.cpp.o"
+  "CMakeFiles/analysis_matrix_test.dir/analysis_matrix_test.cpp.o.d"
+  "analysis_matrix_test"
+  "analysis_matrix_test.pdb"
+  "analysis_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_prediction_test.dir/analysis_prediction_test.cpp.o"
+  "CMakeFiles/analysis_prediction_test.dir/analysis_prediction_test.cpp.o.d"
+  "analysis_prediction_test"
+  "analysis_prediction_test.pdb"
+  "analysis_prediction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

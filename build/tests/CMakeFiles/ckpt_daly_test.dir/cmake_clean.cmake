@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_daly_test.dir/ckpt_daly_test.cpp.o"
+  "CMakeFiles/ckpt_daly_test.dir/ckpt_daly_test.cpp.o.d"
+  "ckpt_daly_test"
+  "ckpt_daly_test.pdb"
+  "ckpt_daly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_daly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_replay_test.dir/ckpt_replay_test.cpp.o"
+  "CMakeFiles/ckpt_replay_test.dir/ckpt_replay_test.cpp.o.d"
+  "ckpt_replay_test"
+  "ckpt_replay_test.pdb"
+  "ckpt_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_hotspare_test.dir/fault_hotspare_test.cpp.o"
+  "CMakeFiles/fault_hotspare_test.dir/fault_hotspare_test.cpp.o.d"
+  "fault_hotspare_test"
+  "fault_hotspare_test.pdb"
+  "fault_hotspare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_hotspare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_propensity_test.dir/fault_propensity_test.cpp.o"
+  "CMakeFiles/fault_propensity_test.dir/fault_propensity_test.cpp.o.d"
+  "fault_propensity_test"
+  "fault_propensity_test.pdb"
+  "fault_propensity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_propensity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

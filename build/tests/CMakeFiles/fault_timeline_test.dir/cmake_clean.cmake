@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_timeline_test.dir/fault_timeline_test.cpp.o"
+  "CMakeFiles/fault_timeline_test.dir/fault_timeline_test.cpp.o.d"
+  "fault_timeline_test"
+  "fault_timeline_test.pdb"
+  "fault_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

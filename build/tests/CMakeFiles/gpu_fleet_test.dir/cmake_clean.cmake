@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_fleet_test.dir/gpu_fleet_test.cpp.o"
+  "CMakeFiles/gpu_fleet_test.dir/gpu_fleet_test.cpp.o.d"
+  "gpu_fleet_test"
+  "gpu_fleet_test.pdb"
+  "gpu_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_retirement_test.dir/gpu_retirement_test.cpp.o"
+  "CMakeFiles/gpu_retirement_test.dir/gpu_retirement_test.cpp.o.d"
+  "gpu_retirement_test"
+  "gpu_retirement_test.pdb"
+  "gpu_retirement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_retirement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

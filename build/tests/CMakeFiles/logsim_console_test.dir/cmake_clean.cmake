@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_console_test.dir/logsim_console_test.cpp.o"
+  "CMakeFiles/logsim_console_test.dir/logsim_console_test.cpp.o.d"
+  "logsim_console_test"
+  "logsim_console_test.pdb"
+  "logsim_console_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_console_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_smi_test.dir/logsim_smi_test.cpp.o"
+  "CMakeFiles/logsim_smi_test.dir/logsim_smi_test.cpp.o.d"
+  "logsim_smi_test"
+  "logsim_smi_test.pdb"
+  "logsim_smi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_smi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

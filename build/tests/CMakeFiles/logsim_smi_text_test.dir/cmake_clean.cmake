@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logsim_smi_text_test.dir/logsim_smi_text_test.cpp.o"
+  "CMakeFiles/logsim_smi_text_test.dir/logsim_smi_text_test.cpp.o.d"
+  "logsim_smi_text_test"
+  "logsim_smi_text_test.pdb"
+  "logsim_smi_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logsim_smi_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

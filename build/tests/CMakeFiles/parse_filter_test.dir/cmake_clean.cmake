@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_filter_test.dir/parse_filter_test.cpp.o"
+  "CMakeFiles/parse_filter_test.dir/parse_filter_test.cpp.o.d"
+  "parse_filter_test"
+  "parse_filter_test.pdb"
+  "parse_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

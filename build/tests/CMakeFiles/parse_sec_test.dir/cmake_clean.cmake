@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_sec_test.dir/parse_sec_test.cpp.o"
+  "CMakeFiles/parse_sec_test.dir/parse_sec_test.cpp.o.d"
+  "parse_sec_test"
+  "parse_sec_test.pdb"
+  "parse_sec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_sec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_ascii_test.dir/render_ascii_test.cpp.o"
+  "CMakeFiles/render_ascii_test.dir/render_ascii_test.cpp.o.d"
+  "render_ascii_test"
+  "render_ascii_test.pdb"
+  "render_ascii_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_ascii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_allocator_test.dir/sched_allocator_test.cpp.o"
+  "CMakeFiles/sched_allocator_test.dir/sched_allocator_test.cpp.o.d"
+  "sched_allocator_test"
+  "sched_allocator_test.pdb"
+  "sched_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_workload_test.dir/sched_workload_test.cpp.o"
+  "CMakeFiles/sched_workload_test.dir/sched_workload_test.cpp.o.d"
+  "sched_workload_test"
+  "sched_workload_test.pdb"
+  "sched_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_calendar_test.dir/stats_calendar_test.cpp.o"
+  "CMakeFiles/stats_calendar_test.dir/stats_calendar_test.cpp.o.d"
+  "stats_calendar_test"
+  "stats_calendar_test.pdb"
+  "stats_calendar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_hazard_test.dir/stats_hazard_test.cpp.o"
+  "CMakeFiles/stats_hazard_test.dir/stats_hazard_test.cpp.o.d"
+  "stats_hazard_test"
+  "stats_hazard_test.pdb"
+  "stats_hazard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_hazard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

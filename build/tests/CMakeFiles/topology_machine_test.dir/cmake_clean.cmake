@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_machine_test.dir/topology_machine_test.cpp.o"
+  "CMakeFiles/topology_machine_test.dir/topology_machine_test.cpp.o.d"
+  "topology_machine_test"
+  "topology_machine_test.pdb"
+  "topology_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

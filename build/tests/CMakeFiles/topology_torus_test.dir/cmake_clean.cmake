@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_torus_test.dir/topology_torus_test.cpp.o"
+  "CMakeFiles/topology_torus_test.dir/topology_torus_test.cpp.o.d"
+  "topology_torus_test"
+  "topology_torus_test.pdb"
+  "topology_torus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_torus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xid_taxonomy_test.dir/xid_taxonomy_test.cpp.o"
+  "CMakeFiles/xid_taxonomy_test.dir/xid_taxonomy_test.cpp.o.d"
+  "xid_taxonomy_test"
+  "xid_taxonomy_test.pdb"
+  "xid_taxonomy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xid_taxonomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
