@@ -3,18 +3,29 @@
 // correlation statistics, topology math, and a small end-to-end study.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "core/facility.hpp"
 #include "gpu/secded.hpp"
 #include "logsim/console.hpp"
+#include "par/pool.hpp"
 #include "parse/console.hpp"
 #include "parse/filter.hpp"
 #include "stats/correlation.hpp"
 #include "stats/distributions.hpp"
+#include "topology/machine.hpp"
 #include "topology/torus.hpp"
 
 namespace {
 
 using namespace titan;
+
+/// Simulated compute node-hours per study run: the natural throughput unit
+/// for the campaign pipeline (the paper's dataset is 280M node-hours).
+[[nodiscard]] std::int64_t simulated_node_hours(const core::FacilityConfig& config) {
+  return static_cast<std::int64_t>(topology::kComputeNodes) *
+         (config.period.duration() / stats::kSecondsPerHour);
+}
 
 void BM_SecdedEncode(benchmark::State& state) {
   stats::Rng rng{1};
@@ -124,7 +135,32 @@ void BM_QuickStudyEndToEnd(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::run_study(core::quick_config(42)));
   }
+  // items/sec == simulated node-hours/sec.
+  state.SetItemsProcessed(state.iterations() * simulated_node_hours(core::quick_config(42)));
 }
-BENCHMARK(BM_QuickStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_QuickStudyEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignThreads(benchmark::State& state) {
+  // The quick study at a fixed pool width: the scaling curve of the
+  // titan::par fault-campaign parallelization (output is byte-identical
+  // across widths; only wall-clock may change).
+  par::set_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_study(core::quick_config(42)));
+  }
+  par::set_threads(par::default_thread_count());
+  state.SetItemsProcessed(state.iterations() * simulated_node_hours(core::quick_config(42)));
+}
+BENCHMARK(BM_CampaignThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FullStudyEndToEnd(benchmark::State& state) {
+  // The canonical 21-month default_config campaign every figure bench
+  // replays -- the headline number for pipeline optimizations.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_study(core::default_config(42)));
+  }
+  state.SetItemsProcessed(state.iterations() * simulated_node_hours(core::default_config(42)));
+}
+BENCHMARK(BM_FullStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace

@@ -5,10 +5,13 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <queue>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "fault/hotspare.hpp"
+#include "par/parallel.hpp"
 #include "stats/distributions.hpp"
 #include "topology/torus.hpp"
 
@@ -24,6 +27,14 @@ using xid::Event;
 using xid::MemoryStructure;
 
 constexpr double kSecondsPerDayD = 86400.0;
+
+/// Cards per parallel task in the per-card phases.  Most cards do little
+/// work (a handful of reboot ops), so batches must be large enough to
+/// amortize dispatch; the SBE-prone minority dominates runtime anyway.
+constexpr std::size_t kCardGrain = 64;
+/// Jobs per parallel task in the software-XID phase (most jobs are not
+/// debug jobs and cost one branch).
+constexpr std::size_t kJobGrain = 256;
 
 /// A card's tenure in a node.
 struct Stint {
@@ -41,17 +52,29 @@ struct HardwareStrike {
   std::uint32_t page = 0;
 };
 
+/// Per-card output of the parallel ECC phase (phase D).  Event parent
+/// links are indices local to `events`; they are rebased into the global
+/// provisional index space during phase F stream assembly.
+struct CardEcc {
+  std::vector<Event> events;
+  std::vector<SbeStrike> sbe_strikes;  ///< time-sorted (ops run in time order)
+};
+
 [[nodiscard]] TimeSec to_timesec(double seconds) {
   return static_cast<TimeSec>(std::llround(seconds));
 }
 
-/// All compute NodeIds, ascending.
-[[nodiscard]] std::vector<NodeId> compute_nodes() {
-  std::vector<NodeId> nodes;
-  nodes.reserve(static_cast<std::size_t>(topology::kComputeNodes));
-  for (NodeId n = 0; n < topology::kNodeSlots; ++n) {
-    if (!topology::is_service_node(n)) nodes.push_back(n);
-  }
+/// All compute NodeIds, ascending.  Built once per process: membership is
+/// a property of the machine geometry, not of any one campaign.
+[[nodiscard]] const std::vector<NodeId>& compute_nodes() {
+  static const std::vector<NodeId> nodes = [] {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<std::size_t>(topology::kComputeNodes));
+    for (NodeId n = 0; n < topology::kNodeSlots; ++n) {
+      if (!topology::is_service_node(n)) out.push_back(n);
+    }
+    return out;
+  }();
   return nodes;
 }
 
@@ -86,6 +109,43 @@ struct HardwareStrike {
   return lo + static_cast<TimeSec>(rng.below(static_cast<std::uint64_t>(hi - lo)));
 }
 
+/// Deterministic k-way merge of per-stream time-sorted sequences.
+/// `size(s)` and `time(s, i)` describe stream s; `emit(s, i)` receives
+/// every element exactly once, ordered by (time, stream index) with
+/// within-stream order preserved.  Because the tie-break is structural
+/// (stream index, i.e. provisional order), the merge output is identical
+/// to a global stable_sort-by-time of the streams' concatenation -- and
+/// independent of how many threads produced the streams.
+template <typename SizeFn, typename TimeFn, typename EmitFn>
+void kway_merge(std::size_t stream_count, const SizeFn& size, const TimeFn& time,
+                const EmitFn& emit) {
+  struct Cursor {
+    TimeSec time = 0;
+    std::uint32_t stream = 0;
+    std::uint32_t pos = 0;
+  };
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.stream > b.stream;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap{later};
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    if (size(s) > 0) {
+      heap.push(Cursor{time(s, 0), static_cast<std::uint32_t>(s), 0});
+    }
+  }
+  while (!heap.empty()) {
+    const Cursor top = heap.top();
+    heap.pop();
+    emit(top.stream, top.pos);
+    const std::size_t next = static_cast<std::size_t>(top.pos) + 1;
+    if (next < size(top.stream)) {
+      heap.push(Cursor{time(top.stream, next), top.stream,
+                       static_cast<std::uint32_t>(next)});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<CardTraits> initialize_fleet(gpu::Fleet& fleet, stats::TimeSec when,
@@ -107,10 +167,10 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   const auto& period = params.period;
   const auto& timeline = params.timeline;
   const FaultModelParams& model = params.model;
-  const std::vector<NodeId> nodes = compute_nodes();
+  const std::vector<NodeId>& nodes = compute_nodes();
+  const double window_days = static_cast<double>(period.duration()) / kSecondsPerDayD;
 
   CampaignResult result;
-  std::vector<Event> events;  // parent = provisional index into this vector
 
   // Per-card stints; replacements appended as they are procured.
   std::vector<std::vector<Stint>> stints(traits.size());
@@ -124,6 +184,9 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   // -------------------------------------------------------------------------
   auto dbe_rng = rng.fork("dbe");
   std::vector<HardwareStrike> dbe_strikes;
+  dbe_strikes.reserve(static_cast<std::size_t>(
+                          1.25 * window_days * 24.0 / model.dbe_mtbf_hours) +
+                      16);
   {
     std::vector<double> weights;
     weights.reserve(nodes.size());
@@ -147,8 +210,12 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       }
       dbe_strikes.push_back(s);
     }
-    std::sort(dbe_strikes.begin(), dbe_strikes.end(),
-              [](const auto& a, const auto& b) { return a.time < b.time; });
+    // (time, node) key: equal-timestamp ordering is deterministic by
+    // construction, not by the sort implementation's tie behaviour.
+    std::stable_sort(dbe_strikes.begin(), dbe_strikes.end(), [](const auto& a, const auto& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.node < b.node;
+    });
   }
 
   // -------------------------------------------------------------------------
@@ -198,6 +265,12 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   // -------------------------------------------------------------------------
   auto otb_rng = rng.fork("otb");
   std::vector<HardwareStrike> otb_strikes;
+  otb_strikes.reserve(static_cast<std::size_t>(
+                          1.25 * (static_cast<double>(nodes.size()) *
+                                      model.otb_defect_probability *
+                                      model.otb_manifest_probability +
+                                  model.otb_residual_per_day * window_days)) +
+                      16);
   {
     // Epidemic era: each defective original card may manifest once, with
     // probability scaled by its cage temperature (normalized to the middle
@@ -227,12 +300,14 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       s.node = nodes[otb_rng.below(nodes.size())];
       otb_strikes.push_back(s);
     }
-    std::sort(otb_strikes.begin(), otb_strikes.end(),
-              [](const auto& a, const auto& b) { return a.time < b.time; });
+    std::stable_sort(otb_strikes.begin(), otb_strikes.end(), [](const auto& a, const auto& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.node < b.node;
+    });
   }
 
   // -------------------------------------------------------------------------
-  // Phase D: per-card chronological ECC processing.
+  // Phase D: per-card chronological ECC processing (parallel).
   // -------------------------------------------------------------------------
   // Index DBE strikes and crash reboots by node.
   std::unordered_map<NodeId, std::vector<HardwareStrike>> dbe_by_node;
@@ -271,13 +346,18 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     return model.sbe_idle_acceptance + model.sbe_duty_acceptance * duty;
   };
 
+  // Each card owns its forked `ecc/card/<serial>` stream, its own GpuCard
+  // and its own output vectors, so cards are processed concurrently and
+  // the result is independent of thread count by construction.
   auto ecc_rng = rng.fork("ecc");
-  for (std::size_t serial = 0; serial < traits.size(); ++serial) {
+  const auto process_card = [&](std::size_t serial) -> CardEcc {
+    CardEcc out;
     const CardTraits& trait = traits[serial];
     gpu::GpuCard& card = fleet.card(static_cast<CardId>(serial));
     auto card_rng = ecc_rng.fork("card", serial);
 
     std::vector<Op> ops;
+    ops.reserve(maintenance.size() + 4 * trait.weak_cells.size() + 8);
     bool card_has_dbe = false;
     for (const Stint& stint : stints[serial]) {
       const auto from_d = static_cast<double>(stint.from);
@@ -341,7 +421,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
         for (const TimeSec t : it->second) add_reboot(t);
       }
     }
-    if (ops.empty() && !card_has_dbe) continue;
+    if (ops.empty() && !card_has_dbe) return out;
     if (timeline.retirement_enabled(period.begin)) {
       card.retirement().set_enabled(true);
     } else {
@@ -376,7 +456,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
           strike.structure = op.structure;
           strike.page = op.page;
           strike.from_weak_cell = op.weak;
-          result.sbe_strikes.push_back(strike);
+          out.sbe_strikes.push_back(strike);
           if (outcome.retirement) {
             const TimeSec when = op.time + 5 + static_cast<TimeSec>(card_rng.below(55));
             if (period.contains(when)) {
@@ -387,7 +467,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
               ev.kind = outcome.retirement_recorded ? ErrorKind::kPageRetirement
                                                     : ErrorKind::kPageRetirementFailed;
               ev.structure = MemoryStructure::kDeviceMemory;
-              events.push_back(ev);
+              out.events.push_back(ev);
             }
           }
           break;
@@ -404,8 +484,8 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
           dbe_ev.card = static_cast<CardId>(serial);
           dbe_ev.kind = ErrorKind::kDoubleBitError;
           dbe_ev.structure = op.structure;
-          events.push_back(dbe_ev);
-          const auto dbe_index = static_cast<std::int64_t>(events.size()) - 1;
+          out.events.push_back(dbe_ev);
+          const auto dbe_index = static_cast<std::int64_t>(out.events.size()) - 1;
 
           if (outcome.retirement && card_rng.bernoulli(model.retirement_logged_after_dbe)) {
             const TimeSec when =
@@ -422,7 +502,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
                             : ErrorKind::kPageRetirementFailed;
               ev.structure = MemoryStructure::kDeviceMemory;
               ev.parent = dbe_index;
-              events.push_back(ev);
+              out.events.push_back(ev);
             }
           }
           // Preemptive cleanup often follows a DBE (Fig. 13: 48 -> 45).
@@ -435,34 +515,32 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
               ev.card = static_cast<CardId>(serial);
               ev.kind = ErrorKind::kPreemptiveCleanup;
               ev.parent = dbe_index;
-              events.push_back(ev);
+              out.events.push_back(ev);
             }
           }
           break;
         }
       }
     }
-  }
-
-  // OTB events (app-fatal, isolated; no InfoROM involvement).
-  for (const auto& s : otb_strikes) {
-    Event ev;
-    ev.time = s.time;
-    ev.node = s.node;
-    ev.card = fleet.ledger().card_at(s.node, s.time);
-    ev.kind = ErrorKind::kOffTheBus;
-    events.push_back(ev);
-  }
+    return out;
+  };
+  std::vector<CardEcc> per_card = par::parallel_map(0, traits.size(), kCardGrain, process_card);
 
   // -------------------------------------------------------------------------
   // Phase E: software / firmware / application XIDs.
   // -------------------------------------------------------------------------
   auto sw_rng = rng.fork("software");
+  const auto& jobs = trace.jobs();
 
   // Debug-job crashes: user-application XIDs reported on every node of the
-  // job within the five-second propagation window (Observation 7).
-  for (const auto& job : trace.jobs()) {
-    if (!job.debug || job.nodes.empty()) continue;
+  // job within the five-second propagation window (Observation 7).  Each
+  // job draws only from its own `software/debug-job/<id>` fork, so jobs
+  // are generated concurrently; parent links are local to each job's
+  // vector and rebased on concatenation.
+  const auto process_job = [&](std::size_t j) -> std::vector<Event> {
+    std::vector<Event> out;
+    const auto& job = jobs[j];
+    if (!job.debug || job.nodes.empty()) return out;
     auto job_rng = sw_rng.fork("debug-job", static_cast<std::uint64_t>(job.id));
     const double u = job_rng.uniform();
     ErrorKind kind{};
@@ -471,7 +549,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     } else if (u < model.debug_job_xid13_probability + model.debug_job_xid31_probability) {
       kind = ErrorKind::kMemoryPageFault;
     } else {
-      continue;  // crashed CPU-side or exited cleanly after debugging
+      return out;  // crashed CPU-side or exited cleanly after debugging
     }
     const TimeSec crash = std::max(job.start + 1, job.end - 2);
     const std::size_t root_pick = job_rng.below(job.nodes.size());
@@ -482,8 +560,8 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     root.kind = kind;
     root.job = job.id;
     root.user = job.user;
-    events.push_back(root);
-    const auto root_index = static_cast<std::int64_t>(events.size()) - 1;
+    out.push_back(root);
+    const std::int64_t root_index = 0;
 
     for (std::size_t i = 0; i < job.nodes.size(); ++i) {
       if (i == root_pick) continue;
@@ -492,7 +570,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       child.time = crash + static_cast<TimeSec>(
                                job_rng.below(static_cast<std::uint64_t>(model.job_propagation_window_s)));
       child.parent = root_index;
-      events.push_back(child);
+      out.push_back(child);
     }
     if (kind == ErrorKind::kGraphicsEngineException &&
         job_rng.bernoulli(model.xid13_followed_by_43)) {
@@ -500,15 +578,57 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       follow.kind = ErrorKind::kGpuStoppedProcessing;
       follow.time = crash + 1 + static_cast<TimeSec>(job_rng.below(59));
       follow.parent = root_index;
-      events.push_back(follow);
-      const auto follow_index = static_cast<std::int64_t>(events.size()) - 1;
+      out.push_back(follow);
+      const auto follow_index = static_cast<std::int64_t>(out.size()) - 1;
       if (job_rng.bernoulli(model.xid43_followed_by_45)) {
         Event cleanup = follow;
         cleanup.kind = ErrorKind::kPreemptiveCleanup;
         cleanup.time = follow.time + 1 + static_cast<TimeSec>(job_rng.below(30));
         cleanup.parent = follow_index;
-        events.push_back(cleanup);
+        out.push_back(cleanup);
       }
+    }
+    return out;
+  };
+  const std::vector<std::vector<Event>> per_job =
+      par::parallel_map(0, jobs.size(), kJobGrain, process_job);
+  std::size_t debug_event_total = 0;
+  for (const auto& job_events : per_job) debug_event_total += job_events.size();
+
+  // The OTB/software "tail" stream: everything that is not per-card ECC
+  // output, in the provisional order OTB -> debug jobs -> driver streams
+  // -> bad node.  Parent links are local to this vector.
+  const double old_driver_days =
+      std::max(0.0, static_cast<double>(timeline.new_driver - period.begin)) / kSecondsPerDayD;
+  const double new_driver_days =
+      std::max(0.0, static_cast<double>(period.end - timeline.new_driver)) / kSecondsPerDayD;
+  const auto fixed_totals = static_cast<std::size_t>(
+      model.xid32_total + model.xid38_total + model.xid42_total + model.xid56_total +
+      model.xid57_total + model.xid58_total + model.xid65_total);
+  std::vector<Event> tail;
+  tail.reserve(otb_strikes.size() + debug_event_total + fixed_totals +
+               static_cast<std::size_t>(
+                   1.25 * ((model.xid43_per_day + model.xid44_per_day) * window_days +
+                           model.xid59_per_day_old_driver * old_driver_days +
+                           model.xid62_per_day_new_driver * new_driver_days +
+                           1.5 * model.bad_node_xid13_per_day * 31.0 *
+                               static_cast<double>(model.bad_node_active_months))) +
+               64);
+
+  // OTB events (app-fatal, isolated; no InfoROM involvement).
+  for (const auto& s : otb_strikes) {
+    Event ev;
+    ev.time = s.time;
+    ev.node = s.node;
+    ev.card = fleet.ledger().card_at(s.node, s.time);
+    ev.kind = ErrorKind::kOffTheBus;
+    tail.push_back(ev);
+  }
+  for (const auto& job_events : per_job) {
+    const auto base = static_cast<std::int64_t>(tail.size());
+    for (Event ev : job_events) {
+      if (ev.parent >= 0) ev.parent += base;
+      tail.push_back(ev);
     }
   }
 
@@ -522,7 +642,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       ev.time = to_timesec(t);
       ev.node = nodes[sw_rng.below(nodes.size())];
       ev.kind = kind;
-      events.push_back(ev);
+      tail.push_back(ev);
     }
   };
   const auto emit_fixed_total = [&](ErrorKind kind, int total) {
@@ -532,7 +652,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
                                    sw_rng.below(static_cast<std::uint64_t>(period.duration())));
       ev.node = nodes[sw_rng.below(nodes.size())];
       ev.kind = kind;
-      events.push_back(ev);
+      tail.push_back(ev);
     }
   };
   emit_poisson_kind(ErrorKind::kGpuStoppedProcessing, model.xid43_per_day, period.begin, period.end);
@@ -563,51 +683,90 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       ev.time = to_timesec(t);
       ev.node = result.bad_node;
       ev.kind = ErrorKind::kGraphicsEngineException;
-      events.push_back(ev);
+      tail.push_back(ev);
       if (bad_rng.bernoulli(0.5)) {
         Event follow = ev;
         follow.kind = ErrorKind::kGpuStoppedProcessing;
         follow.time = ev.time + 1 + static_cast<TimeSec>(bad_rng.below(30));
-        follow.parent = static_cast<std::int64_t>(events.size()) - 1;
-        events.push_back(follow);
+        follow.parent = static_cast<std::int64_t>(tail.size()) - 1;
+        tail.push_back(follow);
       }
     }
   }
 
   // -------------------------------------------------------------------------
-  // Phase F: attribution, ordering, parent remapping.
+  // Phase F: attribution, per-stream ordering, deterministic k-way merge.
   // -------------------------------------------------------------------------
-  for (auto& ev : events) {
-    // Child/follow-on jitter can spill past the observation window; the
-    // console log simply stops at the end of the study period.
-    ev.time = std::min(ev.time, period.end - 1);
-    if (ev.job == xid::kNoJob) {
-      ev.job = trace.job_at(ev.node, ev.time);
-      if (ev.job != xid::kNoJob) ev.user = trace.job(ev.job).user;
-    }
-    if (ev.card == xid::kInvalidCard) {
-      ev.card = fleet.ledger().card_at(ev.node, ev.time);
-    }
+  // The provisional index space is the concatenation [card 0 .. card N-1,
+  // tail]: identical to what a serial single-vector build would produce.
+  const std::size_t card_count = per_card.size();
+  const std::size_t stream_count = card_count + 1;
+  const auto stream_events = [&](std::size_t s) -> std::vector<Event>& {
+    return s < card_count ? per_card[s].events : tail;
+  };
+  std::vector<std::size_t> offset(stream_count + 1, 0);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    offset[s + 1] = offset[s] + stream_events(s).size();
   }
-  // Stable sort, remembering where each provisional index went.
-  std::vector<std::size_t> order(events.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (events[a].time != events[b].time) return events[a].time < events[b].time;
-    return a < b;
+  const std::size_t total_events = offset[stream_count];
+
+  // Per stream: rebase parents into the provisional space, attribute
+  // job/user/card, clamp to the observation window, and compute the local
+  // time-sorted order (stable, i.e. ties keep provisional order).  All
+  // lookups are read-only, so streams are processed concurrently.
+  std::vector<std::vector<std::uint32_t>> order(stream_count);
+  par::parallel_for(0, stream_count, kCardGrain, [&](std::size_t s) {
+    auto& stream = stream_events(s);
+    if (stream.empty()) return;
+    const auto base = static_cast<std::int64_t>(offset[s]);
+    for (auto& ev : stream) {
+      if (ev.parent >= 0) ev.parent += base;
+      // Child/follow-on jitter can spill past the observation window; the
+      // console log simply stops at the end of the study period.
+      ev.time = std::min(ev.time, period.end - 1);
+      if (ev.job == xid::kNoJob) {
+        ev.job = trace.job_at(ev.node, ev.time);
+        if (ev.job != xid::kNoJob) ev.user = trace.job(ev.job).user;
+      }
+      if (ev.card == xid::kInvalidCard) {
+        ev.card = fleet.ledger().card_at(ev.node, ev.time);
+      }
+    }
+    auto& ord = order[s];
+    ord.resize(stream.size());
+    std::iota(ord.begin(), ord.end(), std::uint32_t{0});
+    std::stable_sort(ord.begin(), ord.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return stream[a].time < stream[b].time;
+    });
   });
-  std::vector<std::int64_t> new_index(events.size());
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    new_index[order[pos]] = static_cast<std::int64_t>(pos);
-  }
-  result.events.reserve(events.size());
-  for (const std::size_t old : order) {
-    Event ev = events[old];
+
+  // Merge the sorted streams; the (time, stream) tie-break reproduces the
+  // global stable sort by (time, provisional index) exactly.
+  result.events.reserve(total_events);
+  std::vector<std::int64_t> new_index(total_events, -1);
+  kway_merge(
+      stream_count, [&](std::size_t s) { return order[s].size(); },
+      [&](std::size_t s, std::size_t i) { return stream_events(s)[order[s][i]].time; },
+      [&](std::size_t s, std::size_t i) {
+        const std::uint32_t local = order[s][i];
+        new_index[offset[s] + local] = static_cast<std::int64_t>(result.events.size());
+        result.events.push_back(stream_events(s)[local]);
+      });
+  for (auto& ev : result.events) {
     if (ev.parent >= 0) ev.parent = new_index[static_cast<std::size_t>(ev.parent)];
-    result.events.push_back(ev);
   }
-  std::sort(result.sbe_strikes.begin(), result.sbe_strikes.end(),
-            [](const SbeStrike& a, const SbeStrike& b) { return a.time < b.time; });
+
+  // SBE strikes: each card's stream is already time-sorted (ops were
+  // processed chronologically), so the merged order is (time, card).
+  std::size_t sbe_total = 0;
+  for (const auto& card_out : per_card) sbe_total += card_out.sbe_strikes.size();
+  result.sbe_strikes.reserve(sbe_total);
+  kway_merge(
+      card_count, [&](std::size_t s) { return per_card[s].sbe_strikes.size(); },
+      [&](std::size_t s, std::size_t i) { return per_card[s].sbe_strikes[i].time; },
+      [&](std::size_t s, std::size_t i) {
+        result.sbe_strikes.push_back(per_card[s].sbe_strikes[i]);
+      });
 
   result.traits = std::move(traits);
   return result;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fault/calibration.hpp"
+#include "par/parallel.hpp"
 #include "stats/distributions.hpp"
 
 namespace titan::fault {
@@ -60,12 +61,13 @@ CardTraits sample_one_card(stats::Rng& rng, const FaultModelParams& model) {
 
 std::vector<CardTraits> sample_card_traits(std::size_t count, stats::Rng rng,
                                            const FaultModelParams& model) {
-  std::vector<CardTraits> out;
-  out.reserve(count);
-  for (std::size_t serial = 0; serial < count; ++serial) {
+  // Each card draws from its own indexed fork, so the sampled fleet is
+  // identical at any thread count (and to the old serial loop).
+  std::vector<CardTraits> out(count);
+  par::parallel_for(0, count, 256, [&](std::size_t serial) {
     auto card_rng = rng.fork("card-traits", serial);
-    out.push_back(sample_one_card(card_rng, model));
-  }
+    out[serial] = sample_one_card(card_rng, model);
+  });
   return out;
 }
 

@@ -1,7 +1,9 @@
 #include "logsim/console.hpp"
 
+#include <cstdint>
 #include <string_view>
 
+#include "par/parallel.hpp"
 #include "stats/calendar.hpp"
 #include "topology/machine.hpp"
 
@@ -28,12 +30,19 @@ std::string console_line(const xid::Event& event) {
 }
 
 std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events) {
-  std::vector<std::string> lines;
-  lines.reserve(events.size());
-  for (const auto& event : events) {
-    if (event.kind == xid::ErrorKind::kSingleBitError) continue;
-    lines.push_back(console_line(event));
+  // Select console-visible events serially (cheap), then serialize each
+  // line concurrently: lines are independent and land in their own slot,
+  // so the log is identical at any thread count.
+  std::vector<std::uint32_t> visible;
+  visible.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == xid::ErrorKind::kSingleBitError) continue;
+    visible.push_back(static_cast<std::uint32_t>(i));
   }
+  std::vector<std::string> lines(visible.size());
+  par::parallel_for(0, visible.size(), 1024, [&](std::size_t i) {
+    lines[i] = console_line(events[visible[i]]);
+  });
   return lines;
 }
 

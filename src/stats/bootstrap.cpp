@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
 #include "stats/descriptive.hpp"
 
 namespace titan::stats {
@@ -16,15 +17,18 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
   if (sample.empty()) return ci;
   ci.point = statistic(sample);
 
-  std::vector<double> replicate(sample.size());
-  std::vector<double> stats_out;
-  stats_out.reserve(resamples);
-  for (std::size_t r = 0; r < resamples; ++r) {
+  // Each replicate resamples from its own indexed fork, so replicates are
+  // independent of one another and of execution order: the interval is
+  // identical at any thread count.
+  std::vector<double> stats_out(resamples);
+  par::parallel_for(0, resamples, 16, [&](std::size_t r) {
+    auto replicate_rng = rng.fork("replicate", r);
+    std::vector<double> replicate(sample.size());
     for (auto& value : replicate) {
-      value = sample[rng.below(sample.size())];
+      value = sample[replicate_rng.below(sample.size())];
     }
-    stats_out.push_back(statistic(replicate));
-  }
+    stats_out[r] = statistic(replicate);
+  });
   std::sort(stats_out.begin(), stats_out.end());
   const double alpha = (1.0 - level) / 2.0;
   const auto pick = [&](double q) {
