@@ -9,20 +9,21 @@
 int main() {
   using namespace titan;
   const auto& study = bench::full_study();
-  const auto& events = bench::full_events();
+  const auto& frame = bench::full_frame();
   const auto& period = study.config.period;
 
   bench::print_header("Fig. 2 -- Monthly frequency of double bit errors (Jun'13-Feb'15)");
-  const auto series = analysis::monthly_frequency(events, xid::ErrorKind::kDoubleBitError,
+  const auto series = analysis::monthly_frequency(frame, xid::ErrorKind::kDoubleBitError,
                                                   period.begin, period.end);
   bench::print_block(render::bar_chart(series.labels(), series.counts));
   std::printf("  total DBEs: %llu\n", static_cast<unsigned long long>(series.total()));
 
   bench::print_header("Observation 1 -- DBE MTBF");
-  const auto report = analysis::mtbf_report(events, period.begin, period.end);
+  const auto report = analysis::mtbf_report(frame, period.begin, period.end);
   // Bootstrap error bars on the mean inter-arrival gap (Obs. 1 rigor).
-  const auto gaps = stats::inter_arrival_seconds(
-      analysis::times_of_kind(events, xid::ErrorKind::kDoubleBitError));
+  const auto dbe_times = frame.times_of(xid::ErrorKind::kDoubleBitError);
+  const auto gaps =
+      stats::inter_arrival_seconds({dbe_times.begin(), dbe_times.end()});
   std::vector<double> gap_hours;
   gap_hours.reserve(gaps.size());
   for (const double g : gaps) gap_hours.push_back(g / 3600.0);

@@ -6,18 +6,16 @@
 
 int main() {
   using namespace titan;
-  const auto& study = bench::full_study();
-  const auto& events = bench::full_events();
+  const auto& frame = bench::full_frame();
 
   bench::print_header("Fig. 3(a) -- Spatial distribution of DBEs (8 rows x 25 columns)");
-  const auto grid = analysis::cabinet_heatmap(events, xid::ErrorKind::kDoubleBitError);
+  const auto grid = analysis::cabinet_heatmap(frame, xid::ErrorKind::kDoubleBitError);
   bench::print_block(render::heatmap(grid));
   std::printf("  total: %.0f DBEs; spatial CoV %.2f (rare events: uneven is expected)\n",
               grid.total(), grid.coefficient_of_variation());
 
   bench::print_header("Fig. 3(b) -- DBEs by cage position");
-  const auto cages = analysis::cage_distribution(events, xid::ErrorKind::kDoubleBitError,
-                                                 study.fleet.ledger());
+  const auto cages = analysis::cage_distribution(frame, xid::ErrorKind::kDoubleBitError);
   const std::vector<std::string> labels{"cage 0 (bottom)", "cage 1", "cage 2 (top)"};
   std::vector<std::uint64_t> counts(cages.event_counts.begin(), cages.event_counts.end());
   bench::print_block(render::bar_chart(labels, counts));
@@ -30,7 +28,7 @@ int main() {
 
   bench::print_header("Fig. 3(c) -- DBE breakdown by memory structure");
   const auto breakdown =
-      analysis::structure_breakdown(events, xid::ErrorKind::kDoubleBitError);
+      analysis::structure_breakdown(frame, xid::ErrorKind::kDoubleBitError);
   const double device = breakdown.share(xid::MemoryStructure::kDeviceMemory);
   const double regfile = breakdown.share(xid::MemoryStructure::kRegisterFile);
   bench::print_row("device memory share", render::fmt_percent(0.86),

@@ -3,8 +3,19 @@
 // correlation statistics, topology math, and a small end-to-end study.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
 #include <cstdint>
+#include <span>
+#include <type_traits>
 
+#include "analysis/event_frame.hpp"
+#include "analysis/events_view.hpp"
+#include "analysis/frequency.hpp"
+#include "analysis/reliability_report.hpp"
+#include "analysis/retirement_study.hpp"
+#include "analysis/spatial.hpp"
+#include "analysis/xid_matrix.hpp"
 #include "core/facility.hpp"
 #include "gpu/secded.hpp"
 #include "logsim/console.hpp"
@@ -19,6 +30,26 @@
 namespace {
 
 using namespace titan;
+
+/// The shared full-campaign dataset for the analysis-layer benches (seed
+/// 42 so BM_FullStudyEndToEnd and the suite benches replay the same
+/// campaign).  Built once on first use.
+[[nodiscard]] const core::StudyDataset& perf_dataset() {
+  static const core::StudyDataset data = core::run_study(core::default_config(42));
+  return data;
+}
+
+[[nodiscard]] const std::vector<parse::ParsedEvent>& perf_events() {
+  static const std::vector<parse::ParsedEvent> events =
+      analysis::as_parsed(perf_dataset().events);
+  return events;
+}
+
+[[nodiscard]] const analysis::EventFrame& perf_frame() {
+  static const analysis::EventFrame frame =
+      analysis::EventFrame::build(perf_events(), &perf_dataset().fleet.ledger());
+  return frame;
+}
 
 /// Simulated compute node-hours per study run: the natural throughput unit
 /// for the campaign pipeline (the paper's dataset is 280M node-hours).
@@ -153,12 +184,106 @@ void BM_CampaignThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
+void BM_EventFrameBuild(benchmark::State& state) {
+  // Columnar index construction over the full-campaign console stream:
+  // the one-time cost the frame-path analyses amortize.
+  const auto& events = perf_events();
+  const auto* ledger = &perf_dataset().fleet.ledger();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::EventFrame::build(events, ledger));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_EventFrameBuild)->Unit(benchmark::kMillisecond);
+
+/// The paper's core analysis battery, parameterized over the event source
+/// so the legacy span path and the frame path run identical work.
+template <typename Stream>
+void run_analysis_suite(const Stream& stream, const core::StudyDataset& data,
+                        const gpu::FleetLedger& ledger) {
+  const auto begin = data.config.period.begin;
+  const auto end = data.config.period.end;
+  constexpr std::array kKinds = {
+      xid::ErrorKind::kDoubleBitError, xid::ErrorKind::kOffTheBus,
+      xid::ErrorKind::kPageRetirement, xid::ErrorKind::kGraphicsEngineException,
+      xid::ErrorKind::kUcHaltNewDriver};
+  for (const auto kind : kKinds) {
+    benchmark::DoNotOptimize(analysis::monthly_frequency(stream, kind, begin, end));
+    benchmark::DoNotOptimize(analysis::kind_mtbf(stream, kind, begin, end));
+  }
+  benchmark::DoNotOptimize(
+      analysis::daily_dispersion_index(stream, xid::ErrorKind::kDoubleBitError, begin, end));
+  benchmark::DoNotOptimize(analysis::daily_dispersion_index(
+      stream, xid::ErrorKind::kGraphicsEngineException, begin, end));
+  for (const auto kind : {xid::ErrorKind::kDoubleBitError, xid::ErrorKind::kOffTheBus,
+                          xid::ErrorKind::kPageRetirement}) {
+    benchmark::DoNotOptimize(analysis::cabinet_heatmap(stream, kind));
+  }
+  for (const auto kind : {xid::ErrorKind::kDoubleBitError, xid::ErrorKind::kOffTheBus}) {
+    if constexpr (std::is_same_v<Stream, analysis::EventFrame>) {
+      benchmark::DoNotOptimize(analysis::cage_distribution(stream, kind));
+    } else {
+      benchmark::DoNotOptimize(analysis::cage_distribution(stream, kind, ledger));
+    }
+    benchmark::DoNotOptimize(analysis::structure_breakdown(stream, kind));
+  }
+  const auto kinds = analysis::fig13_kinds();
+  benchmark::DoNotOptimize(analysis::follow_matrix(stream, kinds, 300.0, true));
+  benchmark::DoNotOptimize(analysis::follow_matrix(stream, kinds, 300.0, false));
+  benchmark::DoNotOptimize(
+      analysis::retirement_delay_study(stream, stats::month_start(begin, 7)));
+  benchmark::DoNotOptimize(analysis::smi_console_comparison(stream, data.final_snapshot));
+  benchmark::DoNotOptimize(analysis::mtbf_report(stream, begin, end));
+}
+
+void BM_AnalysisSuiteLegacy(benchmark::State& state) {
+  // Every analysis re-scans (and re-copies slices of) the raw parsed
+  // stream -- the pre-frame cost model.
+  const auto& data = perf_dataset();
+  const std::span<const parse::ParsedEvent> events{perf_events()};
+  for (auto _ : state) {
+    run_analysis_suite(events, data, data.fleet.ledger());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(perf_events().size()));
+}
+BENCHMARK(BM_AnalysisSuiteLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_AnalysisSuiteFrame(benchmark::State& state) {
+  // Same battery against the prebuilt columnar index (build cost measured
+  // separately by BM_EventFrameBuild).
+  const auto& data = perf_dataset();
+  const auto& frame = perf_frame();
+  for (auto _ : state) {
+    run_analysis_suite(frame, data, data.fleet.ledger());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_AnalysisSuiteFrame)->Unit(benchmark::kMillisecond);
+
 void BM_FullStudyEndToEnd(benchmark::State& state) {
   // The canonical 21-month default_config campaign every figure bench
-  // replays -- the headline number for pipeline optimizations.
+  // replays -- the headline number for pipeline optimizations.  The
+  // analysis-phase share counters report how much of a figure bench's
+  // wall-clock the frame path now covers: simulate, then index + run the
+  // analysis battery, timing each half.
+  double simulate_s = 0.0;
+  double analysis_s = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_study(core::default_config(42)));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto data = core::run_study(core::default_config(42));
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto events = analysis::as_parsed(data.events);
+    const auto frame = analysis::EventFrame::build(events, &data.fleet.ledger());
+    run_analysis_suite(frame, data, data.fleet.ledger());
+    const auto t2 = std::chrono::steady_clock::now();
+    simulate_s += std::chrono::duration<double>(t1 - t0).count();
+    analysis_s += std::chrono::duration<double>(t2 - t1).count();
+    benchmark::DoNotOptimize(&frame);
   }
+  state.counters["simulate_s"] = simulate_s;
+  state.counters["analysis_s"] = analysis_s;
+  state.counters["analysis_share"] =
+      simulate_s + analysis_s > 0.0 ? analysis_s / (simulate_s + analysis_s) : 0.0;
   state.SetItemsProcessed(state.iterations() * simulated_node_hours(core::default_config(42)));
 }
 BENCHMARK(BM_FullStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(1);

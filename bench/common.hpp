@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "analysis/paper_expectations.hpp"
 #include "core/facility.hpp"
@@ -32,6 +33,14 @@ inline const std::vector<parse::ParsedEvent>& full_events() {
   static const std::vector<parse::ParsedEvent> events =
       analysis::as_parsed(full_study().events);
   return events;
+}
+
+/// Columnar index over the console-recovered stream (with the card join,
+/// so cage distributions work without re-touching the ledger).
+inline const analysis::EventFrame& full_frame() {
+  static const analysis::EventFrame frame =
+      analysis::EventFrame::build(full_events(), &full_study().fleet.ledger());
+  return frame;
 }
 
 inline void print_header(const std::string& title) {

@@ -14,27 +14,13 @@ namespace {
   return cls;
 }
 
-}  // namespace
-
-InterruptionStudy interruption_study(std::span<const xid::Event> events,
-                                     const sched::JobTrace& trace, stats::TimeSec begin,
-                                     stats::TimeSec end) {
+/// Fold the per-job first-interruption map into the study totals; the
+/// event scan (which differs between the span and frame paths) is done.
+[[nodiscard]] InterruptionStudy accumulate_jobs(
+    const std::unordered_map<xid::JobId, stats::TimeSec>& first_hit,
+    std::size_t app_fatal_events, const sched::JobTrace& trace, stats::TimeSec begin,
+    stats::TimeSec end) {
   InterruptionStudy out;
-
-  // First interruption per job: events are time-sorted, so the first hit
-  // wins.  Child events share the parent's job and would double-count, so
-  // only root (parent < 0) app-fatal events count as interruptions.
-  std::unordered_map<xid::JobId, stats::TimeSec> first_hit;
-  std::size_t app_fatal_events = 0;
-  for (const auto& e : events) {
-    if (e.time < begin || e.time >= end) continue;
-    if (!xid::info(e.kind).crashes_app) continue;
-    if (e.is_child()) continue;
-    ++app_fatal_events;
-    if (e.job == xid::kNoJob) continue;
-    first_hit.emplace(e.job, e.time);  // keeps the earliest (stream sorted)
-  }
-
   for (const auto& job : trace.jobs()) {
     if (job.start < begin || job.start >= end) continue;
     ++out.total_jobs;
@@ -58,6 +44,51 @@ InterruptionStudy interruption_study(std::span<const xid::Event> events,
   out.full_machine_mtti_hours =
       app_fatal_events > 0 ? window_hours / static_cast<double>(app_fatal_events) : 0.0;
   return out;
+}
+
+}  // namespace
+
+InterruptionStudy interruption_study(std::span<const xid::Event> events,
+                                     const sched::JobTrace& trace, stats::TimeSec begin,
+                                     stats::TimeSec end) {
+  // First interruption per job: events are time-sorted, so the first hit
+  // wins.  Child events share the parent's job and would double-count, so
+  // only root (parent < 0) app-fatal events count as interruptions.
+  std::unordered_map<xid::JobId, stats::TimeSec> first_hit;
+  std::size_t app_fatal_events = 0;
+  for (const auto& e : events) {
+    if (e.time < begin || e.time >= end) continue;
+    if (!xid::info(e.kind).crashes_app) continue;
+    if (e.is_child()) continue;
+    ++app_fatal_events;
+    if (e.job == xid::kNoJob) continue;
+    first_hit.emplace(e.job, e.time);  // keeps the earliest (stream sorted)
+  }
+  return accumulate_jobs(first_hit, app_fatal_events, trace, begin, end);
+}
+
+InterruptionStudy interruption_study(const EventFrame& frame, const sched::JobTrace& trace,
+                                     stats::TimeSec begin, stats::TimeSec end) {
+  std::array<bool, xid::kErrorKindCount> crashes{};
+  for (const auto& info : xid::all_errors()) {
+    crashes[static_cast<std::size_t>(info.kind)] = info.crashes_app;
+  }
+
+  const auto times = frame.times();
+  const auto kinds = frame.kinds();
+  const auto jobs = frame.jobs();
+  const auto roots = frame.roots();
+  std::unordered_map<xid::JobId, stats::TimeSec> first_hit;
+  std::size_t app_fatal_events = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (times[i] < begin || times[i] >= end) continue;
+    if (!crashes[static_cast<std::size_t>(kinds[i])]) continue;
+    if (roots[i] == 0) continue;
+    ++app_fatal_events;
+    if (jobs[i] == xid::kNoJob) continue;
+    first_hit.emplace(jobs[i], times[i]);
+  }
+  return accumulate_jobs(first_hit, app_fatal_events, trace, begin, end);
 }
 
 }  // namespace titan::analysis

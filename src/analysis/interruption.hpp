@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/event_frame.hpp"
 #include "sched/job.hpp"
 #include "xid/event.hpp"
 
@@ -53,6 +54,12 @@ struct InterruptionStudy {
 /// interruption counts (the paper's model: the app dies, the allocation
 /// drains).
 [[nodiscard]] InterruptionStudy interruption_study(std::span<const xid::Event> events,
+                                                   const sched::JobTrace& trace,
+                                                   stats::TimeSec begin, stats::TimeSec end);
+/// Frame kernel: reads the time/kind/job/root columns (the frame must
+/// have been built from ground truth, which carries job attribution) with
+/// a precomputed app-fatal lookup table.
+[[nodiscard]] InterruptionStudy interruption_study(const EventFrame& frame,
                                                    const sched::JobTrace& trace,
                                                    stats::TimeSec begin, stats::TimeSec end);
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "analysis/xid_matrix.hpp"
 
@@ -42,6 +43,12 @@ class FailurePredictor {
   static FailurePredictor fit(std::span<const parse::ParsedEvent> training,
                               xid::ErrorKind target, double horizon_s,
                               std::uint64_t min_support = 5, bool allow_self = false);
+  /// Frame kernel: flat per-kind counters over the time/kind columns; the
+  /// learned rule *set* matches the span path (rule order is normalized to
+  /// descending probability with enum order breaking ties).
+  static FailurePredictor fit(const EventFrame& training, xid::ErrorKind target,
+                              double horizon_s, std::uint64_t min_support = 5,
+                              bool allow_self = false);
 
   [[nodiscard]] const std::vector<PrecursorRule>& rules() const noexcept { return rules_; }
   [[nodiscard]] xid::ErrorKind target() const noexcept { return target_; }
@@ -58,6 +65,7 @@ class FailurePredictor {
   /// Fire alarms over a stream using rules with probability >= threshold.
   [[nodiscard]] std::vector<Alarm> predict(std::span<const parse::ParsedEvent> stream,
                                            double threshold) const;
+  [[nodiscard]] std::vector<Alarm> predict(const EventFrame& stream, double threshold) const;
 
   /// Evaluation against ground truth.
   struct Evaluation {
@@ -84,6 +92,9 @@ class FailurePredictor {
 
   [[nodiscard]] Evaluation evaluate(std::span<const parse::ParsedEvent> stream,
                                     double threshold) const;
+  /// Frame kernel: target times come straight from the frame's per-kind
+  /// CSR slice (zero copy).
+  [[nodiscard]] Evaluation evaluate(const EventFrame& stream, double threshold) const;
 
  private:
   xid::ErrorKind target_{};

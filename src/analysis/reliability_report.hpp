@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "logsim/smi.hpp"
 #include "stats/reliability.hpp"
@@ -27,6 +28,9 @@ struct SmiConsoleComparison {
 
 [[nodiscard]] SmiConsoleComparison smi_console_comparison(
     std::span<const parse::ParsedEvent> events, const logsim::SmiSnapshot& snapshot);
+/// Frame kernel: the console DBE count is an O(1) CSR lookup.
+[[nodiscard]] SmiConsoleComparison smi_console_comparison(const EventFrame& frame,
+                                                          const logsim::SmiSnapshot& snapshot);
 
 /// Observation 1 framing: measured DBE MTBF vs the much more pessimistic
 /// estimate a vendor datasheet FIT budget would give for this fleet.
@@ -41,6 +45,9 @@ struct MtbfReport {
 /// FIT allocation that predicts roughly one fleet DBE per ~2 days.
 [[nodiscard]] MtbfReport mtbf_report(std::span<const parse::ParsedEvent> events,
                                      stats::TimeSec begin, stats::TimeSec end,
+                                     double datasheet_fleet_dbe_per_hour = 1.0 / 48.0);
+[[nodiscard]] MtbfReport mtbf_report(const EventFrame& frame, stats::TimeSec begin,
+                                     stats::TimeSec end,
                                      double datasheet_fleet_dbe_per_hour = 1.0 / 48.0);
 
 }  // namespace titan::analysis

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "stats/histogram.hpp"
 
@@ -37,5 +38,10 @@ struct RetirementDelayStudy {
 /// analysis"); pass the new-driver date.
 [[nodiscard]] RetirementDelayStudy retirement_delay_study(
     std::span<const parse::ParsedEvent> events, stats::TimeSec accounting_from);
+/// Frame kernel: merge-walks only the DBE and retirement CSR slices (by
+/// row id, so stream order -- and hence every tie-break -- is preserved)
+/// instead of scanning the whole stream.
+[[nodiscard]] RetirementDelayStudy retirement_delay_study(const EventFrame& frame,
+                                                          stats::TimeSec accounting_from);
 
 }  // namespace titan::analysis

@@ -1,15 +1,28 @@
 #include "analysis/sbe_study.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace titan::analysis {
 
 namespace {
 
-[[nodiscard]] std::unordered_set<xid::CardId> exclusion_set(
-    const std::vector<xid::CardId>& offenders, std::size_t k) {
-  return {offenders.begin(),
-          offenders.begin() + static_cast<std::ptrdiff_t>(std::min(k, offenders.size()))};
+/// Offender rank per card serial (position in the most-offending-first
+/// list; absent cards rank past every exclusion level).  A record is
+/// excluded at a level exactly when its rank is below that level's
+/// threshold, so one rank lookup replaces a set probe per level.
+[[nodiscard]] std::unordered_map<xid::CardId, std::size_t> offender_ranks(
+    const std::vector<xid::CardId>& offenders) {
+  std::unordered_map<xid::CardId, std::size_t> ranks;
+  ranks.reserve(offenders.size());
+  for (std::size_t i = 0; i < offenders.size(); ++i) ranks.emplace(offenders[i], i);
+  return ranks;
+}
+
+[[nodiscard]] std::size_t rank_of(const std::unordered_map<xid::CardId, std::size_t>& ranks,
+                                  xid::CardId serial) {
+  const auto it = ranks.find(serial);
+  return it == ranks.end() ? static_cast<std::size_t>(-1) : it->second;
 }
 
 }  // namespace
@@ -40,30 +53,38 @@ SbeSpatialStudy sbe_spatial_study(const logsim::SmiSnapshot& snapshot) {
                               : static_cast<double>(out.cards_with_any_sbe) /
                                     static_cast<double>(snapshot.records.size());
 
+  // Single pass over the records: locate each node once and feed every
+  // exclusion level's grid from the same decoded coordinates.
+  const auto ranks = offender_ranks(out.top_offenders);
   for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
-    const auto excluded = exclusion_set(out.top_offenders, kOffenderExclusions[level]);
-    stats::Grid2D grid{static_cast<std::size_t>(topology::kCabinetGridY),
-                       static_cast<std::size_t>(topology::kCabinetGridX)};
-    for (const auto& r : snapshot.records) {
-      if (excluded.contains(r.serial)) continue;
-      const auto loc = topology::locate(r.node);
-      grid.add(static_cast<std::size_t>(loc.cab_y), static_cast<std::size_t>(loc.cab_x),
-               static_cast<double>(r.sbe_total));
+    out.grids.emplace_back(static_cast<std::size_t>(topology::kCabinetGridY),
+                           static_cast<std::size_t>(topology::kCabinetGridX));
+  }
+  for (const auto& r : snapshot.records) {
+    const auto rank = rank_of(ranks, r.serial);
+    const auto loc = topology::locate(r.node);
+    for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
+      if (rank < kOffenderExclusions[level]) continue;
+      out.grids[level].add(static_cast<std::size_t>(loc.cab_y),
+                           static_cast<std::size_t>(loc.cab_x),
+                           static_cast<double>(r.sbe_total));
     }
-    out.skew[level] = grid.coefficient_of_variation();
-    out.grids.push_back(std::move(grid));
+  }
+  for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
+    out.skew[level] = out.grids[level].coefficient_of_variation();
   }
   return out;
 }
 
 SbeCageStudy sbe_cage_study(const logsim::SmiSnapshot& snapshot) {
   SbeCageStudy out;
-  const auto offenders = top_sbe_offenders(snapshot, 50);
-  for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
-    const auto excluded = exclusion_set(offenders, kOffenderExclusions[level]);
-    for (const auto& r : snapshot.records) {
-      if (excluded.contains(r.serial) || r.sbe_total == 0) continue;
-      const auto cage = static_cast<std::size_t>(topology::locate(r.node).cage);
+  const auto ranks = offender_ranks(top_sbe_offenders(snapshot, 50));
+  for (const auto& r : snapshot.records) {
+    if (r.sbe_total == 0) continue;
+    const auto rank = rank_of(ranks, r.serial);
+    const auto cage = static_cast<std::size_t>(topology::locate(r.node).cage);
+    for (std::size_t level = 0; level < kOffenderExclusions.size(); ++level) {
+      if (rank < kOffenderExclusions[level]) continue;
       out.counts[level][cage] += r.sbe_total;
       ++out.distinct_cards[level][cage];
     }

@@ -17,6 +17,17 @@ stats::Grid2D cabinet_heatmap(std::span<const parse::ParsedEvent> events, xid::E
   return grid;
 }
 
+stats::Grid2D cabinet_heatmap(const EventFrame& frame, xid::ErrorKind kind) {
+  stats::Grid2D grid{static_cast<std::size_t>(topology::kCabinetGridY),
+                     static_cast<std::size_t>(topology::kCabinetGridX)};
+  const auto locations = frame.locations();
+  for (const auto row : frame.rows_of(kind)) {
+    const auto& loc = locations[row];
+    grid.add(static_cast<std::size_t>(loc.cab_y), static_cast<std::size_t>(loc.cab_x));
+  }
+  return grid;
+}
+
 std::uint64_t CageDistribution::total_events() const noexcept {
   return std::accumulate(event_counts.begin(), event_counts.end(), std::uint64_t{0});
 }
@@ -45,6 +56,23 @@ CageDistribution cage_distribution(std::span<const parse::ParsedEvent> events,
   return out;
 }
 
+CageDistribution cage_distribution(const EventFrame& frame, xid::ErrorKind kind) {
+  CageDistribution out;
+  std::array<std::unordered_set<xid::CardId>, topology::kCagesPerCabinet> cards;
+  const auto locations = frame.locations();
+  const auto joined = frame.cards();
+  for (const auto row : frame.rows_of(kind)) {
+    const auto cage = static_cast<std::size_t>(locations[row].cage);
+    ++out.event_counts[cage];
+    const xid::CardId card = joined[row];
+    if (card != xid::kInvalidCard) cards[cage].insert(card);
+  }
+  for (std::size_t c = 0; c < cards.size(); ++c) {
+    out.distinct_cards[c] = cards[c].size();
+  }
+  return out;
+}
+
 std::uint64_t StructureBreakdown::total() const noexcept {
   return std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
 }
@@ -61,6 +89,15 @@ StructureBreakdown structure_breakdown(std::span<const parse::ParsedEvent> event
   for (const auto& e : events) {
     if (e.kind != kind) continue;
     ++out.counts[static_cast<std::size_t>(e.structure)];
+  }
+  return out;
+}
+
+StructureBreakdown structure_breakdown(const EventFrame& frame, xid::ErrorKind kind) {
+  StructureBreakdown out;
+  const auto structures = frame.structures();
+  for (const auto row : frame.rows_of(kind)) {
+    ++out.counts[static_cast<std::size_t>(structures[row])];
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <array>
 #include <span>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "gpu/fleet.hpp"
 #include "stats/histogram.hpp"
@@ -17,6 +18,9 @@ namespace titan::analysis {
 /// heatmap for one kind.  Grid rows are cab_y, columns cab_x.
 [[nodiscard]] stats::Grid2D cabinet_heatmap(std::span<const parse::ParsedEvent> events,
                                             xid::ErrorKind kind);
+/// Frame kernel: reads the precomputed location column over the kind's
+/// CSR slice instead of re-running topology::locate per event.
+[[nodiscard]] stats::Grid2D cabinet_heatmap(const EventFrame& frame, xid::ErrorKind kind);
 
 /// Cage-position distribution of one kind.
 struct CageDistribution {
@@ -35,6 +39,9 @@ struct CageDistribution {
 [[nodiscard]] CageDistribution cage_distribution(std::span<const parse::ParsedEvent> events,
                                                  xid::ErrorKind kind,
                                                  const gpu::FleetLedger& ledger);
+/// Frame kernel: the card join was already paid at frame build (the frame
+/// must have been built with the ledger).
+[[nodiscard]] CageDistribution cage_distribution(const EventFrame& frame, xid::ErrorKind kind);
 
 /// Per-structure breakdown of ECC events (Fig. 3(c)): counts by decoded
 /// memory structure.
@@ -46,6 +53,8 @@ struct StructureBreakdown {
 };
 
 [[nodiscard]] StructureBreakdown structure_breakdown(std::span<const parse::ParsedEvent> events,
+                                                     xid::ErrorKind kind);
+[[nodiscard]] StructureBreakdown structure_breakdown(const EventFrame& frame,
                                                      xid::ErrorKind kind);
 
 }  // namespace titan::analysis

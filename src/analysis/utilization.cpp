@@ -1,6 +1,7 @@
 #include "analysis/utilization.hpp"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -51,58 +52,56 @@ UtilizationStudy utilization_study(const sched::JobTrace& trace,
                        [&](topology::NodeId n) { return offender_nodes.contains(n); });
   };
 
-  // Paired series per metric.
+  // One pass over the window jobs: a single trace lookup per record
+  // fills the paired series for every metric plus the per-user (Fig. 20)
+  // aggregation.
+  constexpr std::array kMetrics = {JobMetric::kMaxMemory, JobMetric::kTotalMemory,
+                                   JobMetric::kNodeCount, JobMetric::kGpuCoreHours};
   std::vector<double> sbe_all;
   std::vector<double> sbe_excl;
-  std::vector<bool> excluded;
-  excluded.reserve(out.job_sbe.size());
-  for (const auto& rec : out.job_sbe) {
-    const auto& job = trace.job(rec.job);
-    const bool excl = job_uses_offender(job);
-    excluded.push_back(excl);
-    sbe_all.push_back(static_cast<double>(rec.sbe_count));
-    if (!excl) sbe_excl.push_back(static_cast<double>(rec.sbe_count));
-  }
+  std::array<std::vector<double>, kMetrics.size()> x_all;
+  std::array<std::vector<double>, kMetrics.size()> x_excl;
+  sbe_all.reserve(out.job_sbe.size());
+  for (auto& v : x_all) v.reserve(out.job_sbe.size());
 
-  for (const JobMetric metric : {JobMetric::kMaxMemory, JobMetric::kTotalMemory,
-                                 JobMetric::kNodeCount, JobMetric::kGpuCoreHours}) {
-    std::vector<double> x_all;
-    std::vector<double> x_excl;
-    x_all.reserve(out.job_sbe.size());
-    for (std::size_t i = 0; i < out.job_sbe.size(); ++i) {
-      const double v = metric_value(trace.job(out.job_sbe[i].job), metric);
-      x_all.push_back(v);
-      if (!excluded[i]) x_excl.push_back(v);
-    }
-    MetricCorrelation mc;
-    mc.metric = metric;
-    mc.spearman_all = stats::spearman(x_all, sbe_all);
-    mc.pearson_all = stats::pearson(x_all, sbe_all);
-    mc.spearman_excl = stats::spearman(x_excl, sbe_excl);
-    mc.pearson_excl = stats::pearson(x_excl, sbe_excl);
-    mc.jobs_all = x_all.size();
-    mc.jobs_excl = x_excl.size();
-    out.metrics.push_back(mc);
-  }
-
-  // Fig. 20: per-user aggregation (userID as a code proxy).
   struct UserAgg {
     double core_hours = 0.0;
     double sbe = 0.0;
   };
   std::unordered_map<xid::UserId, UserAgg> users_all;
   std::unordered_map<xid::UserId, UserAgg> users_excl;
-  for (std::size_t i = 0; i < out.job_sbe.size(); ++i) {
-    const auto& job = trace.job(out.job_sbe[i].job);
-    const auto sbe = static_cast<double>(out.job_sbe[i].sbe_count);
+
+  for (const auto& rec : out.job_sbe) {
+    const auto& job = trace.job(rec.job);
+    const bool excl = job_uses_offender(job);
+    const auto sbe = static_cast<double>(rec.sbe_count);
+    sbe_all.push_back(sbe);
+    if (!excl) sbe_excl.push_back(sbe);
+    for (std::size_t m = 0; m < kMetrics.size(); ++m) {
+      const double v = metric_value(job, kMetrics[m]);
+      x_all[m].push_back(v);
+      if (!excl) x_excl[m].push_back(v);
+    }
     auto& all_agg = users_all[job.user];
     all_agg.core_hours += job.gpu_core_hours;
     all_agg.sbe += sbe;
-    if (!excluded[i]) {
+    if (!excl) {
       auto& excl_agg = users_excl[job.user];
       excl_agg.core_hours += job.gpu_core_hours;
       excl_agg.sbe += sbe;
     }
+  }
+
+  for (std::size_t m = 0; m < kMetrics.size(); ++m) {
+    MetricCorrelation mc;
+    mc.metric = kMetrics[m];
+    mc.spearman_all = stats::spearman(x_all[m], sbe_all);
+    mc.pearson_all = stats::pearson(x_all[m], sbe_all);
+    mc.spearman_excl = stats::spearman(x_excl[m], sbe_excl);
+    mc.pearson_excl = stats::pearson(x_excl[m], sbe_excl);
+    mc.jobs_all = x_all[m].size();
+    mc.jobs_excl = x_excl[m].size();
+    out.metrics.push_back(mc);
   }
   const auto user_corr = [](const std::unordered_map<xid::UserId, UserAgg>& users) {
     std::vector<std::pair<xid::UserId, UserAgg>> ordered(users.begin(), users.end());

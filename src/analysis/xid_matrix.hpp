@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/event_frame.hpp"
 #include "analysis/events_view.hpp"
 #include "stats/histogram.hpp"
 
@@ -33,6 +34,11 @@ struct FollowMatrix {
 /// contribution by skipping same-kind followers (the paper's bottom
 /// heatmap).
 [[nodiscard]] FollowMatrix follow_matrix(std::span<const parse::ParsedEvent> events,
+                                         std::span<const xid::ErrorKind> kinds_of_interest,
+                                         double window_s, bool include_same_type);
+/// Frame kernel: one pass over the time/kind columns with flat kind-index
+/// tables (no per-event hashing, no per-event `seen` allocation).
+[[nodiscard]] FollowMatrix follow_matrix(const EventFrame& frame,
                                          std::span<const xid::ErrorKind> kinds_of_interest,
                                          double window_s, bool include_same_type);
 

@@ -28,16 +28,12 @@ void FleetLedger::install(topology::NodeId node, xid::CardId card, stats::TimeSe
 
 xid::CardId FleetLedger::card_at(topology::NodeId node, stats::TimeSec when) const {
   const auto& installs = slot(node);
-  // Last install at or before `when`.
-  xid::CardId found = xid::kInvalidCard;
-  for (const auto& inst : installs) {
-    if (inst.when <= when) {
-      found = inst.card;
-    } else {
-      break;
-    }
-  }
-  return found;
+  // Last install at or before `when`; the history is time-ordered (the
+  // install() invariant), so binary search it.
+  const auto it = std::upper_bound(
+      installs.begin(), installs.end(), when,
+      [](stats::TimeSec t, const Install& inst) { return t < inst.when; });
+  return it == installs.begin() ? xid::kInvalidCard : std::prev(it)->card;
 }
 
 std::size_t FleetLedger::install_count(topology::NodeId node) const {

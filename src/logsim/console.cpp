@@ -1,5 +1,6 @@
 #include "logsim/console.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <string_view>
 
@@ -9,30 +10,38 @@
 
 namespace titan::logsim {
 
-std::string console_line(const xid::Event& event) {
+void console_line_into(const xid::Event& event, std::string& buffer) {
   const auto& info = xid::info(event.kind);
+  buffer.clear();
+  buffer += '[';
+  stats::append_timestamp(buffer, event.time);
+  buffer += "] ";
+  topology::append_cname(buffer, topology::locate(event.node));
+  buffer += " GPU ";
+  buffer += xid::token(event.kind);
+  buffer += ": ";
+  buffer += info.name;
+  if (event.structure != xid::MemoryStructure::kNone) {
+    buffer += " (";
+    buffer += xid::structure_token(event.structure);
+    buffer += ')';
+  }
+}
+
+std::string console_line(const xid::Event& event) {
   std::string line;
   line.reserve(96);
-  line += '[';
-  line += stats::format_timestamp(event.time);
-  line += "] ";
-  line += topology::cname(event.node);
-  line += " GPU ";
-  line += xid::token(event.kind);
-  line += ": ";
-  line += info.name;
-  if (event.structure != xid::MemoryStructure::kNone) {
-    line += " (";
-    line += xid::structure_token(event.structure);
-    line += ')';
-  }
+  console_line_into(event, line);
   return line;
 }
 
 std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events) {
   // Select console-visible events serially (cheap), then serialize each
   // line concurrently: lines are independent and land in their own slot,
-  // so the log is identical at any thread count.
+  // so the log is identical at any thread count.  Each worker chunk
+  // formats into one reused buffer and copies the bytes out, so per-line
+  // allocation is exactly the final string.
+  constexpr std::size_t kChunk = 1024;
   std::vector<std::uint32_t> visible;
   visible.reserve(events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
@@ -40,8 +49,15 @@ std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events)
     visible.push_back(static_cast<std::uint32_t>(i));
   }
   std::vector<std::string> lines(visible.size());
-  par::parallel_for(0, visible.size(), 1024, [&](std::size_t i) {
-    lines[i] = console_line(events[visible[i]]);
+  const std::size_t chunks = (visible.size() + kChunk - 1) / kChunk;
+  par::parallel_for(0, chunks, 1, [&](std::size_t c) {
+    std::string buffer;
+    buffer.reserve(96);
+    const std::size_t end = std::min(visible.size(), (c + 1) * kChunk);
+    for (std::size_t i = c * kChunk; i < end; ++i) {
+      console_line_into(events[visible[i]], buffer);
+      lines[i].assign(buffer);
+    }
   });
   return lines;
 }

@@ -24,6 +24,10 @@ namespace titan::logsim {
 /// Serialize one event to its console line.
 [[nodiscard]] std::string console_line(const xid::Event& event);
 
+/// Serialize into `buffer` (cleared first) instead of allocating a fresh
+/// string -- the emitter reuses one buffer per worker chunk.
+void console_line_into(const xid::Event& event, std::string& buffer);
+
 /// Serialize a whole (time-sorted) event stream.  SBE events are skipped,
 /// mirroring the real console log's blindness to corrected errors.
 [[nodiscard]] std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events);

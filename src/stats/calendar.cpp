@@ -39,12 +39,18 @@ std::string month_label(TimeSec t) {
   return buf;
 }
 
-std::string format_timestamp(TimeSec t) {
+void append_timestamp(std::string& out, TimeSec t) {
   const CivilDateTime dt = to_civil(t);
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year, dt.date.month,
                 dt.date.day, dt.hour, dt.minute, dt.second);
-  return buf;
+  out += buf;
+}
+
+std::string format_timestamp(TimeSec t) {
+  std::string out;
+  append_timestamp(out, t);
+  return out;
 }
 
 bool parse_timestamp(std::string_view text, TimeSec& out) {

@@ -122,6 +122,8 @@ struct CivilDateTime {
 
 /// "2014-01-12 13:45:01" timestamp string (console-log format).
 [[nodiscard]] std::string format_timestamp(TimeSec t);
+/// Same format, appended to `out` (no temporary string).
+void append_timestamp(std::string& out, TimeSec t);
 
 /// Parse a "YYYY-MM-DD HH:MM:SS" timestamp.  Returns false on malformed
 /// input (without touching `out`).

@@ -35,11 +35,17 @@ int compute_node_count() noexcept {
   return count;
 }
 
-std::string cname(const NodeLocation& loc) {
+void append_cname(std::string& out, const NodeLocation& loc) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "c%d-%dc%ds%dn%d", loc.cab_x, loc.cab_y, loc.cage, loc.slot,
                 loc.node);
-  return buf;
+  out += buf;
+}
+
+std::string cname(const NodeLocation& loc) {
+  std::string out;
+  append_cname(out, loc);
+  return out;
 }
 
 std::string cname(NodeId id) { return cname(locate(id)); }

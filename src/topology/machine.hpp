@@ -114,6 +114,8 @@ struct NodeLocation {
 /// Format a Cray cname, e.g. "c12-3c1s4n2".
 [[nodiscard]] std::string cname(NodeId id);
 [[nodiscard]] std::string cname(const NodeLocation& loc);
+/// Same format, appended to `out` (no temporary string).
+void append_cname(std::string& out, const NodeLocation& loc);
 
 /// Parse a Cray cname.  Returns std::nullopt on malformed input or
 /// out-of-range coordinates.

@@ -1,0 +1,226 @@
+// Satellite acceptance: every analysis result must be identical whether
+// computed through the legacy span entry points or the EventFrame
+// kernels, on the full default-seed study.  "Identical" is bitwise for
+// counts and exact for doubles (the kernels replicate the legacy
+// arithmetic, not just its value).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "analysis/event_frame.hpp"
+#include "analysis/events_view.hpp"
+#include "analysis/frequency.hpp"
+#include "analysis/interruption.hpp"
+#include "analysis/prediction.hpp"
+#include "analysis/reliability_report.hpp"
+#include "analysis/retirement_study.hpp"
+#include "analysis/spatial.hpp"
+#include "analysis/xid_matrix.hpp"
+#include "core/facility.hpp"
+
+namespace titan::analysis {
+namespace {
+
+using xid::ErrorKind;
+
+const core::StudyDataset& dataset() {
+  static const core::StudyDataset data = core::run_study(core::default_config());
+  return data;
+}
+
+const std::vector<parse::ParsedEvent>& parsed() {
+  static const std::vector<parse::ParsedEvent> events = as_parsed(dataset().events);
+  return events;
+}
+
+/// Frame over the console-recovered stream, card join included.
+const EventFrame& frame() {
+  static const EventFrame f =
+      EventFrame::build(parsed(), &dataset().fleet.ledger());
+  return f;
+}
+
+/// Frame over ground truth (job/root columns populated).
+const EventFrame& truth_frame() {
+  static const EventFrame f =
+      EventFrame::build(std::span<const xid::Event>{dataset().events},
+                        &dataset().fleet.ledger());
+  return f;
+}
+
+void expect_grid_eq(const stats::Grid2D& a, const stats::Grid2D& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) EXPECT_EQ(a.at(r, c), b.at(r, c));
+  }
+}
+
+constexpr std::array kKinds = {
+    ErrorKind::kDoubleBitError,  ErrorKind::kOffTheBus,
+    ErrorKind::kPageRetirement,  ErrorKind::kGraphicsEngineException,
+    ErrorKind::kMemoryPageFault, ErrorKind::kUcHaltNewDriver,
+    ErrorKind::kUcHaltOldDriver, ErrorKind::kPreemptiveCleanup};
+
+TEST(FrameEquivalence, MonthlyCounts) {
+  const auto& period = dataset().config.period;
+  for (const auto kind : kKinds) {
+    const auto legacy = monthly_frequency(parsed(), kind, period.begin, period.end);
+    const auto framed = monthly_frequency(frame(), kind, period.begin, period.end);
+    EXPECT_EQ(legacy.origin, framed.origin);
+    EXPECT_EQ(legacy.counts, framed.counts);
+  }
+}
+
+TEST(FrameEquivalence, Mtbf) {
+  const auto& period = dataset().config.period;
+  for (const auto kind : kKinds) {
+    const auto legacy = kind_mtbf(parsed(), kind, period.begin, period.end);
+    const auto framed = kind_mtbf(frame(), kind, period.begin, period.end);
+    EXPECT_EQ(legacy.mtbf_hours, framed.mtbf_hours);
+    EXPECT_EQ(legacy.mean_gap_hours, framed.mean_gap_hours);
+    EXPECT_EQ(legacy.median_gap_hours, framed.median_gap_hours);
+    EXPECT_EQ(legacy.event_count, framed.event_count);
+    EXPECT_EQ(legacy.window_hours, framed.window_hours);
+  }
+}
+
+TEST(FrameEquivalence, DailyDispersion) {
+  const auto& period = dataset().config.period;
+  for (const auto kind : kKinds) {
+    EXPECT_EQ(daily_dispersion_index(parsed(), kind, period.begin, period.end),
+              daily_dispersion_index(frame(), kind, period.begin, period.end));
+  }
+}
+
+TEST(FrameEquivalence, CabinetHeatmaps) {
+  for (const auto kind : kKinds) {
+    expect_grid_eq(cabinet_heatmap(parsed(), kind), cabinet_heatmap(frame(), kind));
+  }
+}
+
+TEST(FrameEquivalence, CageDistributions) {
+  for (const auto kind : kKinds) {
+    const auto legacy = cage_distribution(parsed(), kind, dataset().fleet.ledger());
+    const auto framed = cage_distribution(frame(), kind);
+    EXPECT_EQ(legacy.event_counts, framed.event_counts);
+    EXPECT_EQ(legacy.distinct_cards, framed.distinct_cards);
+  }
+}
+
+TEST(FrameEquivalence, StructureBreakdown) {
+  for (const auto kind : {ErrorKind::kDoubleBitError, ErrorKind::kSingleBitError,
+                          ErrorKind::kOffTheBus}) {
+    EXPECT_EQ(structure_breakdown(parsed(), kind).counts,
+              structure_breakdown(frame(), kind).counts);
+  }
+}
+
+TEST(FrameEquivalence, FollowMatrix) {
+  const auto kinds = fig13_kinds();
+  for (const bool include_same : {true, false}) {
+    const auto legacy = follow_matrix(parsed(), kinds, 300.0, include_same);
+    const auto framed = follow_matrix(frame(), kinds, 300.0, include_same);
+    EXPECT_EQ(legacy.kinds, framed.kinds);
+    expect_grid_eq(legacy.fractions, framed.fractions);
+  }
+}
+
+TEST(FrameEquivalence, RetirementDelayStudy) {
+  const auto accounting_from =
+      dataset().config.campaign.timeline.new_driver;
+  const auto legacy = retirement_delay_study(parsed(), accounting_from);
+  const auto framed = retirement_delay_study(frame(), accounting_from);
+  EXPECT_EQ(legacy.within_10min, framed.within_10min);
+  EXPECT_EQ(legacy.min10_to_6h, framed.min10_to_6h);
+  EXPECT_EQ(legacy.beyond_6h, framed.beyond_6h);
+  EXPECT_EQ(legacy.before_any_dbe, framed.before_any_dbe);
+  EXPECT_EQ(legacy.dbe_pairs_without_retirement, framed.dbe_pairs_without_retirement);
+  EXPECT_EQ(legacy.delays_s, framed.delays_s);
+}
+
+TEST(FrameEquivalence, Interruption) {
+  const auto& period = dataset().config.period;
+  const auto legacy = interruption_study(std::span<const xid::Event>{dataset().events},
+                                         dataset().trace, period.begin, period.end);
+  const auto framed =
+      interruption_study(truth_frame(), dataset().trace, period.begin, period.end);
+  EXPECT_EQ(legacy.total_jobs, framed.total_jobs);
+  EXPECT_EQ(legacy.interrupted_jobs, framed.interrupted_jobs);
+  EXPECT_EQ(legacy.total_node_hours, framed.total_node_hours);
+  EXPECT_EQ(legacy.node_hours_lost, framed.node_hours_lost);
+  EXPECT_EQ(legacy.full_machine_mtti_hours, framed.full_machine_mtti_hours);
+  for (std::size_t i = 0; i < legacy.by_size.size(); ++i) {
+    EXPECT_EQ(legacy.by_size[i].jobs, framed.by_size[i].jobs);
+    EXPECT_EQ(legacy.by_size[i].interrupted, framed.by_size[i].interrupted);
+  }
+}
+
+TEST(FrameEquivalence, Prediction) {
+  // Train on the first half, evaluate on the second, via both paths.  The
+  // rule *sets* must match (the span path's tie order among equal
+  // probabilities is container-dependent, so compare per precursor), and
+  // alarms/evaluation must be identical.
+  const auto& events = parsed();
+  const auto half = events.size() / 2;
+  const std::span<const parse::ParsedEvent> train_span{events.data(), half};
+  const std::span<const parse::ParsedEvent> eval_span{events.data() + half,
+                                                      events.size() - half};
+  const auto train_frame = EventFrame::build(train_span);
+  const auto eval_frame = EventFrame::build(eval_span);
+
+  const auto legacy =
+      FailurePredictor::fit(train_span, ErrorKind::kDoubleBitError, 3600.0);
+  const auto framed =
+      FailurePredictor::fit(train_frame, ErrorKind::kDoubleBitError, 3600.0);
+
+  ASSERT_EQ(legacy.rules().size(), framed.rules().size());
+  std::array<const PrecursorRule*, xid::kErrorKindCount> by_precursor{};
+  for (const auto& rule : legacy.rules()) {
+    by_precursor[static_cast<std::size_t>(rule.precursor)] = &rule;
+  }
+  for (const auto& rule : framed.rules()) {
+    const auto* other = by_precursor[static_cast<std::size_t>(rule.precursor)];
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(rule.probability, other->probability);
+    EXPECT_EQ(rule.support, other->support);
+  }
+
+  for (const double threshold : {0.1, 0.5}) {
+    const auto legacy_alarms = legacy.predict(eval_span, threshold);
+    const auto framed_alarms = framed.predict(eval_frame, threshold);
+    ASSERT_EQ(legacy_alarms.size(), framed_alarms.size());
+    for (std::size_t i = 0; i < legacy_alarms.size(); ++i) {
+      EXPECT_EQ(legacy_alarms[i].time, framed_alarms[i].time);
+      EXPECT_EQ(legacy_alarms[i].precursor, framed_alarms[i].precursor);
+      EXPECT_EQ(legacy_alarms[i].probability, framed_alarms[i].probability);
+    }
+    const auto legacy_eval = legacy.evaluate(eval_span, threshold);
+    const auto framed_eval = framed.evaluate(eval_frame, threshold);
+    EXPECT_EQ(legacy_eval.alarms, framed_eval.alarms);
+    EXPECT_EQ(legacy_eval.true_positives, framed_eval.true_positives);
+    EXPECT_EQ(legacy_eval.targets, framed_eval.targets);
+    EXPECT_EQ(legacy_eval.targets_covered, framed_eval.targets_covered);
+  }
+}
+
+TEST(FrameEquivalence, SmiConsoleComparisonAndMtbfReport) {
+  const auto& period = dataset().config.period;
+  const auto legacy_cmp = smi_console_comparison(parsed(), dataset().final_snapshot);
+  const auto framed_cmp = smi_console_comparison(frame(), dataset().final_snapshot);
+  EXPECT_EQ(legacy_cmp.console_dbe_count, framed_cmp.console_dbe_count);
+  EXPECT_EQ(legacy_cmp.smi_dbe_count, framed_cmp.smi_dbe_count);
+  EXPECT_EQ(legacy_cmp.cards_dbe_exceeds_sbe, framed_cmp.cards_dbe_exceeds_sbe);
+  EXPECT_EQ(legacy_cmp.cards_with_dbe, framed_cmp.cards_with_dbe);
+
+  const auto legacy_mtbf = mtbf_report(parsed(), period.begin, period.end);
+  const auto framed_mtbf = mtbf_report(frame(), period.begin, period.end);
+  EXPECT_EQ(legacy_mtbf.measured.mtbf_hours, framed_mtbf.measured.mtbf_hours);
+  EXPECT_EQ(legacy_mtbf.measured.event_count, framed_mtbf.measured.event_count);
+  EXPECT_EQ(legacy_mtbf.datasheet_mtbf_hours, framed_mtbf.datasheet_mtbf_hours);
+  EXPECT_EQ(legacy_mtbf.improvement_factor, framed_mtbf.improvement_factor);
+}
+
+}  // namespace
+}  // namespace titan::analysis

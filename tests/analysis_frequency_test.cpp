@@ -67,7 +67,9 @@ TEST(Frequency, DispersionBurstyIsLarge) {
 }
 
 TEST(Frequency, DispersionNoEventsIsZero) {
-  EXPECT_EQ(daily_dispersion_index({}, ErrorKind::kOffTheBus, kBegin, kEnd), 0.0);
+  EXPECT_EQ(daily_dispersion_index(std::span<const parse::ParsedEvent>{}, ErrorKind::kOffTheBus,
+                                   kBegin, kEnd),
+            0.0);
 }
 
 TEST(EventsView, AsParsedDropsSbe) {

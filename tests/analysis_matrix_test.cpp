@@ -99,7 +99,7 @@ TEST(FollowMatrix, IsolatedKindsHaveEmptyDiagonal) {
 
 TEST(FollowMatrix, LabelsMatchTokens) {
   const std::vector<ErrorKind> kinds{ErrorKind::kDoubleBitError, ErrorKind::kOffTheBus};
-  const auto m = follow_matrix({}, kinds, 300.0, true);
+  const auto m = follow_matrix(std::span<const parse::ParsedEvent>{}, kinds, 300.0, true);
   EXPECT_EQ(m.labels(), (std::vector<std::string>{"DBE", "OTB"}));
 }
 

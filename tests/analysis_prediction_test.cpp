@@ -116,9 +116,10 @@ TEST(Prediction, PrecisionDegradesGracefully) {
 }
 
 TEST(Prediction, EmptyInputsSafe) {
-  const auto predictor = FailurePredictor::fit({}, ErrorKind::kPageRetirement, 300.0);
+  constexpr std::span<const parse::ParsedEvent> kNoEvents;
+  const auto predictor = FailurePredictor::fit(kNoEvents, ErrorKind::kPageRetirement, 300.0);
   EXPECT_TRUE(predictor.rules().empty());
-  const auto eval = predictor.evaluate({}, 0.5);
+  const auto eval = predictor.evaluate(kNoEvents, 0.5);
   EXPECT_EQ(eval.alarms, 0U);
   EXPECT_DOUBLE_EQ(eval.recall(), 0.0);
 }

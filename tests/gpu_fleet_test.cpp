@@ -23,6 +23,39 @@ TEST(FleetLedger, EmptySlot) {
   EXPECT_EQ(ledger.install_count(0), 0U);
 }
 
+TEST(FleetLedger, CardAtWithManyHotSpareInstalls) {
+  // A slot that churned through many hot-spare swaps: card_at must find
+  // the exact install in a long history, including at the boundaries.
+  FleetLedger ledger{4};
+  constexpr int kInstalls = 257;
+  for (int i = 0; i < kInstalls; ++i) {
+    ledger.install(2, static_cast<xid::CardId>(1000 + i),
+                   static_cast<stats::TimeSec>(100 * i));
+  }
+  EXPECT_EQ(ledger.card_at(2, -1), xid::kInvalidCard);
+  for (int i = 0; i < kInstalls; ++i) {
+    const auto t = static_cast<stats::TimeSec>(100 * i);
+    EXPECT_EQ(ledger.card_at(2, t), 1000 + i);            // exactly at install
+    EXPECT_EQ(ledger.card_at(2, t + 99), 1000 + i);       // just before the next
+    if (i > 0) {
+      EXPECT_EQ(ledger.card_at(2, t - 1), 1000 + i - 1);
+    }
+  }
+  EXPECT_EQ(ledger.card_at(2, 1'000'000), 1000 + kInstalls - 1);
+}
+
+TEST(FleetLedger, CardAtDuplicateInstallTimesLastWins) {
+  // Same-second swap (pull + install logged at one timestamp): the later
+  // install in the history is the one in the slot.
+  FleetLedger ledger{4};
+  ledger.install(1, 10, 500);
+  ledger.install(1, 11, 500);
+  ledger.install(1, 12, 500);
+  EXPECT_EQ(ledger.card_at(1, 499), xid::kInvalidCard);
+  EXPECT_EQ(ledger.card_at(1, 500), 12);
+  EXPECT_EQ(ledger.card_at(1, 501), 12);
+}
+
 TEST(FleetLedger, RejectsOutOfOrderInstalls) {
   FleetLedger ledger{4};
   ledger.install(1, 7, 500);

@@ -52,5 +52,50 @@ TEST(Console, EmitPreservesOrder) {
   EXPECT_LT(lines[0].substr(0, 21), lines[1].substr(0, 21));
 }
 
+TEST(Console, LineIntoMatchesLine) {
+  // The buffer-reusing serializer must produce the same bytes even when
+  // the buffer held a previous (longer) line.
+  std::string buffer = "leftover bytes from a much longer previous line .....";
+  for (const auto kind : {xid::ErrorKind::kDoubleBitError, xid::ErrorKind::kOffTheBus,
+                          xid::ErrorKind::kGraphicsEngineException}) {
+    auto e = make_event();
+    e.kind = kind;
+    if (kind != xid::ErrorKind::kDoubleBitError) e.structure = xid::MemoryStructure::kNone;
+    console_line_into(e, buffer);
+    EXPECT_EQ(buffer, console_line(e));
+  }
+}
+
+TEST(Console, EmitByteIdenticalToPerLineSerialization) {
+  // The chunked, buffer-reusing emitter must be byte-identical to calling
+  // console_line per visible event -- across a chunk boundary (> 1024
+  // lines) and at any thread width.
+  std::vector<xid::Event> events;
+  for (int i = 0; i < 3000; ++i) {
+    auto e = make_event();
+    e.time += i;
+    e.node = static_cast<topology::NodeId>(i % 200);
+    switch (i % 4) {
+      case 0: break;  // DBE as built
+      case 1: e.kind = xid::ErrorKind::kSingleBitError; break;
+      case 2:
+        e.kind = xid::ErrorKind::kOffTheBus;
+        e.structure = xid::MemoryStructure::kNone;
+        break;
+      default:
+        e.kind = xid::ErrorKind::kPageRetirement;
+        e.structure = xid::MemoryStructure::kNone;
+        break;
+    }
+    events.push_back(e);
+  }
+  std::vector<std::string> expected;
+  for (const auto& e : events) {
+    if (e.kind == xid::ErrorKind::kSingleBitError) continue;
+    expected.push_back(console_line(e));
+  }
+  EXPECT_EQ(emit_console_log(events), expected);
+}
+
 }  // namespace
 }  // namespace titan::logsim
