@@ -1,127 +1,53 @@
 // Analyze an on-disk dataset produced by `generate_dataset` (or any
-// source emitting the same formats), using only the text artifacts --
-// no simulator state.  Produces the study skeleton: error census with
-// parent/child filtering, DBE MTBF, structure breakdown, and the
-// top SBE offender list from the nvidia-smi sweep.
+// source emitting the same formats), using only the text artifacts -- no
+// simulator state.  Loads the dataset into a StudyContext and runs every
+// analysis its capabilities support; `--json` emits the structured report
+// instead of the rendered text.
 //
-//   ./build/examples/analyze_dataset [dataset_dir]
-#include <algorithm>
+//   ./build/examples/analyze_dataset [dataset_dir] [--json]
 #include <cstdio>
+#include <cstring>
+#include <exception>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
-#include "analysis/events_view.hpp"
-#include "analysis/frequency.hpp"
-#include "analysis/spatial.hpp"
-#include "logsim/joblog.hpp"
-#include "logsim/smi_text.hpp"
-#include "parse/console.hpp"
-#include "parse/filter.hpp"
-#include "render/ascii.hpp"
-
-namespace {
-
-std::vector<std::string> read_lines(const std::filesystem::path& path) {
-  std::ifstream in{path};
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lines;
-}
-
-std::string read_all(const std::filesystem::path& path) {
-  std::ifstream in{path};
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-}  // namespace
+#include "study/registry.hpp"
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "titan_dataset";
-  if (!std::filesystem::exists(dir / "console.log")) {
-    std::fprintf(stderr, "no dataset at %s (run generate_dataset first)\n",
-                 dir.string().c_str());
+  std::filesystem::path dir = "titan_dataset";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      dir = argv[i];
+    }
+  }
+
+  study::StudyContext context;
+  try {
+    context = study::DatasetSource{dir}.load();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s (run generate_dataset first)\n", error.what());
     return 2;
   }
 
-  // --- Console log ---------------------------------------------------
-  const auto lines = read_lines(dir / "console.log");
-  const auto parsed = parse::parse_console_log(lines);
+  const auto& registry = study::AnalysisRegistry::standard();
+  const auto report = registry.run_all(context);
+  if (json) {
+    std::printf("%s\n", report.json().c_str());
+    return 0;
+  }
+
+  const auto& stats = context.load_stats;
   std::printf("console.log: %zu lines -> %zu events (%zu malformed, %zu unrelated)\n",
-              lines.size(), parsed.events.size(), parsed.malformed_lines,
-              parsed.unrelated_lines);
-  if (parsed.events.empty()) return 2;
-  const auto begin = parsed.events.front().time;
-  const auto end = parsed.events.back().time + 1;
-
-  std::printf("\n== Error census (raw / 5 s roots) ==\n");
-  for (const auto& info : xid::all_errors()) {
-    const auto of = analysis::of_kind(parsed.events, info.kind);
-    if (of.empty()) continue;
-    const auto filtered = parse::filter_events(of, parse::FilterParams{5.0});
-    std::printf("  %-6s %8zu / %zu\n", std::string{xid::token(info.kind)}.c_str(), of.size(),
-                filtered.roots.size());
-  }
-
-  const auto mtbf = analysis::kind_mtbf(parsed.events, xid::ErrorKind::kDoubleBitError,
-                                        begin, end);
-  std::printf("\n== DBE reliability ==\n  %zu DBEs, MTBF %.1f h\n", mtbf.event_count,
-              mtbf.mtbf_hours);
-  const auto breakdown =
-      analysis::structure_breakdown(parsed.events, xid::ErrorKind::kDoubleBitError);
-  std::printf("  by structure: device %s, register file %s\n",
-              render::fmt_percent(breakdown.share(xid::MemoryStructure::kDeviceMemory)).c_str(),
-              render::fmt_percent(breakdown.share(xid::MemoryStructure::kRegisterFile)).c_str());
-
-  // --- Job accounting --------------------------------------------------
-  const auto job_lines = read_lines(dir / "jobs.log");
-  std::size_t jobs_parsed = 0;
-  double node_hours = 0.0;
-  for (const auto& line : job_lines) {
-    if (const auto rec = logsim::parse_job_log_line(line)) {
-      ++jobs_parsed;
-      node_hours += static_cast<double>(rec->node_count) *
-                    static_cast<double>(rec->end - rec->start) / 3600.0;
-    }
-  }
-  std::printf("\n== Job accounting ==\n  %zu jobs, %.3g node-hours consumed\n", jobs_parsed,
-              node_hours);
-
-  // --- nvidia-smi sweep ------------------------------------------------
-  const auto sweep = logsim::parse_smi_sweep_text(read_all(dir / "smi_sweep.txt"));
-  std::printf("\n== nvidia-smi sweep (%zu GPUs, %zu malformed blocks) ==\n",
-              sweep.records.size(), sweep.malformed_blocks);
-  std::uint64_t sbe_total = 0;
-  std::size_t with_sbe = 0;
-  for (const auto& r : sweep.records) {
-    sbe_total += r.sbe_total;
-    if (r.sbe_total > 0) ++with_sbe;
-  }
-  std::printf("  fleet SBE total: %llu across %zu cards (%s of fleet)\n",
-              static_cast<unsigned long long>(sbe_total), with_sbe,
-              render::fmt_percent(static_cast<double>(with_sbe) /
-                                  static_cast<double>(sweep.records.size()))
-                  .c_str());
-  auto ranked = sweep.records;
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.sbe_total > b.sbe_total; });
-  std::printf("  top SBE offenders (serial @ node : count):\n");
-  for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
-    std::printf("    %6d @ %-12s : %llu\n", ranked[i].serial,
-                topology::cname(ranked[i].node).c_str(),
-                static_cast<unsigned long long>(ranked[i].sbe_total));
-  }
-  std::printf("\n  (cross-check vs console: smi DBE total %llu vs console %zu -- the\n"
-              "   Observation 2 undercount)\n",
-              static_cast<unsigned long long>([&] {
-                std::uint64_t total = 0;
-                for (const auto& r : sweep.records) total += r.dbe_total;
-                return total;
-              }()),
-              analysis::of_kind(parsed.events, xid::ErrorKind::kDoubleBitError).size());
+              stats.console_lines, context.events.size(), stats.malformed_lines,
+              stats.unrelated_lines);
+  std::printf("jobs.log: %zu records (%zu malformed)   smi_sweep.txt: %zu GPU blocks\n",
+              stats.job_lines, stats.malformed_job_lines, stats.smi_blocks);
+  std::printf("analyses available: %zu of %zu registered\n\n",
+              registry.available(context).size(), registry.names().size());
+  std::fputs(report.text().c_str(), stdout);
   return 0;
 }

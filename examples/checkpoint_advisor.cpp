@@ -2,20 +2,21 @@
 // actionable checkpoint policy for an application owner.
 //
 // Given a job scale and per-checkpoint cost, computes the node-count-
-// scaled MTBF from the simulated field data, recommends a Young/Daly
-// interval, and validates it by replaying the job against the campaign's
-// actual failure trace.
+// scaled MTBF from the simulated field data (hardware app-fatal failure
+// times read straight off the study frame's per-kind index), recommends a
+// Young/Daly interval, and validates it by replaying the job against the
+// campaign's actual failure trace.
 //
 //   ./build/examples/checkpoint_advisor [nodes] [checkpoint_seconds]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/events_view.hpp"
 #include "ckpt/daly.hpp"
 #include "ckpt/replay.hpp"
-#include "core/facility.hpp"
 #include "render/ascii.hpp"
 #include "stats/reliability.hpp"
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
@@ -24,16 +25,16 @@ int main(int argc, char** argv) {
   const double checkpoint_cost = argc > 2 ? std::strtod(argv[2], nullptr) : 240.0;
 
   std::printf("Measuring field reliability (3-month campaign)...\n");
-  const auto study = core::run_study(core::quick_config(23));
-  const auto& period = study.config.period;
+  const auto context = study::SimulatedSource{core::quick_config(23)}.load();
+  const auto& period = context.period;
 
-  // Machine-wide app-fatal hardware failures.
+  // Machine-wide app-fatal hardware failures: merge the frame's DBE and
+  // OTB time slices (each already time-sorted).
+  const auto dbe = context.truth_frame.times_of(xid::ErrorKind::kDoubleBitError);
+  const auto otb = context.truth_frame.times_of(xid::ErrorKind::kOffTheBus);
   std::vector<stats::TimeSec> failures;
-  for (const auto& e : study.events) {
-    if (e.kind == xid::ErrorKind::kDoubleBitError || e.kind == xid::ErrorKind::kOffTheBus) {
-      failures.push_back(e.time);
-    }
-  }
+  failures.reserve(dbe.size() + otb.size());
+  std::merge(dbe.begin(), dbe.end(), otb.begin(), otb.end(), std::back_inserter(failures));
   const auto machine_mtbf = stats::estimate_mtbf(failures, period.begin, period.end);
 
   // A job on N of the 18,688 nodes sees roughly N/18688 of the hazard.

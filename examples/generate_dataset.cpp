@@ -1,50 +1,34 @@
-// Generate an on-disk study dataset: the three artifacts a reliability
-// study starts from (console log, job accounting log, nvidia-smi sweep),
-// written as plain text files.  `analyze_dataset` consumes them without
-// any access to the simulator -- the same arms-length position the
-// paper's analysts were in.
+// Generate an on-disk study dataset: the text artifacts a reliability
+// study starts from (console log, job accounting log, nvidia-smi sweep,
+// manifest with the study window).  `analyze_dataset` consumes them
+// without any access to the simulator -- the same arms-length position
+// the paper's analysts were in.
 //
 //   ./build/examples/generate_dataset [output_dir] [seed]
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 
-#include "core/facility.hpp"
-#include "logsim/joblog.hpp"
-#include "logsim/smi_text.hpp"
-
-namespace {
-
-void write_lines(const std::filesystem::path& path, const std::vector<std::string>& lines) {
-  std::ofstream out{path};
-  for (const auto& line : lines) out << line << '\n';
-}
-
-}  // namespace
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
   const std::filesystem::path dir = argc > 1 ? argv[1] : "titan_dataset";
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 29;
 
-  std::filesystem::create_directories(dir);
   std::printf("Simulating a quick campaign (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
-  const auto study = core::run_study(core::quick_config(seed));
-
-  write_lines(dir / "console.log", study.console_log);
-  write_lines(dir / "jobs.log", logsim::emit_job_log(study.trace));
-  {
-    std::ofstream smi{dir / "smi_sweep.txt"};
-    smi << logsim::smi_sweep_text(study.final_snapshot);
-  }
+  const study::SimulatedSource source{core::quick_config(seed)};
+  const auto context = source.load();
+  study::write_dataset(context, dir);
 
   std::printf("\nWrote dataset to %s/\n", dir.string().c_str());
-  std::printf("  console.log    %zu lines (SMW critical events)\n", study.console_log.size());
-  std::printf("  jobs.log       %zu records (batch accounting)\n", study.trace.jobs().size());
+  std::printf("  console.log    %zu lines (SMW critical events)\n",
+              context.load_stats.console_lines);
+  std::printf("  jobs.log       %zu records (batch accounting)\n", context.load_stats.job_lines);
   std::printf("  smi_sweep.txt  %zu GPU blocks (end-of-study nvidia-smi -q)\n",
-              study.final_snapshot.records.size());
+              context.load_stats.smi_blocks);
+  std::printf("  manifest.txt   study window + retirement accounting cutoff\n");
   std::printf("\nNext: ./build/examples/analyze_dataset %s\n", dir.string().c_str());
   return 0;
 }

@@ -1,6 +1,6 @@
 // Log forensics: treat a console log as foreign input (the position every
-// reliability study starts from), parse it, filter parent/child events,
-// and mine it -- error census, MTBF, inter-arrival stats, and the
+// reliability study starts from), parse it, build a StudyContext by hand,
+// and mine it -- the registry's census and MTBF analyses plus the
 // Observation 8 hunt for a node whose "user" errors are really hardware.
 //
 //   ./build/examples/log_forensics [seed]
@@ -10,51 +10,42 @@
 #include <map>
 
 #include "analysis/events_view.hpp"
-#include "analysis/frequency.hpp"
 #include "core/facility.hpp"
 #include "parse/console.hpp"
 #include "parse/filter.hpp"
 #include "render/ascii.hpp"
-#include "stats/reliability.hpp"
+#include "study/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
 
   // Produce a log, then deliberately forget everything but the text.
-  const auto study = core::run_study(core::quick_config(seed));
-  const std::vector<std::string>& log = study.console_log;
-  const auto& period = study.config.period;
+  const auto study_data = core::run_study(core::quick_config(seed));
+  const std::vector<std::string>& log = study_data.console_log;
 
   std::printf("=== Parsing %zu console lines ===\n", log.size());
-  const auto parsed = parse::parse_console_log(log);
+  auto parsed = parse::parse_console_log(log);
   std::printf("  events: %zu   malformed: %zu   unrelated: %zu\n", parsed.events.size(),
               parsed.malformed_lines, parsed.unrelated_lines);
 
-  std::printf("\n=== Error census (raw vs 5 s-filtered roots) ===\n");
-  std::map<xid::ErrorKind, std::pair<std::size_t, std::size_t>> census;
-  for (const auto& e : parsed.events) ++census[e.kind].first;
-  for (const auto& info : xid::all_errors()) {
-    const auto of = analysis::of_kind(parsed.events, info.kind);
-    if (of.empty()) continue;
-    const auto filtered = parse::filter_events(of, parse::FilterParams{5.0});
-    census[info.kind].second = filtered.roots.size();
-  }
-  std::printf("  %-6s %10s %10s\n", "kind", "raw", "roots");
-  for (const auto& [kind, counts] : census) {
-    std::printf("  %-6s %10zu %10zu\n", std::string{xid::token(kind)}.c_str(), counts.first,
-                counts.second);
-  }
+  // A hand-built context: text in, frame built once, events-only
+  // capability.  Exactly what DatasetSource does, minus the disk.
+  study::StudyContext context;
+  context.period = study_data.config.period;
+  context.accounting_from = study_data.config.campaign.timeline.new_driver;
+  context.events = std::move(parsed.events);
+  context.frame = analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
+  context.capabilities = study::kEvents;
 
-  std::printf("\n=== DBE reliability ===\n");
-  const auto dbe_times =
-      analysis::times_of_kind(parsed.events, xid::ErrorKind::kDoubleBitError);
-  const auto mtbf = stats::estimate_mtbf(dbe_times, period.begin, period.end);
-  std::printf("  DBEs: %zu   MTBF: %.1f h   median gap: %.1f h\n", mtbf.event_count,
-              mtbf.mtbf_hours, mtbf.median_gap_hours);
+  const std::vector<std::string> selection = {"frequency", "xid_matrix"};
+  const auto report = study::AnalysisRegistry::standard().run(context, selection);
+  std::printf("\n");
+  std::fputs(report.text().c_str(), stdout);
 
   std::printf("\n=== Observation 8 hunt: XID 13 repeat offenders per node ===\n");
-  const auto xid13 = analysis::of_kind(parsed.events, xid::ErrorKind::kGraphicsEngineException);
+  const auto xid13 =
+      analysis::of_kind(context.events, xid::ErrorKind::kGraphicsEngineException);
   const auto per_node_roots =
       parse::filter_events(xid13, parse::FilterParams{5.0, parse::FilterScope::kPerNode});
   std::map<topology::NodeId, int> per_node;
@@ -64,7 +55,7 @@ int main(int argc, char** argv) {
   std::sort(ranked.rbegin(), ranked.rend());
   std::printf("  top XID 13 nodes (candidates for hardware diagnostics):\n");
   for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
-    const bool is_planted = ranked[i].second == study.bad_node;
+    const bool is_planted = ranked[i].second == study_data.bad_node;
     std::printf("    %-12s %4d root events%s\n",
                 topology::cname(ranked[i].second).c_str(), ranked[i].first,
                 is_planted ? "   <-- the planted hardware-faulty node" : "");

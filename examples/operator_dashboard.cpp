@@ -1,26 +1,28 @@
 // Operator dashboard: the OLCF operations workflow over a simulated
 // campaign -- SEC alerting on the live console stream, the hot-spare card
-// workflow, and a sweep of the DBE pull threshold (with the paper's
-// caveat that quantifying avoided errors is hard).
+// workflow, the node-health policy replayed over the study's EventFrame,
+// and a sweep of the DBE pull threshold (with the paper's caveat that
+// quantifying avoided errors is hard).
 //
 //   ./build/examples/operator_dashboard [seed]
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
-#include "core/facility.hpp"
 #include "ops/health.hpp"
 #include "parse/sec.hpp"
 #include "render/ascii.hpp"
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
-  const auto study = core::run_study(core::quick_config(seed));
+  const auto context = study::SimulatedSource{core::quick_config(seed)}.load();
+  const auto& truth = *context.truth;
 
   std::printf("=== SEC alert feed (operator pages) ===\n");
   parse::SimpleEventCorrelator sec{parse::default_gpu_rules()};
-  const auto alerts = sec.process(study.console_log);
+  const auto alerts = sec.process(truth.console_log);
   std::map<std::string, int> by_rule;
   for (const auto& a : alerts) ++by_rule[a.rule];
   for (const auto& [rule, count] : by_rule) {
@@ -38,7 +40,7 @@ int main(int argc, char** argv) {
   std::printf("\n=== Hot-spare workflow (threshold = %llu DBEs) ===\n",
               static_cast<unsigned long long>(fault::kHotSparePullThreshold));
   std::size_t rma = 0;
-  for (const auto& action : study.hot_spare_actions) {
+  for (const auto& action : truth.hot_spare_actions) {
     std::printf("  %s  card %6d pulled from %-12s -> %s\n",
                 stats::format_timestamp(action.pulled_at).c_str(), action.card,
                 topology::cname(action.node).c_str(),
@@ -46,21 +48,12 @@ int main(int argc, char** argv) {
                                      : "passed stress test, returned to shelf");
     if (action.failed_stress) ++rma;
   }
-  std::printf("  pulled: %zu   RMA'd: %zu\n", study.hot_spare_actions.size(), rma);
+  std::printf("  pulled: %zu   RMA'd: %zu\n", truth.hot_spare_actions.size(), rma);
 
-  std::printf("\n=== Node-health policy replay ===\n");
+  std::printf("\n=== Node-health policy replay (frame stream) ===\n");
   {
     ops::NodeHealthMonitor monitor;
-    stats::TimeSec next_review =
-        study.config.period.begin + 7 * stats::kSecondsPerDay;
-    for (const auto& e : study.events) {
-      while (e.time >= next_review) {
-        (void)monitor.review_suspects(next_review);
-        next_review += 7 * stats::kSecondsPerDay;
-      }
-      (void)monitor.observe(e);
-    }
-    (void)monitor.review_suspects(study.config.period.end);
+    ops::replay_frame(monitor, context.truth_frame);
     std::size_t takedowns = 0;
     for (const auto& a : monitor.log()) {
       if (a.kind == ops::ActionKind::kTakeDown) ++takedowns;
@@ -69,24 +62,25 @@ int main(int argc, char** argv) {
                 monitor.suspects().size());
     for (const auto node : monitor.suspects()) {
       std::printf("    suspect %-12s%s\n", topology::cname(node).c_str(),
-                  node == study.bad_node ? "  <-- the planted hardware-faulty node" : "");
+                  node == truth.bad_node ? "  <-- the planted hardware-faulty node" : "");
     }
   }
 
   std::printf("\n=== Pull-threshold sweep (what-if) ===\n");
   std::printf("  threshold | cards pulled | later DBEs on those cards (avoided if pulled at 1)\n");
-  // Count DBEs per card from ground truth and evaluate thresholds offline.
-  std::map<xid::CardId, std::vector<stats::TimeSec>> dbe_times;
-  for (const auto& e : study.events) {
-    if (e.kind == xid::ErrorKind::kDoubleBitError) dbe_times[e.card].push_back(e.time);
+  // Per-card DBE times straight off the frame's card column.
+  std::map<xid::CardId, std::size_t> dbe_counts;
+  const auto cards = context.truth_frame.cards();
+  for (const auto row : context.truth_frame.rows_of(xid::ErrorKind::kDoubleBitError)) {
+    ++dbe_counts[cards[row]];
   }
   for (std::size_t threshold = 1; threshold <= 3; ++threshold) {
     std::size_t pulled = 0;
     std::size_t avoided = 0;
-    for (const auto& [card, times] : dbe_times) {
-      if (times.size() >= threshold) {
+    for (const auto& [card, count] : dbe_counts) {
+      if (count >= threshold) {
         ++pulled;
-        avoided += times.size() - threshold;
+        avoided += count - threshold;
       }
     }
     std::printf("  %9zu | %12zu | %zu\n", threshold, pulled, avoided);

@@ -5,14 +5,15 @@
 // Runs the same campaign twice -- production torus-order placement vs a
 // cool-cage-first policy for the allocator -- with identical fault seeds,
 // and compares how many thermally-sensitive hardware crashes (DBE, OTB)
-// land on large jobs.
+// land on large jobs.  The counting is a pure read of each study's
+// ground-truth EventFrame (kind index + job column).
 //
 //   ./build/examples/placement_policy [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/facility.hpp"
 #include "render/ascii.hpp"
+#include "study/source.hpp"
 
 namespace {
 
@@ -22,17 +23,18 @@ struct InterruptStats {
   std::size_t total_crashes = 0;
 };
 
-InterruptStats measure(const titan::core::StudyDataset& study) {
+InterruptStats measure(const titan::study::StudyContext& context) {
   using namespace titan;
   InterruptStats out;
-  for (const auto& e : study.events) {
-    if (e.kind != xid::ErrorKind::kDoubleBitError && e.kind != xid::ErrorKind::kOffTheBus) {
-      continue;
+  const auto jobs = context.truth_frame.jobs();
+  const auto& trace = context.trace();
+  for (const auto kind : {xid::ErrorKind::kDoubleBitError, xid::ErrorKind::kOffTheBus}) {
+    for (const auto row : context.truth_frame.rows_of(kind)) {
+      ++out.total_crashes;
+      if (jobs[row] == xid::kNoJob) continue;
+      ++out.any_job_hits;
+      if (trace.job(jobs[row]).node_count() >= 512) ++out.large_job_hits;
     }
-    ++out.total_crashes;
-    if (e.job == xid::kNoJob) continue;
-    ++out.any_job_hits;
-    if (study.trace.job(e.job).node_count() >= 512) ++out.large_job_hits;
   }
   return out;
 }
@@ -49,8 +51,8 @@ int main(int argc, char** argv) {
   cool.workload.policy = sched::PlacementPolicy::kCoolCageFirst;
 
   std::printf("Simulating identical fault campaigns under two placement policies...\n\n");
-  const auto production = core::run_study(base);
-  const auto improved = core::run_study(cool);
+  const auto production = study::SimulatedSource{base}.load();
+  const auto improved = study::SimulatedSource{cool}.load();
 
   const auto p = measure(production);
   const auto c = measure(improved);

@@ -1,5 +1,6 @@
 // Quickstart: simulate a three-month GPU-reliability study campaign on a
-// full Titan-scale machine and print the headline numbers.
+// full Titan-scale machine and print the full study report -- every
+// registered analysis, run as one deterministic sweep.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,11 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/events_view.hpp"
-#include "analysis/frequency.hpp"
-#include "analysis/reliability_report.hpp"
-#include "core/facility.hpp"
 #include "render/ascii.hpp"
+#include "study/registry.hpp"
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
@@ -22,28 +21,17 @@ int main(int argc, char** argv) {
               config.period.months(), topology::kComputeNodes,
               static_cast<unsigned long long>(seed));
 
-  const auto study = core::run_study(config);
-  std::printf("\n  jobs run:            %zu (utilization %s)\n", study.trace.jobs().size(),
-              render::fmt_percent(study.workload_utilization).c_str());
-  std::printf("  console log lines:   %zu\n", study.console_log.size());
-  std::printf("  SBE strikes:         %zu\n", study.sbe_strikes.size());
-  std::printf("  hot-spare pulls:     %zu\n", study.hot_spare_actions.size());
+  const study::SimulatedSource source{config};
+  const auto context = source.load();
+  const auto& truth = *context.truth;
+  std::printf("\n  jobs run:            %zu (utilization %s)\n", truth.trace.jobs().size(),
+              render::fmt_percent(truth.workload_utilization).c_str());
+  std::printf("  console log lines:   %zu\n", context.load_stats.console_lines);
+  std::printf("  SBE strikes:         %zu\n", truth.sbe_strikes.size());
+  std::printf("  hot-spare pulls:     %zu\n", truth.hot_spare_actions.size());
 
-  const auto events = analysis::as_parsed(study.events);
-  const auto report =
-      analysis::mtbf_report(events, config.period.begin, config.period.end);
-  std::printf("\n  DBEs observed:       %zu\n", report.measured.event_count);
-  std::printf("  DBE MTBF:            %.1f hours (paper: ~160 h over the full period)\n",
-              report.measured.mtbf_hours);
-
-  std::printf("\nMonthly double-bit errors:\n");
-  const auto series = analysis::monthly_frequency(events, xid::ErrorKind::kDoubleBitError,
-                                                  config.period.begin, config.period.end);
-  std::fputs(render::bar_chart(series.labels(), series.counts).c_str(), stdout);
-
-  std::printf("\nFirst three console lines:\n");
-  for (std::size_t i = 0; i < study.console_log.size() && i < 3; ++i) {
-    std::printf("  %s\n", study.console_log[i].c_str());
-  }
+  const auto report = study::AnalysisRegistry::standard().run_all(context);
+  std::printf("\n");
+  std::fputs(report.text().c_str(), stdout);
   return 0;
 }

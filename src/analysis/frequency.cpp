@@ -10,7 +10,8 @@ namespace titan::analysis {
 stats::MonthlySeries monthly_frequency(std::span<const parse::ParsedEvent> events,
                                        xid::ErrorKind kind, stats::TimeSec begin,
                                        stats::TimeSec end) {
-  return stats::monthly_counts(times_of_kind(events, kind), begin, end);
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return monthly_frequency(EventFrame::build(events), kind, begin, end);
 }
 
 stats::MonthlySeries monthly_frequency(const EventFrame& frame, xid::ErrorKind kind,
@@ -36,7 +37,7 @@ stats::MonthlySeries monthly_frequency(const EventFrame& frame, xid::ErrorKind k
 
 stats::MtbfEstimate kind_mtbf(std::span<const parse::ParsedEvent> events, xid::ErrorKind kind,
                               stats::TimeSec begin, stats::TimeSec end) {
-  return stats::estimate_mtbf(times_of_kind(events, kind), begin, end);
+  return kind_mtbf(EventFrame::build(events), kind, begin, end);
 }
 
 stats::MtbfEstimate kind_mtbf(const EventFrame& frame, xid::ErrorKind kind, stats::TimeSec begin,
@@ -47,17 +48,7 @@ stats::MtbfEstimate kind_mtbf(const EventFrame& frame, xid::ErrorKind kind, stat
 
 double daily_dispersion_index(std::span<const parse::ParsedEvent> events, xid::ErrorKind kind,
                               stats::TimeSec begin, stats::TimeSec end) {
-  if (end <= begin) return 0.0;
-  const auto days = static_cast<std::size_t>((end - begin + stats::kSecondsPerDay - 1) /
-                                             stats::kSecondsPerDay);
-  std::vector<double> daily(days, 0.0);
-  for (const auto& e : events) {
-    if (e.kind != kind || e.time < begin || e.time >= end) continue;
-    daily[static_cast<std::size_t>((e.time - begin) / stats::kSecondsPerDay)] += 1.0;
-  }
-  const double m = stats::mean(daily);
-  if (m == 0.0) return 0.0;
-  return stats::variance(daily) / m;
+  return daily_dispersion_index(EventFrame::build(events), kind, begin, end);
 }
 
 double daily_dispersion_index(const EventFrame& frame, xid::ErrorKind kind, stats::TimeSec begin,

@@ -51,20 +51,10 @@ namespace {
 InterruptionStudy interruption_study(std::span<const xid::Event> events,
                                      const sched::JobTrace& trace, stats::TimeSec begin,
                                      stats::TimeSec end) {
-  // First interruption per job: events are time-sorted, so the first hit
-  // wins.  Child events share the parent's job and would double-count, so
-  // only root (parent < 0) app-fatal events count as interruptions.
-  std::unordered_map<xid::JobId, stats::TimeSec> first_hit;
-  std::size_t app_fatal_events = 0;
-  for (const auto& e : events) {
-    if (e.time < begin || e.time >= end) continue;
-    if (!xid::info(e.kind).crashes_app) continue;
-    if (e.is_child()) continue;
-    ++app_fatal_events;
-    if (e.job == xid::kNoJob) continue;
-    first_hit.emplace(e.job, e.time);  // keeps the earliest (stream sorted)
-  }
-  return accumulate_jobs(first_hit, app_fatal_events, trace, begin, end);
+  // Forwarding adapter: the frame build keeps the job/root columns the
+  // kernel's first-interruption-per-job rule needs (SBEs are dropped, but
+  // they never crash an application, so the scan is unaffected).
+  return interruption_study(EventFrame::build(events), trace, begin, end);
 }
 
 InterruptionStudy interruption_study(const EventFrame& frame, const sched::JobTrace& trace,

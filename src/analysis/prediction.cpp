@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <unordered_map>
 
 namespace titan::analysis {
 
@@ -40,43 +39,8 @@ namespace {
 FailurePredictor FailurePredictor::fit(std::span<const parse::ParsedEvent> training,
                                        xid::ErrorKind target, double horizon_s,
                                        std::uint64_t min_support, bool allow_self) {
-  FailurePredictor predictor;
-  predictor.target_ = target;
-  predictor.horizon_s_ = horizon_s;
-
-  const auto horizon = static_cast<stats::TimeSec>(std::llround(horizon_s));
-  std::unordered_map<int, std::uint64_t> occurrences;
-  std::unordered_map<int, std::uint64_t> followed;
-
-  for (std::size_t i = 0; i < training.size(); ++i) {
-    const int precursor = static_cast<int>(training[i].kind);
-    ++occurrences[precursor];
-    for (std::size_t j = i + 1; j < training.size(); ++j) {
-      if (training[j].time - training[i].time >= horizon) break;
-      if (training[j].kind == target) {
-        ++followed[precursor];
-        break;
-      }
-    }
-  }
-  for (const auto& [kind, count] : occurrences) {
-    if (count < min_support) continue;
-    const auto k = static_cast<xid::ErrorKind>(kind);
-    if (!allow_self && k == target) continue;
-    const auto hits = followed.contains(kind) ? followed.at(kind) : 0;
-    if (hits == 0) continue;
-    PrecursorRule rule;
-    rule.precursor = k;
-    rule.target = target;
-    rule.probability = static_cast<double>(hits) / static_cast<double>(count);
-    rule.support = count;
-    predictor.rules_.push_back(rule);
-  }
-  std::sort(predictor.rules_.begin(), predictor.rules_.end(),
-            [](const PrecursorRule& a, const PrecursorRule& b) {
-              return a.probability > b.probability;
-            });
-  return predictor;
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return fit(EventFrame::build(training), target, horizon_s, min_support, allow_self);
 }
 
 FailurePredictor FailurePredictor::fit(const EventFrame& training, xid::ErrorKind target,
@@ -128,19 +92,7 @@ FailurePredictor FailurePredictor::fit(const EventFrame& training, xid::ErrorKin
 
 std::vector<FailurePredictor::Alarm> FailurePredictor::predict(
     std::span<const parse::ParsedEvent> stream, double threshold) const {
-  std::unordered_map<int, double> active;  // precursor kind -> probability
-  for (const auto& rule : rules_) {
-    if (rule.probability >= threshold) {
-      active.emplace(static_cast<int>(rule.precursor), rule.probability);
-    }
-  }
-  std::vector<Alarm> alarms;
-  for (const auto& e : stream) {
-    const auto it = active.find(static_cast<int>(e.kind));
-    if (it == active.end()) continue;
-    alarms.push_back(Alarm{e.time, e.kind, it->second});
-  }
-  return alarms;
+  return predict(EventFrame::build(stream), threshold);
 }
 
 std::vector<FailurePredictor::Alarm> FailurePredictor::predict(const EventFrame& stream,
@@ -165,14 +117,7 @@ std::vector<FailurePredictor::Alarm> FailurePredictor::predict(const EventFrame&
 
 FailurePredictor::Evaluation FailurePredictor::evaluate(
     std::span<const parse::ParsedEvent> stream, double threshold) const {
-  const auto alarms = predict(stream, threshold);
-  const auto horizon = static_cast<stats::TimeSec>(std::llround(horizon_s_));
-
-  std::vector<stats::TimeSec> target_times;
-  for (const auto& e : stream) {
-    if (e.kind == target_) target_times.push_back(e.time);
-  }
-  return score_alarms(alarms, target_times, horizon);
+  return evaluate(EventFrame::build(stream), threshold);
 }
 
 FailurePredictor::Evaluation FailurePredictor::evaluate(const EventFrame& stream,

@@ -30,12 +30,8 @@ void add_snapshot_counters(SmiConsoleComparison& out, const logsim::SmiSnapshot&
 
 SmiConsoleComparison smi_console_comparison(std::span<const parse::ParsedEvent> events,
                                             const logsim::SmiSnapshot& snapshot) {
-  SmiConsoleComparison out;
-  for (const auto& e : events) {
-    if (e.kind == xid::ErrorKind::kDoubleBitError) ++out.console_dbe_count;
-  }
-  add_snapshot_counters(out, snapshot);
-  return out;
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return smi_console_comparison(EventFrame::build(events), snapshot);
 }
 
 SmiConsoleComparison smi_console_comparison(const EventFrame& frame,
@@ -48,9 +44,7 @@ SmiConsoleComparison smi_console_comparison(const EventFrame& frame,
 
 MtbfReport mtbf_report(std::span<const parse::ParsedEvent> events, stats::TimeSec begin,
                        stats::TimeSec end, double datasheet_fleet_dbe_per_hour) {
-  return make_mtbf_report(
-      stats::estimate_mtbf(times_of_kind(events, xid::ErrorKind::kDoubleBitError), begin, end),
-      datasheet_fleet_dbe_per_hour);
+  return mtbf_report(EventFrame::build(events), begin, end, datasheet_fleet_dbe_per_hour);
 }
 
 MtbfReport mtbf_report(const EventFrame& frame, stats::TimeSec begin, stats::TimeSec end,

@@ -6,40 +6,8 @@ namespace titan::analysis {
 
 RetirementDelayStudy retirement_delay_study(std::span<const parse::ParsedEvent> events,
                                             stats::TimeSec accounting_from) {
-  RetirementDelayStudy out;
-
-  // Merge-walk the time-sorted stream, tracking the last accounted DBE and
-  // whether a retirement has been seen since it.
-  bool have_dbe = false;
-  stats::TimeSec last_dbe = 0;
-  bool retirement_since_dbe = false;
-
-  for (const auto& e : events) {
-    if (e.time < accounting_from) continue;
-    if (e.kind == xid::ErrorKind::kDoubleBitError) {
-      if (have_dbe && !retirement_since_dbe) ++out.dbe_pairs_without_retirement;
-      have_dbe = true;
-      last_dbe = e.time;
-      retirement_since_dbe = false;
-      continue;
-    }
-    if (e.kind != xid::ErrorKind::kPageRetirement) continue;
-    retirement_since_dbe = true;
-    if (!have_dbe) {
-      ++out.before_any_dbe;
-      continue;
-    }
-    const double delay = static_cast<double>(e.time - last_dbe);
-    out.delays_s.push_back(delay);
-    if (delay <= 600.0) {
-      ++out.within_10min;
-    } else if (delay <= 6.0 * 3600.0) {
-      ++out.min10_to_6h;
-    } else {
-      ++out.beyond_6h;
-    }
-  }
-  return out;
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return retirement_delay_study(EventFrame::build(events), accounting_from);
 }
 
 RetirementDelayStudy retirement_delay_study(const EventFrame& frame,

@@ -7,14 +7,8 @@
 namespace titan::analysis {
 
 stats::Grid2D cabinet_heatmap(std::span<const parse::ParsedEvent> events, xid::ErrorKind kind) {
-  stats::Grid2D grid{static_cast<std::size_t>(topology::kCabinetGridY),
-                     static_cast<std::size_t>(topology::kCabinetGridX)};
-  for (const auto& e : events) {
-    if (e.kind != kind) continue;
-    const auto loc = topology::locate(e.node);
-    grid.add(static_cast<std::size_t>(loc.cab_y), static_cast<std::size_t>(loc.cab_x));
-  }
-  return grid;
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return cabinet_heatmap(EventFrame::build(events), kind);
 }
 
 stats::Grid2D cabinet_heatmap(const EventFrame& frame, xid::ErrorKind kind) {
@@ -41,19 +35,8 @@ double CageDistribution::top_to_bottom_ratio() const noexcept {
 
 CageDistribution cage_distribution(std::span<const parse::ParsedEvent> events,
                                    xid::ErrorKind kind, const gpu::FleetLedger& ledger) {
-  CageDistribution out;
-  std::array<std::unordered_set<xid::CardId>, topology::kCagesPerCabinet> cards;
-  for (const auto& e : events) {
-    if (e.kind != kind) continue;
-    const auto cage = static_cast<std::size_t>(topology::locate(e.node).cage);
-    ++out.event_counts[cage];
-    const xid::CardId card = ledger.card_at(e.node, e.time);
-    if (card != xid::kInvalidCard) cards[cage].insert(card);
-  }
-  for (std::size_t c = 0; c < cards.size(); ++c) {
-    out.distinct_cards[c] = cards[c].size();
-  }
-  return out;
+  // Forwarding adapter: the card join happens once, at frame build.
+  return cage_distribution(EventFrame::build(events, &ledger), kind);
 }
 
 CageDistribution cage_distribution(const EventFrame& frame, xid::ErrorKind kind) {
@@ -85,12 +68,7 @@ double StructureBreakdown::share(xid::MemoryStructure s) const noexcept {
 
 StructureBreakdown structure_breakdown(std::span<const parse::ParsedEvent> events,
                                        xid::ErrorKind kind) {
-  StructureBreakdown out;
-  for (const auto& e : events) {
-    if (e.kind != kind) continue;
-    ++out.counts[static_cast<std::size_t>(e.structure)];
-  }
-  return out;
+  return structure_breakdown(EventFrame::build(events), kind);
 }
 
 StructureBreakdown structure_breakdown(const EventFrame& frame, xid::ErrorKind kind) {

@@ -4,7 +4,6 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace titan::analysis {
 
@@ -27,46 +26,9 @@ std::vector<std::string> FollowMatrix::labels() const {
 FollowMatrix follow_matrix(std::span<const parse::ParsedEvent> events,
                            std::span<const xid::ErrorKind> kinds_of_interest, double window_s,
                            bool include_same_type) {
-  const std::size_t n = kinds_of_interest.size();
-  std::unordered_map<int, std::size_t> kind_index;
-  for (std::size_t i = 0; i < n; ++i) {
-    kind_index[static_cast<int>(kinds_of_interest[i])] = i;
-  }
-
-  // For each event A, scan forward inside the window and mark which kinds
-  // follow it.  The stream must be time-sorted.  Complexity is
-  // O(events x window-occupancy); the study's streams make this cheap.
-  stats::Grid2D followed{std::max<std::size_t>(n, 1), std::max<std::size_t>(n, 1)};
-  std::vector<std::uint64_t> occurrences(n, 0);
-  const auto window = static_cast<stats::TimeSec>(std::llround(window_s));
-
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto a_it = kind_index.find(static_cast<int>(events[i].kind));
-    if (a_it == kind_index.end()) continue;
-    const std::size_t a = a_it->second;
-    ++occurrences[a];
-    std::vector<bool> seen(n, false);
-    for (std::size_t j = i + 1; j < events.size(); ++j) {
-      if (events[j].time - events[i].time >= window) break;
-      const auto b_it = kind_index.find(static_cast<int>(events[j].kind));
-      if (b_it == kind_index.end()) continue;
-      const std::size_t b = b_it->second;
-      if (!include_same_type && b == a) continue;
-      if (!seen[b]) {
-        seen[b] = true;
-        followed.add(a, b);
-      }
-    }
-  }
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = 0; b < n; ++b) {
-      followed.at(a, b) =
-          occurrences[a] > 0 ? followed.at(a, b) / static_cast<double>(occurrences[a]) : 0.0;
-    }
-  }
-  return FollowMatrix{std::vector<xid::ErrorKind>(kinds_of_interest.begin(),
-                                                  kinds_of_interest.end()),
-                      std::move(followed)};
+  // Forwarding adapter: the frame kernel below is the one implementation.
+  return follow_matrix(EventFrame::build(events), kinds_of_interest, window_s,
+                       include_same_type);
 }
 
 FollowMatrix follow_matrix(const EventFrame& frame,

@@ -122,4 +122,38 @@ std::vector<topology::NodeId> NodeHealthMonitor::suspects() const {
   return out;
 }
 
+std::vector<OperatorAction> replay_frame(NodeHealthMonitor& monitor,
+                                         const analysis::EventFrame& frame,
+                                         stats::TimeSec review_interval) {
+  const auto times = frame.times();
+  const auto nodes = frame.nodes();
+  const auto kinds = frame.kinds();
+  const auto structures = frame.structures();
+  const auto cards = frame.cards();
+  const auto jobs = frame.jobs();
+  const auto roots = frame.roots();
+
+  stats::TimeSec next_review =
+      frame.empty() || review_interval <= 0 ? 0 : times.front() + review_interval;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    while (next_review != 0 && times[i] >= next_review) {
+      monitor.review_suspects(next_review);
+      next_review += review_interval;
+    }
+    xid::Event event;
+    event.time = times[i];
+    event.node = nodes[i];
+    event.card = cards[i];
+    event.kind = kinds[i];
+    event.structure = structures[i];
+    event.job = jobs[i];
+    // observe() only needs root-ness; a child's parent index is not
+    // recoverable from the frame, so any non-negative value stands in.
+    event.parent = roots[i] != 0 ? -1 : 0;
+    monitor.observe(event);
+  }
+  if (!frame.empty()) monitor.review_suspects(times.back());
+  return monitor.log();
+}
+
 }  // namespace titan::ops

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/event_frame.hpp"
 #include "xid/event.hpp"
 
 namespace titan::ops {
@@ -107,5 +108,16 @@ class NodeHealthMonitor {
   std::unordered_map<topology::NodeId, NodeRecord> nodes_;
   std::vector<OperatorAction> log_;
 };
+
+/// Frame-first replay: feed a whole EventFrame through `monitor` in stream
+/// order, running the periodic diagnostics review every `review_interval`
+/// of stream time and once more at the final event.  This is how the study
+/// layer drives the operator policy -- offline what-if sweeps replay the
+/// StudyContext frame instead of re-walking a raw event vector.  Returns
+/// the monitor's full action log.
+std::vector<OperatorAction> replay_frame(NodeHealthMonitor& monitor,
+                                         const analysis::EventFrame& frame,
+                                         stats::TimeSec review_interval = 7 *
+                                                                          stats::kSecondsPerDay);
 
 }  // namespace titan::ops

@@ -1,0 +1,91 @@
+// StudyContext: everything one reliability study runs over, built once by
+// a StudySource and shared (read-only) by every analysis kernel.
+//
+// The context is the repo's single ingestion product: the parsed event
+// stream, the EventFrame columnar index (built exactly once, with the
+// fleet-ledger card join when a fleet is known), the study period, and
+// whatever side artifacts the source could provide (nvidia-smi sweep,
+// job accounting, simulator ground truth).  Capability bits record which
+// side artifacts exist, so the AnalysisRegistry can decide -- per kernel,
+// not per source type -- what is runnable.  Kernels consume only what
+// their declared capabilities cover, which is what makes a simulated
+// study and a dataset round-trip of the same seed produce byte-identical
+// reports on the shared capability set.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/event_frame.hpp"
+#include "core/facility.hpp"
+#include "logsim/joblog.hpp"
+#include "logsim/smi.hpp"
+#include "parse/console.hpp"
+#include "stats/calendar.hpp"
+
+namespace titan::study {
+
+/// What a StudyContext can feed an analysis kernel.  Sources set the
+/// union of what they loaded; registry entries declare what they need.
+enum Capability : unsigned {
+  kEvents = 1U << 0,       ///< parsed console events + EventFrame
+  kLedger = 1U << 1,       ///< frame built with the fleet-ledger card join
+  kSnapshot = 1U << 2,     ///< end-of-study nvidia-smi sweep
+  kTrace = 1U << 3,        ///< full job trace with node placement
+  kGroundTruth = 1U << 4,  ///< truth frame with job/root attribution
+  kStrikes = 1U << 5,      ///< raw SBE strike stream (simulator-only)
+};
+
+struct StudyContext {
+  stats::StudyPeriod period{};
+  /// Retirement accounting cutoff (the paper's "only after Jan'2014"
+  /// rule); the new-driver date for simulated runs, from the dataset
+  /// manifest otherwise.
+  stats::TimeSec accounting_from = 0;
+
+  /// Console-recoverable event stream, time-sorted (SBEs never appear).
+  std::vector<parse::ParsedEvent> events;
+  /// Columnar index over `events`, built once at load.
+  analysis::EventFrame frame;
+
+  /// End-of-study nvidia-smi sweep (valid iff kSnapshot).
+  logsim::SmiSnapshot snapshot;
+  /// Job accounting view (dataset loads; simulated contexts use the
+  /// richer trace() instead).
+  std::vector<logsim::JobLogRecord> job_log;
+
+  /// Simulator ground truth (simulated sources only).
+  std::optional<core::StudyDataset> truth;
+  /// Frame over ground-truth events, job/root columns populated (empty
+  /// unless kGroundTruth).
+  analysis::EventFrame truth_frame;
+
+  /// Ingestion accounting, for CLI preambles.
+  struct LoadStats {
+    std::size_t console_lines = 0;
+    std::size_t malformed_lines = 0;
+    std::size_t unrelated_lines = 0;
+    std::size_t job_lines = 0;
+    std::size_t malformed_job_lines = 0;
+    std::size_t smi_blocks = 0;
+    std::size_t malformed_smi_blocks = 0;
+  };
+  LoadStats load_stats;
+
+  unsigned capabilities = 0;
+
+  /// True when every bit of `mask` is available.
+  [[nodiscard]] bool has(unsigned mask) const noexcept {
+    return (capabilities & mask) == mask;
+  }
+
+  /// Ground-truth job trace; throws std::logic_error without kTrace.
+  [[nodiscard]] const sched::JobTrace& trace() const {
+    if (!truth) throw std::logic_error{"StudyContext: no job trace (dataset-only context)"};
+    return truth->trace;
+  }
+};
+
+}  // namespace titan::study

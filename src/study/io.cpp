@@ -1,0 +1,36 @@
+#include "study/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace titan::study {
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string read_all(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_lines(const std::filesystem::path& path, std::span<const std::string> lines) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open for writing: " + path.string()};
+  for (const auto& line : lines) out << line << '\n';
+}
+
+void write_text(const std::filesystem::path& path, std::string_view text) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open for writing: " + path.string()};
+  out << text;
+}
+
+}  // namespace titan::study

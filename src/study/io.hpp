@@ -1,0 +1,30 @@
+// Small file helpers shared by the dataset writer/reader and the example
+// CLIs (previously duplicated inside the examples).  All text is plain
+// newline-terminated UTF-8; reads never throw (missing files yield empty
+// results -- callers check existence where it matters).
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titan::study {
+
+/// Read a text file line by line (without terminators).  Missing or
+/// unreadable files yield an empty vector.
+[[nodiscard]] std::vector<std::string> read_lines(const std::filesystem::path& path);
+
+/// Slurp a whole file.  Missing or unreadable files yield "".
+[[nodiscard]] std::string read_all(const std::filesystem::path& path);
+
+/// Write lines, each terminated with '\n'.  Throws std::runtime_error
+/// when the file cannot be opened.
+void write_lines(const std::filesystem::path& path, std::span<const std::string> lines);
+
+/// Write raw text.  Throws std::runtime_error when the file cannot be
+/// opened.
+void write_text(const std::filesystem::path& path, std::string_view text);
+
+}  // namespace titan::study

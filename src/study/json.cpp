@@ -1,0 +1,121 @@
+#include "study/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace titan::study {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+template <typename T>
+void append_number(std::string& out, T value) {
+  char buffer[64];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, result.ptr);
+}
+
+}  // namespace
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  if (!is_object()) throw std::logic_error{"JsonValue::set on a non-object"};
+  std::get<Object>(value_).emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (!is_array()) throw std::logic_error{"JsonValue::push on a non-array"};
+  std::get<Array>(value_).push_back(std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const auto* found = find(key);
+  if (found == nullptr) throw std::out_of_range{"JsonValue: no member " + std::string{key}};
+  return *found;
+}
+
+double JsonValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return static_cast<double>(*i);
+  return static_cast<double>(std::get<std::uint64_t>(value_));
+}
+
+void JsonValue::write(std::string& out) const {
+  switch (value_.index()) {
+    case 0: out += "null"; break;
+    case 1: out += std::get<bool>(value_) ? "true" : "false"; break;
+    case 2: append_number(out, std::get<std::int64_t>(value_)); break;
+    case 3: append_number(out, std::get<std::uint64_t>(value_)); break;
+    case 4: {
+      const double d = std::get<double>(value_);
+      if (std::isfinite(d)) {
+        append_number(out, d);
+      } else {
+        out += "null";
+      }
+      break;
+    }
+    case 5: append_escaped(out, std::get<std::string>(value_)); break;
+    case 6: {
+      out.push_back('[');
+      const auto& array = std::get<Array>(value_);
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        array[i].write(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    default: {
+      out.push_back('{');
+      const auto& object = std::get<Object>(value_);
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_escaped(out, object[i].first);
+        out.push_back(':');
+        object[i].second.write(out);
+      }
+      out.push_back('}');
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  write(out);
+  return out;
+}
+
+}  // namespace titan::study

@@ -1,0 +1,58 @@
+// AnalysisRegistry: every paper analysis as a named frame-first kernel.
+//
+// A kernel is a pure function of a const StudyContext; the registry runs
+// a selection as one deterministic titan::par sweep (results land in
+// selection order regardless of scheduling).  Entries declare the
+// capabilities they need, so availability is a property of the loaded
+// context -- a dataset without an nvidia-smi sweep simply has no
+// "sbe_study" -- rather than of the source type.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "study/context.hpp"
+#include "study/report.hpp"
+
+namespace titan::study {
+
+class AnalysisRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string description;  ///< one line, for CLI listings
+    unsigned needs = 0;       ///< Capability mask the kernel reads
+    std::function<AnalysisResult(const StudyContext&)> kernel;
+  };
+
+  /// The registry with the ten paper analyses registered: frequency,
+  /// spatial, xid_matrix, sbe_study, retirement, interruption,
+  /// prediction, utilization, reliability_report, workload_char.
+  [[nodiscard]] static const AnalysisRegistry& standard();
+
+  /// Register an entry.  Throws std::invalid_argument on a duplicate name.
+  void add(Entry entry);
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Names runnable against this context, registration order.
+  [[nodiscard]] std::vector<std::string> available(const StudyContext& context) const;
+
+  /// Run the named analyses as one parallel sweep.  Throws
+  /// std::invalid_argument on an unknown name or one whose capability
+  /// needs the context cannot meet.
+  [[nodiscard]] StudyReport run(const StudyContext& context,
+                                std::span<const std::string> selection) const;
+
+  /// Run everything available(context) can offer.
+  [[nodiscard]] StudyReport run_all(const StudyContext& context) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace titan::study

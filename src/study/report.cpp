@@ -1,0 +1,44 @@
+#include "study/report.hpp"
+
+namespace titan::study {
+
+const AnalysisResult* StudyReport::find(std::string_view name) const noexcept {
+  for (const auto& result : results) {
+    if (result.name == name) return &result;
+  }
+  return nullptr;
+}
+
+std::string StudyReport::text() const {
+  std::string out;
+  out += "== titanrel study report ==============================================\n";
+  out += "period   : " + stats::format_timestamp(period.begin) + " .. " +
+         stats::format_timestamp(period.end) + " (" + std::to_string(period.months()) +
+         " months)\n";
+  out += "analyses : " + std::to_string(results.size()) + "\n";
+  for (const auto& result : results) {
+    out += "\n-- " + result.name + " ";
+    const std::size_t pad = result.name.size() < 67 ? 67 - result.name.size() : 0;
+    out.append(pad, '-');
+    out += "\n";
+    out += result.text;
+    if (!result.text.empty() && result.text.back() != '\n') out += "\n";
+  }
+  return out;
+}
+
+std::string StudyReport::json() const {
+  auto period_json = JsonValue::object();
+  period_json.set("begin", period.begin)
+      .set("end", period.end)
+      .set("months", period.months());
+
+  auto analyses = JsonValue::object();
+  for (const auto& result : results) analyses.set(result.name, result.json);
+
+  auto root = JsonValue::object();
+  root.set("period", std::move(period_json)).set("analyses", std::move(analyses));
+  return root.dump();
+}
+
+}  // namespace titan::study

@@ -1,0 +1,42 @@
+// StudyReport: the structured artifact one registry sweep produces.
+//
+// Each analysis contributes one AnalysisResult envelope (name, rendered
+// text section, structured JSON value).  The report serializes
+// deterministically -- results in sweep order, objects in insertion
+// order, numbers via std::to_chars -- so the bytes are identical at any
+// titan::par width and across sources that share the same capabilities.
+// Nothing source-specific (seed, directory, source name) is serialized.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/calendar.hpp"
+#include "study/json.hpp"
+
+namespace titan::study {
+
+/// One analysis' contribution to the report.
+struct AnalysisResult {
+  std::string name;  ///< registry name ("frequency", "spatial", ...)
+  std::string text;  ///< rendered section body (render::ascii)
+  JsonValue json;    ///< structured result
+
+  friend bool operator==(const AnalysisResult& a, const AnalysisResult& b) = default;
+};
+
+struct StudyReport {
+  stats::StudyPeriod period{};
+  std::vector<AnalysisResult> results;  ///< selection order
+
+  [[nodiscard]] const AnalysisResult* find(std::string_view name) const noexcept;
+
+  /// Full plain-text report: header plus one titled section per result.
+  [[nodiscard]] std::string text() const;
+
+  /// Compact JSON: {"period": {...}, "analyses": {name: ..., ...}}.
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace titan::study

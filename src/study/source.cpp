@@ -1,0 +1,133 @@
+#include "study/source.hpp"
+
+#include <charconv>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "analysis/events_view.hpp"
+#include "logsim/smi_text.hpp"
+#include "study/io.hpp"
+
+namespace titan::study {
+
+namespace {
+
+constexpr std::string_view kManifestHeader = "titanrel-dataset v1";
+
+/// "key <integer>" manifest line; false when the key does not match or
+/// the value is malformed.
+bool parse_manifest_line(std::string_view line, std::string_view key, stats::TimeSec& out) {
+  if (!line.starts_with(key)) return false;
+  auto rest = line.substr(key.size());
+  if (rest.empty() || rest.front() != ' ') return false;
+  rest.remove_prefix(1);
+  stats::TimeSec value = 0;
+  const auto result = std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  if (result.ec != std::errc{} || result.ptr != rest.data() + rest.size()) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+StudyContext SimulatedSource::load() const {
+  StudyContext context;
+  context.truth = core::run_study(config_);
+  const auto& truth = *context.truth;
+
+  context.period = truth.config.period;
+  context.accounting_from = truth.config.campaign.timeline.new_driver;
+  context.events = analysis::as_parsed(truth.events);
+  context.frame = analysis::EventFrame::build(
+      std::span<const parse::ParsedEvent>{context.events}, &truth.fleet.ledger());
+  context.truth_frame = analysis::EventFrame::build(std::span<const xid::Event>{truth.events},
+                                                    &truth.fleet.ledger());
+  context.snapshot = truth.final_snapshot;
+
+  context.load_stats.console_lines = truth.console_log.size();
+  context.load_stats.job_lines = truth.trace.jobs().size();
+  context.load_stats.smi_blocks = truth.final_snapshot.records.size();
+
+  context.capabilities = kEvents | kLedger | kTrace | kGroundTruth | kStrikes;
+  if (truth.config.take_final_snapshot) context.capabilities |= kSnapshot;
+  return context;
+}
+
+StudyContext DatasetSource::load() const {
+  const auto console_path = dir_ / "console.log";
+  if (!std::filesystem::exists(console_path)) {
+    throw std::runtime_error{"no dataset at " + dir_.string() + " (missing console.log)"};
+  }
+
+  StudyContext context;
+  const auto lines = read_lines(console_path);
+  auto parsed = parse::parse_console_log(lines);
+  context.load_stats.console_lines = lines.size();
+  context.load_stats.malformed_lines = parsed.malformed_lines;
+  context.load_stats.unrelated_lines = parsed.unrelated_lines;
+  context.events = std::move(parsed.events);
+  if (context.events.empty()) {
+    throw std::runtime_error{"dataset at " + dir_.string() + " contains no console events"};
+  }
+  context.frame =
+      analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
+  context.capabilities = kEvents;
+
+  // Manifest: the study window and accounting cutoff the producer used.
+  // Without one (foreign datasets), fall back to the event stream's span.
+  bool have_begin = false;
+  bool have_end = false;
+  bool have_accounting = false;
+  for (const auto& line : read_lines(dir_ / "manifest.txt")) {
+    have_begin = have_begin || parse_manifest_line(line, "period_begin", context.period.begin);
+    have_end = have_end || parse_manifest_line(line, "period_end", context.period.end);
+    have_accounting =
+        have_accounting || parse_manifest_line(line, "accounting_from", context.accounting_from);
+  }
+  if (!have_begin) context.period.begin = context.events.front().time;
+  if (!have_end) context.period.end = context.events.back().time + 1;
+  if (!have_accounting) context.accounting_from = context.period.begin;
+
+  for (const auto& line : read_lines(dir_ / "jobs.log")) {
+    ++context.load_stats.job_lines;
+    if (const auto record = logsim::parse_job_log_line(line)) {
+      context.job_log.push_back(*record);
+    } else {
+      ++context.load_stats.malformed_job_lines;
+    }
+  }
+
+  if (const auto sweep_text = read_all(dir_ / "smi_sweep.txt"); !sweep_text.empty()) {
+    auto sweep = logsim::parse_smi_sweep_text(sweep_text);
+    context.snapshot.taken_at = sweep.taken_at;
+    context.snapshot.records = std::move(sweep.records);
+    context.load_stats.smi_blocks = context.snapshot.records.size();
+    context.load_stats.malformed_smi_blocks = sweep.malformed_blocks;
+    context.capabilities |= kSnapshot;
+  }
+  return context;
+}
+
+void write_dataset(const StudyContext& context, const std::filesystem::path& dir) {
+  if (!context.truth) {
+    throw std::logic_error{"write_dataset: context carries no ground truth to serialize"};
+  }
+  const auto& truth = *context.truth;
+  std::filesystem::create_directories(dir);
+
+  write_lines(dir / "console.log", truth.console_log);
+  write_lines(dir / "jobs.log", logsim::emit_job_log(truth.trace));
+  write_text(dir / "smi_sweep.txt", logsim::smi_sweep_text(context.snapshot));
+
+  const std::vector<std::string> manifest = {
+      std::string{kManifestHeader},
+      "period_begin " + std::to_string(context.period.begin),
+      "period_end " + std::to_string(context.period.end),
+      "accounting_from " + std::to_string(context.accounting_from),
+  };
+  write_lines(dir / "manifest.txt", manifest);
+}
+
+}  // namespace titan::study

@@ -1,0 +1,71 @@
+// StudySource: where a study's data comes from.
+//
+// Two implementations cover the paper's two positions: SimulatedSource
+// runs the facility simulator (the "operate Titan for 21 months" stance,
+// full ground truth), and DatasetSource ingests the on-disk text
+// artifacts a real analyst would start from (console.log, jobs.log,
+// smi_sweep.txt, manifest.txt) with no simulator access.  Both produce
+// one StudyContext with the EventFrame built exactly once.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/facility.hpp"
+#include "study/context.hpp"
+
+namespace titan::study {
+
+class StudySource {
+ public:
+  virtual ~StudySource() = default;
+
+  /// Build the context.  Throws std::runtime_error when the source's
+  /// inputs are missing or unusable.
+  [[nodiscard]] virtual StudyContext load() const = 0;
+
+  /// Short human label ("simulated", "dataset") for CLI preambles only;
+  /// never serialized into a StudyReport (reports must not depend on the
+  /// source).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Runs core::run_study and downgrades the ground truth to the
+/// console-recoverable view (plus the truth frame for ground-truth-only
+/// kernels).  Capabilities: events, ledger, snapshot, trace, ground
+/// truth, strikes.
+class SimulatedSource final : public StudySource {
+ public:
+  explicit SimulatedSource(core::FacilityConfig config) : config_{config} {}
+
+  [[nodiscard]] StudyContext load() const override;
+  [[nodiscard]] std::string name() const override { return "simulated"; }
+
+ private:
+  core::FacilityConfig config_;
+};
+
+/// Ingests a dataset directory written by write_dataset (or any producer
+/// of the same text formats).  console.log is required; jobs.log,
+/// smi_sweep.txt and manifest.txt are optional (capabilities shrink
+/// accordingly; without a manifest the period is inferred from the event
+/// stream).  Capabilities: events, plus snapshot when the sweep exists.
+class DatasetSource final : public StudySource {
+ public:
+  explicit DatasetSource(std::filesystem::path dir) : dir_{std::move(dir)} {}
+
+  [[nodiscard]] StudyContext load() const override;
+  [[nodiscard]] std::string name() const override { return "dataset"; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Write the on-disk text artifacts for a context that carries ground
+/// truth: console.log, jobs.log, smi_sweep.txt and manifest.txt (period
+/// + retirement accounting cutoff, so a DatasetSource round-trip
+/// reproduces the simulated report bytes).  Creates `dir` if needed;
+/// throws std::logic_error without ground truth.
+void write_dataset(const StudyContext& context, const std::filesystem::path& dir);
+
+}  // namespace titan::study

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "analysis/event_frame.hpp"
@@ -18,6 +19,9 @@
 #include "analysis/spatial.hpp"
 #include "analysis/xid_matrix.hpp"
 #include "core/facility.hpp"
+#include "par/pool.hpp"
+#include "study/registry.hpp"
+#include "study/source.hpp"
 
 namespace titan::analysis {
 namespace {
@@ -220,6 +224,36 @@ TEST(FrameEquivalence, SmiConsoleComparisonAndMtbfReport) {
   EXPECT_EQ(legacy_mtbf.measured.event_count, framed_mtbf.measured.event_count);
   EXPECT_EQ(legacy_mtbf.datasheet_mtbf_hours, framed_mtbf.datasheet_mtbf_hours);
   EXPECT_EQ(legacy_mtbf.improvement_factor, framed_mtbf.improvement_factor);
+}
+
+TEST(FrameEquivalence, RegistrySweepMatchesDirectCallsAtThreadWidths) {
+  // The registry's parallel full sweep must reproduce direct one-kernel
+  // invocations byte for byte, at serial and wide pool widths alike, and
+  // the rendered report must not vary with the width either.
+  const auto& registry = study::AnalysisRegistry::standard();
+  std::string text_at_1, json_at_1;
+  for (const std::size_t width : {std::size_t{1}, std::size_t{8}}) {
+    const std::size_t saved = par::thread_count();
+    par::set_threads(width);
+    const auto context = study::SimulatedSource{core::quick_config(17)}.load();
+    const auto sweep = registry.run_all(context);
+    for (const auto& name : registry.names()) {
+      const std::vector<std::string> one = {name};
+      const auto direct = registry.run(context, one);
+      ASSERT_EQ(direct.results.size(), 1U) << name;
+      const auto* swept = sweep.find(name);
+      ASSERT_NE(swept, nullptr) << name;
+      EXPECT_EQ(*swept, direct.results[0]) << name << " at width " << width;
+    }
+    if (width == 1) {
+      text_at_1 = sweep.text();
+      json_at_1 = sweep.json();
+    } else {
+      EXPECT_EQ(sweep.text(), text_at_1);
+      EXPECT_EQ(sweep.json(), json_at_1);
+    }
+    par::set_threads(saved);
+  }
 }
 
 }  // namespace

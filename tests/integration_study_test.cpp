@@ -1,51 +1,64 @@
-// End-to-end pipeline tests: simulate -> emit logs -> parse -> analyze,
-// checking that the console-recovered view agrees with ground truth and
-// that the paper's methodology (filtering, joins) behaves as described.
+// End-to-end pipeline tests: one SimulatedSource StudyContext drives
+// everything -- the console-recovered view must agree with ground truth,
+// and the paper's methodology (filtering, joins, smi cross-check) must
+// behave as described when driven through the study layer.
 #include <gtest/gtest.h>
 
 #include <unordered_map>
 
 #include "analysis/frequency.hpp"
 #include "analysis/reliability_report.hpp"
-#include "analysis/spatial.hpp"
-#include "core/facility.hpp"
-#include "logsim/console.hpp"
 #include "logsim/joblog.hpp"
 #include "parse/console.hpp"
 #include "parse/filter.hpp"
 #include "parse/sec.hpp"
+#include "study/source.hpp"
 
 namespace titan {
 namespace {
 
-const core::StudyDataset& dataset() {
-  static const core::StudyDataset data = core::run_study(core::quick_config(21));
-  return data;
+const study::StudyContext& context() {
+  static const study::StudyContext ctx =
+      study::SimulatedSource{core::quick_config(21)}.load();
+  return ctx;
+}
+
+const core::StudyDataset& truth() { return *context().truth; }
+
+TEST(Integration, SimulatedContextCarriesEveryCapability) {
+  EXPECT_TRUE(context().has(study::kEvents | study::kLedger | study::kSnapshot |
+                            study::kTrace | study::kGroundTruth | study::kStrikes));
+  EXPECT_EQ(context().frame.size(), context().events.size());
+  EXPECT_EQ(context().load_stats.console_lines, truth().console_log.size());
 }
 
 TEST(Integration, ConsoleLogRoundTripsLosslessly) {
-  const auto parsed = parse::parse_console_log(dataset().console_log);
+  // The context's events came from as_parsed; re-parsing the emitted log
+  // must recover the identical stream.
+  const auto parsed = parse::parse_console_log(truth().console_log);
   EXPECT_EQ(parsed.malformed_lines, 0U);
-  EXPECT_EQ(parsed.events.size(), dataset().events.size());
+  ASSERT_EQ(parsed.events.size(), context().events.size());
   for (std::size_t i = 0; i < parsed.events.size(); i += 101) {
-    EXPECT_EQ(parsed.events[i].time, dataset().events[i].time);
-    EXPECT_EQ(parsed.events[i].node, dataset().events[i].node);
-    EXPECT_EQ(parsed.events[i].kind, dataset().events[i].kind);
-    EXPECT_EQ(parsed.events[i].structure, dataset().events[i].structure);
+    EXPECT_EQ(parsed.events[i].time, context().events[i].time);
+    EXPECT_EQ(parsed.events[i].node, context().events[i].node);
+    EXPECT_EQ(parsed.events[i].kind, context().events[i].kind);
+    EXPECT_EQ(parsed.events[i].structure, context().events[i].structure);
   }
 }
 
 TEST(Integration, FiveSecondFilterRecoversGroundTruthRoots) {
   // The paper's 5 s rule must recover (approximately) the true root count
-  // for XID 13: one root per crashing debug job.
-  const auto parsed = parse::parse_console_log(dataset().console_log);
+  // for XID 13: one root per crashing debug job.  Ground truth comes off
+  // the truth frame's root column.
   const auto xid13 =
-      analysis::of_kind(parsed.events, xid::ErrorKind::kGraphicsEngineException);
+      analysis::of_kind(context().events, xid::ErrorKind::kGraphicsEngineException);
   const auto filtered = parse::filter_events(xid13, parse::FilterParams{5.0});
 
   std::size_t true_roots = 0;
-  for (const auto& e : dataset().events) {
-    if (e.kind == xid::ErrorKind::kGraphicsEngineException && !e.is_child()) ++true_roots;
+  const auto roots = context().truth_frame.roots();
+  for (const auto row :
+       context().truth_frame.rows_of(xid::ErrorKind::kGraphicsEngineException)) {
+    if (roots[row] != 0) ++true_roots;
   }
   // Machine-wide dedup can merge two genuinely distinct roots that land
   // within 5 s of each other, so filtered <= true is the guarantee; they
@@ -55,40 +68,39 @@ TEST(Integration, FiveSecondFilterRecoversGroundTruthRoots) {
 }
 
 TEST(Integration, FilteredChildrenAreMostlyTrueChildren) {
-  const auto parsed = parse::parse_console_log(dataset().console_log);
   const auto xid13 =
-      analysis::of_kind(parsed.events, xid::ErrorKind::kGraphicsEngineException);
+      analysis::of_kind(context().events, xid::ErrorKind::kGraphicsEngineException);
   const auto filtered = parse::filter_events(xid13, parse::FilterParams{5.0});
   std::size_t true_children = 0;
-  for (const auto& e : dataset().events) {
-    if (e.kind == xid::ErrorKind::kGraphicsEngineException && e.is_child()) ++true_children;
+  const auto roots = context().truth_frame.roots();
+  for (const auto row :
+       context().truth_frame.rows_of(xid::ErrorKind::kGraphicsEngineException)) {
+    if (roots[row] == 0) ++true_children;
   }
   EXPECT_GE(filtered.children.size(), true_children);
 }
 
-TEST(Integration, MtbfReportFromParsedLog) {
-  const auto parsed = parse::parse_console_log(dataset().console_log);
-  const auto& period = dataset().config.period;
-  const auto report = analysis::mtbf_report(parsed.events, period.begin, period.end);
+TEST(Integration, MtbfReportFromStudyFrame) {
+  const auto report = analysis::mtbf_report(context().frame, context().period.begin,
+                                            context().period.end);
   EXPECT_GT(report.measured.event_count, 0U);
   EXPECT_GT(report.measured.mtbf_hours, 40.0);
   EXPECT_GT(report.improvement_factor, 1.0);  // field beats datasheet (Obs. 1)
 }
 
 TEST(Integration, SmiConsoleComparisonShowsUndercount) {
-  const auto parsed = parse::parse_console_log(dataset().console_log);
-  const auto cmp = analysis::smi_console_comparison(parsed.events, dataset().final_snapshot);
+  const auto cmp = analysis::smi_console_comparison(context().frame, context().snapshot);
   EXPECT_GT(cmp.console_dbe_count, 0U);
   EXPECT_LE(cmp.smi_dbe_count, cmp.console_dbe_count);  // Observation 2
 }
 
 TEST(Integration, JobLogRoundTrips) {
-  const auto lines = logsim::emit_job_log(dataset().trace);
-  ASSERT_EQ(lines.size(), dataset().trace.jobs().size());
+  const auto lines = logsim::emit_job_log(truth().trace);
+  ASSERT_EQ(lines.size(), truth().trace.jobs().size());
   for (std::size_t i = 0; i < lines.size(); i += 503) {
     const auto rec = logsim::parse_job_log_line(lines[i]);
     ASSERT_TRUE(rec.has_value()) << lines[i];
-    const auto& job = dataset().trace.jobs()[i];
+    const auto& job = truth().trace.jobs()[i];
     EXPECT_EQ(rec->id, job.id);
     EXPECT_EQ(rec->user, job.user);
     EXPECT_EQ(rec->start, job.start);
@@ -99,33 +111,32 @@ TEST(Integration, JobLogRoundTrips) {
 
 TEST(Integration, SecSeesEveryConsoleEvent) {
   parse::SimpleEventCorrelator sec{parse::default_gpu_rules()};
-  (void)sec.process(dataset().console_log);
+  (void)sec.process(truth().console_log);
   std::uint64_t total = 0;
   for (const auto& info : xid::all_errors()) {
     if (info.kind == xid::ErrorKind::kSingleBitError) continue;
     total += sec.match_count(std::string{"gpu-"} + std::string{xid::token(info.kind)});
   }
-  EXPECT_EQ(total, dataset().console_log.size());
+  EXPECT_EQ(total, truth().console_log.size());
 }
 
 TEST(Integration, BadNodeAnecdoteVisibleInPerNodeFilter) {
   // Observation 8: the bad node's XID 13 rate stands out when events are
   // deduped per node.
-  const auto parsed = parse::parse_console_log(dataset().console_log);
   const auto xid13 =
-      analysis::of_kind(parsed.events, xid::ErrorKind::kGraphicsEngineException);
+      analysis::of_kind(context().events, xid::ErrorKind::kGraphicsEngineException);
   const auto filtered = parse::filter_events(xid13, parse::FilterParams{5.0,
                                              parse::FilterScope::kPerNode});
   std::unordered_map<topology::NodeId, int> per_node;
   for (const auto& e : filtered.roots) ++per_node[e.node];
-  ASSERT_NE(dataset().bad_node, topology::kInvalidNode);
+  ASSERT_NE(truth().bad_node, topology::kInvalidNode);
   // The bad node's repeat count sits in the extreme tail.  (It cannot be
   // the unique maximum: first-fit allocation reuses low-rank nodes across
   // many debug jobs, so a handful of heavily-scheduled nodes also rack up
   // counts -- which is precisely why the paper's operators found the case
   // hard to spot.)
   std::size_t above = 0;
-  const int bad_count = per_node[dataset().bad_node];
+  const int bad_count = per_node[truth().bad_node];
   for (const auto& [node, count] : per_node) {
     if (count > bad_count) ++above;
   }
@@ -134,8 +145,8 @@ TEST(Integration, BadNodeAnecdoteVisibleInPerNodeFilter) {
 }
 
 TEST(Integration, UtilizationReasonable) {
-  EXPECT_GT(dataset().workload_utilization, 0.5);
-  EXPECT_LE(dataset().workload_utilization, 1.0);
+  EXPECT_GT(truth().workload_utilization, 0.5);
+  EXPECT_LE(truth().workload_utilization, 1.0);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 namespace titan::ops {
 namespace {
 
@@ -159,6 +162,114 @@ TEST(Health, LogAccumulatesAllActions) {
   (void)monitor.observe(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
   (void)monitor.observe(ev(2000, 8, xid::ErrorKind::kOffTheBus));
   EXPECT_EQ(monitor.log().size(), 2U);
+}
+
+// ---- Frame-first replay (the study-layer entry point) -----------------
+
+void expect_same_log(const std::vector<OperatorAction>& a,
+                     const std::vector<OperatorAction>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "action " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "action " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "action " << i;
+    EXPECT_EQ(a[i].trigger, b[i].trigger) << "action " << i;
+  }
+}
+
+TEST(HealthFrame, ReplayFrameMatchesManualEventLoop) {
+  std::vector<xid::Event> events;
+  events.push_back(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
+  events.push_back(ev(2000, 8, xid::ErrorKind::kGraphicsEngineException, 42));
+  events.push_back(ev(3000, 7, xid::ErrorKind::kOffTheBus));
+  events.push_back(ev(1000 + 8 * stats::kSecondsPerDay, 9,
+                      xid::ErrorKind::kGraphicsEngineException, 43));
+  events.push_back(ev(1000 + 9 * stats::kSecondsPerDay, 7,
+                      xid::ErrorKind::kDoubleBitError));
+
+  const auto frame = analysis::EventFrame::build(std::span<const xid::Event>{events});
+  NodeHealthMonitor via_frame;
+  const auto frame_log = replay_frame(via_frame, frame);
+
+  NodeHealthMonitor manual;
+  const stats::TimeSec cadence = 7 * stats::kSecondsPerDay;
+  stats::TimeSec next_review = events.front().time + cadence;
+  for (const auto& e : events) {
+    while (e.time >= next_review) {
+      (void)manual.review_suspects(next_review);
+      next_review += cadence;
+    }
+    (void)manual.observe(e);
+  }
+  (void)manual.review_suspects(events.back().time);
+
+  expect_same_log(frame_log, manual.log());
+}
+
+TEST(HealthFrame, Observation8SuspectEscalatesThroughFrameReplay) {
+  // Peer baseline: twenty nodes each see one crashing job; node 7 sees
+  // nine distinct jobs.  The final-event review in replay_frame must
+  // flag node 7 and only node 7.
+  std::vector<xid::Event> events;
+  for (int n = 0; n < 20; ++n) {
+    events.push_back(ev(1000 + n, 100 + n, xid::ErrorKind::kGraphicsEngineException,
+                        1000 + n));
+  }
+  for (int j = 0; j < 9; ++j) {
+    events.push_back(ev(2000 + j, 7, xid::ErrorKind::kGraphicsEngineException, j));
+  }
+  const auto frame = analysis::EventFrame::build(std::span<const xid::Event>{events});
+  NodeHealthMonitor monitor;
+  const auto log = replay_frame(monitor, frame);
+
+  EXPECT_EQ(monitor.suspects(), std::vector<topology::NodeId>{7});
+  bool flagged = false;
+  for (const auto& a : log) flagged |= a.kind == ActionKind::kFlagSuspect && a.node == 7;
+  EXPECT_TRUE(flagged);
+}
+
+TEST(HealthFrame, ReplayRunsInStreamReviewsOnCadence) {
+  // Reviews fire every 7 days of stream time, so a burst that ages past
+  // the suspect window before the stream ends is never flagged at the
+  // end -- but the in-stream review right after the burst catches it.
+  HealthPolicy policy;
+  policy.suspect_window = 10 * stats::kSecondsPerDay;
+  std::vector<xid::Event> events;
+  for (int n = 0; n < 20; ++n) {
+    events.push_back(ev(1000 + n, 100 + n, xid::ErrorKind::kGraphicsEngineException,
+                        1000 + n));
+  }
+  for (int j = 0; j < 9; ++j) {
+    events.push_back(ev(2000 + j, 7, xid::ErrorKind::kGraphicsEngineException, j));
+  }
+  // A quiet tail event far beyond the suspect window.
+  events.push_back(ev(1000 + 60 * stats::kSecondsPerDay, 200,
+                      xid::ErrorKind::kGraphicsEngineException, 999));
+
+  const auto frame = analysis::EventFrame::build(std::span<const xid::Event>{events});
+  NodeHealthMonitor monitor{policy};
+  (void)replay_frame(monitor, frame);
+  EXPECT_EQ(monitor.suspects(), std::vector<topology::NodeId>{7});
+}
+
+TEST(HealthFrame, ReplayEmptyFrameIsNoOp) {
+  NodeHealthMonitor monitor;
+  const auto log = replay_frame(monitor, analysis::EventFrame{});
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(monitor.log().empty());
+}
+
+TEST(HealthFrame, ReplayTakesDownAndReturnsNodes) {
+  std::vector<xid::Event> events;
+  events.push_back(ev(1000, 7, xid::ErrorKind::kDoubleBitError));
+  events.push_back(ev(1000 + 5 * 3600, 7, xid::ErrorKind::kGraphicsEngineException, 1));
+  const auto frame = analysis::EventFrame::build(std::span<const xid::Event>{events});
+  NodeHealthMonitor monitor;
+  const auto log = replay_frame(monitor, frame);
+  ASSERT_EQ(log.size(), 2U);
+  EXPECT_EQ(log[0].kind, ActionKind::kTakeDown);
+  EXPECT_EQ(log[1].kind, ActionKind::kReturnToService);
+  EXPECT_EQ(monitor.state(7, events.back().time), NodeState::kUp);
 }
 
 }  // namespace
