@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI-style gate: one command that reproduces what the repo considers
+# "green".  Stages:
+#
+#   1. configure + build with -DTITANREL_WERROR=ON (the strict
+#      -Wall/-Wextra/-Wconversion/-Wsign-conversion wall, warnings fatal)
+#   2. the full ctest suite -- unit/integration tests, the titanlint
+#      rule-engine tests, and the titanlint_tree lint gate over the tree
+#   3. an explicit titanlint run, so lint findings print even when ctest
+#      output is folded away
+#
+# Optional stages:
+#
+#   --ubsan      add a second build under TITANREL_SANITIZE=undefined
+#                (-fno-sanitize-recover=all) and run ctest under it
+#   --jobs N     parallelism (default: nproc)
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+UBSAN=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --ubsan) UBSAN=1 ;;
+    --jobs) JOBS="$2"; shift ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--jobs N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== configure + build (WERROR) =="
+cmake -B build -S . -DTITANREL_WERROR=ON
+cmake --build build -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== titanlint =="
+./build/tools/titanlint --root .
+
+if [[ "$UBSAN" == 1 ]]; then
+  echo "== UBSan build + ctest =="
+  cmake -B build-ubsan -S . -DTITANREL_SANITIZE=undefined -DTITANREL_WERROR=ON
+  cmake --build build-ubsan -j "$JOBS"
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+fi
+
+echo "check.sh: all stages green"

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/frame_guard.hpp"
 #include "gpu/fleet.hpp"
 #include "parse/console.hpp"
 #include "stats/calendar.hpp"
@@ -53,41 +54,68 @@ class EventFrame {
   [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
   [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
 
+  // Every column accessor checks the thread's FrameGuardScope (if any)
+  // before handing out the span -- the runtime half of the capability
+  // contract titanlint verifies statically.
+
   // -- Plain columns (one entry per retained event, stream order) --------
-  [[nodiscard]] std::span<const stats::TimeSec> times() const noexcept { return time_; }
-  [[nodiscard]] std::span<const topology::NodeId> nodes() const noexcept { return node_; }
-  [[nodiscard]] std::span<const xid::ErrorKind> kinds() const noexcept { return kind_; }
+  [[nodiscard]] std::span<const stats::TimeSec> times() const noexcept {
+    frame_guard::check(kColumnBase);
+    return time_;
+  }
+  [[nodiscard]] std::span<const topology::NodeId> nodes() const noexcept {
+    frame_guard::check(kColumnBase);
+    return node_;
+  }
+  [[nodiscard]] std::span<const xid::ErrorKind> kinds() const noexcept {
+    frame_guard::check(kColumnBase);
+    return kind_;
+  }
   [[nodiscard]] std::span<const xid::MemoryStructure> structures() const noexcept {
+    frame_guard::check(kColumnBase);
     return structure_;
   }
 
   // -- Derived columns ----------------------------------------------------
   /// Decoded physical location (precomputed `topology::locate`).
   [[nodiscard]] std::span<const topology::NodeLocation> locations() const noexcept {
+    frame_guard::check(kColumnBase);
     return location_;
   }
   /// Absolute calendar-month ordinal of the event time
   /// (`stats::month_ordinal`); subtract the ordinal of a window origin to
   /// get a monthly-series bucket.
   [[nodiscard]] std::span<const std::int32_t> month_ordinals() const noexcept {
+    frame_guard::check(kColumnBase);
     return month_ordinal_;
   }
   /// Ledger-joined card serial (kInvalidCard when built without a ledger
   /// or the slot was empty).
-  [[nodiscard]] std::span<const xid::CardId> cards() const noexcept { return card_; }
+  [[nodiscard]] std::span<const xid::CardId> cards() const noexcept {
+    frame_guard::check(kColumnCards);
+    return card_;
+  }
   /// Job attribution (kNoJob for parsed-stream builds).
-  [[nodiscard]] std::span<const xid::JobId> jobs() const noexcept { return job_; }
+  [[nodiscard]] std::span<const xid::JobId> jobs() const noexcept {
+    frame_guard::check(kColumnJobs);
+    return job_;
+  }
   /// 1 for root events, 0 for propagated children (parsed-stream builds
   /// cannot tell, so every row is a root there).
-  [[nodiscard]] std::span<const std::uint8_t> roots() const noexcept { return root_; }
+  [[nodiscard]] std::span<const std::uint8_t> roots() const noexcept {
+    frame_guard::check(kColumnJobs);
+    return root_;
+  }
 
   // -- Per-kind CSR index -------------------------------------------------
   [[nodiscard]] std::size_t count_of(xid::ErrorKind kind) const noexcept {
+    frame_guard::check(kColumnBase);
     const auto k = static_cast<std::size_t>(kind);
     return kind_offsets_[k + 1] - kind_offsets_[k];
   }
   /// Row ids of all events of `kind`, in stream order.
   [[nodiscard]] std::span<const std::uint32_t> rows_of(xid::ErrorKind kind) const noexcept {
+    frame_guard::check(kColumnBase);
     const auto k = static_cast<std::size_t>(kind);
     return std::span<const std::uint32_t>{kind_rows_}.subspan(
         kind_offsets_[k], kind_offsets_[k + 1] - kind_offsets_[k]);
@@ -96,6 +124,7 @@ class EventFrame {
   /// (time-sorted when the source stream was) -- the zero-copy
   /// `times_of_kind`.
   [[nodiscard]] std::span<const stats::TimeSec> times_of(xid::ErrorKind kind) const noexcept {
+    frame_guard::check(kColumnBase);
     const auto k = static_cast<std::size_t>(kind);
     return std::span<const stats::TimeSec>{kind_times_}.subspan(
         kind_offsets_[k], kind_offsets_[k + 1] - kind_offsets_[k]);

@@ -10,6 +10,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace titan::stats {
 

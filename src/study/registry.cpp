@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/frame_guard.hpp"
 #include "analysis/frequency.hpp"
 #include "analysis/interruption.hpp"
 #include "analysis/prediction.hpp"
@@ -453,6 +454,21 @@ AnalysisResult kernel_workload_char(const StudyContext& context) {
   return out;
 }
 
+/// Translate a registry capability mask into the EventFrame column groups
+/// it licenses.  kEvents buys the base columns of the console frame;
+/// kGroundTruth additionally buys the truth frame (base + job/root
+/// attribution); kLedger buys the card join.  The guard is per-thread,
+/// not per-frame, so both frames share one mask.
+unsigned guard_columns(unsigned needs) {
+  unsigned columns = 0;
+  if ((needs & kEvents) != 0) columns |= analysis::kColumnBase;
+  if ((needs & kLedger) != 0) columns |= analysis::kColumnCards;
+  if ((needs & kGroundTruth) != 0) {
+    columns |= analysis::kColumnBase | analysis::kColumnJobs;
+  }
+  return columns;
+}
+
 }  // namespace
 
 const AnalysisRegistry& AnalysisRegistry::standard() {
@@ -530,8 +546,14 @@ StudyReport AnalysisRegistry::run(const StudyContext& context,
 
   StudyReport report;
   report.period = context.period;
-  report.results = par::parallel_map(
-      0, selected.size(), 1, [&](std::size_t i) { return selected[i]->kernel(context); });
+  const bool guard = analysis::frame_guard::enabled();
+  report.results = par::parallel_map(0, selected.size(), 1, [&](std::size_t i) {
+    if (guard) {
+      const analysis::FrameGuardScope scope{guard_columns(selected[i]->needs)};
+      return selected[i]->kernel(context);
+    }
+    return selected[i]->kernel(context);
+  });
   return report;
 }
 

@@ -97,8 +97,10 @@ TEST(Secded, TripleFlipsAreNotGuaranteed) {
     std::uint8_t mask_hi = 0;
     while (flipped < 3) {
       const int pos = static_cast<int>(rng.below(kCodewordBits));
-      const bool already = pos < 64 ? ((mask_lo >> pos) & 1U) != 0
-                                    : ((mask_hi >> (pos - 64)) & 1U) != 0;
+      const bool already =
+          pos < 64
+              ? ((mask_lo >> pos) & 1U) != 0
+              : ((static_cast<unsigned>(mask_hi) >> (pos - 64)) & 1U) != 0;
       if (already) continue;
       if (pos < 64) {
         mask_lo |= 1ULL << pos;

@@ -1,0 +1,328 @@
+// titanlint rule-engine tests: each rule family gets a minimal fixture
+// with a known violation and an exact expected diagnostic, plus the
+// clean-counterpart cases that prove the rules don't over-fire (scope
+// dirs, allow-markers, transitive includes, the sanctioned
+// begin()/end()-into-sorted-vector drain).  The real-tree run is a
+// separate ctest target (titanlint_tree) wired in tests/CMakeLists.txt.
+#include "titanlint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using titanlint::Diagnostic;
+using titanlint::LintResult;
+using titanlint::Severity;
+using titanlint::SourceFile;
+
+[[nodiscard]] LintResult lint_one(std::string path, std::string text) {
+  const std::vector<SourceFile> files = {{std::move(path), std::move(text)}};
+  return titanlint::run_lint(files);
+}
+
+[[nodiscard]] std::vector<std::string> formatted(const LintResult& result) {
+  std::vector<std::string> out;
+  for (const auto& d : result.diagnostics) out.push_back(titanlint::format(d));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, KeepsScopeAndArrowWhole) {
+  const auto tf = titanlint::tokenize("a::b->c");
+  ASSERT_EQ(tf.tokens.size(), 5U);
+  EXPECT_EQ(tf.tokens[1].text, "::");
+  EXPECT_EQ(tf.tokens[3].text, "->");
+}
+
+TEST(Tokenizer, SkipsCommentsAndStrings) {
+  const auto tf = titanlint::tokenize(
+      "int x; // std::rand()\n/* std::thread */ const char* s = \"std::rand\";\n");
+  for (const auto& t : tf.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "thread");
+  }
+  // The string literal arrives as one token, commas and all.
+  ASSERT_GE(tf.tokens.size(), 2U);
+  EXPECT_EQ(tf.tokens.back().text, ";");
+}
+
+TEST(Tokenizer, RecordsIncludesWithLines) {
+  const auto tf =
+      titanlint::tokenize("#include <optional>\n#include \"study/io.hpp\"\nint x;\n");
+  ASSERT_EQ(tf.includes.size(), 2U);
+  EXPECT_EQ(tf.includes[0].header, "optional");
+  EXPECT_TRUE(tf.includes[0].angled);
+  EXPECT_EQ(tf.includes[1].header, "study/io.hpp");
+  EXPECT_FALSE(tf.includes[1].angled);
+  EXPECT_EQ(tf.includes[1].line, 2U);
+}
+
+TEST(Tokenizer, TracksLinesThroughRawStrings) {
+  const auto tf = titanlint::tokenize("auto s = R\"(line\nline\n)\";\nint y;\n");
+  EXPECT_EQ(tf.tokens.back().text, ";");
+  EXPECT_EQ(tf.tokens.back().line, 4U);
+}
+
+TEST(Tokenizer, CollectsAllowMarkers) {
+  const auto tf = titanlint::tokenize("int x; // titanlint: allow(det-rand)\n");
+  EXPECT_TRUE(tf.allowed(1, "det-rand"));
+  EXPECT_FALSE(tf.allowed(1, "det-thread"));
+  EXPECT_FALSE(tf.allowed(2, "det-rand"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules.
+// ---------------------------------------------------------------------------
+
+TEST(DetRand, FlagsRandSrandAndWallClockSeeding) {
+  const auto result = lint_one("src/stats/fixture.cpp",
+                               "void f() {\n"
+                               "  int x = std::rand();\n"
+                               "  srand(42);\n"
+                               "  long t = time(nullptr);\n"
+                               "  (void)x; (void)t;\n"
+                               "}\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_EQ(lines[0],
+            "src/stats/fixture.cpp:2: error[det-rand]: std::rand is not seedable "
+            "per-study; use stats::Rng");
+  EXPECT_EQ(lines[1],
+            "src/stats/fixture.cpp:3: error[det-rand]: std::srand is not seedable "
+            "per-study; use stats::Rng");
+  EXPECT_EQ(lines[2],
+            "src/stats/fixture.cpp:4: error[det-rand]: time(nullptr) leaks wall-clock "
+            "into the run; thread an explicit seed or timestamp through instead");
+}
+
+TEST(DetRand, FlagsRandomDevice) {
+  const auto result =
+      lint_one("src/fault/fixture.cpp", "auto seed() { return std::random_device{}(); }\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(result.diagnostics[0].rule, "det-rand");
+  EXPECT_EQ(result.diagnostics[0].line, 1U);
+}
+
+TEST(DetRand, AllowMarkerSuppresses) {
+  const auto result = lint_one(
+      "src/stats/fixture.cpp",
+      "int f() { return std::rand(); }  // titanlint: allow(det-rand)\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(DetRand, IgnoresMembersAndOtherNamespaces) {
+  const auto result = lint_one("src/stats/fixture.cpp",
+                               "int g(Rng& rng) {\n"
+                               "  auto t = clock.time(nullptr_marker);\n"
+                               "  return rng.rand();\n"
+                               "}\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(DetUnorderedIter, FlagsRangeForOverUnorderedInKernelDirs) {
+  const std::string body =
+      "#include <unordered_map>\n"
+      "void g() {\n"
+      "  std::unordered_map<int, long> m;\n"
+      "  for (const auto& kv : m) {\n"
+      "    (void)kv;\n"
+      "  }\n"
+      "}\n";
+  const auto result = lint_one("src/analysis/fixture.cpp", body);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/analysis/fixture.cpp:4: error[det-unordered-iter]: iteration order of "
+            "'m' (std::unordered_*) is unspecified and would leak into report bytes; "
+            "drain into a sorted vector first");
+
+  // Identical code outside the determinism-sensitive dirs is fine.
+  EXPECT_TRUE(lint_one("src/render/fixture.cpp", body).diagnostics.empty());
+}
+
+TEST(DetUnorderedIter, SortedDrainStaysLegal) {
+  const auto result = lint_one(
+      "src/study/fixture.cpp",
+      "#include <unordered_map>\n"
+      "#include <vector>\n"
+      "std::vector<std::pair<int, long>> h(const std::unordered_map<int, long>& m) {\n"
+      "  std::vector<std::pair<int, long>> out(m.begin(), m.end());\n"
+      "  std::sort(out.begin(), out.end());\n"
+      "  return out;\n"
+      "}\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(DetThread, FlagsRawThreadingOutsideSrcPar) {
+  const std::string body =
+      "#include <thread>\n"
+      "void h() {\n"
+      "  std::thread worker;\n"
+      "  auto f = std::async(nothing);\n"
+      "}\n";
+  const auto result = lint_one("src/study/fixture.cpp", body);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_EQ(lines[0],
+            "src/study/fixture.cpp:3: error[det-thread]: raw std::thread outside "
+            "src/par breaks the fixed-chunk determinism contract; use titan::par "
+            "primitives");
+  EXPECT_EQ(result.diagnostics[1].line, 4U);
+
+  // src/par is the blessed home of raw threads.
+  EXPECT_TRUE(lint_one("src/par/fixture.cpp", body).diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Capability cross-check.
+// ---------------------------------------------------------------------------
+
+const char kAnalysisHelpers[] =
+    "#include \"analysis/spatial.hpp\"\n"
+    "namespace titan::analysis {\n"
+    "int cabinet_heatmap(const EventFrame& frame, int kind) {\n"
+    "  auto rows = frame.rows_of(kind);\n"
+    "  return 0;\n"
+    "}\n"
+    "int cage_distribution(const EventFrame& frame, int kind) {\n"
+    "  auto joined = frame.cards();\n"
+    "  return static_cast<int>(joined.size()) + kind;\n"
+    "}\n"
+    "}\n";
+
+const char kMisdeclaredRegistry[] =
+    "#include \"study/registry.hpp\"\n"
+    "namespace titan::study {\n"
+    "namespace {\n"
+    "AnalysisResult kernel_good(const StudyContext& context) {\n"
+    "  auto grid = cabinet_heatmap(context.frame, 1);\n"
+    "  return grid;\n"
+    "}\n"
+    "AnalysisResult kernel_bad(const StudyContext& ctx) {\n"
+    "  auto cages = cage_distribution(ctx.frame, 2);\n"
+    "  auto sweep = ctx.snapshot;\n"
+    "  return cages;\n"
+    "}\n"
+    "}\n"
+    "const AnalysisRegistry& AnalysisRegistry::standard() {\n"
+    "  AnalysisRegistry r;\n"
+    "  r.add({\"good\", \"well declared\", kEvents, kernel_good});\n"
+    "  r.add({\"bad\", \"mis-declared\", kEvents | kTrace, kernel_bad});\n"
+    "  return r;\n"
+    "}\n"
+    "}\n";
+
+TEST(CapabilityCheck, MisdeclaredKernelFixture) {
+  const std::vector<SourceFile> files = {
+      {"src/analysis/fixture_helpers.cpp", kAnalysisHelpers},
+      {"src/study/registry.cpp", kMisdeclaredRegistry},
+  };
+  const auto result = titanlint::run_lint(files);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 2U);
+  // The error anchors on the first access the missing capability covers
+  // (the cage_distribution call that reaches frame.cards()).
+  EXPECT_EQ(lines[0],
+            "src/study/registry.cpp:9: error[cap-undeclared]: kernel 'kernel_bad' "
+            "reads kLedger|kSnapshot but analysis 'bad' declares only kEvents|kTrace");
+  EXPECT_EQ(lines[1],
+            "src/study/registry.cpp:17: warning[cap-unused]: analysis 'bad' declares "
+            "kTrace but no access in kernel 'kernel_bad' can be attributed to it");
+  EXPECT_EQ(result.error_count(), 1U);
+  EXPECT_EQ(result.warning_count(), 1U);
+}
+
+TEST(CapabilityCheck, ExactDeclarationsAreClean) {
+  const char registry[] =
+      "namespace titan::study {\n"
+      "namespace {\n"
+      "AnalysisResult kernel_mixed(const StudyContext& context) {\n"
+      "  auto cages = cage_distribution(context.frame, 2);\n"
+      "  auto strikes = context.truth->sbe_strikes;\n"
+      "  auto jobs = context.trace();\n"
+      "  return cages;\n"
+      "}\n"
+      "}\n"
+      "const AnalysisRegistry& AnalysisRegistry::standard() {\n"
+      "  AnalysisRegistry r;\n"
+      "  r.add({\"mixed\", \"everything used\",\n"
+      "         kEvents | kLedger | kTrace | kStrikes, kernel_mixed});\n"
+      "  return r;\n"
+      "}\n"
+      "}\n";
+  const std::vector<SourceFile> files = {
+      {"src/analysis/fixture_helpers.cpp", kAnalysisHelpers},
+      {"src/study/registry.cpp", registry},
+  };
+  EXPECT_TRUE(titanlint::run_lint(files).diagnostics.empty());
+}
+
+TEST(CapabilityCheck, TruthFrameAndPeriodAttribution) {
+  const char registry[] =
+      "namespace titan::study {\n"
+      "namespace {\n"
+      "AnalysisResult kernel_truth(const StudyContext& context) {\n"
+      "  auto roots = context.truth_frame.roots();\n"
+      "  auto begin = context.period.begin;\n"
+      "  return begin;\n"
+      "}\n"
+      "}\n"
+      "const AnalysisRegistry& AnalysisRegistry::standard() {\n"
+      "  AnalysisRegistry r;\n"
+      "  r.add({\"truth\", \"ground truth only\", kGroundTruth, kernel_truth});\n"
+      "  return r;\n"
+      "}\n"
+      "}\n";
+  const std::vector<SourceFile> files = {{"src/study/registry.cpp", registry}};
+  EXPECT_TRUE(titanlint::run_lint(files).diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Include hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(IncludeHygiene, FlagsUseWithoutReachableHeader) {
+  const auto result = lint_one("src/gpu/fixture.hpp",
+                               "#pragma once\n"
+                               "#include <string>\n"
+                               "inline std::optional<int> maybe();\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/gpu/fixture.hpp:3: error[include-hygiene]: std::optional used but "
+            "<optional> is not reachable through this file's includes");
+}
+
+TEST(IncludeHygiene, DirectIncludeIsClean) {
+  const auto result = lint_one("src/gpu/fixture.hpp",
+                               "#pragma once\n"
+                               "#include <optional>\n"
+                               "inline std::optional<int> maybe();\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(IncludeHygiene, TransitiveRepoHeaderCounts) {
+  const std::vector<SourceFile> files = {
+      {"src/util/base.hpp", "#pragma once\n#include <span>\n"},
+      {"src/util/user.cpp",
+       "#include \"util/base.hpp\"\nstd::span<const int> window();\n"},
+  };
+  EXPECT_TRUE(titanlint::run_lint(files).diagnostics.empty());
+}
+
+TEST(IncludeHygiene, StringViewThroughStringIsNotEnough) {
+  const auto result = lint_one(
+      "src/render/fixture.cpp",
+      "#include <string>\nint n(std::string_view s) { return (int)s.size(); }\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(result.diagnostics[0].rule, "include-hygiene");
+  EXPECT_EQ(result.diagnostics[0].line, 2U);
+}
+
+}  // namespace

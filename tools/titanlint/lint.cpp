@@ -1,0 +1,804 @@
+#include "titanlint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace titanlint {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Record every `titanlint: allow(rule)` marker inside a comment that
+/// starts at `line` (markers on later lines of a block comment attach to
+/// the line they appear on).
+void scan_allow_markers(std::string_view comment, std::size_t line,
+                        std::vector<std::string>& allows) {
+  constexpr std::string_view kMarker = "titanlint: allow(";
+  std::size_t at = 0;
+  std::size_t marker_line = line;
+  std::size_t scanned_to = 0;
+  while ((at = comment.find(kMarker, at)) != std::string_view::npos) {
+    for (std::size_t i = scanned_to; i < at; ++i) {
+      if (comment[i] == '\n') ++marker_line;
+    }
+    scanned_to = at;
+    const auto rule_begin = at + kMarker.size();
+    const auto rule_end = comment.find(')', rule_begin);
+    if (rule_end == std::string_view::npos) break;
+    allows.push_back(std::to_string(marker_line) + ":" +
+                     std::string{comment.substr(rule_begin, rule_end - rule_begin)});
+    at = rule_end;
+  }
+}
+
+}  // namespace
+
+bool TokenizedFile::allowed(std::size_t line, std::string_view rule) const {
+  const auto key = std::to_string(line) + ":" + std::string{rule};
+  return std::find(allows.begin(), allows.end(), key) != allows.end();
+}
+
+TokenizedFile tokenize(std::string_view text) {
+  TokenizedFile out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = text.size();
+
+  const auto skip_string = [&](char quote) {
+    // i points at the opening quote; advance past the closing one.
+    ++i;
+    while (i < n) {
+      if (text[i] == '\\' && i + 1 < n) {
+        i += 2;
+        continue;
+      }
+      if (text[i] == '\n') ++line;  // unterminated literal: stay resilient
+      if (text[i] == quote) {
+        ++i;
+        return;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments (and their allow-markers).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const auto end = text.find('\n', i);
+      const auto stop = end == std::string_view::npos ? n : end;
+      scan_allow_markers(text.substr(i, stop - i), line, out.allows);
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const auto end = text.find("*/", i + 2);
+      const auto stop = end == std::string_view::npos ? n : end + 2;
+      const auto body = text.substr(i, stop - i);
+      scan_allow_markers(body, line, out.allows);
+      line += static_cast<std::size_t>(std::count(body.begin(), body.end(), '\n'));
+      i = stop;
+      continue;
+    }
+    // Preprocessor directives: consume the (continued) line, keeping
+    // #include targets.
+    if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      const bool is_include = text.substr(j).starts_with("include");
+      if (is_include) {
+        j += 7;
+        while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+        if (j < n && (text[j] == '<' || text[j] == '"')) {
+          const char close = text[j] == '<' ? '>' : '"';
+          const auto end = text.find(close, j + 1);
+          if (end != std::string_view::npos) {
+            out.includes.push_back(IncludeDirective{
+                std::string{text.substr(j + 1, end - j - 1)}, text[j] == '<', line});
+          }
+        }
+      }
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      const auto word = text.substr(i, j - i);
+      // Raw string literals: R"delim( ... )delim".
+      if (j < n && text[j] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "LR")) {
+        const auto paren = text.find('(', j + 1);
+        if (paren != std::string_view::npos) {
+          const auto delim = text.substr(j + 1, paren - j - 1);
+          const auto closer = ")" + std::string{delim} + "\"";
+          const auto end = text.find(closer, paren + 1);
+          const auto stop = end == std::string_view::npos ? n : end + closer.size();
+          const auto body = text.substr(i, stop - i);
+          out.tokens.push_back(Token{Kind::kString, std::string{body}, line});
+          line += static_cast<std::size_t>(std::count(body.begin(), body.end(), '\n'));
+          i = stop;
+          continue;
+        }
+      }
+      // Encoding-prefixed ordinary literals (u8"...", L'x', ...).
+      if (j < n && (text[j] == '"' || text[j] == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        const auto start = i;
+        i = j;
+        skip_string(text[i]);
+        out.tokens.push_back(Token{Kind::kString, std::string{text.substr(start, i - start)}, line});
+        continue;
+      }
+      out.tokens.push_back(Token{Kind::kIdentifier, std::string{word}, line});
+      i = j;
+      continue;
+    }
+    if (digit(c)) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                         text[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{Kind::kNumber, std::string{text.substr(i, j - i)}, line});
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const auto start = i;
+      skip_string(c);
+      out.tokens.push_back(Token{Kind::kString, std::string{text.substr(start, i - start)}, line});
+      continue;
+    }
+    // Punctuation; keep `::` and `->` whole (the rules key on them).
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out.tokens.push_back(Token{Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out.tokens.push_back(Token{Kind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::string kEmpty;
+
+const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Kind::kIdentifier;
+}
+
+/// Index of the matching closer for the opener at `open`, or npos.
+std::size_t match(const std::vector<Token>& t, std::size_t open, std::string_view opener,
+                  std::string_view closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kPunct) continue;
+    if (t[i].text == opener) ++depth;
+    if (t[i].text == closer && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+struct LintContext {
+  std::vector<const SourceFile*> files;
+  std::vector<TokenizedFile> tokenized;
+  std::vector<Diagnostic> diagnostics;
+
+  void report(const SourceFile& file, const TokenizedFile& tf, std::size_t line,
+              Severity severity, std::string rule, std::string message) {
+    if (tf.allowed(line, rule)) return;
+    diagnostics.push_back(
+        Diagnostic{file.path, line, severity, std::move(rule), std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Determinism rules.
+// ---------------------------------------------------------------------------
+
+bool in_dir(std::string_view path, std::string_view prefix) {
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+void rule_det_rand(LintContext& ctx, const SourceFile& file, const TokenizedFile& tf) {
+  const auto& t = tf.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier) continue;
+    const auto& prev = i > 0 ? t[i - 1].text : kEmpty;
+    const bool member = prev == "." || prev == "->";
+    const auto& name = t[i].text;
+    if (member) continue;
+    if (name == "rand" || name == "srand") {
+      const bool qualified = prev == "::" && i >= 2 && tok(t, i - 2) == "std";
+      const bool called = tok(t, i + 1) == "(";
+      if (qualified || (called && prev != "::")) {
+        ctx.report(file, tf, t[i].line, Severity::kError, "det-rand",
+                   "std::" + name + " is not seedable per-study; use stats::Rng");
+      }
+    } else if (name == "random_device") {
+      ctx.report(file, tf, t[i].line, Severity::kError, "det-rand",
+                 "std::random_device draws nondeterministic entropy; seed stats::Rng "
+                 "explicitly");
+    } else if (name == "time" && tok(t, i + 1) == "(") {
+      const bool qualified = prev == "::" && i >= 2 && tok(t, i - 2) == "std";
+      if (prev == "::" && !qualified) continue;  // some_ns::time(...)
+      const auto& arg = tok(t, i + 2);
+      if (arg == "nullptr" || arg == "NULL" || (arg == "0" && tok(t, i + 3) == ")")) {
+        ctx.report(file, tf, t[i].line, Severity::kError, "det-rand",
+                   "time(" + arg + ") leaks wall-clock into the run; thread an explicit "
+                   "seed or timestamp through instead");
+      }
+    }
+  }
+}
+
+void rule_det_thread(LintContext& ctx, const SourceFile& file, const TokenizedFile& tf) {
+  if (in_dir(file.path, "src/par/")) return;  // the one blessed home of raw threads
+  const auto& t = tf.tokens;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier) continue;
+    const auto& name = t[i].text;
+    if (name != "thread" && name != "jthread" && name != "async") continue;
+    if (t[i - 1].text == "::" && tok(t, i - 2) == "std") {
+      ctx.report(file, tf, t[i].line, Severity::kError, "det-thread",
+                 "raw std::" + name + " outside src/par breaks the fixed-chunk "
+                 "determinism contract; use titan::par primitives");
+    }
+  }
+}
+
+constexpr std::array<std::string_view, 3> kUnorderedIterDirs = {
+    "src/analysis/", "src/study/", "src/fault/"};
+
+void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
+                             const TokenizedFile& tf) {
+  if (std::none_of(kUnorderedIterDirs.begin(), kUnorderedIterDirs.end(),
+                   [&](std::string_view d) { return in_dir(file.path, d); })) {
+    return;
+  }
+  const auto& t = tf.tokens;
+
+  // Pass 1: names declared with an unordered container type.  Handles
+  // `std::unordered_map<K, V> name` and `const std::unordered_set<T>& name`
+  // (declarations, parameters, members); type aliases are out of scope.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (tok(t, j) != "<") continue;
+    std::size_t depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">" && --depth == 0) break;
+    }
+    if (j >= t.size()) continue;
+    ++j;
+    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+    if (is_ident(t, j)) unordered_vars.insert(t[j].text);
+  }
+
+  // Pass 2: range-for whose range expression is exactly one of those
+  // names.  (Draining via begin()/end() into a sorted container is the
+  // sanctioned pattern and stays legal.)
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
+    const auto close = match(t, i + 1, "(", ")");
+    if (close == std::string_view::npos) continue;
+    std::size_t colon = std::string_view::npos;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const auto& p = t[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (depth == 0 && t[j].kind == Kind::kPunct && p == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == std::string_view::npos) continue;
+    if (colon + 2 == close && is_ident(t, colon + 1) &&
+        unordered_vars.count(t[colon + 1].text) != 0) {
+      ctx.report(file, tf, t[i].line, Severity::kError, "det-unordered-iter",
+                 "iteration order of '" + t[colon + 1].text +
+                     "' (std::unordered_*) is unspecified and would leak into report "
+                     "bytes; drain into a sorted vector first");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Capability cross-check.
+// ---------------------------------------------------------------------------
+
+enum Cap : unsigned {
+  kCapEvents = 1U << 0,
+  kCapLedger = 1U << 1,
+  kCapSnapshot = 1U << 2,
+  kCapTrace = 1U << 3,
+  kCapGroundTruth = 1U << 4,
+  kCapStrikes = 1U << 5,
+};
+
+constexpr std::array<std::pair<std::string_view, unsigned>, 6> kCapNames = {{
+    {"kEvents", kCapEvents},
+    {"kLedger", kCapLedger},
+    {"kSnapshot", kCapSnapshot},
+    {"kTrace", kCapTrace},
+    {"kGroundTruth", kCapGroundTruth},
+    {"kStrikes", kCapStrikes},
+}};
+
+unsigned cap_by_name(std::string_view name) {
+  for (const auto& [n, bit] : kCapNames) {
+    if (n == name) return bit;
+  }
+  return 0;
+}
+
+std::string cap_list(unsigned mask) {
+  std::string out;
+  for (const auto& [n, bit] : kCapNames) {
+    if ((mask & bit) == 0) continue;
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+/// Capability implied by touching a StudyContext member.
+unsigned cap_of_context_member(std::string_view member) {
+  if (member == "events" || member == "frame") return kCapEvents;
+  if (member == "snapshot") return kCapSnapshot;
+  if (member == "trace") return kCapTrace;
+  if (member == "truth_frame") return kCapGroundTruth;
+  // period / accounting_from / load_stats / capabilities / has / job_log
+  // are unconditional context state.
+  return 0;
+}
+
+/// Capability implied by an EventFrame column accessor.  Base columns
+/// (times/nodes/kinds/... and the kind CSR) ride on whichever capability
+/// provided the frame, so only the join columns map to extra bits.
+unsigned cap_of_frame_column(std::string_view column) {
+  if (column == "cards") return kCapLedger;
+  if (column == "jobs" || column == "roots") return kCapGroundTruth;
+  return 0;
+}
+
+constexpr std::array<std::string_view, 14> kNonFunctionKeywords = {
+    "if",    "for",        "while",  "switch",        "catch", "return", "sizeof",
+    "throw", "alignof",    "typeid", "static_assert", "new",   "delete", "co_return"};
+
+bool is_keyword(std::string_view name) {
+  return std::find(kNonFunctionKeywords.begin(), kNonFunctionKeywords.end(), name) !=
+         kNonFunctionKeywords.end();
+}
+
+/// Locate a function definition starting at token `i` (`name (`): returns
+/// {params_end, body_open} or npos pair.  Accepts `const`, `noexcept`,
+/// ref-qualifiers and trailing return types between the parameter list
+/// and the body.
+std::pair<std::size_t, std::size_t> function_def_at(const std::vector<Token>& t,
+                                                    std::size_t i) {
+  constexpr auto npos = std::string_view::npos;
+  if (!is_ident(t, i) || is_keyword(t[i].text) || tok(t, i + 1) != "(") return {npos, npos};
+  const auto params_end = match(t, i + 1, "(", ")");
+  if (params_end == npos) return {npos, npos};
+  std::size_t j = params_end + 1;
+  while (j < t.size()) {
+    const auto& s = t[j].text;
+    if (s == "{") return {params_end, j};
+    if (s == "const" || s == "noexcept" || s == "override" || s == "final" || s == "&" ||
+        s == "&&" || s == "->" || s == "::" || s == "<" || s == ">" || s == "*" ||
+        s == "," || t[j].kind == Kind::kIdentifier) {
+      ++j;
+      continue;
+    }
+    return {npos, npos};
+  }
+  return {npos, npos};
+}
+
+/// Per-function summary of EventFrame join-column usage in the analysis
+/// helpers: function name -> capability mask implied by `frame.cards()` /
+/// `.jobs()` / `.roots()` on EventFrame& parameters.
+using AnalysisSummaries = std::map<std::string, unsigned>;
+
+void scan_analysis_file(const TokenizedFile& tf, AnalysisSummaries& summaries) {
+  const auto& t = tf.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const auto [params_end, body_open] = function_def_at(t, i);
+    if (body_open == std::string_view::npos) continue;
+    const auto body_close = match(t, body_open, "{", "}");
+    if (body_close == std::string_view::npos) continue;
+
+    std::set<std::string> frame_params;
+    for (std::size_t j = i + 2; j + 2 < params_end; ++j) {
+      if (t[j].text == "EventFrame" && tok(t, j + 1) == "&" && is_ident(t, j + 2)) {
+        frame_params.insert(t[j + 2].text);
+      }
+    }
+    if (!frame_params.empty()) {
+      unsigned used = 0;
+      for (std::size_t j = body_open; j + 2 < body_close; ++j) {
+        if (is_ident(t, j) && frame_params.count(t[j].text) != 0 &&
+            tok(t, j + 1) == ".") {
+          used |= cap_of_frame_column(tok(t, j + 2));
+        }
+      }
+      summaries[t[i].text] |= used;
+    }
+    // Don't skip past the body: nested definitions (lambdas) are rare and
+    // rescanning is cheap at this file count.
+  }
+}
+
+struct RegistryEntry {
+  std::string analysis;  ///< the registered name ("frequency")
+  std::string kernel;    ///< the bound function identifier
+  unsigned declared = 0;
+  std::size_t line = 0;  ///< line of the add() entry
+  bool parsed = true;
+};
+
+std::vector<RegistryEntry> parse_registry_entries(LintContext& ctx, const SourceFile& file,
+                                                  const TokenizedFile& tf) {
+  std::vector<RegistryEntry> entries;
+  const auto& t = tf.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(is_ident(t, i) && t[i].text == "add" && tok(t, i + 1) == "(" &&
+          tok(t, i + 2) == "{")) {
+      continue;
+    }
+    const auto close = match(t, i + 2, "{", "}");
+    if (close == std::string_view::npos) continue;
+
+    // Split the braced initializer into comma-separated element ranges.
+    std::vector<std::pair<std::size_t, std::size_t>> elements;
+    std::size_t start = i + 3;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 3; j <= close; ++j) {
+      const auto& p = t[j].text;
+      if (t[j].kind == Kind::kPunct) {
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") {
+          if (j == close) break;
+          --depth;
+        }
+        if (p == "," && depth == 0) {
+          elements.emplace_back(start, j);
+          start = j + 1;
+          continue;
+        }
+      }
+    }
+    elements.emplace_back(start, close);
+
+    RegistryEntry entry;
+    entry.line = t[i].line;
+    if (elements.size() != 4) {
+      ctx.report(file, tf, entry.line, Severity::kError, "cap-parse",
+                 "registry entry does not have the {name, description, needs, kernel} "
+                 "shape titanlint understands");
+      continue;
+    }
+    const auto [name_b, name_e] = elements[0];
+    if (name_e > name_b && t[name_b].kind == Kind::kString && t[name_b].text.size() >= 2) {
+      entry.analysis = t[name_b].text.substr(1, t[name_b].text.size() - 2);
+    }
+    for (std::size_t j = elements[2].first; j < elements[2].second; ++j) {
+      if (t[j].kind == Kind::kPunct && t[j].text == "|") continue;
+      const auto bit = cap_by_name(t[j].text);
+      if (bit == 0) {
+        ctx.report(file, tf, t[j].line, Severity::kError, "cap-parse",
+                   "unrecognized capability token '" + t[j].text + "' in entry '" +
+                       entry.analysis + "'");
+        entry.parsed = false;
+        break;
+      }
+      entry.declared |= bit;
+    }
+    const auto [kernel_b, kernel_e] = elements[3];
+    if (kernel_e > kernel_b && is_ident(t, kernel_b)) entry.kernel = t[kernel_b].text;
+    if (entry.kernel.empty() || entry.analysis.empty()) entry.parsed = false;
+    if (entry.parsed) entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+struct KernelUse {
+  unsigned used = 0;
+  std::array<std::size_t, kCapNames.size()> first_line{};  ///< by bit index, 0 = unseen
+};
+
+void note_use(KernelUse& use, unsigned bits, std::size_t line) {
+  use.used |= bits;
+  for (std::size_t b = 0; b < kCapNames.size(); ++b) {
+    if ((bits & kCapNames[b].second) != 0 && use.first_line[b] == 0) {
+      use.first_line[b] = line;
+    }
+  }
+}
+
+/// Scan one kernel body for context-member and analysis-helper accesses.
+KernelUse scan_kernel_body(const std::vector<Token>& t, std::size_t body_open,
+                           std::size_t body_close, const std::string& param,
+                           const AnalysisSummaries& summaries) {
+  KernelUse use;
+  for (std::size_t j = body_open; j < body_close; ++j) {
+    if (!is_ident(t, j)) continue;
+    if (t[j].text == param && tok(t, j + 1) == ".") {
+      const auto& member = tok(t, j + 2);
+      note_use(use, cap_of_context_member(member), t[j].line);
+      if (member == "frame" && tok(t, j + 3) == ".") {
+        note_use(use, cap_of_frame_column(tok(t, j + 4)), t[j].line);
+      }
+      if (member == "truth") {
+        // context.truth->sbe_strikes is the raw strike stream; any other
+        // dereference of the ground-truth dataset is kGroundTruth.
+        note_use(use,
+                 tok(t, j + 3) == "->" && tok(t, j + 4) == "sbe_strikes"
+                     ? unsigned{kCapStrikes}
+                     : unsigned{kCapGroundTruth},
+                 t[j].line);
+      }
+      continue;
+    }
+    if (tok(t, j + 1) == "(") {
+      const auto it = summaries.find(t[j].text);
+      if (it != summaries.end()) note_use(use, it->second, t[j].line);
+    }
+  }
+  return use;
+}
+
+void rule_capability_check(LintContext& ctx) {
+  const SourceFile* registry_file = nullptr;
+  const TokenizedFile* registry_tokens = nullptr;
+  AnalysisSummaries summaries;
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    const auto& path = ctx.files[f]->path;
+    if (path.size() >= 22 && path.ends_with("src/study/registry.cpp")) {
+      registry_file = ctx.files[f];
+      registry_tokens = &ctx.tokenized[f];
+    }
+    if (path.find("src/analysis/") != std::string::npos) {
+      scan_analysis_file(ctx.tokenized[f], summaries);
+    }
+  }
+  if (registry_file == nullptr) return;
+  const auto& t = registry_tokens->tokens;
+
+  const auto entries = parse_registry_entries(ctx, *registry_file, *registry_tokens);
+  for (const auto& entry : entries) {
+    // Find the kernel's definition: `<kernel>(const StudyContext& <p>) {`.
+    std::size_t body_open = std::string_view::npos;
+    std::size_t body_close = std::string_view::npos;
+    std::string param;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!(is_ident(t, i) && t[i].text == entry.kernel)) continue;
+      const auto [params_end, open] = function_def_at(t, i);
+      if (open == std::string_view::npos) continue;
+      body_open = open;
+      body_close = match(t, open, "{", "}");
+      if (params_end >= 1 && is_ident(t, params_end - 1)) param = t[params_end - 1].text;
+      break;
+    }
+    if (body_open == std::string_view::npos || body_close == std::string_view::npos ||
+        param.empty()) {
+      ctx.report(*registry_file, *registry_tokens, entry.line, Severity::kWarning,
+                 "cap-parse",
+                 "definition of kernel '" + entry.kernel +
+                     "' not found in this file; cannot cross-check '" + entry.analysis +
+                     "'");
+      continue;
+    }
+
+    const auto use = scan_kernel_body(t, body_open, body_close, param, summaries);
+    const unsigned missing = use.used & ~entry.declared;
+    const unsigned unused = entry.declared & ~use.used;
+    if (missing != 0) {
+      std::size_t line = entry.line;
+      for (std::size_t b = 0; b < kCapNames.size(); ++b) {
+        if ((missing & kCapNames[b].second) != 0 && use.first_line[b] != 0) {
+          line = use.first_line[b];
+          break;
+        }
+      }
+      ctx.report(*registry_file, *registry_tokens, line, Severity::kError,
+                 "cap-undeclared",
+                 "kernel '" + entry.kernel + "' reads " + cap_list(missing) +
+                     " but analysis '" + entry.analysis + "' declares only " +
+                     cap_list(entry.declared));
+    }
+    if (unused != 0) {
+      ctx.report(*registry_file, *registry_tokens, entry.line, Severity::kWarning,
+                 "cap-unused",
+                 "analysis '" + entry.analysis + "' declares " + cap_list(unused) +
+                     " but no access in kernel '" + entry.kernel +
+                     "' can be attributed to it");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Include hygiene.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::pair<std::string_view, std::string_view>, 3> kHygieneHeaders = {{
+    {"optional", "optional"},
+    {"string_view", "string_view"},
+    {"span", "span"},
+}};
+
+std::string dir_of(std::string_view path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string{} : std::string{path.substr(0, slash + 1)};
+}
+
+struct IncludeGraph {
+  std::map<std::string, std::size_t> by_path;  ///< repo path -> file index
+
+  [[nodiscard]] std::size_t resolve(std::string_view includer,
+                                    const std::string& header) const {
+    const auto sibling = by_path.find(dir_of(includer) + header);
+    if (sibling != by_path.end()) return sibling->second;
+    const auto rooted = by_path.find("src/" + header);
+    if (rooted != by_path.end()) return rooted->second;
+    const auto exact = by_path.find(header);
+    if (exact != by_path.end()) return exact->second;
+    return std::string_view::npos;
+  }
+};
+
+/// Standard headers reachable from file `f` through its own includes plus
+/// the transitive includes of in-repo headers.
+void std_header_closure(const LintContext& ctx, const IncludeGraph& graph, std::size_t f,
+                        std::vector<char>& visited, std::set<std::string>& out) {
+  if (visited[f] != 0) return;
+  visited[f] = 1;
+  for (const auto& inc : ctx.tokenized[f].includes) {
+    const auto target = graph.resolve(ctx.files[f]->path, inc.header);
+    if (target != std::string_view::npos) {
+      std_header_closure(ctx, graph, target, visited, out);
+    } else if (inc.angled) {
+      out.insert(inc.header);
+    }
+  }
+}
+
+void rule_include_hygiene(LintContext& ctx) {
+  IncludeGraph graph;
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) graph.by_path[ctx.files[f]->path] = f;
+
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    const auto& t = ctx.tokenized[f].tokens;
+    // First use line per tracked name, if any.
+    std::map<std::string_view, std::size_t> first_use;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!(is_ident(t, i) && t[i].text == "std" && tok(t, i + 1) == "::")) continue;
+      for (const auto& [name, header] : kHygieneHeaders) {
+        if (tok(t, i + 2) == name && first_use.find(name) == first_use.end()) {
+          first_use[name] = t[i].line;
+        }
+      }
+    }
+    if (first_use.empty()) continue;
+
+    std::set<std::string> reachable;
+    std::vector<char> visited(ctx.files.size(), 0);
+    std_header_closure(ctx, graph, f, visited, reachable);
+    for (const auto& [name, header] : kHygieneHeaders) {
+      const auto use = first_use.find(name);
+      if (use == first_use.end()) continue;
+      if (reachable.count(std::string{header}) == 0) {
+        ctx.report(*ctx.files[f], ctx.tokenized[f], use->second, Severity::kError,
+                   "include-hygiene",
+                   "std::" + std::string{name} + " used but <" + std::string{header} +
+                       "> is not reachable through this file's includes");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+bool LintResult::has_errors() const noexcept { return error_count() > 0; }
+
+std::size_t LintResult::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+std::size_t LintResult::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+LintResult run_lint(std::span<const SourceFile> files) {
+  LintContext ctx;
+  ctx.files.reserve(files.size());
+  ctx.tokenized.reserve(files.size());
+  for (const auto& file : files) {
+    ctx.files.push_back(&file);
+    ctx.tokenized.push_back(tokenize(file.text));
+  }
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    rule_det_rand(ctx, files[f], ctx.tokenized[f]);
+    rule_det_thread(ctx, files[f], ctx.tokenized[f]);
+    rule_det_unordered_iter(ctx, files[f], ctx.tokenized[f]);
+  }
+  rule_capability_check(ctx);
+  rule_include_hygiene(ctx);
+
+  std::stable_sort(ctx.diagnostics.begin(), ctx.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return LintResult{std::move(ctx.diagnostics)};
+}
+
+std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " +
+         (d.severity == Severity::kError ? "error" : "warning") + "[" + d.rule + "]: " +
+         d.message;
+}
+
+}  // namespace titanlint

@@ -1,0 +1,118 @@
+// titanlint: repo-specific static analysis for the titanrel tree.
+//
+// The study layer's guarantees -- byte-identical reports at any
+// TITANREL_THREADS width, and registry kernels that touch only what their
+// declared capability mask covers -- are contracts the compiler cannot
+// check.  titanlint enforces them at build time with three rule families
+// over a lightweight C++ token scan (comments, strings and preprocessor
+// lines are understood; no full parse):
+//
+//   determinism
+//     [det-rand]            std::rand/srand, time(nullptr) seeding, and
+//                           std::random_device anywhere in scope -- all
+//                           analysis randomness must flow through
+//                           stats::Rng with an explicit seed.
+//     [det-unordered-iter]  range-for over a std::unordered_map/set in
+//                           src/analysis, src/study or src/fault kernel
+//                           code: iteration order is unspecified and
+//                           would leak into report bytes.  (Draining into
+//                           a sorted vector via begin()/end() stays legal.)
+//     [det-thread]          raw std::thread/std::jthread/std::async
+//                           outside src/par -- all parallelism must go
+//                           through the deterministic titan::par layer.
+//
+//   capability cross-check (src/study/registry.cpp)
+//     [cap-undeclared]      a kernel body reads a StudyContext input (or
+//                           reaches an EventFrame column through an
+//                           analysis helper) that its registry entry's
+//                           capability mask does not declare.
+//     [cap-unused]          a declared capability no access in the body
+//                           can be attributed to (warning).
+//
+//   include hygiene
+//     [include-hygiene]     std::optional / std::string_view / std::span
+//                           used with no path to the matching standard
+//                           header through the file's own includes plus
+//                           the transitive includes of in-repo headers
+//                           (the class of bug PR 2 fixed by hand).
+//
+// A finding can be suppressed for one line with a trailing comment:
+//   // titanlint: allow(rule-id)
+//
+// The engine operates on (path, text) pairs so tests can feed synthetic
+// fixtures; the CLI in main.cpp walks src/, examples/ and bench/.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titanlint {
+
+enum class Severity { kWarning, kError };
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  Severity severity = Severity::kError;
+  std::string rule;     ///< e.g. "det-rand"
+  std::string message;  ///< human-readable, single line
+};
+
+/// One input file.  `path` must be repo-relative with '/' separators
+/// ("src/analysis/spatial.cpp"): directory scoping, include resolution
+/// and the registry lookup all match on it.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  ///< file, then line order
+  [[nodiscard]] bool has_errors() const noexcept;
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+};
+
+/// Run every rule over `files`.  The capability cross-check activates
+/// when a file whose path ends in "src/study/registry.cpp" is present;
+/// analysis helper summaries come from files under "src/analysis/".
+[[nodiscard]] LintResult run_lint(std::span<const SourceFile> files);
+
+/// "path:line: error[rule]: message" -- the single canonical rendering,
+/// shared by the CLI and the exact-diagnostic tests.
+[[nodiscard]] std::string format(const Diagnostic& diagnostic);
+
+// ---------------------------------------------------------------------------
+// Token scanner (exposed for the unit tests).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kString, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;
+};
+
+struct IncludeDirective {
+  std::string header;  ///< path between the delimiters
+  bool angled = false;
+  std::size_t line = 0;
+};
+
+/// A tokenized file: comments and preprocessor lines are consumed (the
+/// latter surfacing as `includes`), `::` and `->` arrive as single
+/// punctuation tokens, and `// titanlint: allow(rule)` markers populate
+/// `allows` as "line:rule" keys.
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<std::string> allows;
+  [[nodiscard]] bool allowed(std::size_t line, std::string_view rule) const;
+};
+
+[[nodiscard]] TokenizedFile tokenize(std::string_view text);
+
+}  // namespace titanlint

@@ -1,0 +1,100 @@
+// titanlint CLI: walk the repo's lint scope (src/, examples/, bench/),
+// run every rule, print diagnostics in file:line order, and exit
+// non-zero when any error-severity finding survives.
+//
+//   titanlint [--root DIR] [--quiet] [extra files...]
+//
+// --root defaults to the current directory and must contain src/.  Extra
+// file arguments (repo-relative) are linted in addition to the default
+// scope -- handy for spot-checking a single file.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "study/io.hpp"
+#include "titanlint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kScopeDirs[] = {"src", "examples", "bench"};
+
+bool lintable(const fs::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+/// Collect repo-relative paths of every lintable file under the scope
+/// dirs, sorted so diagnostics (and therefore CI logs) are stable.
+std::vector<std::string> collect(const fs::path& root) {
+  std::vector<std::string> out;
+  for (const auto dir : kScopeDirs) {
+    const auto base = root / dir;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it{base, ec}, end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable(it->path())) {
+        out.push_back(fs::relative(it->path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool quiet = false;
+  std::vector<std::string> extra;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: titanlint [--root DIR] [--quiet] [extra files...]");
+      return 0;
+    } else {
+      extra.emplace_back(arg);
+    }
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "titanlint: no src/ under --root %s\n", root.string().c_str());
+    return 2;
+  }
+
+  auto paths = collect(root);
+  for (auto& e : extra) {
+    if (std::find(paths.begin(), paths.end(), e) == paths.end()) paths.push_back(e);
+  }
+
+  std::vector<titanlint::SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    auto text = titan::study::read_all(root / path);
+    if (text.empty() && !fs::exists(root / path)) {
+      std::fprintf(stderr, "titanlint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    files.push_back(titanlint::SourceFile{path, std::move(text)});
+  }
+
+  const auto result = titanlint::run_lint(files);
+  for (const auto& diagnostic : result.diagnostics) {
+    std::fprintf(stderr, "%s\n", titanlint::format(diagnostic).c_str());
+  }
+  if (!quiet) {
+    std::printf("titanlint: %zu files, %zu errors, %zu warnings\n", files.size(),
+                result.error_count(), result.warning_count());
+  }
+  return result.has_errors() ? 1 : 0;
+}
