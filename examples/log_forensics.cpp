@@ -1,42 +1,70 @@
 // Log forensics: treat a console log as foreign input (the position every
-// reliability study starts from), parse it, build a StudyContext by hand,
-// and mine it -- the registry's census and MTBF analyses plus the
-// Observation 8 hunt for a node whose "user" errors are really hardware.
+// reliability study starts from).  The simulator writes a dataset to
+// disk, we optionally corrupt it with every operator the ingest layer
+// knows, then load it back in salvage mode -- triage report first, then
+// the registry's census and MTBF analyses, then the Observation 8 hunt
+// for a node whose "user" errors are really hardware.
 //
-//   ./build/examples/log_forensics [seed]
+//   ./build/examples/log_forensics [seed] [--corrupt] [--dir PATH]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
 
 #include "analysis/events_view.hpp"
 #include "core/facility.hpp"
-#include "parse/console.hpp"
+#include "ingest/corrupt.hpp"
 #include "parse/filter.hpp"
-#include "render/ascii.hpp"
 #include "study/registry.hpp"
+#include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
+  std::uint64_t seed = 17;
+  bool corrupt = false;
+  std::string dir = "titan_forensics";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corrupt") == 0) {
+      corrupt = true;
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
-  // Produce a log, then deliberately forget everything but the text.
-  const auto study_data = core::run_study(core::quick_config(seed));
-  const std::vector<std::string>& log = study_data.console_log;
+  // Produce a dataset on disk, then deliberately forget everything but
+  // the text artifacts -- the analyst's position.
+  const auto truth_context = study::SimulatedSource{core::quick_config(seed)}.load();
+  study::write_dataset(truth_context, dir);
+  std::printf("=== Dataset written to %s ===\n", dir.c_str());
 
-  std::printf("=== Parsing %zu console lines ===\n", log.size());
-  auto parsed = parse::parse_console_log(log);
-  std::printf("  events: %zu   malformed: %zu   unrelated: %zu\n", parsed.events.size(),
-              parsed.malformed_lines, parsed.unrelated_lines);
+  std::string load_dir = dir;
+  if (corrupt) {
+    load_dir = dir + "_corrupt";
+    ingest::CorruptionSpec spec;
+    const auto ops = ingest::all_corruption_ops();
+    spec.ops.assign(ops.begin(), ops.end());
+    spec.seed = seed;
+    const auto summary = ingest::corrupt_dataset(dir, load_dir, spec);
+    std::printf("=== Corrupted copy at %s (%zu mutations) ===\n", load_dir.c_str(),
+                summary.total_mutations());
+    for (const auto& applied : summary.applied) {
+      std::printf("  %-20s %-28s %zu\n", std::string{ingest::op_name(applied.op)}.c_str(),
+                  applied.file.c_str(), applied.mutations);
+    }
+  }
 
-  // A hand-built context: text in, frame built once, events-only
-  // capability.  Exactly what DatasetSource does, minus the disk.
-  study::StudyContext context;
-  context.period = study_data.config.period;
-  context.accounting_from = study_data.config.campaign.timeline.new_driver;
-  context.events = std::move(parsed.events);
-  context.frame = analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
-  context.capabilities = study::kEvents;
+  std::printf("\n=== Salvage-mode ingest of %s ===\n", load_dir.c_str());
+  const study::DatasetSource source{load_dir, ingest::IngestPolicy::kSalvage};
+  const auto context = source.load();
+  std::printf("  events: %zu   malformed: %zu   unrelated: %zu\n", context.events.size(),
+              context.load_stats.malformed_lines, context.load_stats.unrelated_lines);
+  if (context.ingest_report) {
+    std::fputs(context.ingest_report->summary_text().c_str(), stdout);
+  }
 
   const std::vector<std::string> selection = {"frequency", "xid_matrix"};
   const auto report = study::AnalysisRegistry::standard().run(context, selection);
@@ -46,8 +74,13 @@ int main(int argc, char** argv) {
   std::printf("\n=== Observation 8 hunt: XID 13 repeat offenders per node ===\n");
   const auto xid13 =
       analysis::of_kind(context.events, xid::ErrorKind::kGraphicsEngineException);
-  const auto per_node_roots =
-      parse::filter_events(xid13, parse::FilterParams{5.0, parse::FilterScope::kPerNode});
+  const auto deduped = parse::dedup_adjacent_events(xid13);
+  if (deduped.duplicates_removed != 0) {
+    std::printf("  (%zu double-counted XID 13 reports removed before filtering)\n",
+                deduped.duplicates_removed);
+  }
+  const auto per_node_roots = parse::filter_events(
+      deduped.events, parse::FilterParams{5.0, parse::FilterScope::kPerNode});
   std::map<topology::NodeId, int> per_node;
   for (const auto& e : per_node_roots.roots) ++per_node[e.node];
   std::vector<std::pair<int, topology::NodeId>> ranked;
@@ -55,7 +88,7 @@ int main(int argc, char** argv) {
   std::sort(ranked.rbegin(), ranked.rend());
   std::printf("  top XID 13 nodes (candidates for hardware diagnostics):\n");
   for (std::size_t i = 0; i < ranked.size() && i < 5; ++i) {
-    const bool is_planted = ranked[i].second == study_data.bad_node;
+    const bool is_planted = ranked[i].second == truth_context.truth->bad_node;
     std::printf("    %-12s %4d root events%s\n",
                 topology::cname(ranked[i].second).c_str(), ranked[i].first,
                 is_planted ? "   <-- the planted hardware-faulty node" : "");

@@ -13,6 +13,10 @@
 #
 #   --ubsan      add a second build under TITANREL_SANITIZE=undefined
 #                (-fno-sanitize-recover=all) and run ctest under it
+#   --corrupt    run the ingest robustness gate: generate a dataset, apply
+#                every corruption operator, and run the salvage sweep
+#                (bench_ingest_robustness), plus an explicit titanlint
+#                det-* pass over src/ingest
 #   --jobs N     parallelism (default: nproc)
 #
 # Exits non-zero on the first failing stage.
@@ -21,11 +25,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 UBSAN=0
+CORRUPT=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --ubsan) UBSAN=1 ;;
+    --corrupt) CORRUPT=1 ;;
     --jobs) JOBS="$2"; shift ;;
-    *) echo "usage: scripts/check.sh [--ubsan] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -39,6 +45,14 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== titanlint =="
 ./build/tools/titanlint --root .
+
+if [[ "$CORRUPT" == 1 ]]; then
+  echo "== ingest robustness gate (every corruption operator + salvage sweep) =="
+  ./build/bench/bench_ingest_robustness
+  echo "== titanlint det-* sweep over src/ingest =="
+  ./build/tools/titanlint --root . src/ingest/triage.hpp src/ingest/triage.cpp \
+    src/ingest/corrupt.hpp src/ingest/corrupt.cpp
+fi
 
 if [[ "$UBSAN" == 1 ]]; then
   echo "== UBSan build + ctest =="

@@ -1,0 +1,79 @@
+// Deterministic dataset corruptor: composable operators mirroring the
+// log pathologies a real 21-month field study ingests -- truncated files
+// and lines, flipped chars/bits, duplicated event lines (the paper's
+// XID 13 double count), interleaved non-GPU chatter, out-of-order
+// timestamps, CRLF/NUL/overlong lines, missing optional files, and a
+// mangled or checksum-mismatched manifest.
+//
+// corrupt_dataset(src, dst, spec) copies a write_dataset directory and
+// applies spec.ops in order.  Every operator draws from its own named
+// stats::Rng sub-stream forked from spec.seed, so the output bytes depend
+// only on (source bytes, op list, seed) -- the robustness harness relies
+// on that to diff clean vs. corrupted sweeps reproducibly.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace titan::ingest {
+
+enum class CorruptionOp : std::uint8_t {
+  kTruncateFile,      ///< cut the tail of console.log (mid-line)
+  kTruncateLines,     ///< cut random console lines short
+  kFlipChars,         ///< substitute random printable characters
+  kFlipBits,          ///< flip one random bit in random lines
+  kDuplicateLines,    ///< write random event lines twice, adjacently
+  kInterleaveChatter, ///< insert unrelated SMW chatter between events
+  kShuffleOrder,      ///< swap adjacent lines (timestamp regressions)
+  kCrlfEndings,       ///< rewrite every LF ending as CRLF
+  kInjectNul,         ///< embed NUL bytes inside random lines
+  kOverlongLine,      ///< append one pathologically long GPU-marker line
+  kDropOptionalFile,  ///< delete jobs.log and/or smi_sweep.txt
+  kMangleManifest,    ///< corrupt the manifest header or a field value
+  kChecksumMismatch,  ///< make a manifest checksum disagree with content
+  kCount_,
+};
+
+inline constexpr std::size_t kCorruptionOpCount =
+    static_cast<std::size_t>(CorruptionOp::kCount_);
+
+/// Stable operator identifier ("truncate-file", ...); also the Rng
+/// sub-stream label.
+[[nodiscard]] std::string_view op_name(CorruptionOp op) noexcept;
+
+/// Every operator, declaration order.
+[[nodiscard]] std::array<CorruptionOp, kCorruptionOpCount> all_corruption_ops() noexcept;
+
+struct CorruptionSpec {
+  std::vector<CorruptionOp> ops;  ///< applied in this order
+  std::uint64_t seed = 0;
+  double intensity = 0.02;  ///< per-line mutation probability where applicable
+};
+
+/// What one corrupt_dataset call did, operator by operator.
+struct CorruptionSummary {
+  struct OpResult {
+    CorruptionOp op = CorruptionOp::kTruncateFile;
+    std::string file;           ///< primary file the operator touched
+    std::size_t mutations = 0;  ///< lines/bytes/files mutated
+  };
+  std::vector<OpResult> applied;
+
+  [[nodiscard]] std::size_t total_mutations() const noexcept;
+};
+
+/// Copy the dataset at `src` into `dst` (created if needed; existing
+/// dataset files are overwritten) and apply every operator in
+/// `spec.ops`, in order.  Deterministic in (src bytes, spec).  Throws
+/// std::runtime_error when `src` has no console.log or `dst` cannot be
+/// written.
+CorruptionSummary corrupt_dataset(const std::filesystem::path& src,
+                                  const std::filesystem::path& dst,
+                                  const CorruptionSpec& spec);
+
+}  // namespace titan::ingest

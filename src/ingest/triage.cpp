@@ -1,0 +1,419 @@
+#include "ingest/triage.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "stats/rng.hpp"
+
+namespace titan::ingest {
+
+namespace {
+
+constexpr std::string_view kCodeNames[kTriageCodeCount] = {
+    "E_FILE_MISSING",      "E_NO_EVENTS",       "E_LINE_CRLF",
+    "E_LINE_NUL",          "E_LINE_OVERLONG",   "E_FILE_UNTERMINATED",
+    "E_CONSOLE_MALFORMED", "E_EVENT_DUPLICATE", "E_EVENT_OUT_OF_ORDER",
+    "E_JOB_MALFORMED",     "E_SMI_MALFORMED",   "E_MANIFEST_HEADER",
+    "E_MANIFEST_FIELD",    "E_MANIFEST_UNKNOWN", "E_CHECKSUM_MISMATCH",
+};
+
+constexpr std::string_view kActionNames[kSalvageActionCount] = {
+    "rejected",
+    "repaired",
+    "quarantined",
+    "ignored",
+};
+
+/// Walk `text` line by line with std::getline semantics: split on '\n',
+/// a final fragment without a terminator is still a line, and a trailing
+/// '\n' does not create an empty extra line.  Calls fn(line, line_no)
+/// with 1-based numbering; the '\r' of a CRLF ending is NOT stripped here
+/// (callers triage it so the repair is recorded).
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    fn(text.substr(pos, end - pos), ++line_no);
+    pos = end + 1;
+  }
+}
+
+/// Strip one trailing '\r' (CRLF repair), recording the finding.
+std::string_view strip_crlf(std::string_view line, std::string_view file,
+                            std::size_t line_no, IngestReport& report) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+    report.add(file, line_no, TriageCode::kLineCrlf, SalvageAction::kRepaired, {});
+  }
+  return line;
+}
+
+/// Record the missing-trailing-newline note (possible truncated write).
+void note_termination(std::string_view text, std::string_view file, std::size_t last_line,
+                      IngestReport& report) {
+  if (!text.empty() && text.back() != '\n') {
+    report.add(file, last_line, TriageCode::kFileUnterminated, SalvageAction::kIgnored,
+               "no trailing newline (truncated write?)");
+  }
+}
+
+/// Raise under kStrict, record under kSalvage.  Returns the action the
+/// caller should account the line under (the one passed in).
+void triage(IngestPolicy policy, IngestReport& report, std::string_view file,
+            std::size_t line, TriageCode code, SalvageAction action,
+            std::string_view detail) {
+  if (policy == IngestPolicy::kStrict && fatal_in_strict(code)) {
+    throw IngestError{std::string{file}, line, code, detail};
+  }
+  report.add(file, line, code, action, detail);
+}
+
+/// Short excerpt of a rejected line for diagnostics (detail strings stay
+/// bounded even when the line is not).
+std::string excerpt(std::string_view line) {
+  constexpr std::size_t kMax = 48;
+  std::string out;
+  for (char c : line.substr(0, kMax)) {
+    out += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  if (line.size() > kMax) out += "...";
+  return out;
+}
+
+void append_count_row(std::string& out, std::string_view label, std::size_t count) {
+  out += "  ";
+  out += label;
+  out.append(label.size() < 22 ? 22 - label.size() : 1, ' ');
+  out += std::to_string(count);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string_view policy_name(IngestPolicy policy) noexcept {
+  return policy == IngestPolicy::kStrict ? "strict" : "salvage";
+}
+
+std::string_view code_name(TriageCode code) noexcept {
+  return kCodeNames[static_cast<std::size_t>(code)];
+}
+
+std::string_view action_name(SalvageAction action) noexcept {
+  return kActionNames[static_cast<std::size_t>(action)];
+}
+
+bool fatal_in_strict(TriageCode code) noexcept {
+  switch (code) {
+    case TriageCode::kFileMissing:
+    case TriageCode::kNoEvents:
+    case TriageCode::kLineNul:
+    case TriageCode::kLineOverlong:
+    case TriageCode::kEventOutOfOrder:
+    case TriageCode::kManifestHeader:
+    case TriageCode::kManifestField:
+    case TriageCode::kChecksumMismatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+std::string format_ingest_error(const std::string& file, std::size_t line, TriageCode code,
+                                std::string_view detail) {
+  std::string out = "dataset ingest failed [";
+  out += code_name(code);
+  out += "]\n  at ";
+  out += file;
+  if (line != 0) {
+    out += ':';
+    out += std::to_string(line);
+  }
+  if (!detail.empty()) {
+    out += "\n  ";
+    out += detail;
+  }
+  out += "\n  hint: load with IngestPolicy::kSalvage to repair/quarantine and get a "
+         "triage report instead";
+  return out;
+}
+
+}  // namespace
+
+IngestError::IngestError(std::string file, std::size_t line, TriageCode code,
+                         std::string_view detail)
+    : std::runtime_error{format_ingest_error(file, line, code, detail)},
+      file_{std::move(file)},
+      line_{line},
+      code_{code} {}
+
+void IngestReport::add(std::string_view file, std::size_t line, TriageCode code,
+                       SalvageAction action, std::string_view detail) {
+  ++total_;
+  ++code_counts_[static_cast<std::size_t>(code)];
+  ++action_counts_[static_cast<std::size_t>(action)];
+  if (retained_.size() < kDetailBudget) {
+    retained_.push_back(Diagnostic{std::string{file}, line, code, action,
+                                   std::string{detail}});
+  }
+}
+
+std::string IngestReport::summary_text() const {
+  std::string out;
+  out += "policy      : ";
+  out += policy_name(policy_);
+  out += '\n';
+  out += "diagnostics : " + std::to_string(total_) + " (rejected " +
+         std::to_string(count(SalvageAction::kRejected)) + ", repaired " +
+         std::to_string(count(SalvageAction::kRepaired)) + ", quarantined " +
+         std::to_string(count(SalvageAction::kQuarantined)) + ", ignored " +
+         std::to_string(count(SalvageAction::kIgnored)) + ")\n";
+  out += "repairs     : " + std::to_string(duplicates_removed) + " duplicate events removed, " +
+         std::to_string(events_resorted) + " events re-sorted, " +
+         std::to_string(lines_quarantined) + " spans quarantined\n";
+  for (std::size_t i = 0; i < kTriageCodeCount; ++i) {
+    if (code_counts_[i] == 0) continue;
+    append_count_row(out, kCodeNames[i], code_counts_[i]);
+  }
+  constexpr std::size_t kShown = 8;
+  if (!retained_.empty()) {
+    out += "first findings";
+    if (dropped() != 0) {
+      out += " (" + std::to_string(dropped()) + " beyond the " +
+             std::to_string(kDetailBudget) + "-entry budget)";
+    }
+    out += ":\n";
+    for (std::size_t i = 0; i < retained_.size() && i < kShown; ++i) {
+      const auto& d = retained_[i];
+      out += "  " + d.file + ":" + std::to_string(d.line) + " [" +
+             std::string{code_name(d.code)} + "] " + std::string{action_name(d.action)};
+      if (!d.detail.empty()) out += ": " + d.detail;
+      out += '\n';
+    }
+    if (retained_.size() > kShown) {
+      out += "  ... " + std::to_string(retained_.size() - kShown) + " more retained\n";
+    }
+  }
+  return out;
+}
+
+std::uint64_t content_checksum(std::string_view bytes) noexcept {
+  return stats::hash_label(bytes);
+}
+
+std::string checksum_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+ConsoleIngest ingest_console_text(std::string_view text, std::string_view file,
+                                  IngestPolicy policy, IngestReport& report) {
+  ConsoleIngest out;
+  std::string_view prev_raw;
+  bool prev_was_event = false;
+  bool sorted = true;
+  std::size_t last_line = 0;
+
+  for_each_line(text, [&](std::string_view raw, std::size_t line_no) {
+    ++out.lines;
+    last_line = line_no;
+    const std::string_view line = strip_crlf(raw, file, line_no, report);
+    const bool has_marker = line.find(parse::kGpuMarker) != std::string_view::npos;
+
+    if (line.find('\0') != std::string_view::npos) {
+      triage(policy, report, file, line_no, TriageCode::kLineNul,
+             SalvageAction::kQuarantined, "embedded NUL byte");
+      ++report.lines_quarantined;
+      ++(has_marker ? out.malformed : out.unrelated);
+      prev_was_event = false;
+      prev_raw = raw;
+      return;
+    }
+    if (line.size() > parse::kMaxConsoleLineLength) {
+      triage(policy, report, file, line_no, TriageCode::kLineOverlong,
+             SalvageAction::kQuarantined,
+             "line of " + std::to_string(line.size()) + " bytes (cap " +
+                 std::to_string(parse::kMaxConsoleLineLength) + ")");
+      ++report.lines_quarantined;
+      ++(has_marker ? out.malformed : out.unrelated);
+      prev_was_event = false;
+      prev_raw = raw;
+      return;
+    }
+
+    const auto event = parse::parse_console_line(line);
+    if (!event) {
+      if (has_marker) {
+        ++out.malformed;
+        report.add(file, line_no, TriageCode::kConsoleMalformed, SalvageAction::kRejected,
+                   excerpt(line));
+      } else {
+        ++out.unrelated;  // ordinary SMW chatter; not an error
+      }
+      prev_was_event = false;
+      prev_raw = raw;
+      return;
+    }
+
+    // The paper's double-count pathology: the same event line written
+    // twice.  Salvage drops the byte-identical adjacent copy; strict
+    // keeps both (duplicates are data, not structural corruption).
+    if (policy == IngestPolicy::kSalvage && prev_was_event && raw == prev_raw) {
+      report.add(file, line_no, TriageCode::kEventDuplicate, SalvageAction::kRepaired,
+                 "byte-identical adjacent event line");
+      ++report.duplicates_removed;
+      return;
+    }
+
+    if (!out.events.empty() && event->time < out.events.back().time) {
+      triage(policy, report, file, line_no, TriageCode::kEventOutOfOrder,
+             SalvageAction::kRepaired,
+             "timestamp " + stats::format_timestamp(event->time) +
+                 " precedes the previous event (" +
+                 stats::format_timestamp(out.events.back().time) + ")");
+      ++report.events_resorted;
+      sorted = false;
+    }
+    out.events.push_back(*event);
+    prev_was_event = true;
+    prev_raw = raw;
+  });
+
+  note_termination(text, file, last_line, report);
+  if (!sorted) {
+    // Stable: equal timestamps keep their on-disk order, so the repair is
+    // deterministic and minimal.
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     [](const parse::ParsedEvent& a, const parse::ParsedEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
+  return out;
+}
+
+JobIngest ingest_job_text(std::string_view text, std::string_view file, IngestPolicy policy,
+                          IngestReport& report) {
+  (void)policy;  // no job-log finding is fatal in strict mode
+  JobIngest out;
+  std::size_t last_line = 0;
+  for_each_line(text, [&](std::string_view raw, std::size_t line_no) {
+    ++out.lines;
+    last_line = line_no;
+    const std::string_view line = strip_crlf(raw, file, line_no, report);
+    if (const auto record = logsim::parse_job_log_line(line)) {
+      out.records.push_back(*record);
+    } else {
+      ++out.malformed;
+      report.add(file, line_no, TriageCode::kJobMalformed, SalvageAction::kRejected,
+                 excerpt(line));
+    }
+  });
+  note_termination(text, file, last_line, report);
+  return out;
+}
+
+logsim::SmiSweepParse ingest_smi_text(std::string_view text, std::string_view file,
+                                      IngestPolicy policy, IngestReport& report) {
+  (void)policy;  // malformed smi blocks are counted, never fatal
+  auto sweep = logsim::parse_smi_sweep_text(text);
+  if (sweep.malformed_blocks != 0) {
+    report.add(file, 0, TriageCode::kSmiMalformed, SalvageAction::kQuarantined,
+               std::to_string(sweep.malformed_blocks) + " unparseable GPU block(s)");
+  }
+  return sweep;
+}
+
+namespace {
+
+/// "key <integer>" manifest line; true when the key matched (with `ok`
+/// telling whether the value parsed).
+bool match_manifest_int(std::string_view line, std::string_view key, stats::TimeSec& out,
+                        bool& ok) {
+  if (!line.starts_with(key)) return false;
+  auto rest = line.substr(key.size());
+  if (rest.empty() || rest.front() != ' ') return false;
+  rest.remove_prefix(1);
+  stats::TimeSec value = 0;
+  const auto result = std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  ok = result.ec == std::errc{} && result.ptr == rest.data() + rest.size();
+  if (ok) out = value;
+  return true;
+}
+
+}  // namespace
+
+ManifestIngest ingest_manifest_text(std::string_view text, std::string_view file,
+                                    IngestPolicy policy, IngestReport& report) {
+  ManifestIngest out;
+  std::size_t last_line = 0;
+  for_each_line(text, [&](std::string_view raw, std::size_t line_no) {
+    last_line = line_no;
+    const std::string_view line = strip_crlf(raw, file, line_no, report);
+    if (line_no == 1) {
+      if (line != kDatasetManifestHeader) {
+        triage(policy, report, file, line_no, TriageCode::kManifestHeader,
+               SalvageAction::kIgnored,
+               "expected '" + std::string{kDatasetManifestHeader} + "', got '" +
+                   excerpt(line) + "'");
+      }
+      return;
+    }
+    if (line.empty()) return;
+
+    const auto handle_int = [&](std::string_view key, stats::TimeSec& slot,
+                                bool& have) -> bool {
+      bool ok = false;
+      if (!match_manifest_int(line, key, slot, ok)) return false;
+      if (ok) {
+        have = true;
+      } else {
+        triage(policy, report, file, line_no, TriageCode::kManifestField,
+               SalvageAction::kRejected, excerpt(line));
+      }
+      return true;
+    };
+    if (handle_int("period_begin", out.begin, out.have_begin) ||
+        handle_int("period_end", out.end, out.have_end) ||
+        handle_int("accounting_from", out.accounting, out.have_accounting)) {
+      return;
+    }
+
+    if (line.starts_with("checksum ")) {
+      const auto rest = line.substr(9);
+      const auto space = rest.find(' ');
+      std::uint64_t value = 0;
+      bool parsed = false;
+      if (space != std::string_view::npos) {
+        const auto hex = rest.substr(space + 1);
+        const auto result =
+            std::from_chars(hex.data(), hex.data() + hex.size(), value, 16);
+        parsed = !hex.empty() && result.ec == std::errc{} &&
+                 result.ptr == hex.data() + hex.size();
+      }
+      if (!parsed) {
+        triage(policy, report, file, line_no, TriageCode::kManifestField,
+               SalvageAction::kRejected, excerpt(line));
+        return;
+      }
+      out.checksums.emplace_back(std::string{rest.substr(0, space)}, value);
+      return;
+    }
+
+    // Unknown keys are forward-compatible: noted, never fatal.
+    report.add(file, line_no, TriageCode::kManifestUnknown, SalvageAction::kIgnored,
+               excerpt(line));
+  });
+  note_termination(text, file, last_line, report);
+  return out;
+}
+
+}  // namespace titan::ingest

@@ -5,11 +5,13 @@ namespace titan::parse {
 namespace {
 
 constexpr std::string_view kTimestampClose = "] ";
-constexpr std::string_view kGpuMarker = " GPU ";
 
 }  // namespace
 
 std::optional<ParsedEvent> parse_console_line(std::string_view line) {
+  if (line.size() > kMaxConsoleLineLength) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);  // CRLF file
+  if (line.find('\0') != std::string_view::npos) return std::nullopt;
   if (line.empty() || line.front() != '[') return std::nullopt;
   const auto ts_end = line.find(kTimestampClose);
   if (ts_end == std::string_view::npos) return std::nullopt;

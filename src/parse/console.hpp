@@ -19,15 +19,29 @@
 
 namespace titan::parse {
 
+/// Substring marking a console line as GPU-related; lines carrying it
+/// that fail the grammar are "malformed", everything else is chatter.
+inline constexpr std::string_view kGpuMarker = " GPU ";
+
+/// Longest console line the parser accepts.  Real SMW lines are a few
+/// hundred bytes; anything beyond this is corruption (and rejecting it
+/// bounds per-line work on adversarial input).
+inline constexpr std::size_t kMaxConsoleLineLength = 4096;
+
 /// What a console line yields.
 struct ParsedEvent {
   stats::TimeSec time = 0;
   topology::NodeId node = topology::kInvalidNode;
   xid::ErrorKind kind = xid::ErrorKind::kSingleBitError;
   xid::MemoryStructure structure = xid::MemoryStructure::kNone;
+
+  friend bool operator==(const ParsedEvent& a, const ParsedEvent& b) = default;
 };
 
-/// Parse one console line; std::nullopt on anything malformed.
+/// Parse one console line; std::nullopt on anything malformed.  Hardened
+/// against field-log pathologies: a trailing '\r' (CRLF file) is
+/// tolerated, while embedded NUL bytes and lines beyond
+/// kMaxConsoleLineLength are rejected outright.
 [[nodiscard]] std::optional<ParsedEvent> parse_console_line(std::string_view line);
 
 /// Parse a whole log.  Malformed lines are counted, not fatal (real

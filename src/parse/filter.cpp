@@ -33,4 +33,17 @@ FilterOutcome filter_events(const std::vector<ParsedEvent>& events, const Filter
   return out;
 }
 
+DedupOutcome dedup_adjacent_events(std::span<const ParsedEvent> events) {
+  DedupOutcome out;
+  out.events.reserve(events.size());
+  for (const auto& event : events) {
+    if (!out.events.empty() && event == out.events.back()) {
+      ++out.duplicates_removed;
+      continue;
+    }
+    out.events.push_back(event);
+  }
+  return out;
+}
+
 }  // namespace titan::parse

@@ -9,7 +9,9 @@
 // roots (Fig. 12 middle) and the filtered-out children (Fig. 12 bottom).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parse/console.hpp"
@@ -42,5 +44,18 @@ struct FilterOutcome {
 /// whole job's reports into one.
 [[nodiscard]] FilterOutcome filter_events(const std::vector<ParsedEvent>& events,
                                           const FilterParams& params);
+
+/// Duplicate-report cleanup (the paper's XID 13 double count): drop
+/// events identical to their immediate predecessor.
+struct DedupOutcome {
+  std::vector<ParsedEvent> events;
+  std::size_t duplicates_removed = 0;
+};
+
+/// Remove field-identical adjacent events from a stream.  This is the
+/// pre-step the paper applied before the Fig. 12 window filtering: a
+/// doubled report is the same line twice, not a five-second burst, so it
+/// must not be allowed to inflate the child counts.
+[[nodiscard]] DedupOutcome dedup_adjacent_events(std::span<const ParsedEvent> events);
 
 }  // namespace titan::parse

@@ -20,6 +20,7 @@
 
 #include "analysis/event_frame.hpp"
 #include "core/facility.hpp"
+#include "ingest/triage.hpp"
 #include "logsim/joblog.hpp"
 #include "logsim/smi.hpp"
 #include "parse/console.hpp"
@@ -73,6 +74,11 @@ struct StudyContext {
     std::size_t malformed_smi_blocks = 0;
   };
   LoadStats load_stats;
+
+  /// Triage record of a salvage-mode dataset load (absent for strict
+  /// loads and simulated sources, which keeps clean-input reports
+  /// byte-identical to an ingest-unaware build).
+  std::optional<ingest::IngestReport> ingest_report;
 
   unsigned capabilities = 0;
 

@@ -7,28 +7,33 @@
 namespace titan::study {
 
 std::vector<std::string> read_lines(const std::filesystem::path& path) {
-  std::ifstream in{path};
+  // Binary mode: '\r' handling is ours, not the stream's, so CRLF files
+  // read identically on every platform.
+  std::ifstream in{path, std::ios::binary};
   std::vector<std::string> lines;
   std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
   return lines;
 }
 
 std::string read_all(const std::filesystem::path& path) {
-  std::ifstream in{path};
+  std::ifstream in{path, std::ios::binary};
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
 }
 
 void write_lines(const std::filesystem::path& path, std::span<const std::string> lines) {
-  std::ofstream out{path};
+  std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error{"cannot open for writing: " + path.string()};
   for (const auto& line : lines) out << line << '\n';
 }
 
 void write_text(const std::filesystem::path& path, std::string_view text) {
-  std::ofstream out{path};
+  std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error{"cannot open for writing: " + path.string()};
   out << text;
 }

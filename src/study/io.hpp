@@ -12,8 +12,9 @@
 
 namespace titan::study {
 
-/// Read a text file line by line (without terminators).  Missing or
-/// unreadable files yield an empty vector.
+/// Read a text file line by line (without terminators; a trailing '\r'
+/// from CRLF endings is stripped).  Missing or unreadable files yield an
+/// empty vector.
 [[nodiscard]] std::vector<std::string> read_lines(const std::filesystem::path& path);
 
 /// Slurp a whole file.  Missing or unreadable files yield "".

@@ -2,7 +2,22 @@
 
 namespace titan::study {
 
+namespace {
+
+/// One titled report section, the shared "-- name ----" framing.
+void append_section(std::string& out, const AnalysisResult& result) {
+  out += "\n-- " + result.name + " ";
+  const std::size_t pad = result.name.size() < 67 ? 67 - result.name.size() : 0;
+  out.append(pad, '-');
+  out += "\n";
+  out += result.text;
+  if (!result.text.empty() && result.text.back() != '\n') out += "\n";
+}
+
+}  // namespace
+
 const AnalysisResult* StudyReport::find(std::string_view name) const noexcept {
+  if (ingest && ingest->name == name) return &*ingest;
   for (const auto& result : results) {
     if (result.name == name) return &result;
   }
@@ -16,14 +31,8 @@ std::string StudyReport::text() const {
          stats::format_timestamp(period.end) + " (" + std::to_string(period.months()) +
          " months)\n";
   out += "analyses : " + std::to_string(results.size()) + "\n";
-  for (const auto& result : results) {
-    out += "\n-- " + result.name + " ";
-    const std::size_t pad = result.name.size() < 67 ? 67 - result.name.size() : 0;
-    out.append(pad, '-');
-    out += "\n";
-    out += result.text;
-    if (!result.text.empty() && result.text.back() != '\n') out += "\n";
-  }
+  if (ingest) append_section(out, *ingest);
+  for (const auto& result : results) append_section(out, result);
   return out;
 }
 
@@ -37,8 +46,51 @@ std::string StudyReport::json() const {
   for (const auto& result : results) analyses.set(result.name, result.json);
 
   auto root = JsonValue::object();
-  root.set("period", std::move(period_json)).set("analyses", std::move(analyses));
+  root.set("period", std::move(period_json));
+  if (ingest) root.set("ingest", ingest->json);
+  root.set("analyses", std::move(analyses));
   return root.dump();
+}
+
+AnalysisResult ingest_section(const ingest::IngestReport& report) {
+  AnalysisResult out{.name = "ingest", .text = report.summary_text(),
+                     .json = JsonValue::object()};
+
+  auto codes = JsonValue::object();
+  for (std::size_t i = 0; i < ingest::kTriageCodeCount; ++i) {
+    const auto code = static_cast<ingest::TriageCode>(i);
+    if (report.count(code) == 0) continue;
+    codes.set(std::string{ingest::code_name(code)}, report.count(code));
+  }
+  auto actions = JsonValue::object();
+  for (std::size_t i = 0; i < ingest::kSalvageActionCount; ++i) {
+    const auto action = static_cast<ingest::SalvageAction>(i);
+    if (report.count(action) == 0) continue;
+    actions.set(std::string{ingest::action_name(action)}, report.count(action));
+  }
+  auto repairs = JsonValue::object();
+  repairs.set("duplicates_removed", report.duplicates_removed)
+      .set("events_resorted", report.events_resorted)
+      .set("lines_quarantined", report.lines_quarantined);
+  auto findings = JsonValue::array();
+  for (const auto& d : report.diagnostics()) {
+    auto entry = JsonValue::object();
+    entry.set("file", d.file)
+        .set("line", d.line)
+        .set("code", std::string{ingest::code_name(d.code)})
+        .set("action", std::string{ingest::action_name(d.action)});
+    if (!d.detail.empty()) entry.set("detail", d.detail);
+    findings.push(std::move(entry));
+  }
+
+  out.json.set("policy", std::string{ingest::policy_name(report.policy())})
+      .set("diagnostics", report.total())
+      .set("dropped_beyond_budget", report.dropped())
+      .set("codes", std::move(codes))
+      .set("actions", std::move(actions))
+      .set("repairs", std::move(repairs))
+      .set("findings", std::move(findings));
+  return out;
 }
 
 }  // namespace titan::study

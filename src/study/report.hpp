@@ -8,10 +8,12 @@
 // Nothing source-specific (seed, directory, source name) is serialized.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ingest/triage.hpp"
 #include "stats/calendar.hpp"
 #include "study/json.hpp"
 
@@ -28,15 +30,25 @@ struct AnalysisResult {
 
 struct StudyReport {
   stats::StudyPeriod period{};
+  /// Triage section of a salvage-mode dataset load; absent for strict
+  /// loads and simulated sources, so clean-input reports are byte-for-
+  /// byte what an ingest-unaware build emits.
+  std::optional<AnalysisResult> ingest;
   std::vector<AnalysisResult> results;  ///< selection order
 
   [[nodiscard]] const AnalysisResult* find(std::string_view name) const noexcept;
 
-  /// Full plain-text report: header plus one titled section per result.
+  /// Full plain-text report: header plus one titled section per result
+  /// (the ingest triage section first, when present).
   [[nodiscard]] std::string text() const;
 
-  /// Compact JSON: {"period": {...}, "analyses": {name: ..., ...}}.
+  /// Compact JSON: {"period": {...}, ["ingest": {...},] "analyses":
+  /// {name: ..., ...}}.
   [[nodiscard]] std::string json() const;
 };
+
+/// Render an IngestReport as a report section: summary_text() plus a
+/// structured JSON value (policy, tallies, repairs, retained findings).
+[[nodiscard]] AnalysisResult ingest_section(const ingest::IngestReport& report);
 
 }  // namespace titan::study

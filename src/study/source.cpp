@@ -1,8 +1,7 @@
 #include "study/source.hpp"
 
-#include <charconv>
 #include <span>
-#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -14,20 +13,41 @@ namespace titan::study {
 
 namespace {
 
-constexpr std::string_view kManifestHeader = "titanrel-dataset v1";
+namespace fs = std::filesystem;
+using ingest::IngestPolicy;
+using ingest::IngestReport;
+using ingest::SalvageAction;
+using ingest::TriageCode;
 
-/// "key <integer>" manifest line; false when the key does not match or
-/// the value is malformed.
-bool parse_manifest_line(std::string_view line, std::string_view key, stats::TimeSec& out) {
-  if (!line.starts_with(key)) return false;
-  auto rest = line.substr(key.size());
-  if (rest.empty() || rest.front() != ' ') return false;
-  rest.remove_prefix(1);
-  stats::TimeSec value = 0;
-  const auto result = std::from_chars(rest.data(), rest.data() + rest.size(), value);
-  if (result.ec != std::errc{} || result.ptr != rest.data() + rest.size()) return false;
-  out = value;
-  return true;
+/// Record a whole-file finding; under kStrict a fatal code throws
+/// IngestError naming the file instead.
+void triage_file(IngestPolicy policy, IngestReport& report, std::string_view file,
+                 TriageCode code, SalvageAction action, std::string_view detail) {
+  if (policy == IngestPolicy::kStrict && ingest::fatal_in_strict(code)) {
+    throw ingest::IngestError{std::string{file}, 0, code, detail};
+  }
+  report.add(file, 0, code, action, detail);
+}
+
+/// Verify every checksum the manifest claims against on-disk bytes.
+/// A claimed-but-missing file and a content mismatch are both integrity
+/// findings (fatal under kStrict).
+void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifest,
+                      IngestPolicy policy, IngestReport& report) {
+  for (const auto& [name, expected] : manifest.checksums) {
+    const auto path = dir / name;
+    if (!fs::exists(path)) {
+      triage_file(policy, report, name, TriageCode::kFileMissing, SalvageAction::kIgnored,
+                  "manifest claims a checksum for this file but it is missing");
+      continue;
+    }
+    const auto actual = ingest::content_checksum(read_all(path));
+    if (actual != expected) {
+      triage_file(policy, report, name, TriageCode::kChecksumMismatch, SalvageAction::kIgnored,
+                  "manifest records " + ingest::checksum_hex(expected) + ", content hashes to " +
+                      ingest::checksum_hex(actual));
+    }
+  }
 }
 
 }  // namespace
@@ -56,57 +76,69 @@ StudyContext SimulatedSource::load() const {
 }
 
 StudyContext DatasetSource::load() const {
+  IngestReport report{policy_};
+
   const auto console_path = dir_ / "console.log";
-  if (!std::filesystem::exists(console_path)) {
-    throw std::runtime_error{"no dataset at " + dir_.string() + " (missing console.log)"};
+  if (!fs::exists(console_path)) {
+    // Fatal under either policy: with no console log there is nothing to
+    // salvage a study from.
+    throw ingest::IngestError{"console.log", 0, TriageCode::kFileMissing,
+                              "no dataset at " + dir_.string()};
+  }
+
+  // Manifest first: the producer's claims (study window, accounting
+  // cutoff, content checksums) gate everything that follows.
+  ingest::ManifestIngest manifest;
+  const auto manifest_path = dir_ / "manifest.txt";
+  if (fs::exists(manifest_path)) {
+    manifest = ingest::ingest_manifest_text(read_all(manifest_path), "manifest.txt", policy_,
+                                            report);
+    verify_checksums(dir_, manifest, policy_, report);
   }
 
   StudyContext context;
-  const auto lines = read_lines(console_path);
-  auto parsed = parse::parse_console_log(lines);
-  context.load_stats.console_lines = lines.size();
-  context.load_stats.malformed_lines = parsed.malformed_lines;
-  context.load_stats.unrelated_lines = parsed.unrelated_lines;
-  context.events = std::move(parsed.events);
+  auto console = ingest::ingest_console_text(read_all(console_path), "console.log", policy_,
+                                             report);
+  context.load_stats.console_lines = console.lines;
+  context.load_stats.malformed_lines = console.malformed;
+  context.load_stats.unrelated_lines = console.unrelated;
+  context.events = std::move(console.events);
   if (context.events.empty()) {
-    throw std::runtime_error{"dataset at " + dir_.string() + " contains no console events"};
+    throw ingest::IngestError{"console.log", 0, TriageCode::kNoEvents,
+                              "dataset at " + dir_.string() + " contains no console events"};
   }
   context.frame =
       analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
   context.capabilities = kEvents;
 
-  // Manifest: the study window and accounting cutoff the producer used.
-  // Without one (foreign datasets), fall back to the event stream's span.
-  bool have_begin = false;
-  bool have_end = false;
-  bool have_accounting = false;
-  for (const auto& line : read_lines(dir_ / "manifest.txt")) {
-    have_begin = have_begin || parse_manifest_line(line, "period_begin", context.period.begin);
-    have_end = have_end || parse_manifest_line(line, "period_end", context.period.end);
-    have_accounting =
-        have_accounting || parse_manifest_line(line, "accounting_from", context.accounting_from);
-  }
-  if (!have_begin) context.period.begin = context.events.front().time;
-  if (!have_end) context.period.end = context.events.back().time + 1;
-  if (!have_accounting) context.accounting_from = context.period.begin;
+  // Study window: manifest claims, else the event stream's span (foreign
+  // datasets without a manifest).
+  context.period.begin = manifest.have_begin ? manifest.begin : context.events.front().time;
+  context.period.end = manifest.have_end ? manifest.end : context.events.back().time + 1;
+  context.accounting_from =
+      manifest.have_accounting ? manifest.accounting : context.period.begin;
 
-  for (const auto& line : read_lines(dir_ / "jobs.log")) {
-    ++context.load_stats.job_lines;
-    if (const auto record = logsim::parse_job_log_line(line)) {
-      context.job_log.push_back(*record);
-    } else {
-      ++context.load_stats.malformed_job_lines;
-    }
+  if (const auto jobs_path = dir_ / "jobs.log"; fs::exists(jobs_path)) {
+    auto jobs = ingest::ingest_job_text(read_all(jobs_path), "jobs.log", policy_, report);
+    context.load_stats.job_lines = jobs.lines;
+    context.load_stats.malformed_job_lines = jobs.malformed;
+    context.job_log = std::move(jobs.records);
   }
 
   if (const auto sweep_text = read_all(dir_ / "smi_sweep.txt"); !sweep_text.empty()) {
-    auto sweep = logsim::parse_smi_sweep_text(sweep_text);
+    auto sweep = ingest::ingest_smi_text(sweep_text, "smi_sweep.txt", policy_, report);
     context.snapshot.taken_at = sweep.taken_at;
     context.snapshot.records = std::move(sweep.records);
     context.load_stats.smi_blocks = context.snapshot.records.size();
     context.load_stats.malformed_smi_blocks = sweep.malformed_blocks;
     context.capabilities |= kSnapshot;
   }
+
+  // Only salvage loads carry the triage record into the report pipeline;
+  // a strict load that got this far saw nothing fatal, and omitting the
+  // (possibly benign-finding-bearing) report keeps clean-input study
+  // reports byte-identical to an ingest-unaware build.
+  if (policy_ == IngestPolicy::kSalvage) context.ingest_report = std::move(report);
   return context;
 }
 
@@ -121,12 +153,18 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
   write_lines(dir / "jobs.log", logsim::emit_job_log(truth.trace));
   write_text(dir / "smi_sweep.txt", logsim::smi_sweep_text(context.snapshot));
 
-  const std::vector<std::string> manifest = {
-      std::string{kManifestHeader},
+  std::vector<std::string> manifest = {
+      std::string{ingest::kDatasetManifestHeader},
       "period_begin " + std::to_string(context.period.begin),
       "period_end " + std::to_string(context.period.end),
       "accounting_from " + std::to_string(context.accounting_from),
   };
+  // Content checksums over the bytes just written, so any later mutation
+  // of the files is detectable at load.
+  for (const std::string_view name : {"console.log", "jobs.log", "smi_sweep.txt"}) {
+    const auto sum = ingest::content_checksum(read_all(dir / name));
+    manifest.push_back("checksum " + std::string{name} + ' ' + ingest::checksum_hex(sum));
+  }
   write_lines(dir / "manifest.txt", manifest);
 }
 

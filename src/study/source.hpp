@@ -10,8 +10,10 @@
 
 #include <filesystem>
 #include <string>
+#include <utility>
 
 #include "core/facility.hpp"
+#include "ingest/triage.hpp"
 #include "study/context.hpp"
 
 namespace titan::study {
@@ -50,22 +52,34 @@ class SimulatedSource final : public StudySource {
 /// smi_sweep.txt and manifest.txt are optional (capabilities shrink
 /// accordingly; without a manifest the period is inferred from the event
 /// stream).  Capabilities: events, plus snapshot when the sweep exists.
+///
+/// Under IngestPolicy::kStrict (the default) structural corruption --
+/// checksum mismatches, manifest damage, NUL/overlong lines, timestamp
+/// regressions, a manifest-claimed file gone missing -- throws
+/// ingest::IngestError naming file, line and taxonomy code.  Under
+/// kSalvage the load repairs what it can, quarantines the rest, and
+/// attaches the full ingest::IngestReport to the context.
 class DatasetSource final : public StudySource {
  public:
-  explicit DatasetSource(std::filesystem::path dir) : dir_{std::move(dir)} {}
+  explicit DatasetSource(std::filesystem::path dir,
+                         ingest::IngestPolicy policy = ingest::IngestPolicy::kStrict)
+      : dir_{std::move(dir)}, policy_{policy} {}
 
   [[nodiscard]] StudyContext load() const override;
   [[nodiscard]] std::string name() const override { return "dataset"; }
+  [[nodiscard]] ingest::IngestPolicy policy() const noexcept { return policy_; }
 
  private:
   std::filesystem::path dir_;
+  ingest::IngestPolicy policy_;
 };
 
 /// Write the on-disk text artifacts for a context that carries ground
 /// truth: console.log, jobs.log, smi_sweep.txt and manifest.txt (period
 /// + retirement accounting cutoff, so a DatasetSource round-trip
-/// reproduces the simulated report bytes).  Creates `dir` if needed;
-/// throws std::logic_error without ground truth.
+/// reproduces the simulated report bytes; plus FNV-1a content checksums
+/// of every written file, verified by DatasetSource::load).  Creates
+/// `dir` if needed; throws std::logic_error without ground truth.
 void write_dataset(const StudyContext& context, const std::filesystem::path& dir);
 
 }  // namespace titan::study

@@ -67,6 +67,41 @@ TEST(ParseConsole, LogLevelCounting) {
   EXPECT_EQ(result.malformed_lines, 1U);
 }
 
+TEST(ParseConsole, HardenedAgainstFieldLogPathologies) {
+  const std::string good = logsim::console_line(
+      make_event(xid::ErrorKind::kDoubleBitError, xid::MemoryStructure::kDeviceMemory));
+
+  // CRLF file: a trailing '\r' is tolerated, the event still parses.
+  EXPECT_TRUE(parse_console_line(good + "\r").has_value());
+
+  // Embedded NUL bytes are corruption, not data.
+  std::string nul = good;
+  nul[5] = '\0';
+  EXPECT_FALSE(parse_console_line(nul).has_value());
+  EXPECT_FALSE(parse_console_line(std::string_view{"\0\0\0", 3}).has_value());
+
+  // Pathologically long lines are rejected outright (bounded work).
+  std::string overlong = good;
+  overlong.append(kMaxConsoleLineLength, 'x');
+  EXPECT_FALSE(parse_console_line(overlong).has_value());
+  // ... but a line exactly at the cap is still fair game.
+  std::string at_cap = good;
+  at_cap.append(kMaxConsoleLineLength - at_cap.size(), ' ');
+  EXPECT_TRUE(parse_console_line(at_cap).has_value());
+}
+
+TEST(ParseConsole, CrlfLogCountsLikeLfLog) {
+  std::vector<std::string> lines = {
+      logsim::console_line(make_event(xid::ErrorKind::kOffTheBus, xid::MemoryStructure::kNone)) +
+          "\r",
+      "some unrelated SMW chatter\r",
+  };
+  const auto result = parse_console_log(lines);
+  EXPECT_EQ(result.events.size(), 1U);
+  EXPECT_EQ(result.unrelated_lines, 1U);
+  EXPECT_EQ(result.malformed_lines, 0U);
+}
+
 TEST(ParseConsole, WholeStudyLogRoundTrips) {
   // Emit then parse a small synthetic stream; every line must come back.
   std::vector<xid::Event> events;

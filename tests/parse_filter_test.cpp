@@ -104,5 +104,53 @@ TEST_P(WindowSweep, LargerWindowsNeverIncreaseRoots) {
 
 INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(1.0, 5.0, 60.0, 300.0));
 
+TEST(Dedup, RemovesOnlyFieldIdenticalAdjacentEvents) {
+  // Same node+time twice (double-counted report), then a different node
+  // at the same time, then the first event again later: only the
+  // adjacent copy goes.
+  const std::vector<ParsedEvent> events{ev(100, 0), ev(100, 0), ev(100, 1), ev(100, 0)};
+  const auto out = dedup_adjacent_events(events);
+  EXPECT_EQ(out.duplicates_removed, 1U);
+  ASSERT_EQ(out.events.size(), 3U);
+  EXPECT_EQ(out.events[0], ev(100, 0));
+  EXPECT_EQ(out.events[1], ev(100, 1));
+  EXPECT_EQ(out.events[2], ev(100, 0));
+}
+
+TEST(Dedup, TripledReportCollapsesToOne) {
+  const std::vector<ParsedEvent> events{ev(7, 3), ev(7, 3), ev(7, 3)};
+  const auto out = dedup_adjacent_events(events);
+  EXPECT_EQ(out.duplicates_removed, 2U);
+  EXPECT_EQ(out.events.size(), 1U);
+}
+
+TEST(Dedup, EmptyInput) {
+  const auto out = dedup_adjacent_events({});
+  EXPECT_TRUE(out.events.empty());
+  EXPECT_EQ(out.duplicates_removed, 0U);
+}
+
+TEST(Dedup, DoubleCountedXid13DoesNotInflateFig12Children) {
+  // The paper's XID 13 cleanup: doubled reports had to be removed before
+  // the Fig. 12 window filtering so they would not masquerade as
+  // five-second children.  Roots are invariant under dedup (the doubled
+  // copy is always within-window of its twin), and the child count drops
+  // by exactly the duplicates removed.
+  std::vector<ParsedEvent> events;
+  for (int burst = 0; burst < 10; ++burst) {
+    const auto t = static_cast<stats::TimeSec>(burst * 1000);
+    events.push_back(ev(t, 0));
+    events.push_back(ev(t, 0));  // the double count
+    events.push_back(ev(t + 2, 1));
+  }
+  const FilterParams params{5.0, FilterScope::kMachineWide};
+  const auto raw = filter_events(events, params);
+  const auto deduped = dedup_adjacent_events(events);
+  EXPECT_EQ(deduped.duplicates_removed, 10U);
+  const auto cleaned = filter_events(deduped.events, params);
+  EXPECT_EQ(cleaned.roots.size(), raw.roots.size());
+  EXPECT_EQ(raw.children.size(), cleaned.children.size() + deduped.duplicates_removed);
+}
+
 }  // namespace
 }  // namespace titan::parse
