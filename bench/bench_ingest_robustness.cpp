@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -56,10 +57,11 @@ int main() {
                      !clean_report.ingest.has_value() &&
                          clean_report.text().find("-- ingest") == std::string::npos);
 
-  bench::print_header("Per-operator salvage sweep");
+  bench::print_header("Per-operator salvage sweep (text operators)");
   std::printf("  %-20s %9s %9s %9s  %s\n", "operator", "load s", "sweep s", "findings",
               "strict");
   for (const auto op : ingest::all_corruption_ops()) {
+    if (ingest::op_targets_tdf(op)) continue;  // binary sweep below
     const auto dir = root / std::string{ingest::op_name(op)};
     ingest::CorruptionSpec spec;
     spec.ops = {op};
@@ -105,6 +107,60 @@ int main() {
     ok &= bench::check(std::string{ingest::op_name(op)} +
                            ": strict rejects with named file and code",
                        strict_rejected);
+  }
+
+  bench::print_header("Per-operator TDF sweep (binary container)");
+  const auto binary_dir = root / "clean_binary";
+  {
+    const auto truth = study::SimulatedSource{core::quick_config(kSeed)}.load();
+    study::write_dataset(truth, binary_dir, study::DatasetFormat::kBinary);
+  }
+  std::printf("  %-20s %9s  %s\n", "operator", "load s", "outcome");
+  for (const auto op : ingest::all_corruption_ops()) {
+    if (!ingest::op_targets_tdf(op)) continue;
+    const auto dir = root / std::string{ingest::op_name(op)};
+    ingest::CorruptionSpec spec;
+    spec.ops = {op};
+    spec.seed = kSeed;
+    const auto summary = ingest::corrupt_dataset(binary_dir, dir, spec);
+
+    // Salvage: container/required-segment damage throws a named TDF code;
+    // optional-segment damage quarantines with a named finding.  Either
+    // way the damage is never silent.
+    start = std::chrono::steady_clock::now();
+    bool named = false;
+    std::string outcome;
+    try {
+      const auto context = study::DatasetSource{dir, ingest::IngestPolicy::kSalvage}.load();
+      if (context.ingest_report.has_value()) {
+        for (const auto& diag : context.ingest_report->diagnostics()) {
+          if (std::string_view{ingest::code_name(diag.code)}.substr(0, 6) == "E_TDF_") {
+            named = true;
+            outcome = std::string{ingest::code_name(diag.code)} + " (quarantined)";
+          }
+        }
+      }
+    } catch (const ingest::IngestError& error) {
+      named = std::string_view{ingest::code_name(error.code())}.substr(0, 6) == "E_TDF_";
+      outcome = std::string{ingest::code_name(error.code())} + " (fatal)";
+    }
+    const double load_s = seconds_since(start);
+
+    bool strict_named = false;
+    try {
+      (void)study::DatasetSource{dir}.load();
+    } catch (const ingest::IngestError& error) {
+      strict_named =
+          std::string_view{ingest::code_name(error.code())}.substr(0, 6) == "E_TDF_";
+    }
+
+    std::printf("  %-20s %9.3f  %s\n", std::string{ingest::op_name(op)}.c_str(), load_s,
+                outcome.c_str());
+    ok &= bench::check(std::string{ingest::op_name(op)} +
+                           ": salvage names the TDF damage (never silent)",
+                       named && summary.total_mutations() > 0);
+    ok &= bench::check(std::string{ingest::op_name(op)} + ": strict rejects with a TDF code",
+                       strict_named);
   }
 
   bench::print_header("Stacked operators, thread-width determinism");

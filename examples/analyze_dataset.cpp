@@ -1,8 +1,10 @@
 // Analyze an on-disk dataset produced by `generate_dataset` (or any
-// source emitting the same formats), using only the text artifacts -- no
-// simulator state.  Loads the dataset into a StudyContext and runs every
-// analysis its capabilities support; `--json` emits the structured report
-// instead of the rendered text.
+// source emitting the same formats), using only the on-disk artifacts --
+// no simulator state.  Both dataset formats load transparently: text
+// logs are parsed, a TDF binary container (dataset.tdf) is mapped and
+// decoded.  Loads the dataset into a StudyContext and runs every
+// analysis its capabilities support; `--json` emits the structured
+// report instead of the rendered text.
 //
 //   ./build/examples/analyze_dataset [dataset_dir] [--json]
 #include <cstdio>
@@ -41,11 +43,18 @@ int main(int argc, char** argv) {
   }
 
   const auto& stats = context.load_stats;
-  std::printf("console.log: %zu lines -> %zu events (%zu malformed, %zu unrelated)\n",
-              stats.console_lines, context.events.size(), stats.malformed_lines,
-              stats.unrelated_lines);
-  std::printf("jobs.log: %zu records (%zu malformed)   smi_sweep.txt: %zu GPU blocks\n",
-              stats.job_lines, stats.malformed_job_lines, stats.smi_blocks);
+  if (stats.binary) {
+    std::printf("dataset.tdf: %zu segments, %zu bytes -> %zu events (binary load)\n",
+                stats.tdf_segments, stats.tdf_bytes, context.events.size());
+    std::printf("jobs: %zu records   smi sweep: %zu GPU blocks\n", stats.job_lines,
+                stats.smi_blocks);
+  } else {
+    std::printf("console.log: %zu lines -> %zu events (%zu malformed, %zu unrelated)\n",
+                stats.console_lines, context.events.size(), stats.malformed_lines,
+                stats.unrelated_lines);
+    std::printf("jobs.log: %zu records (%zu malformed)   smi_sweep.txt: %zu GPU blocks\n",
+                stats.job_lines, stats.malformed_job_lines, stats.smi_blocks);
+  }
   std::printf("analyses available: %zu of %zu registered\n\n",
               registry.available(context).size(), registry.names().size());
   std::fputs(report.text().c_str(), stdout);

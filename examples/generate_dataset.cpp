@@ -1,34 +1,67 @@
-// Generate an on-disk study dataset: the text artifacts a reliability
-// study starts from (console log, job accounting log, nvidia-smi sweep,
-// manifest with the study window).  `analyze_dataset` consumes them
+// Generate an on-disk study dataset: the artifacts a reliability study
+// starts from, either as text logs (console log, job accounting log,
+// nvidia-smi sweep, manifest with the study window) or as the TDF binary
+// container (dataset.tdf + manifest).  `analyze_dataset` consumes either
 // without any access to the simulator -- the same arms-length position
 // the paper's analysts were in.
 //
-//   ./build/examples/generate_dataset [output_dir] [seed]
+//   ./build/examples/generate_dataset [output_dir] [seed] [--format text|binary]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <string_view>
+#include <vector>
 
 #include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "titan_dataset";
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 29;
+  auto format = study::DatasetFormat::kText;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      const std::string_view value = argv[++i];
+      if (value == "text") {
+        format = study::DatasetFormat::kText;
+      } else if (value == "binary") {
+        format = study::DatasetFormat::kBinary;
+      } else {
+        std::fprintf(stderr, "generate_dataset: unknown format '%s' (text|binary)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::filesystem::path dir = !positional.empty() ? positional[0] : "titan_dataset";
+  const std::uint64_t seed =
+      positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 29;
 
   std::printf("Simulating a quick campaign (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
   const study::SimulatedSource source{core::quick_config(seed)};
   const auto context = source.load();
-  study::write_dataset(context, dir);
+  study::write_dataset(context, dir, format);
 
   std::printf("\nWrote dataset to %s/\n", dir.string().c_str());
-  std::printf("  console.log    %zu lines (SMW critical events)\n",
-              context.load_stats.console_lines);
-  std::printf("  jobs.log       %zu records (batch accounting)\n", context.load_stats.job_lines);
-  std::printf("  smi_sweep.txt  %zu GPU blocks (end-of-study nvidia-smi -q)\n",
-              context.load_stats.smi_blocks);
-  std::printf("  manifest.txt   study window + retirement accounting cutoff\n");
+  if (format == study::DatasetFormat::kBinary) {
+    std::printf("  dataset.tdf    %zu events, %zu jobs, %zu GPU blocks (binary columns)\n",
+                context.events.size(), context.load_stats.job_lines,
+                context.load_stats.smi_blocks);
+    std::printf("  manifest.txt   study window + content checksums\n");
+    std::printf("\nInspect: ./build/tools/titan-convert --info %s\n", dir.string().c_str());
+  } else {
+    std::printf("  console.log    %zu lines (SMW critical events)\n",
+                context.load_stats.console_lines);
+    std::printf("  jobs.log       %zu records (batch accounting)\n",
+                context.load_stats.job_lines);
+    std::printf("  smi_sweep.txt  %zu GPU blocks (end-of-study nvidia-smi -q)\n",
+                context.load_stats.smi_blocks);
+    std::printf("  manifest.txt   study window + retirement accounting cutoff\n");
+  }
   std::printf("\nNext: ./build/examples/analyze_dataset %s\n", dir.string().c_str());
   return 0;
 }

@@ -16,7 +16,9 @@
 #   --corrupt    run the ingest robustness gate: generate a dataset, apply
 #                every corruption operator, and run the salvage sweep
 #                (bench_ingest_robustness), plus an explicit titanlint
-#                det-* pass over src/ingest
+#                det-* pass over src/ingest and src/tdf
+#   --bench-json run bench_tdf_load and refresh the committed
+#                BENCH_dataset.json perf-trajectory record
 #   --jobs N     parallelism (default: nproc)
 #
 # Exits non-zero on the first failing stage.
@@ -26,12 +28,14 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 UBSAN=0
 CORRUPT=0
+BENCH_JSON=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --ubsan) UBSAN=1 ;;
     --corrupt) CORRUPT=1 ;;
+    --bench-json) BENCH_JSON=1 ;;
     --jobs) JOBS="$2"; shift ;;
-    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--bench-json] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -49,9 +53,15 @@ echo "== titanlint =="
 if [[ "$CORRUPT" == 1 ]]; then
   echo "== ingest robustness gate (every corruption operator + salvage sweep) =="
   ./build/bench/bench_ingest_robustness
-  echo "== titanlint det-* sweep over src/ingest =="
+  echo "== titanlint det-* sweep over src/ingest and src/tdf =="
   ./build/tools/titanlint --root . src/ingest/triage.hpp src/ingest/triage.cpp \
-    src/ingest/corrupt.hpp src/ingest/corrupt.cpp
+    src/ingest/corrupt.hpp src/ingest/corrupt.cpp \
+    src/tdf/format.hpp src/tdf/tdf.hpp src/tdf/writer.cpp src/tdf/reader.cpp
+fi
+
+if [[ "$BENCH_JSON" == 1 ]]; then
+  echo "== bench_tdf_load -> BENCH_dataset.json =="
+  ./build/bench/bench_tdf_load --json BENCH_dataset.json
 fi
 
 if [[ "$UBSAN" == 1 ]]; then

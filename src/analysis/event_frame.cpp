@@ -139,4 +139,21 @@ EventFrame EventFrame::build(std::span<const parse::ParsedEvent> events,
       ledger);
 }
 
+EventFrame EventFrame::from_columns(std::span<const stats::TimeSec> times,
+                                    std::span<const topology::NodeId> nodes,
+                                    std::span<const xid::ErrorKind> kinds,
+                                    std::span<const xid::MemoryStructure> structures,
+                                    const gpu::FleetLedger* ledger) {
+  if (nodes.size() != times.size() || kinds.size() != times.size() ||
+      structures.size() != times.size()) {
+    throw std::invalid_argument{"EventFrame::from_columns: column lengths differ"};
+  }
+  return build_impl(
+      times.size(),
+      [&](std::size_t i) {
+        return SourceRow{times[i], nodes[i], kinds[i], structures[i], xid::kNoJob, true};
+      },
+      ledger);
+}
+
 }  // namespace titan::analysis

@@ -51,6 +51,16 @@ class EventFrame {
   [[nodiscard]] static EventFrame build(std::span<const parse::ParsedEvent> events,
                                         const gpu::FleetLedger* ledger = nullptr);
 
+  /// Build directly from decoded columns (the TDF zero-copy load path):
+  /// same frame the ParsedEvent overload would produce from the row view
+  /// of the same stream, without materializing ParsedEvent structs.  All
+  /// four spans must have equal lengths.
+  [[nodiscard]] static EventFrame from_columns(std::span<const stats::TimeSec> times,
+                                               std::span<const topology::NodeId> nodes,
+                                               std::span<const xid::ErrorKind> kinds,
+                                               std::span<const xid::MemoryStructure> structures,
+                                               const gpu::FleetLedger* ledger = nullptr);
+
   [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
   [[nodiscard]] bool empty() const noexcept { return time_.empty(); }
 

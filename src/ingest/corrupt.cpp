@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ingest/triage.hpp"
 #include "parse/console.hpp"
 #include "stats/rng.hpp"
+#include "tdf/format.hpp"
 
 namespace titan::ingest {
 
@@ -14,9 +16,10 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::string_view kDatasetFiles[] = {"console.log", "jobs.log", "smi_sweep.txt",
-                                              "manifest.txt"};
+                                              "dataset.tdf", "manifest.txt"};
 constexpr std::string_view kConsole = "console.log";
 constexpr std::string_view kManifest = "manifest.txt";
+constexpr std::string_view kTdf = tdf::kTdfFileName;
 
 /// Binary-safe slurp (NULs and CRLF must survive round-trips).
 std::string read_file(const fs::path& path) {
@@ -223,6 +226,78 @@ std::size_t op_mangle_manifest(Lines& doc, stats::Rng& rng) {
   }
 }
 
+void flip_bit(std::string& bytes, std::size_t pos, stats::Rng& rng) {
+  bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                 (1U << rng.below(8)));
+}
+
+std::size_t op_tdf_truncate(std::string& bytes, stats::Rng& rng) {
+  if (bytes.size() < tdf::kTdfHeaderSize + 1) return 0;
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(bytes.size()) * rng.uniform(0.5, 0.95));
+  bytes.resize(keep == 0 ? 1 : keep);
+  return 1;
+}
+
+std::size_t op_tdf_header_flip(std::string& bytes, stats::Rng& rng) {
+  // The first 16 bytes hold magic, version and the endian marker; any
+  // flipped bit there must surface as E_TDF_BAD_MAGIC or E_TDF_VERSION.
+  if (bytes.size() < 16) return 0;
+  flip_bit(bytes, static_cast<std::size_t>(rng.below(16)), rng);
+  return 1;
+}
+
+std::size_t op_tdf_footer_mangle(std::string& bytes, stats::Rng& rng) {
+  if (bytes.size() < tdf::kTdfHeaderSize) return 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const auto table_offset = tdf::load_u64(p + tdf::kTdfTableOffsetOffset);
+  if (table_offset >= bytes.size()) return 0;
+  // A flipped table bit must trip the header's table checksum (E_TDF_FOOTER).
+  const auto pos = static_cast<std::size_t>(
+      table_offset + rng.below(bytes.size() - table_offset));
+  flip_bit(bytes, pos, rng);
+  return 1;
+}
+
+std::size_t op_tdf_checksum_tamper(std::string& bytes, stats::Rng& rng) {
+  // Flip a bit inside one segment *body* (never the inter-segment
+  // padding, which no checksum covers), so the per-segment FNV-1a must
+  // catch it: E_TDF_SEGMENT_CHECKSUM, strict-fatal for required segments
+  // and quarantined for optional ones.
+  if (bytes.size() < tdf::kTdfHeaderSize) return 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const auto table_offset = tdf::load_u64(p + tdf::kTdfTableOffsetOffset);
+  const auto count = tdf::load_u64(p + tdf::kTdfSegmentCountOffset);
+  if (table_offset + count * tdf::kTdfEntrySize > bytes.size()) return 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bodies;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto* e = p + table_offset + i * tdf::kTdfEntrySize;
+    const auto offset = tdf::load_u64(e + 8);
+    const auto length = tdf::load_u64(e + 16);
+    if (length != 0 && offset + length <= bytes.size()) bodies.emplace_back(offset, length);
+  }
+  if (bodies.empty()) return 0;
+  const auto& [offset, length] = bodies[rng.below(bodies.size())];
+  flip_bit(bytes, static_cast<std::size_t>(offset + rng.below(length)), rng);
+  return 1;
+}
+
+/// Re-point the manifest's checksum claim for `name` at `bytes`.  The TDF
+/// operators call this after mutating the container so the damage is
+/// diagnosed by the TDF layer's own validation (named E_TDF_* codes), not
+/// masked by the earlier manifest checksum gate.
+void repatch_manifest_checksum(const fs::path& dst, std::string_view name,
+                               std::string_view bytes) {
+  const auto manifest_path = dst / kManifest;
+  if (!fs::exists(manifest_path)) return;
+  auto doc = split(read_file(manifest_path));
+  const std::string prefix = "checksum " + std::string{name} + ' ';
+  for (auto& line : doc.lines) {
+    if (line.starts_with(prefix)) line = prefix + checksum_hex(content_checksum(bytes));
+  }
+  write_file(manifest_path, doc.join());
+}
+
 std::size_t op_checksum_mismatch(Lines& doc) {
   for (auto& line : doc.lines) {
     if (!line.starts_with("checksum ")) continue;
@@ -244,6 +319,7 @@ std::string_view op_name(CorruptionOp op) noexcept {
       "duplicate-lines", "interleave-chatter", "shuffle-order", "crlf-endings",
       "inject-nul",    "overlong-line",      "drop-optional-file",
       "mangle-manifest", "checksum-mismatch",
+      "tdf-truncate",  "tdf-header-flip",    "tdf-footer-mangle", "tdf-checksum-tamper",
   };
   return kNames[static_cast<std::size_t>(op)];
 }
@@ -264,9 +340,9 @@ std::size_t CorruptionSummary::total_mutations() const noexcept {
 
 CorruptionSummary corrupt_dataset(const fs::path& src, const fs::path& dst,
                                   const CorruptionSpec& spec) {
-  if (!fs::exists(src / kConsole)) {
+  if (!fs::exists(src / kConsole) && !fs::exists(src / kTdf)) {
     throw std::runtime_error{"corrupt_dataset: no dataset at " + src.string() +
-                             " (missing console.log)"};
+                             " (missing console.log and dataset.tdf)"};
   }
   fs::create_directories(dst);
   for (const auto name : kDatasetFiles) {
@@ -287,9 +363,11 @@ CorruptionSummary corrupt_dataset(const fs::path& src, const fs::path& dst,
 
     // Whole-file and non-console operators first.
     if (op == CorruptionOp::kTruncateFile) {
-      auto text = read_file(dst / kConsole);
-      result.mutations = op_truncate_file(text, rng);
-      write_file(dst / kConsole, text);
+      if (fs::exists(dst / kConsole)) {
+        auto text = read_file(dst / kConsole);
+        result.mutations = op_truncate_file(text, rng);
+        write_file(dst / kConsole, text);
+      }
       summary.applied.push_back(std::move(result));
       continue;
     }
@@ -307,6 +385,35 @@ CorruptionSummary corrupt_dataset(const fs::path& src, const fs::path& dst,
                                : op_checksum_mismatch(doc);
         write_file(dst / kManifest, doc.join());
       }
+      summary.applied.push_back(std::move(result));
+      continue;
+    }
+    if (op_targets_tdf(op)) {
+      result.file = std::string{kTdf};
+      if (fs::exists(dst / kTdf)) {
+        auto bytes = read_file(dst / kTdf);
+        switch (op) {
+          case CorruptionOp::kTdfTruncate:
+            result.mutations = op_tdf_truncate(bytes, rng);
+            break;
+          case CorruptionOp::kTdfHeaderFlip:
+            result.mutations = op_tdf_header_flip(bytes, rng);
+            break;
+          case CorruptionOp::kTdfFooterMangle:
+            result.mutations = op_tdf_footer_mangle(bytes, rng);
+            break;
+          default:
+            result.mutations = op_tdf_checksum_tamper(bytes, rng);
+            break;
+        }
+        write_file(dst / kTdf, bytes);
+        repatch_manifest_checksum(dst, kTdf, bytes);
+      }
+      summary.applied.push_back(std::move(result));
+      continue;
+    }
+    if (!fs::exists(dst / kConsole)) {
+      // Text operator on a binary-only dataset: nothing to mutate.
       summary.applied.push_back(std::move(result));
       continue;
     }

@@ -36,6 +36,14 @@ enum class CorruptionOp : std::uint8_t {
   kDropOptionalFile,  ///< delete jobs.log and/or smi_sweep.txt
   kMangleManifest,    ///< corrupt the manifest header or a field value
   kChecksumMismatch,  ///< make a manifest checksum disagree with content
+  // Binary (dataset.tdf) operators.  Each re-patches the manifest's
+  // "checksum dataset.tdf" claim to match the corrupted bytes, so the TDF
+  // container's own validation -- not the manifest gate -- must name the
+  // damage class.
+  kTdfTruncate,       ///< cut the container's tail (segment table lost)
+  kTdfHeaderFlip,     ///< flip a bit in the magic/version/endian header bytes
+  kTdfFooterMangle,   ///< flip a bit inside the segment table
+  kTdfChecksumTamper, ///< flip a bit inside one segment body
   kCount_,
 };
 
@@ -48,6 +56,13 @@ inline constexpr std::size_t kCorruptionOpCount =
 
 /// Every operator, declaration order.
 [[nodiscard]] std::array<CorruptionOp, kCorruptionOpCount> all_corruption_ops() noexcept;
+
+/// True for operators that mutate the binary container (dataset.tdf)
+/// rather than the text artifacts.  Harnesses split their sweeps on this:
+/// text operators are no-ops on binary-only datasets and vice versa.
+[[nodiscard]] constexpr bool op_targets_tdf(CorruptionOp op) noexcept {
+  return op >= CorruptionOp::kTdfTruncate && op < CorruptionOp::kCount_;
+}
 
 struct CorruptionSpec {
   std::vector<CorruptionOp> ops;  ///< applied in this order

@@ -10,11 +10,14 @@ namespace titan::ingest {
 namespace {
 
 constexpr std::string_view kCodeNames[kTriageCodeCount] = {
-    "E_FILE_MISSING",      "E_NO_EVENTS",       "E_LINE_CRLF",
-    "E_LINE_NUL",          "E_LINE_OVERLONG",   "E_FILE_UNTERMINATED",
-    "E_CONSOLE_MALFORMED", "E_EVENT_DUPLICATE", "E_EVENT_OUT_OF_ORDER",
-    "E_JOB_MALFORMED",     "E_SMI_MALFORMED",   "E_MANIFEST_HEADER",
+    "E_FILE_MISSING",      "E_NO_EVENTS",        "E_LINE_CRLF",
+    "E_LINE_NUL",          "E_LINE_OVERLONG",    "E_FILE_UNTERMINATED",
+    "E_CONSOLE_MALFORMED", "E_EVENT_DUPLICATE",  "E_EVENT_OUT_OF_ORDER",
+    "E_JOB_MALFORMED",     "E_SMI_MALFORMED",    "E_MANIFEST_HEADER",
     "E_MANIFEST_FIELD",    "E_MANIFEST_UNKNOWN", "E_CHECKSUM_MISMATCH",
+    "E_TDF_BAD_MAGIC",     "E_TDF_VERSION",      "E_TDF_TRUNCATED",
+    "E_TDF_FOOTER",        "E_TDF_SEGMENT_CHECKSUM", "E_TDF_SEGMENT_CORRUPT",
+    "E_TDF_UNKNOWN_SEGMENT", "E_FILE_TOO_LARGE",
 };
 
 constexpr std::string_view kActionNames[kSalvageActionCount] = {
@@ -115,6 +118,13 @@ bool fatal_in_strict(TriageCode code) noexcept {
     case TriageCode::kManifestHeader:
     case TriageCode::kManifestField:
     case TriageCode::kChecksumMismatch:
+    case TriageCode::kTdfBadMagic:
+    case TriageCode::kTdfVersionMismatch:
+    case TriageCode::kTdfTruncated:
+    case TriageCode::kTdfFooterCorrupt:
+    case TriageCode::kTdfSegmentChecksum:
+    case TriageCode::kTdfSegmentCorrupt:
+    case TriageCode::kFileTooLarge:
       return true;
     default:
       return false;

@@ -56,6 +56,16 @@ enum class TriageCode : std::uint8_t {
   kManifestField,     ///< manifest key present but its value is malformed
   kManifestUnknown,   ///< manifest line matching no known key
   kChecksumMismatch,  ///< file content disagrees with its manifest checksum
+  // Binary (TDF) container damage classes -- see src/tdf/tdf.hpp for the
+  // full strict/salvage policy.
+  kTdfBadMagic,         ///< magic bytes or endian marker wrong (not a TDF file)
+  kTdfVersionMismatch,  ///< container version this reader does not speak
+  kTdfTruncated,        ///< file shorter than the header/table claims
+  kTdfFooterCorrupt,    ///< segment table mangled (checksum, bounds, duplicates)
+  kTdfSegmentChecksum,  ///< segment body disagrees with its table checksum
+  kTdfSegmentCorrupt,   ///< segment body fails to decode (bad varint, range)
+  kTdfUnknownSegment,   ///< unknown segment kind (skipped; forward compat)
+  kFileTooLarge,        ///< file beyond the single-file ingest size cap
   kCount_,
 };
 

@@ -35,6 +35,15 @@ std::string job_log_line(const sched::JobRecord& job) {
   return buf;
 }
 
+std::string job_log_line(const JobLogRecord& rec) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%lld|%d|%lld|%lld|%zu|%.4f|%.4f|%.4f",
+                static_cast<long long>(rec.id), rec.user, static_cast<long long>(rec.start),
+                static_cast<long long>(rec.end), rec.node_count, rec.gpu_core_hours,
+                rec.max_memory_gb, rec.total_memory_gb);
+  return buf;
+}
+
 std::vector<std::string> emit_job_log(const sched::JobTrace& trace) {
   std::vector<std::string> lines;
   lines.reserve(trace.jobs().size());

@@ -28,6 +28,11 @@ struct JobLogRecord {
 };
 
 [[nodiscard]] std::string job_log_line(const sched::JobRecord& job);
+
+/// Re-serialize an already-parsed record (same field formatting), so a
+/// loaded dataset can be written back without the scheduler-side truth.
+[[nodiscard]] std::string job_log_line(const JobLogRecord& rec);
+
 [[nodiscard]] std::vector<std::string> emit_job_log(const sched::JobTrace& trace);
 
 /// Parse one accounting line; std::nullopt on malformed input.

@@ -72,6 +72,9 @@ struct StudyContext {
     std::size_t malformed_job_lines = 0;
     std::size_t smi_blocks = 0;
     std::size_t malformed_smi_blocks = 0;
+    bool binary = false;          ///< loaded from dataset.tdf, not text logs
+    std::size_t tdf_segments = 0; ///< segments decoded from the container
+    std::size_t tdf_bytes = 0;    ///< container size on disk
   };
   LoadStats load_stats;
 

@@ -1,9 +1,13 @@
 // Small file helpers shared by the dataset writer/reader and the example
 // CLIs (previously duplicated inside the examples).  All text is plain
-// newline-terminated UTF-8; reads never throw (missing files yield empty
-// results -- callers check existence where it matters).
+// newline-terminated UTF-8; reads never throw on *missing* files (empty
+// results -- callers check existence where it matters), but a file beyond
+// kMaxIngestFileBytes throws ingest::IngestError with E_FILE_TOO_LARGE:
+// silently truncating a 5 GiB log to what size_t/std::streamsize happens
+// to hold would be a corruption of its own.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <span>
 #include <string>
@@ -12,12 +16,19 @@
 
 namespace titan::study {
 
+/// Single-file ingest size cap (4 GiB).  Anything larger than this is not
+/// a titanrel dataset artifact and is rejected with a named triage code
+/// (E_FILE_TOO_LARGE) instead of being silently clamped.
+inline constexpr std::uint64_t kMaxIngestFileBytes = 4ULL * 1024 * 1024 * 1024;
+
 /// Read a text file line by line (without terminators; a trailing '\r'
 /// from CRLF endings is stripped).  Missing or unreadable files yield an
-/// empty vector.
+/// empty vector; files beyond kMaxIngestFileBytes throw IngestError.
 [[nodiscard]] std::vector<std::string> read_lines(const std::filesystem::path& path);
 
-/// Slurp a whole file.  Missing or unreadable files yield "".
+/// Slurp a whole file (capacity reserved from the on-disk size).  Missing
+/// or unreadable files yield ""; files beyond kMaxIngestFileBytes throw
+/// IngestError.
 [[nodiscard]] std::string read_all(const std::filesystem::path& path);
 
 /// Write lines, each terminated with '\n'.  Throws std::runtime_error
@@ -27,5 +38,14 @@ void write_lines(const std::filesystem::path& path, std::span<const std::string>
 /// Write raw text.  Throws std::runtime_error when the file cannot be
 /// opened.
 void write_text(const std::filesystem::path& path, std::string_view text);
+
+/// Atomic variant of write_text: write `path.tmp`, fsync, rename.  The
+/// destination is never observable half-written; on any failure the tmp
+/// file is removed and std::runtime_error thrown.
+void atomic_write_text(const std::filesystem::path& path, std::string_view text);
+
+/// Atomic variant of write_lines (same tmp + fsync + rename protocol).
+void atomic_write_lines(const std::filesystem::path& path,
+                        std::span<const std::string> lines);
 
 }  // namespace titan::study

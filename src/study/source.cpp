@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "analysis/events_view.hpp"
+#include "logsim/console.hpp"
 #include "logsim/smi_text.hpp"
 #include "study/io.hpp"
+#include "tdf/tdf.hpp"
 
 namespace titan::study {
 
@@ -31,11 +33,16 @@ void triage_file(IngestPolicy policy, IngestReport& report, std::string_view fil
 
 /// Verify every checksum the manifest claims against on-disk bytes.
 /// A claimed-but-missing file and a content mismatch are both integrity
-/// findings (fatal under kStrict).
+/// findings (fatal under kStrict).  `skip` names one file whose claim is
+/// presence-checked but not hashed: the TDF container self-validates
+/// every byte it decodes (table + per-segment FNV-1a), and hashing its
+/// full contents here would read the file twice on the load fast path.
 void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifest,
-                      IngestPolicy policy, IngestReport& report) {
+                      IngestPolicy policy, IngestReport& report,
+                      std::string_view skip = {}) {
   for (const auto& [name, expected] : manifest.checksums) {
     const auto path = dir / name;
+    if (name == skip && fs::exists(path)) continue;
     if (!fs::exists(path)) {
       triage_file(policy, report, name, TriageCode::kFileMissing, SalvageAction::kIgnored,
                   "manifest claims a checksum for this file but it is missing");
@@ -48,6 +55,130 @@ void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifes
                       ingest::checksum_hex(actual));
     }
   }
+}
+
+/// Ingest manifest.txt when present, verifying its checksum claims.
+ingest::ManifestIngest load_manifest(const fs::path& dir, IngestPolicy policy,
+                                     IngestReport& report, std::string_view skip = {}) {
+  ingest::ManifestIngest manifest;
+  const auto manifest_path = dir / "manifest.txt";
+  if (fs::exists(manifest_path)) {
+    manifest = ingest::ingest_manifest_text(read_all(manifest_path), "manifest.txt", policy,
+                                            report);
+    verify_checksums(dir, manifest, policy, report, skip);
+  }
+  return manifest;
+}
+
+/// The binary load path: mmap dataset.tdf, decode its columns, and build
+/// the EventFrame straight from them (no text parsing, no ParsedEvent
+/// intermediate for the frame).
+StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPolicy policy,
+                         IngestReport& report) {
+  const auto manifest = load_manifest(dir, policy, report, tdf::kTdfFileName);
+
+  auto data = tdf::read_tdf(tdf_path, policy, report);
+  if (data.times.empty()) {
+    throw ingest::IngestError{std::string{tdf::kTdfFileName}, 0, TriageCode::kNoEvents,
+                              "dataset at " + dir.string() + " contains no events"};
+  }
+
+  StudyContext context;
+  context.frame = analysis::EventFrame::from_columns(data.times, data.nodes, data.kinds,
+                                                     data.structures);
+  // The row view is still materialized (some kernels and the differential
+  // tests consume it), but from decoded columns -- no text in the loop.
+  context.events.resize(data.times.size());
+  for (std::size_t i = 0; i < data.times.size(); ++i) {
+    context.events[i] =
+        parse::ParsedEvent{data.times[i], data.nodes[i], data.kinds[i], data.structures[i]};
+  }
+  context.capabilities = kEvents;
+
+  // Study window: the container's meta segment is authoritative (it is
+  // what write_dataset recorded); a manifest, when present, was already
+  // cross-checked by its checksum claim on the container bytes.
+  if (data.period_begin != 0 || data.period_end != 0) {
+    context.period.begin = data.period_begin;
+    context.period.end = data.period_end;
+    context.accounting_from = data.accounting_from;
+  } else {
+    context.period.begin = manifest.have_begin ? manifest.begin : data.times.front();
+    context.period.end = manifest.have_end ? manifest.end : data.times.back() + 1;
+    context.accounting_from =
+        manifest.have_accounting ? manifest.accounting : context.period.begin;
+  }
+
+  if (data.has_jobs) {
+    context.load_stats.job_lines = data.jobs.size();
+    context.job_log = std::move(data.jobs);
+  }
+  if (data.has_smi) {
+    context.snapshot = std::move(data.snapshot);
+    context.load_stats.smi_blocks = context.snapshot.records.size();
+    context.capabilities |= kSnapshot;
+  }
+
+  context.load_stats.binary = true;
+  context.load_stats.tdf_segments =
+      std::size_t{6} + (data.has_jobs ? 1U : 0U) + (data.has_smi ? 1U : 0U);
+  std::error_code ec;
+  const auto size = fs::file_size(tdf_path, ec);
+  context.load_stats.tdf_bytes = ec ? 0 : static_cast<std::size_t>(size);
+  return context;
+}
+
+StudyContext load_text(const fs::path& dir, IngestPolicy policy, IngestReport& report) {
+  const auto console_path = dir / "console.log";
+  if (!fs::exists(console_path)) {
+    // Fatal under either policy: with no console log there is nothing to
+    // salvage a study from.
+    throw ingest::IngestError{"console.log", 0, TriageCode::kFileMissing,
+                              "no dataset at " + dir.string()};
+  }
+
+  // Manifest first: the producer's claims (study window, accounting
+  // cutoff, content checksums) gate everything that follows.
+  const auto manifest = load_manifest(dir, policy, report);
+
+  StudyContext context;
+  auto console = ingest::ingest_console_text(read_all(console_path), "console.log", policy,
+                                             report);
+  context.load_stats.console_lines = console.lines;
+  context.load_stats.malformed_lines = console.malformed;
+  context.load_stats.unrelated_lines = console.unrelated;
+  context.events = std::move(console.events);
+  if (context.events.empty()) {
+    throw ingest::IngestError{"console.log", 0, TriageCode::kNoEvents,
+                              "dataset at " + dir.string() + " contains no console events"};
+  }
+  context.frame =
+      analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
+  context.capabilities = kEvents;
+
+  // Study window: manifest claims, else the event stream's span (foreign
+  // datasets without a manifest).
+  context.period.begin = manifest.have_begin ? manifest.begin : context.events.front().time;
+  context.period.end = manifest.have_end ? manifest.end : context.events.back().time + 1;
+  context.accounting_from =
+      manifest.have_accounting ? manifest.accounting : context.period.begin;
+
+  if (const auto jobs_path = dir / "jobs.log"; fs::exists(jobs_path)) {
+    auto jobs = ingest::ingest_job_text(read_all(jobs_path), "jobs.log", policy, report);
+    context.load_stats.job_lines = jobs.lines;
+    context.load_stats.malformed_job_lines = jobs.malformed;
+    context.job_log = std::move(jobs.records);
+  }
+
+  if (const auto sweep_text = read_all(dir / "smi_sweep.txt"); !sweep_text.empty()) {
+    auto sweep = ingest::ingest_smi_text(sweep_text, "smi_sweep.txt", policy, report);
+    context.snapshot.taken_at = sweep.taken_at;
+    context.snapshot.records = std::move(sweep.records);
+    context.load_stats.smi_blocks = context.snapshot.records.size();
+    context.load_stats.malformed_smi_blocks = sweep.malformed_blocks;
+    context.capabilities |= kSnapshot;
+  }
+  return context;
 }
 
 }  // namespace
@@ -78,61 +209,12 @@ StudyContext SimulatedSource::load() const {
 StudyContext DatasetSource::load() const {
   IngestReport report{policy_};
 
-  const auto console_path = dir_ / "console.log";
-  if (!fs::exists(console_path)) {
-    // Fatal under either policy: with no console log there is nothing to
-    // salvage a study from.
-    throw ingest::IngestError{"console.log", 0, TriageCode::kFileMissing,
-                              "no dataset at " + dir_.string()};
-  }
-
-  // Manifest first: the producer's claims (study window, accounting
-  // cutoff, content checksums) gate everything that follows.
-  ingest::ManifestIngest manifest;
-  const auto manifest_path = dir_ / "manifest.txt";
-  if (fs::exists(manifest_path)) {
-    manifest = ingest::ingest_manifest_text(read_all(manifest_path), "manifest.txt", policy_,
-                                            report);
-    verify_checksums(dir_, manifest, policy_, report);
-  }
-
-  StudyContext context;
-  auto console = ingest::ingest_console_text(read_all(console_path), "console.log", policy_,
-                                             report);
-  context.load_stats.console_lines = console.lines;
-  context.load_stats.malformed_lines = console.malformed;
-  context.load_stats.unrelated_lines = console.unrelated;
-  context.events = std::move(console.events);
-  if (context.events.empty()) {
-    throw ingest::IngestError{"console.log", 0, TriageCode::kNoEvents,
-                              "dataset at " + dir_.string() + " contains no console events"};
-  }
-  context.frame =
-      analysis::EventFrame::build(std::span<const parse::ParsedEvent>{context.events});
-  context.capabilities = kEvents;
-
-  // Study window: manifest claims, else the event stream's span (foreign
-  // datasets without a manifest).
-  context.period.begin = manifest.have_begin ? manifest.begin : context.events.front().time;
-  context.period.end = manifest.have_end ? manifest.end : context.events.back().time + 1;
-  context.accounting_from =
-      manifest.have_accounting ? manifest.accounting : context.period.begin;
-
-  if (const auto jobs_path = dir_ / "jobs.log"; fs::exists(jobs_path)) {
-    auto jobs = ingest::ingest_job_text(read_all(jobs_path), "jobs.log", policy_, report);
-    context.load_stats.job_lines = jobs.lines;
-    context.load_stats.malformed_job_lines = jobs.malformed;
-    context.job_log = std::move(jobs.records);
-  }
-
-  if (const auto sweep_text = read_all(dir_ / "smi_sweep.txt"); !sweep_text.empty()) {
-    auto sweep = ingest::ingest_smi_text(sweep_text, "smi_sweep.txt", policy_, report);
-    context.snapshot.taken_at = sweep.taken_at;
-    context.snapshot.records = std::move(sweep.records);
-    context.load_stats.smi_blocks = context.snapshot.records.size();
-    context.load_stats.malformed_smi_blocks = sweep.malformed_blocks;
-    context.capabilities |= kSnapshot;
-  }
+  // A binary container takes precedence: it is the format written for
+  // exactly this load path (mmap + columnar decode).
+  const auto tdf_path = dir_ / std::string{tdf::kTdfFileName};
+  StudyContext context = fs::exists(tdf_path)
+                             ? load_binary(dir_, tdf_path, policy_, report)
+                             : load_text(dir_, policy_, report);
 
   // Only salvage loads carry the triage record into the report pipeline;
   // a strict load that got this far saw nothing fatal, and omitting the
@@ -142,16 +224,47 @@ StudyContext DatasetSource::load() const {
   return context;
 }
 
-void write_dataset(const StudyContext& context, const std::filesystem::path& dir) {
-  if (!context.truth) {
-    throw std::logic_error{"write_dataset: context carries no ground truth to serialize"};
-  }
-  const auto& truth = *context.truth;
-  std::filesystem::create_directories(dir);
+namespace {
 
-  write_lines(dir / "console.log", truth.console_log);
-  write_lines(dir / "jobs.log", logsim::emit_job_log(truth.trace));
-  write_text(dir / "smi_sweep.txt", logsim::smi_sweep_text(context.snapshot));
+/// Console lines of the context: the simulator's exact log when ground
+/// truth is present, else the console-recoverable view re-serialized (the
+/// same event stream either way).
+std::vector<std::string> console_lines_of(const StudyContext& context) {
+  if (context.truth) return context.truth->console_log;
+  std::vector<std::string> lines;
+  lines.reserve(context.events.size());
+  for (const auto& e : context.events) {
+    xid::Event event;
+    event.time = e.time;
+    event.node = e.node;
+    event.kind = e.kind;
+    event.structure = e.structure;
+    lines.push_back(logsim::console_line(event));
+  }
+  return lines;
+}
+
+/// Job lines of the context (ground-truth trace, else the loaded job log).
+std::vector<std::string> job_lines_of(const StudyContext& context) {
+  if (context.truth) return logsim::emit_job_log(context.truth->trace);
+  std::vector<std::string> lines;
+  lines.reserve(context.job_log.size());
+  for (const auto& rec : context.job_log) lines.push_back(logsim::job_log_line(rec));
+  return lines;
+}
+
+}  // namespace
+
+void write_dataset(const StudyContext& context, const std::filesystem::path& dir,
+                   DatasetFormat format) {
+  fs::create_directories(dir);
+
+  // Both formats round-trip doubles through the text serialization, so a
+  // text dataset and a binary dataset of the same context load into
+  // byte-identical contexts (the text path quantizes at write time; the
+  // binary path must not keep more precision than that).
+  const bool have_jobs = context.truth.has_value() || !context.job_log.empty();
+  const bool have_smi = context.truth.has_value() || context.has(kSnapshot);
 
   std::vector<std::string> manifest = {
       std::string{ingest::kDatasetManifestHeader},
@@ -159,13 +272,56 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
       "period_end " + std::to_string(context.period.end),
       "accounting_from " + std::to_string(context.accounting_from),
   };
-  // Content checksums over the bytes just written, so any later mutation
-  // of the files is detectable at load.
-  for (const std::string_view name : {"console.log", "jobs.log", "smi_sweep.txt"}) {
+  const auto claim = [&](std::string_view name) {
     const auto sum = ingest::content_checksum(read_all(dir / name));
     manifest.push_back("checksum " + std::string{name} + ' ' + ingest::checksum_hex(sum));
+  };
+
+  if (format == DatasetFormat::kText) {
+    atomic_write_lines(dir / "console.log", console_lines_of(context));
+    claim("console.log");
+    if (have_jobs) {
+      atomic_write_lines(dir / "jobs.log", job_lines_of(context));
+      claim("jobs.log");
+    }
+    if (have_smi) {
+      atomic_write_text(dir / "smi_sweep.txt", logsim::smi_sweep_text(context.snapshot));
+      claim("smi_sweep.txt");
+    }
+  } else {
+    tdf::TdfDataset data;
+    data.period_begin = context.period.begin;
+    data.period_end = context.period.end;
+    data.accounting_from = context.accounting_from;
+    data.times.reserve(context.events.size());
+    data.nodes.reserve(context.events.size());
+    data.kinds.reserve(context.events.size());
+    data.structures.reserve(context.events.size());
+    for (const auto& e : context.events) {
+      data.times.push_back(e.time);
+      data.nodes.push_back(e.node);
+      data.kinds.push_back(e.kind);
+      data.structures.push_back(e.structure);
+    }
+    if (have_jobs) {
+      data.has_jobs = true;
+      for (const auto& line : job_lines_of(context)) {
+        if (const auto rec = logsim::parse_job_log_line(line)) data.jobs.push_back(*rec);
+      }
+    }
+    if (have_smi) {
+      data.has_smi = true;
+      const auto sweep = logsim::parse_smi_sweep_text(logsim::smi_sweep_text(context.snapshot));
+      data.snapshot.taken_at = sweep.taken_at;
+      data.snapshot.records = sweep.records;
+    }
+    tdf::write_tdf(data, dir / std::string{tdf::kTdfFileName});
+    claim(tdf::kTdfFileName);
   }
-  write_lines(dir / "manifest.txt", manifest);
+
+  // Manifest last: until it lands (atomically), a crashed writer leaves a
+  // directory without integrity claims rather than one with stale claims.
+  atomic_write_lines(dir / "manifest.txt", manifest);
 }
 
 }  // namespace titan::study

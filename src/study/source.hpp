@@ -8,6 +8,7 @@
 // one StudyContext with the EventFrame built exactly once.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <utility>
@@ -48,7 +49,9 @@ class SimulatedSource final : public StudySource {
 };
 
 /// Ingests a dataset directory written by write_dataset (or any producer
-/// of the same text formats).  console.log is required; jobs.log,
+/// of the same formats).  A `dataset.tdf` binary container, when present,
+/// is preferred (mmap + columnar decode, no text parsing); otherwise the
+/// text artifacts are loaded: console.log is required; jobs.log,
 /// smi_sweep.txt and manifest.txt are optional (capabilities shrink
 /// accordingly; without a manifest the period is inferred from the event
 /// stream).  Capabilities: events, plus snapshot when the sweep exists.
@@ -74,12 +77,30 @@ class DatasetSource final : public StudySource {
   ingest::IngestPolicy policy_;
 };
 
-/// Write the on-disk text artifacts for a context that carries ground
-/// truth: console.log, jobs.log, smi_sweep.txt and manifest.txt (period
-/// + retirement accounting cutoff, so a DatasetSource round-trip
-/// reproduces the simulated report bytes; plus FNV-1a content checksums
-/// of every written file, verified by DatasetSource::load).  Creates
-/// `dir` if needed; throws std::logic_error without ground truth.
-void write_dataset(const StudyContext& context, const std::filesystem::path& dir);
+/// On-disk dataset representation write_dataset produces.
+enum class DatasetFormat : std::uint8_t {
+  kText,    ///< console.log / jobs.log / smi_sweep.txt / manifest.txt
+  kBinary,  ///< dataset.tdf (titan::tdf container) + manifest.txt
+};
+
+/// Write the on-disk dataset artifacts for a context.
+///
+/// kText writes console.log, jobs.log, smi_sweep.txt and manifest.txt;
+/// kBinary writes a dataset.tdf container holding the same columns plus a
+/// manifest.txt.  Either way the manifest carries the period, the
+/// retirement accounting cutoff and FNV-1a content checksums (verified by
+/// DatasetSource::load), so a round-trip reproduces the source report
+/// bytes.  Contexts with ground truth serialize the exact simulator
+/// console log; contexts without (e.g. a loaded dataset being converted)
+/// serialize the console-recoverable view, which is the same event
+/// stream.  Doubles (job utilization, smi temperatures) are quantized to
+/// the text serialization's precision in both formats, so text and binary
+/// datasets of one context load byte-identically.
+///
+/// Every file is written atomically (tmp + fsync + rename) with the
+/// manifest last, so a crash mid-write can never leave a directory that
+/// passes checksum verification with partial content.
+void write_dataset(const StudyContext& context, const std::filesystem::path& dir,
+                   DatasetFormat format = DatasetFormat::kText);
 
 }  // namespace titan::study

@@ -1,0 +1,201 @@
+// TDF (Titan Dataset Format) v1 on-disk layout: the versioned,
+// little-endian, mmap-able binary container DatasetSource loads without
+// round-tripping through the text logs.
+//
+// File layout (all integers little-endian, independent of host order):
+//
+//   [header, 40 bytes]
+//     0  u64  magic            "TITANTDF"
+//     8  u32  version          1
+//     12 u32  endian marker    0x01020304 (reads back scrambled if a
+//                              producer ever wrote native big-endian)
+//     16 u64  table_offset     absolute offset of the segment table
+//     24 u64  segment_count    entries in the segment table
+//     32 u64  table_checksum   FNV-1a 64 over the raw table bytes
+//   [segment bodies, each 8-byte aligned, zero padded between]
+//   [segment table at table_offset: segment_count x 40-byte entries]
+//     0  u32  kind             SegmentKind (unknown kinds are skipped)
+//     4  u32  reserved         0
+//     8  u64  offset           absolute offset of the segment body
+//     16 u64  length           body length in bytes
+//     24 u64  rows             decoded row count (events, jobs, ...)
+//     32 u64  checksum         FNV-1a 64 over the body bytes
+//
+// The table lives at the end but is *addressed from the header*, so a
+// truncated tail is detectable (file shorter than table_offset +
+// 40*segment_count => E_TDF_TRUNCATED) and a mangled table is detectable
+// (table_checksum mismatch => E_TDF_FOOTER) -- two different named damage
+// classes instead of one silent EOF surprise.
+//
+// Column encodings (see DESIGN.md section 11):
+//   * node dictionary -- sorted unique node ids (zigzag varint) + cname
+//     bytes, so event rows store small dictionary indices;
+//   * timestamps -- zigzag varint deltas (sorted streams encode in ~1
+//     byte/event);
+//   * kind/structure -- raw bytes, range-validated on decode;
+//   * jobs/smi -- delta+varint integers, doubles as raw IEEE-754 bits.
+//
+// This header is deliberately dependency-free (stats/rng.hpp only, for
+// the FNV-1a primitive shared with the PR 5 manifest checksums) so the
+// ingest corruptor can reason about the layout without linking titan_tdf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "stats/rng.hpp"
+
+namespace titan::tdf {
+
+/// Canonical file name of the binary container inside a dataset dir.
+inline constexpr std::string_view kTdfFileName = "dataset.tdf";
+
+/// "TITANTDF" read as a little-endian u64 ('T' is the first file byte).
+inline constexpr std::uint64_t kTdfMagic = 0x4644544e41544954ULL;
+
+inline constexpr std::uint32_t kTdfVersion = 1;
+inline constexpr std::uint32_t kTdfEndianMarker = 0x01020304U;
+
+inline constexpr std::size_t kTdfHeaderSize = 40;
+inline constexpr std::size_t kTdfEntrySize = 40;
+inline constexpr std::size_t kTdfAlignment = 8;
+
+// Header field offsets (byte positions).
+inline constexpr std::size_t kTdfMagicOffset = 0;
+inline constexpr std::size_t kTdfVersionOffset = 8;
+inline constexpr std::size_t kTdfEndianOffset = 12;
+inline constexpr std::size_t kTdfTableOffsetOffset = 16;
+inline constexpr std::size_t kTdfSegmentCountOffset = 24;
+inline constexpr std::size_t kTdfTableChecksumOffset = 32;
+
+/// Implausibility cap on segment_count: v1 defines 8 segments, and the
+/// cap bounds table allocation on adversarial headers.
+inline constexpr std::uint64_t kTdfMaxSegments = 4096;
+
+/// Segment kinds of format v1.  Readers skip unknown kinds (forward
+/// compatibility); writers emit them in this order.
+enum class SegmentKind : std::uint32_t {
+  kMeta = 0,            ///< fixed-size study metadata (period, flags)
+  kNodeDict = 1,        ///< sorted node-id -> cname dictionary
+  kEventTime = 2,       ///< per-event timestamps, zigzag varint deltas
+  kEventNode = 3,       ///< per-event node-dictionary indices, varint
+  kEventKind = 4,       ///< per-event ErrorKind, raw bytes
+  kEventStructure = 5,  ///< per-event MemoryStructure, raw bytes
+  kJobs = 6,            ///< job-accounting records (user dictionary + rows)
+  kSmi = 7,             ///< nvidia-smi sweep records
+};
+
+inline constexpr std::size_t kTdfSegmentKindCount = 8;
+
+/// Stable human name of a segment kind ("meta", ...); "unknown" for
+/// kinds this reader does not define.
+[[nodiscard]] constexpr std::string_view segment_name(std::uint32_t kind) noexcept {
+  constexpr std::string_view kNames[kTdfSegmentKindCount] = {
+      "meta", "node_dict", "event_time", "event_node",
+      "event_kind", "event_structure", "jobs", "smi",
+  };
+  return kind < kTdfSegmentKindCount ? kNames[kind] : std::string_view{"unknown"};
+}
+
+/// Meta-segment fixed layout: 6 little-endian 64-bit fields.
+inline constexpr std::size_t kTdfMetaSize = 48;
+inline constexpr std::uint64_t kTdfFlagJobs = 1ULL << 0;
+inline constexpr std::uint64_t kTdfFlagSmi = 1ULL << 1;
+
+/// One parsed segment-table entry.
+struct SegmentEntry {
+  std::uint32_t kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t checksum = 0;
+};
+
+// -- Little-endian primitives (byte-wise, host-order independent) -------
+
+inline void store_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xffU);
+}
+
+inline void store_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xffU);
+}
+
+inline void store_i64(std::string& out, std::int64_t v) {
+  store_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Overwrite 8 bytes at `pos` (header patching after the body is built).
+inline void patch_u64(std::string& buf, std::size_t pos, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf[pos + i] = static_cast<char>((v >> (8 * i)) & 0xffU);
+  }
+}
+
+[[nodiscard]] inline std::uint32_t load_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t load_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] inline std::int64_t load_i64(const unsigned char* p) noexcept {
+  return static_cast<std::int64_t>(load_u64(p));
+}
+
+// -- Varint / zigzag ----------------------------------------------------
+
+/// LEB128 unsigned varint append (7 bits per byte, high bit = more).
+inline void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80U) {
+    out += static_cast<char>((v & 0x7fU) | 0x80U);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+/// Decode one varint from [p, end).  Returns bytes consumed; 0 on
+/// truncation or a value wider than 64 bits (both decode failures).
+[[nodiscard]] inline std::size_t read_varint(const unsigned char* p, const unsigned char* end,
+                                             std::uint64_t& out) noexcept {
+  std::uint64_t v = 0;
+  std::size_t n = 0;
+  int shift = 0;
+  while (p + n < end && n < 10) {
+    const unsigned char byte = p[n];
+    ++n;
+    v |= static_cast<std::uint64_t>(byte & 0x7fU) << shift;
+    if ((byte & 0x80U) == 0) {
+      // The 10th byte may only carry the final bit of a 64-bit value.
+      if (n == 10 && (byte & 0x7eU) != 0) return 0;
+      out = v;
+      return n;
+    }
+    shift += 7;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// FNV-1a 64 over raw bytes: the segment/table checksum.  Identical to
+/// ingest::content_checksum, so TDF extends the PR 5 manifest scheme with
+/// one hash function end to end.
+[[nodiscard]] inline std::uint64_t tdf_checksum(std::string_view bytes) noexcept {
+  return stats::hash_label(bytes);
+}
+
+}  // namespace titan::tdf

@@ -1,0 +1,132 @@
+// titan::tdf public API: encode/decode the binary dataset container and
+// map it from disk.
+//
+// A TdfDataset is the StudyContext's column view -- the event stream as
+// four parallel columns (ready for EventFrame::from_columns), plus the
+// optional job-accounting and nvidia-smi side artifacts.  write_tdf
+// serializes it atomically (tmp + fsync + rename); read_tdf maps the file
+// (mmap with a read fallback) and decodes straight out of the mapped
+// region, validating each segment's FNV-1a checksum lazily -- right
+// before that segment is decoded, and only for segments the load needs.
+//
+// Damage policy mirrors the text ingest taxonomy:
+//   * container damage (bad magic, version mismatch, truncation, mangled
+//     segment table) throws ingest::IngestError under BOTH policies --
+//     there is nothing to salvage without a trustworthy index;
+//   * required-segment damage (meta, node dictionary, event columns)
+//     also throws under both policies;
+//   * optional-segment damage (jobs, smi) throws under kStrict and is
+//     quarantined under kSalvage (the segment is dropped and the triage
+//     report says so -- salvage never silently corrupts);
+//   * unknown segment kinds are skipped with an ignored diagnostic
+//     (forward compatibility, like unknown manifest keys).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ingest/triage.hpp"
+#include "logsim/joblog.hpp"
+#include "logsim/smi.hpp"
+#include "stats/calendar.hpp"
+#include "tdf/format.hpp"
+#include "topology/machine.hpp"
+#include "xid/event.hpp"
+
+namespace titan::tdf {
+
+/// The decoded container: event columns + side artifacts.
+struct TdfDataset {
+  stats::TimeSec period_begin = 0;
+  stats::TimeSec period_end = 0;
+  stats::TimeSec accounting_from = 0;
+
+  // Event columns, stream order (one entry per event each).
+  std::vector<stats::TimeSec> times;
+  std::vector<topology::NodeId> nodes;
+  std::vector<xid::ErrorKind> kinds;
+  std::vector<xid::MemoryStructure> structures;
+
+  bool has_jobs = false;
+  std::vector<logsim::JobLogRecord> jobs;
+
+  bool has_smi = false;
+  logsim::SmiSnapshot snapshot;
+
+  [[nodiscard]] std::size_t event_count() const noexcept { return times.size(); }
+};
+
+/// Read-only file mapping (POSIX mmap, PROT_READ/MAP_PRIVATE) with a
+/// plain-read fallback for platforms or filesystems without mmap.
+/// Throws std::runtime_error when the file cannot be opened.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::filesystem::path& path);
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] std::string_view bytes() const noexcept {
+    return {static_cast<const char*>(data_), size_};
+  }
+  /// False when the fallback read path was used.
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;  ///< mmap base (nullptr on the fallback path)
+  const void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string fallback_;
+};
+
+/// Serialize to the v1 byte layout (header + aligned segments + table,
+/// header patched with the table location and checksum).
+[[nodiscard]] std::string encode_tdf(const TdfDataset& data);
+
+/// Encode and write atomically: `path.tmp` + fsync + rename.
+void write_tdf(const TdfDataset& data, const std::filesystem::path& path);
+
+/// Decode raw container bytes.  `file` names the source in diagnostics.
+/// See the damage policy above; salvage findings land in `report`.
+[[nodiscard]] TdfDataset decode_tdf(std::string_view bytes, std::string_view file,
+                                    ingest::IngestPolicy policy, ingest::IngestReport& report);
+
+/// Map `path` and decode it.
+[[nodiscard]] TdfDataset read_tdf(const std::filesystem::path& path,
+                                  ingest::IngestPolicy policy, ingest::IngestReport& report);
+
+/// Container inspection for `titan-convert --info`: header fields plus
+/// the segment table, without decoding the columns.
+struct TdfInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t event_count = 0;
+  stats::TimeSec period_begin = 0;
+  stats::TimeSec period_end = 0;
+  stats::TimeSec accounting_from = 0;
+  bool has_jobs = false;
+  bool has_smi = false;
+
+  struct Segment {
+    std::uint32_t kind = 0;
+    std::string name;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<Segment> segments;  ///< table order
+
+  /// Byte-stable human rendering (one header block + one row per segment).
+  [[nodiscard]] std::string summary_text() const;
+};
+
+/// Validate the container (header, table, per-segment checksums) and
+/// return its description.  Throws ingest::IngestError on damage.
+[[nodiscard]] TdfInfo inspect_tdf(const std::filesystem::path& path);
+
+}  // namespace titan::tdf

@@ -86,15 +86,32 @@ const fs::path& clean_dataset() {
   return dir;
 }
 
-/// Corrupt the clean dataset with `ops` into a fresh directory.
-fs::path corrupted(const std::vector<CorruptionOp>& ops, std::uint64_t seed,
-                   std::string_view tag) {
+/// The same campaign written as a TDF binary dataset.
+const fs::path& clean_binary_dataset() {
+  static const fs::path dir = [] {
+    const auto context = study::SimulatedSource{core::quick_config(kSeed)}.load();
+    const auto path = scratch_root() / "clean_binary";
+    study::write_dataset(context, path, study::DatasetFormat::kBinary);
+    return path;
+  }();
+  return dir;
+}
+
+/// Corrupt `src` with `ops` into a fresh directory.
+fs::path corrupted_from(const fs::path& src, const std::vector<CorruptionOp>& ops,
+                        std::uint64_t seed, std::string_view tag) {
   const auto dst = scratch_root() / std::string{tag};
   ingest::CorruptionSpec spec;
   spec.ops = ops;
   spec.seed = seed;
-  ingest::corrupt_dataset(clean_dataset(), dst, spec);
+  ingest::corrupt_dataset(src, dst, spec);
   return dst;
+}
+
+/// Corrupt the clean text dataset with `ops` into a fresh directory.
+fs::path corrupted(const std::vector<CorruptionOp>& ops, std::uint64_t seed,
+                   std::string_view tag) {
+  return corrupted_from(clean_dataset(), ops, seed, tag);
 }
 
 std::string slurp(const fs::path& path) { return study::read_all(path); }
@@ -144,6 +161,9 @@ TEST(IngestClean, ManifestCarriesVerifiableChecksums) {
 
 TEST(IngestCorruption, EveryOperatorSalvagesWithNonEmptyReport) {
   for (const auto op : ingest::all_corruption_ops()) {
+    // TDF operators are exercised against the binary dataset below; on a
+    // text dataset they have nothing to mutate.
+    if (ingest::op_targets_tdf(op)) continue;
     const auto dir = corrupted({op}, kSeed, std::string{"solo_"} + std::string{op_name(op)});
     const study::DatasetSource source{dir, IngestPolicy::kSalvage};
     study::StudyContext context;
@@ -164,6 +184,7 @@ TEST(IngestCorruption, EveryOperatorTripsStrictModeWithNamedLocation) {
   // The manifest checksums make any byte-level mutation an integrity
   // failure, so strict mode must reject every operator's output.
   for (const auto op : ingest::all_corruption_ops()) {
+    if (ingest::op_targets_tdf(op)) continue;
     const auto dir =
         corrupted({op}, kSeed, std::string{"strict_"} + std::string{op_name(op)});
     try {
@@ -225,6 +246,97 @@ TEST(IngestCorruption, CorruptorIsDeterministic) {
   }
   const auto c = corrupted(ops, 100, "det_c");
   EXPECT_NE(slurp(a / "console.log"), slurp(c / "console.log"));
+}
+
+// ---------------------------------------------------------------------------
+// Binary (TDF) dataset corruption: every operator yields a named outcome.
+// ---------------------------------------------------------------------------
+
+std::vector<CorruptionOp> tdf_ops() {
+  std::vector<CorruptionOp> ops;
+  for (const auto op : ingest::all_corruption_ops()) {
+    if (ingest::op_targets_tdf(op)) ops.push_back(op);
+  }
+  return ops;
+}
+
+bool is_tdf_code(TriageCode code) {
+  return std::string_view{ingest::code_name(code)}.substr(0, 6) == "E_TDF_";
+}
+
+TEST(TdfCorruption, EveryTdfOperatorTripsStrictWithNamedTdfCode) {
+  for (const auto op : tdf_ops()) {
+    const auto dir = corrupted_from(clean_binary_dataset(), {op}, kSeed,
+                                    std::string{"tdf_strict_"} + std::string{op_name(op)});
+    try {
+      (void)study::DatasetSource{dir}.load();
+      FAIL() << op_name(op) << ": strict load of a damaged TDF container succeeded";
+    } catch (const IngestError& error) {
+      EXPECT_EQ(error.file(), "dataset.tdf") << op_name(op);
+      EXPECT_TRUE(is_tdf_code(error.code()))
+          << op_name(op) << ": got " << ingest::code_name(error.code());
+      const std::string what = error.what();
+      EXPECT_NE(what.find(ingest::code_name(error.code())), std::string::npos)
+          << op_name(op) << ": message must carry the taxonomy code";
+    }
+  }
+}
+
+TEST(TdfCorruption, EveryTdfOperatorNamedUnderSalvage) {
+  // Container and required-segment damage stays fatal in salvage mode;
+  // optional-segment damage is quarantined with a named code.  Either
+  // way the damage must never pass silently.
+  for (const auto op : tdf_ops()) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 29ULL}) {
+      const auto dir = corrupted_from(
+          clean_binary_dataset(), {op}, seed,
+          std::string{"tdf_salvage_"} + std::string{op_name(op)} + "_" + std::to_string(seed));
+      try {
+        const auto context = study::DatasetSource{dir, IngestPolicy::kSalvage}.load();
+        ASSERT_TRUE(context.ingest_report.has_value()) << op_name(op) << " seed " << seed;
+        bool named = false;
+        for (const auto& diag : context.ingest_report->diagnostics()) {
+          if (is_tdf_code(diag.code)) named = true;
+        }
+        EXPECT_TRUE(named) << op_name(op) << " seed " << seed
+                           << ": salvage survived without a named TDF finding";
+        EXPECT_FALSE(context.events.empty()) << op_name(op) << " seed " << seed;
+      } catch (const IngestError& error) {
+        EXPECT_TRUE(is_tdf_code(error.code()))
+            << op_name(op) << " seed " << seed << ": got "
+            << ingest::code_name(error.code());
+      }
+    }
+  }
+}
+
+TEST(TdfCorruption, CorruptorIsDeterministicOnBinaryDatasets) {
+  const auto ops = tdf_ops();
+  const auto a = corrupted_from(clean_binary_dataset(), ops, 99, "tdf_det_a");
+  const auto b = corrupted_from(clean_binary_dataset(), ops, 99, "tdf_det_b");
+  EXPECT_EQ(slurp(a / "dataset.tdf"), slurp(b / "dataset.tdf"));
+  EXPECT_EQ(slurp(a / "manifest.txt"), slurp(b / "manifest.txt"));
+  const auto c = corrupted_from(clean_binary_dataset(), ops, 100, "tdf_det_c");
+  EXPECT_NE(slurp(a / "dataset.tdf"), slurp(c / "dataset.tdf"));
+}
+
+TEST(TdfCorruption, TextOperatorsAreNoOpsOnBinaryDatasets) {
+  // Manifest operators still bite (the manifest is shared by both
+  // formats), so only the console/jobs/smi text operators are expected
+  // to leave a binary-only dataset loadable.
+  std::vector<CorruptionOp> text_ops;
+  for (const auto op : ingest::all_corruption_ops()) {
+    if (ingest::op_targets_tdf(op) || op == CorruptionOp::kMangleManifest ||
+        op == CorruptionOp::kChecksumMismatch) {
+      continue;
+    }
+    text_ops.push_back(op);
+  }
+  const auto dir = corrupted_from(clean_binary_dataset(), text_ops, kSeed, "tdf_text_noop");
+  EXPECT_EQ(slurp(dir / "dataset.tdf"), slurp(clean_binary_dataset() / "dataset.tdf"));
+  const auto context = study::DatasetSource{dir}.load();
+  EXPECT_TRUE(context.load_stats.binary);
+  EXPECT_FALSE(context.events.empty());
 }
 
 // ---------------------------------------------------------------------------

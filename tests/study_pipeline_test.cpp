@@ -212,10 +212,23 @@ TEST(StudyPipeline, DatasetSourceWithoutConsoleLogThrows) {
   EXPECT_THROW((void)study::DatasetSource{dir}.load(), std::runtime_error);
 }
 
-TEST(StudyPipeline, WriteDatasetWithoutTruthThrows) {
+TEST(StudyPipeline, WriteDatasetWithoutTruthRoundTripsEventsOnly) {
+  // Contexts without ground truth (e.g. a re-loaded dataset) are writable
+  // in both formats: the console/job/smi artifacts are re-rendered from
+  // the materialized events instead of the simulation trace.
   const auto context = events_only();
-  const auto dir = std::filesystem::path{::testing::TempDir()} / "titanrel_study_no_truth";
-  EXPECT_THROW(study::write_dataset(context, dir), std::logic_error);
+  for (const auto& [format, tag] :
+       {std::pair{study::DatasetFormat::kText, "text"},
+        std::pair{study::DatasetFormat::kBinary, "binary"}}) {
+    const auto dir = std::filesystem::path{::testing::TempDir()} /
+                     (std::string{"titanrel_study_no_truth_"} + tag);
+    study::write_dataset(context, dir, format);
+    const auto loaded = study::DatasetSource{dir}.load();
+    EXPECT_EQ(loaded.events.size(), context.events.size()) << tag;
+    EXPECT_EQ(loaded.period.begin, context.period.begin) << tag;
+    EXPECT_EQ(loaded.period.end, context.period.end) << tag;
+    EXPECT_EQ(loaded.load_stats.binary, format == study::DatasetFormat::kBinary) << tag;
+  }
 }
 
 TEST(StudyContext, TraceThrowsWithoutGroundTruth) {

@@ -144,6 +144,9 @@ TEST(DetUnorderedIter, FlagsRangeForOverUnorderedInKernelDirs) {
 
   // Identical code outside the determinism-sensitive dirs is fine.
   EXPECT_TRUE(lint_one("src/render/fixture.cpp", body).diagnostics.empty());
+
+  // src/tdf decodes straight into report bytes, so it is in scope too.
+  EXPECT_EQ(formatted(lint_one("src/tdf/fixture.cpp", body)).size(), 1U);
 }
 
 TEST(DetUnorderedIter, SortedDrainStaysLegal) {

@@ -1,0 +1,105 @@
+// titan-convert: convert a study dataset between the text artifacts and
+// the binary TDF container, or inspect a container.
+//
+//   titan-convert [--salvage] [--to text|binary] <src_dir> <dst_dir>
+//   titan-convert --info <dataset_dir | dataset.tdf>
+//
+// Without --to, the conversion direction is inferred: a source directory
+// holding dataset.tdf converts to text, a text dataset converts to
+// binary.  --salvage loads the source under IngestPolicy::kSalvage
+// (repair/quarantine with a triage report) instead of strict.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "study/source.hpp"
+#include "tdf/tdf.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace titan;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: titan-convert [--salvage] [--to text|binary] <src_dir> <dst_dir>\n"
+               "       titan-convert --info <dataset_dir | dataset.tdf>\n");
+  return 2;
+}
+
+int info(const fs::path& arg) {
+  fs::path path = arg;
+  if (fs::is_directory(path)) path /= std::string{tdf::kTdfFileName};
+  const auto summary = tdf::inspect_tdf(path).summary_text();
+  std::printf("%s", summary.c_str());
+  return 0;
+}
+
+int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool salvage) {
+  const bool src_binary = fs::exists(src / std::string{tdf::kTdfFileName});
+  study::DatasetFormat format;
+  if (to == "text") {
+    format = study::DatasetFormat::kText;
+  } else if (to == "binary") {
+    format = study::DatasetFormat::kBinary;
+  } else if (to.empty()) {
+    format = src_binary ? study::DatasetFormat::kText : study::DatasetFormat::kBinary;
+  } else {
+    return usage();
+  }
+
+  const study::DatasetSource source{
+      src, salvage ? ingest::IngestPolicy::kSalvage : ingest::IngestPolicy::kStrict};
+  const auto context = source.load();
+  study::write_dataset(context, dst, format);
+
+  std::printf("converted %s (%s) -> %s (%s)\n", src.string().c_str(),
+              src_binary ? "binary" : "text", dst.string().c_str(),
+              format == study::DatasetFormat::kBinary ? "binary" : "text");
+  std::printf("  events  %zu\n", context.events.size());
+  std::printf("  jobs    %zu\n", context.job_log.size());
+  std::printf("  smi     %zu blocks\n", context.snapshot.records.size());
+  if (context.ingest_report && !context.ingest_report->clean()) {
+    std::printf("\n%s", context.ingest_report->summary_text().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool salvage = false;
+  std::string_view to;
+  fs::path info_path;
+  std::vector<fs::path> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--salvage") {
+      salvage = true;
+    } else if (arg == "--to" && i + 1 < argc) {
+      to = argv[++i];
+    } else if (arg == "--info" && i + 1 < argc) {
+      info_path = argv[++i];
+    } else if (!arg.starts_with("--")) {
+      positional.emplace_back(arg);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    if (!info_path.empty()) {
+      if (!positional.empty()) return usage();
+      return info(info_path);
+    }
+    if (positional.size() != 2) return usage();
+    return convert(positional[0], positional[1], to, salvage);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "titan-convert: %s\n", e.what());
+    return 1;
+  }
+}

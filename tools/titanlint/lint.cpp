@@ -295,8 +295,8 @@ void rule_det_thread(LintContext& ctx, const SourceFile& file, const TokenizedFi
   }
 }
 
-constexpr std::array<std::string_view, 4> kUnorderedIterDirs = {
-    "src/analysis/", "src/study/", "src/fault/", "src/ingest/"};
+constexpr std::array<std::string_view, 5> kUnorderedIterDirs = {
+    "src/analysis/", "src/study/", "src/fault/", "src/ingest/", "src/tdf/"};
 
 void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
                              const TokenizedFile& tf) {
