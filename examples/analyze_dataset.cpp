@@ -43,7 +43,14 @@ int main(int argc, char** argv) {
   }
 
   const auto& stats = context.load_stats;
-  if (stats.binary) {
+  if (stats.binary && stats.shards > 0) {
+    std::printf("dataset.shard-{0..%zu}.tdf: %zu segments, %zu bytes -> %zu events "
+                "(sharded streaming load)\n",
+                stats.shards - 1, stats.tdf_segments, stats.tdf_bytes,
+                context.events.size());
+    std::printf("jobs: %zu records   smi sweep: %zu GPU blocks\n", stats.job_lines,
+                stats.smi_blocks);
+  } else if (stats.binary) {
     std::printf("dataset.tdf: %zu segments, %zu bytes -> %zu events (binary load)\n",
                 stats.tdf_segments, stats.tdf_bytes, context.events.size());
     std::printf("jobs: %zu records   smi sweep: %zu GPU blocks\n", stats.job_lines,

@@ -17,8 +17,9 @@
 #                every corruption operator, and run the salvage sweep
 #                (bench_ingest_robustness), plus an explicit titanlint
 #                det-* pass over src/ingest and src/tdf
-#   --bench-json run bench_tdf_load and refresh the committed
-#                BENCH_dataset.json perf-trajectory record
+#   --bench-json refresh every committed BENCH_*.json perf-trajectory
+#                record: bench_tdf_load -> BENCH_dataset.json and
+#                bench_campaign_scale -> BENCH_campaign.json
 #   --jobs N     parallelism (default: nproc)
 #
 # Exits non-zero on the first failing stage.
@@ -53,15 +54,20 @@ echo "== titanlint =="
 if [[ "$CORRUPT" == 1 ]]; then
   echo "== ingest robustness gate (every corruption operator + salvage sweep) =="
   ./build/bench/bench_ingest_robustness
-  echo "== titanlint det-* sweep over src/ingest and src/tdf =="
+  echo "== titanlint det-* sweep over src/ingest, src/tdf and the sharding layer =="
   ./build/tools/titanlint --root . src/ingest/triage.hpp src/ingest/triage.cpp \
     src/ingest/corrupt.hpp src/ingest/corrupt.cpp \
-    src/tdf/format.hpp src/tdf/tdf.hpp src/tdf/writer.cpp src/tdf/reader.cpp
+    src/tdf/format.hpp src/tdf/tdf.hpp src/tdf/writer.cpp src/tdf/reader.cpp \
+    src/core/sharded.hpp src/core/sharded.cpp src/fault/campaign.hpp \
+    src/fault/campaign.cpp src/study/sharded.hpp src/study/sharded.cpp \
+    src/study/source.cpp
 fi
 
 if [[ "$BENCH_JSON" == 1 ]]; then
   echo "== bench_tdf_load -> BENCH_dataset.json =="
   ./build/bench/bench_tdf_load --json BENCH_dataset.json
+  echo "== bench_campaign_scale -> BENCH_campaign.json =="
+  ./build/bench/bench_campaign_scale --json BENCH_campaign.json
 fi
 
 if [[ "$UBSAN" == 1 ]]; then

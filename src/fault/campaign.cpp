@@ -1,13 +1,9 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
-#include <map>
 #include <numeric>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
 #include "fault/hotspare.hpp"
@@ -35,30 +31,6 @@ constexpr std::size_t kCardGrain = 64;
 /// Jobs per parallel task in the software-XID phase (most jobs are not
 /// debug jobs and cost one branch).
 constexpr std::size_t kJobGrain = 256;
-
-/// A card's tenure in a node.
-struct Stint {
-  NodeId node = topology::kInvalidNode;
-  TimeSec from = 0;
-  TimeSec to = 0;
-};
-
-/// A root hardware strike scheduled in phase A/C, fed through the cards in
-/// phase D.
-struct HardwareStrike {
-  TimeSec time = 0;
-  NodeId node = topology::kInvalidNode;
-  MemoryStructure structure = MemoryStructure::kNone;
-  std::uint32_t page = 0;
-};
-
-/// Per-card output of the parallel ECC phase (phase D).  Event parent
-/// links are indices local to `events`; they are rebased into the global
-/// provisional index space during phase F stream assembly.
-struct CardEcc {
-  std::vector<Event> events;
-  std::vector<SbeStrike> sbe_strikes;  ///< time-sorted (ops run in time order)
-};
 
 [[nodiscard]] TimeSec to_timesec(double seconds) {
   return static_cast<TimeSec>(std::llround(seconds));
@@ -109,43 +81,6 @@ struct CardEcc {
   return lo + static_cast<TimeSec>(rng.below(static_cast<std::uint64_t>(hi - lo)));
 }
 
-/// Deterministic k-way merge of per-stream time-sorted sequences.
-/// `size(s)` and `time(s, i)` describe stream s; `emit(s, i)` receives
-/// every element exactly once, ordered by (time, stream index) with
-/// within-stream order preserved.  Because the tie-break is structural
-/// (stream index, i.e. provisional order), the merge output is identical
-/// to a global stable_sort-by-time of the streams' concatenation -- and
-/// independent of how many threads produced the streams.
-template <typename SizeFn, typename TimeFn, typename EmitFn>
-void kway_merge(std::size_t stream_count, const SizeFn& size, const TimeFn& time,
-                const EmitFn& emit) {
-  struct Cursor {
-    TimeSec time = 0;
-    std::uint32_t stream = 0;
-    std::uint32_t pos = 0;
-  };
-  const auto later = [](const Cursor& a, const Cursor& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.stream > b.stream;
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap{later};
-  for (std::size_t s = 0; s < stream_count; ++s) {
-    if (size(s) > 0) {
-      heap.push(Cursor{time(s, 0), static_cast<std::uint32_t>(s), 0});
-    }
-  }
-  while (!heap.empty()) {
-    const Cursor top = heap.top();
-    heap.pop();
-    emit(top.stream, top.pos);
-    const std::size_t next = static_cast<std::size_t>(top.pos) + 1;
-    if (next < size(top.stream)) {
-      heap.push(Cursor{time(top.stream, next), top.stream,
-                       static_cast<std::uint32_t>(next)});
-    }
-  }
-}
-
 }  // namespace
 
 std::vector<CardTraits> initialize_fleet(gpu::Fleet& fleet, stats::TimeSec when,
@@ -158,11 +93,10 @@ std::vector<CardTraits> initialize_fleet(gpu::Fleet& fleet, stats::TimeSec when,
   return sample_card_traits(fleet.card_count(), rng, model);
 }
 
-CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> traits,
-                                  const sched::JobTrace& trace, const CampaignParams& params,
-                                  stats::Rng rng) {
+CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> traits,
+                                     const CampaignParams& params, stats::Rng rng) {
   if (fleet.card_count() != traits.size()) {
-    throw std::invalid_argument{"run_fault_campaign: traits must match fleet size"};
+    throw std::invalid_argument{"plan_fault_campaign: traits must match fleet size"};
   }
   const auto& period = params.period;
   const auto& timeline = params.timeline;
@@ -170,13 +104,17 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   const std::vector<NodeId>& nodes = compute_nodes();
   const double window_days = static_cast<double>(period.duration()) / kSecondsPerDayD;
 
-  CampaignResult result;
+  CampaignSchedule plan;
+  plan.params = params;
+  plan.rng = rng;
+  plan.traits = std::move(traits);
 
   // Per-card stints; replacements appended as they are procured.
-  std::vector<std::vector<Stint>> stints(traits.size());
+  plan.stints.resize(plan.traits.size());
   for (const NodeId node : nodes) {
     const CardId card = fleet.ledger().card_at(node, period.begin);
-    stints[static_cast<std::size_t>(card)].push_back(Stint{node, period.begin, period.end});
+    plan.stints[static_cast<std::size_t>(card)].push_back(
+        Stint{node, period.begin, period.end});
   }
 
   // -------------------------------------------------------------------------
@@ -193,7 +131,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     for (const NodeId node : nodes) {
       const CardId card = fleet.ledger().card_at(node, period.begin);
       const auto loc = topology::locate(node);
-      weights.push_back(traits[static_cast<std::size_t>(card)].dbe_weight *
+      weights.push_back(plan.traits[static_cast<std::size_t>(card)].dbe_weight *
                         topology::thermal_rate_multiplier(params.thermal, loc,
                                                           model.dbe_thermal_factor));
     }
@@ -231,15 +169,15 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     const TimeSec pull_time = strike.time + stats::kSecondsPerDay;
     if (!period.contains(pull_time)) continue;
     // Close the card's stint and swap in a freshly procured spare.
-    auto& card_stints = stints[static_cast<std::size_t>(card)];
+    auto& card_stints = plan.stints[static_cast<std::size_t>(card)];
     if (card_stints.empty() || card_stints.back().to <= pull_time) continue;  // already pulled
     card_stints.back().to = pull_time;
 
     const CardId spare = fleet.procure();
     auto spare_trait_rng = spare_rng.fork("spare-traits", static_cast<std::uint64_t>(spare));
-    traits.push_back(sample_one_card(spare_trait_rng, model));
-    stints.emplace_back();
-    stints.back().push_back(Stint{strike.node, pull_time, period.end});
+    plan.traits.push_back(sample_one_card(spare_trait_rng, model));
+    plan.stints.emplace_back();
+    plan.stints.back().push_back(Stint{strike.node, pull_time, period.end});
     fleet.install(strike.node, spare, pull_time);
 
     HotSpareAction action;
@@ -252,32 +190,31 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     fleet.card(card).set_health(gpu::CardHealth::kHotSpare);
     auto stress_rng = spare_rng.fork("stress", static_cast<std::uint64_t>(card));
     const auto stress = stress_test_card(fleet.card(card),
-                                         traits[static_cast<std::size_t>(card)],
+                                         plan.traits[static_cast<std::size_t>(card)],
                                          StressTestParams{}, pull_time, stress_rng);
     // Pass -> re-qualified spare stock (kShelf); fail -> RMA'd to the
     // vendor.  Either way the card does not return to production here.
     action.failed_stress = stress.returned_to_vendor;
-    result.hot_spare_actions.push_back(action);
+    plan.hot_spare_actions.push_back(action);
   }
 
   // -------------------------------------------------------------------------
   // Phase C: Off-the-bus strikes.
   // -------------------------------------------------------------------------
   auto otb_rng = rng.fork("otb");
-  std::vector<HardwareStrike> otb_strikes;
-  otb_strikes.reserve(static_cast<std::size_t>(
-                          1.25 * (static_cast<double>(nodes.size()) *
-                                      model.otb_defect_probability *
-                                      model.otb_manifest_probability +
-                                  model.otb_residual_per_day * window_days)) +
-                      16);
+  plan.otb_strikes.reserve(static_cast<std::size_t>(
+                               1.25 * (static_cast<double>(nodes.size()) *
+                                           model.otb_defect_probability *
+                                           model.otb_manifest_probability +
+                                       model.otb_residual_per_day * window_days)) +
+                           16);
   {
     // Epidemic era: each defective original card may manifest once, with
     // probability scaled by its cage temperature (normalized to the middle
     // cage so the fleet-average stays near the calibrated value).
     for (const NodeId node : nodes) {
       const CardId card = fleet.ledger().card_at(node, period.begin);
-      if (!traits[static_cast<std::size_t>(card)].solder_defect) continue;
+      if (!plan.traits[static_cast<std::size_t>(card)].solder_defect) continue;
       const auto loc = topology::locate(node);
       auto mid = loc;
       mid.cage = 1;
@@ -289,7 +226,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       HardwareStrike s;
       s.time = sample_epidemic_time(period, timeline.solder_fix, card_rng);
       s.node = node;
-      otb_strikes.push_back(s);
+      plan.otb_strikes.push_back(s);
     }
     // Post-rework residual trickle.
     for (const double t : stats::sample_poisson_process(
@@ -298,29 +235,38 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       HardwareStrike s;
       s.time = to_timesec(t);
       s.node = nodes[otb_rng.below(nodes.size())];
-      otb_strikes.push_back(s);
+      plan.otb_strikes.push_back(s);
     }
-    std::stable_sort(otb_strikes.begin(), otb_strikes.end(), [](const auto& a, const auto& b) {
-      if (a.time != b.time) return a.time < b.time;
-      return a.node < b.node;
-    });
+    std::stable_sort(plan.otb_strikes.begin(), plan.otb_strikes.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.node < b.node;
+                     });
   }
 
-  // -------------------------------------------------------------------------
-  // Phase D: per-card chronological ECC processing (parallel).
-  // -------------------------------------------------------------------------
-  // Index DBE strikes and crash reboots by node.
-  std::unordered_map<NodeId, std::vector<HardwareStrike>> dbe_by_node;
-  std::unordered_map<NodeId, std::vector<TimeSec>> crash_reboots;
+  // Index DBE strikes and crash reboots by node for phase D's per-card
+  // stint scans.
   for (const auto& s : dbe_strikes) {
-    dbe_by_node[s.node].push_back(s);
-    crash_reboots[s.node].push_back(s.time + 600);  // warm boot after DBE
+    plan.dbe_by_node[s.node].push_back(s);
+    plan.crash_reboots[s.node].push_back(s.time + 600);  // warm boot after DBE
   }
-  for (const auto& s : otb_strikes) {
-    crash_reboots[s.node].push_back(s.time + stats::kSecondsPerDay);  // repair
+  for (const auto& s : plan.otb_strikes) {
+    plan.crash_reboots[s.node].push_back(s.time + stats::kSecondsPerDay);  // repair
   }
-  const std::vector<TimeSec> maintenance =
-      maintenance_reboots(period, model.maintenance_day_of_month);
+  plan.maintenance = maintenance_reboots(period, model.maintenance_day_of_month);
+  return plan;
+}
+
+std::vector<CardStream> run_card_streams(const CampaignSchedule& plan, gpu::Fleet& fleet,
+                                         const sched::JobTrace& trace,
+                                         std::size_t first_card, std::size_t last_card,
+                                         bool collect_sbe) {
+  if (last_card > plan.traits.size() || first_card > last_card) {
+    throw std::invalid_argument{"run_card_streams: card range out of bounds"};
+  }
+  const auto& period = plan.params.period;
+  const auto& timeline = plan.params.timeline;
+  const FaultModelParams& model = plan.params.model;
 
   enum class OpKind : std::uint8_t { kEnableRetirement, kReboot, kSbe, kDbe };
   struct Op {
@@ -348,18 +294,19 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
 
   // Each card owns its forked `ecc/card/<serial>` stream, its own GpuCard
   // and its own output vectors, so cards are processed concurrently and
-  // the result is independent of thread count by construction.
-  auto ecc_rng = rng.fork("ecc");
-  const auto process_card = [&](std::size_t serial) -> CardEcc {
-    CardEcc out;
-    const CardTraits& trait = traits[serial];
+  // the result is independent of thread count -- and of how the fleet is
+  // partitioned into ranges -- by construction.
+  auto ecc_rng = plan.rng.fork("ecc");
+  const auto process_card = [&](std::size_t serial) -> CardStream {
+    CardStream out;
+    const CardTraits& trait = plan.traits[serial];
     gpu::GpuCard& card = fleet.card(static_cast<CardId>(serial));
     auto card_rng = ecc_rng.fork("card", serial);
 
     std::vector<Op> ops;
-    ops.reserve(maintenance.size() + 4 * trait.weak_cells.size() + 8);
+    ops.reserve(plan.maintenance.size() + 4 * trait.weak_cells.size() + 8);
     bool card_has_dbe = false;
-    for (const Stint& stint : stints[serial]) {
+    for (const Stint& stint : plan.stints[serial]) {
       const auto from_d = static_cast<double>(stint.from);
       const auto to_d = static_cast<double>(stint.to);
       // Background SBEs.
@@ -394,7 +341,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
         }
       }
       // DBE strikes landing on this card's stint.
-      if (const auto it = dbe_by_node.find(stint.node); it != dbe_by_node.end()) {
+      if (const auto it = plan.dbe_by_node.find(stint.node); it != plan.dbe_by_node.end()) {
         for (const auto& s : it->second) {
           if (s.time < stint.from || s.time >= stint.to) continue;
           Op op;
@@ -416,8 +363,8 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
         op.node = stint.node;
         ops.push_back(op);
       };
-      for (const TimeSec t : maintenance) add_reboot(t);
-      if (const auto it = crash_reboots.find(stint.node); it != crash_reboots.end()) {
+      for (const TimeSec t : plan.maintenance) add_reboot(t);
+      if (const auto it = plan.crash_reboots.find(stint.node); it != plan.crash_reboots.end()) {
         for (const TimeSec t : it->second) add_reboot(t);
       }
     }
@@ -449,14 +396,16 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
           const auto outcome = card.record_sbe(
               op.structure, device ? std::optional<std::uint32_t>{op.page} : std::nullopt,
               op.time);
-          SbeStrike strike;
-          strike.time = op.time;
-          strike.node = op.node;
-          strike.card = static_cast<CardId>(serial);
-          strike.structure = op.structure;
-          strike.page = op.page;
-          strike.from_weak_cell = op.weak;
-          out.sbe_strikes.push_back(strike);
+          if (collect_sbe) {
+            SbeStrike strike;
+            strike.time = op.time;
+            strike.node = op.node;
+            strike.card = static_cast<CardId>(serial);
+            strike.structure = op.structure;
+            strike.page = op.page;
+            strike.from_weak_cell = op.weak;
+            out.sbe_strikes.push_back(strike);
+          }
           if (outcome.retirement) {
             const TimeSec when = op.time + 5 + static_cast<TimeSec>(card_rng.below(55));
             if (period.contains(when)) {
@@ -524,12 +473,20 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
     }
     return out;
   };
-  std::vector<CardEcc> per_card = par::parallel_map(0, traits.size(), kCardGrain, process_card);
+  return par::parallel_map(first_card, last_card, kCardGrain, process_card);
+}
 
-  // -------------------------------------------------------------------------
-  // Phase E: software / firmware / application XIDs.
-  // -------------------------------------------------------------------------
-  auto sw_rng = rng.fork("software");
+TailStream run_campaign_tail(const CampaignSchedule& plan, const gpu::Fleet& fleet,
+                             const sched::JobTrace& trace) {
+  const auto& period = plan.params.period;
+  const auto& timeline = plan.params.timeline;
+  const FaultModelParams& model = plan.params.model;
+  const std::vector<NodeId>& nodes = compute_nodes();
+  const double window_days = static_cast<double>(period.duration()) / kSecondsPerDayD;
+
+  TailStream result;
+
+  auto sw_rng = plan.rng.fork("software");
   const auto& jobs = trace.jobs();
 
   // Debug-job crashes: user-application XIDs reported on every node of the
@@ -605,8 +562,8 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   const auto fixed_totals = static_cast<std::size_t>(
       model.xid32_total + model.xid38_total + model.xid42_total + model.xid56_total +
       model.xid57_total + model.xid58_total + model.xid65_total);
-  std::vector<Event> tail;
-  tail.reserve(otb_strikes.size() + debug_event_total + fixed_totals +
+  std::vector<Event>& tail = result.events;
+  tail.reserve(plan.otb_strikes.size() + debug_event_total + fixed_totals +
                static_cast<std::size_t>(
                    1.25 * ((model.xid43_per_day + model.xid44_per_day) * window_days +
                            model.xid59_per_day_old_driver * old_driver_days +
@@ -616,7 +573,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
                64);
 
   // OTB events (app-fatal, isolated; no InfoROM involvement).
-  for (const auto& s : otb_strikes) {
+  for (const auto& s : plan.otb_strikes) {
     Event ev;
     ev.time = s.time;
     ev.node = s.node;
@@ -671,8 +628,8 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
 
   // The Observation 8 anecdote: one node raising XID 13 regardless of the
   // application -- a hardware fault masquerading as a user error.
-  if (params.include_bad_node_anecdote) {
-    auto bad_rng = rng.fork("bad-node");
+  if (plan.params.include_bad_node_anecdote) {
+    auto bad_rng = plan.rng.fork("bad-node");
     result.bad_node = nodes[bad_rng.below(nodes.size())];
     const TimeSec active_from = stats::month_start(
         period.begin, period.months() - model.bad_node_active_months);
@@ -693,6 +650,29 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
       }
     }
   }
+  return result;
+}
+
+CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> traits,
+                                  const sched::JobTrace& trace, const CampaignParams& params,
+                                  stats::Rng rng) {
+  if (fleet.card_count() != traits.size()) {
+    throw std::invalid_argument{"run_fault_campaign: traits must match fleet size"};
+  }
+  const auto& period = params.period;
+
+  // Phases A-C: resolve the plan (named forks make phase streams
+  // independent of each other and of the partitioning below).
+  CampaignSchedule plan = plan_fault_campaign(fleet, std::move(traits), params, rng);
+
+  // Phase D over the whole fleet, phase E once.
+  std::vector<CardStream> per_card =
+      run_card_streams(plan, fleet, trace, 0, plan.card_count(), /*collect_sbe=*/true);
+  TailStream tail = run_campaign_tail(plan, fleet, trace);
+
+  CampaignResult result;
+  result.bad_node = tail.bad_node;
+  result.hot_spare_actions = std::move(plan.hot_spare_actions);
 
   // -------------------------------------------------------------------------
   // Phase F: attribution, per-stream ordering, deterministic k-way merge.
@@ -702,7 +682,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
   const std::size_t card_count = per_card.size();
   const std::size_t stream_count = card_count + 1;
   const auto stream_events = [&](std::size_t s) -> std::vector<Event>& {
-    return s < card_count ? per_card[s].events : tail;
+    return s < card_count ? per_card[s].events : tail.events;
   };
   std::vector<std::size_t> offset(stream_count + 1, 0);
   for (std::size_t s = 0; s < stream_count; ++s) {
@@ -768,7 +748,7 @@ CampaignResult run_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> tra
         result.sbe_strikes.push_back(per_card[s].sbe_strikes[i]);
       });
 
-  result.traits = std::move(traits);
+  result.traits = std::move(plan.traits);
   return result;
 }
 

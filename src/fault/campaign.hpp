@@ -14,9 +14,31 @@
 //    propagation and follow-on cascades (Figs. 9-13, Obs. 6-9),
 //  * the hot-spare card workflow (Sect. 3.1 operations),
 //  * InfoROM commit loss on fast node death (Obs. 2).
+//
+// The campaign is split into three pieces so shard drivers
+// (core::ShardedStudy) can generate any contiguous card range in
+// isolation with bounded memory:
+//
+//   plan_fault_campaign   phases A-C: root hardware strikes, the hot-spare
+//                         workflow and the reboot calendar, resolved into
+//                         an immutable CampaignSchedule (mutates the fleet
+//                         roster once, up front);
+//   run_card_streams      phase D over [first_card, last_card): per-card
+//                         chronological ECC processing.  Cards touch only
+//                         their own GpuCard and their own `ecc/card/<n>`
+//                         RNG fork, so ranges compose: the union of any
+//                         disjoint cover equals the full-fleet run;
+//   run_campaign_tail     phase E: OTB, debug-job, driver and bad-node
+//                         events (one stream, appended after the cards in
+//                         the provisional order).
+//
+// run_fault_campaign composes all three plus the attribution/merge phase
+// (F) and is byte-identical to the pre-split implementation.
 #pragma once
 
 #include <cstdint>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/calibration.hpp"
@@ -68,15 +90,131 @@ struct CampaignResult {
   topology::NodeId bad_node = topology::kInvalidNode;  ///< Obs. 8 anecdote
 };
 
+/// A card's tenure in a node.
+struct Stint {
+  topology::NodeId node = topology::kInvalidNode;
+  stats::TimeSec from = 0;
+  stats::TimeSec to = 0;
+};
+
+/// A root hardware strike scheduled in phase A/C, fed through the cards
+/// in phase D.
+struct HardwareStrike {
+  stats::TimeSec time = 0;
+  topology::NodeId node = topology::kInvalidNode;
+  xid::MemoryStructure structure = xid::MemoryStructure::kNone;
+  std::uint32_t page = 0;
+};
+
+/// The resolved campaign plan (phases A-C).  Immutable once built: phase
+/// D reads it per card and phase E reads it once, so any card partition
+/// yields the same streams.  The unordered maps are keyed lookups only --
+/// never iterated -- so they impose no ordering on the output.
+struct CampaignSchedule {
+  CampaignParams params{};
+  stats::Rng rng{0};  ///< campaign root; phases fork their named streams
+  std::vector<CardTraits> traits;          ///< by serial, incl. spares
+  std::vector<std::vector<Stint>> stints;  ///< by serial
+  std::vector<HardwareStrike> otb_strikes;               ///< (time, node)-sorted
+  std::unordered_map<topology::NodeId, std::vector<HardwareStrike>> dbe_by_node;
+  std::unordered_map<topology::NodeId, std::vector<stats::TimeSec>> crash_reboots;
+  std::vector<stats::TimeSec> maintenance;  ///< monthly reboot instants
+  std::vector<HotSpareAction> hot_spare_actions;
+
+  [[nodiscard]] std::size_t card_count() const noexcept { return traits.size(); }
+};
+
+/// Per-card output of phase D.  Event parent links are indices local to
+/// `events`; run_fault_campaign rebases them into the global provisional
+/// index space during phase F stream assembly.
+struct CardStream {
+  std::vector<xid::Event> events;
+  std::vector<SbeStrike> sbe_strikes;  ///< time-sorted (ops run in time order)
+};
+
+/// The phase E output: everything that is not per-card ECC output, in the
+/// provisional order OTB -> debug jobs -> driver streams -> bad node.
+/// Parent links are local to `events`.
+struct TailStream {
+  std::vector<xid::Event> events;
+  topology::NodeId bad_node = topology::kInvalidNode;
+};
+
 /// Populate an empty fleet: procure and install one card per compute node
 /// at `when`, sampling latent traits.  Returns the traits by serial.
 [[nodiscard]] std::vector<CardTraits> initialize_fleet(
     gpu::Fleet& fleet, stats::TimeSec when, stats::Rng rng,
     const FaultModelParams& model = FaultModelParams{});
 
+/// Phases A-C: schedule DBE root strikes, run the hot-spare workflow
+/// (procuring spares and mutating the fleet roster) and schedule OTB
+/// strikes plus the reboot calendar.  Deterministic in all inputs.
+[[nodiscard]] CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet,
+                                                   std::vector<CardTraits> traits,
+                                                   const CampaignParams& params,
+                                                   stats::Rng rng);
+
+/// Phase D over the card-serial range [first_card, last_card): per-card
+/// chronological ECC processing (parallel, one `ecc/card/<serial>` fork
+/// per card).  Mutates only the cards in the range; disjoint ranges
+/// compose to the full-fleet result regardless of call order.  Pass
+/// `collect_sbe = false` to skip materializing the (large) SBE ground
+/// truth while still driving the retirement engines identically.
+[[nodiscard]] std::vector<CardStream> run_card_streams(const CampaignSchedule& plan,
+                                                       gpu::Fleet& fleet,
+                                                       const sched::JobTrace& trace,
+                                                       std::size_t first_card,
+                                                       std::size_t last_card,
+                                                       bool collect_sbe = true);
+
+/// Phase E: software / firmware / application XIDs and the OTB event
+/// stream.  Reads the fleet ledger (attribution) but mutates nothing.
+[[nodiscard]] TailStream run_campaign_tail(const CampaignSchedule& plan,
+                                           const gpu::Fleet& fleet,
+                                           const sched::JobTrace& trace);
+
+/// Deterministic k-way merge of per-stream time-sorted sequences.
+/// `size(s)` and `time(s, i)` describe stream s; `emit(s, i)` receives
+/// every element exactly once, ordered by (time, stream index) with
+/// within-stream order preserved.  Because the tie-break is structural
+/// (stream index, i.e. provisional order), the merge output is identical
+/// to a global stable_sort-by-time of the streams' concatenation -- and
+/// independent of how many threads produced the streams.  Shard drivers
+/// reuse it so the sharded stream equals the unsharded one byte for byte.
+template <typename SizeFn, typename TimeFn, typename EmitFn>
+void kway_merge(std::size_t stream_count, const SizeFn& size, const TimeFn& time,
+                const EmitFn& emit) {
+  struct Cursor {
+    stats::TimeSec time = 0;
+    std::uint32_t stream = 0;
+    std::uint32_t pos = 0;
+  };
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.stream > b.stream;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap{later};
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    if (size(s) > 0) {
+      heap.push(Cursor{time(s, 0), static_cast<std::uint32_t>(s), 0});
+    }
+  }
+  while (!heap.empty()) {
+    const Cursor top = heap.top();
+    heap.pop();
+    emit(top.stream, top.pos);
+    const std::size_t next = static_cast<std::size_t>(top.pos) + 1;
+    if (next < size(top.stream)) {
+      heap.push(Cursor{time(top.stream, next), top.stream,
+                       static_cast<std::uint32_t>(next)});
+    }
+  }
+}
+
 /// Run the full fault campaign.  `fleet` must have been initialized; its
 /// cards' InfoROMs and retirement engines are mutated to their
-/// end-of-campaign state.  Deterministic in all inputs.
+/// end-of-campaign state.  Deterministic in all inputs.  Equivalent to
+/// plan + run_card_streams over all cards + tail + attribution/merge.
 [[nodiscard]] CampaignResult run_fault_campaign(gpu::Fleet& fleet,
                                                 std::vector<CardTraits> traits,
                                                 const sched::JobTrace& trace,

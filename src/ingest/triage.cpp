@@ -17,7 +17,7 @@ constexpr std::string_view kCodeNames[kTriageCodeCount] = {
     "E_MANIFEST_FIELD",    "E_MANIFEST_UNKNOWN", "E_CHECKSUM_MISMATCH",
     "E_TDF_BAD_MAGIC",     "E_TDF_VERSION",      "E_TDF_TRUNCATED",
     "E_TDF_FOOTER",        "E_TDF_SEGMENT_CHECKSUM", "E_TDF_SEGMENT_CORRUPT",
-    "E_TDF_UNKNOWN_SEGMENT", "E_FILE_TOO_LARGE",
+    "E_TDF_UNKNOWN_SEGMENT", "E_FILE_TOO_LARGE",  "E_TDF_MMAP_UNAVAILABLE",
 };
 
 constexpr std::string_view kActionNames[kSalvageActionCount] = {
@@ -125,6 +125,7 @@ bool fatal_in_strict(TriageCode code) noexcept {
     case TriageCode::kTdfSegmentChecksum:
     case TriageCode::kTdfSegmentCorrupt:
     case TriageCode::kFileTooLarge:
+    case TriageCode::kTdfMmapUnavailable:
       return true;
     default:
       return false;
@@ -395,6 +396,22 @@ ManifestIngest ingest_manifest_text(std::string_view text, std::string_view file
         handle_int("period_end", out.end, out.have_end) ||
         handle_int("accounting_from", out.accounting, out.have_accounting)) {
       return;
+    }
+
+    // "shards N": the sharded-layout container count (must be positive).
+    {
+      stats::TimeSec shards = 0;
+      bool ok = false;
+      if (match_manifest_int(line, "shards", shards, ok)) {
+        if (ok && shards > 0) {
+          out.have_shards = true;
+          out.shards = static_cast<std::uint64_t>(shards);
+        } else {
+          triage(policy, report, file, line_no, TriageCode::kManifestField,
+                 SalvageAction::kRejected, excerpt(line));
+        }
+        return;
+      }
     }
 
     if (line.starts_with("checksum ")) {

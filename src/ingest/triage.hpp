@@ -66,6 +66,9 @@ enum class TriageCode : std::uint8_t {
   kTdfSegmentCorrupt,   ///< segment body fails to decode (bad varint, range)
   kTdfUnknownSegment,   ///< unknown segment kind (skipped; forward compat)
   kFileTooLarge,        ///< file beyond the single-file ingest size cap
+  kTdfMmapUnavailable,  ///< mmap failed and the container exceeds the
+                        ///< bounded fallback read cap (out-of-core decode
+                        ///< needs the mapping)
   kCount_,
 };
 
@@ -223,6 +226,8 @@ struct ManifestIngest {
   stats::TimeSec begin = 0;
   stats::TimeSec end = 0;
   stats::TimeSec accounting = 0;
+  bool have_shards = false;
+  std::uint64_t shards = 0;  ///< shard container count (sharded datasets)
   /// (file name, checksum) pairs, manifest order.
   std::vector<std::pair<std::string, std::uint64_t>> checksums;
 };

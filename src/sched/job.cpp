@@ -12,14 +12,47 @@ JobTrace::JobTrace(std::vector<JobRecord> jobs) : jobs_{std::move(jobs)} {
       throw std::invalid_argument{"JobTrace: job ids must be dense and 0-based"};
     }
   }
-  node_index_.resize(static_cast<std::size_t>(topology::kNodeSlots));
+
+  if (jobs_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument{"JobTrace: more than 2^32 jobs"};
+  }
+
+  base_ = std::numeric_limits<stats::TimeSec>::max();
+  for (const auto& job : jobs_) base_ = std::min(base_, job.start);
+  if (jobs_.empty()) base_ = 0;
+
+  // Counting pass -> exact-sized CSR arrays: no per-node vector slack and
+  // no reallocation transient, which matters when the index holds tens of
+  // millions of entries.
+  offsets_.assign(static_cast<std::size_t>(topology::kNodeSlots) + 1, 0);
   for (const auto& job : jobs_) {
     for (topology::NodeId node : job.nodes) {
-      node_index_[static_cast<std::size_t>(node)].emplace_back(job.start, job.id);
+      ++offsets_[static_cast<std::size_t>(node) + 1];
     }
   }
-  for (auto& entries : node_index_) {
-    std::sort(entries.begin(), entries.end());
+  for (std::size_t n = 1; n < offsets_.size(); ++n) offsets_[n] += offsets_[n - 1];
+
+  entries_.resize(offsets_.back());
+  std::vector<std::uint64_t> cursor{offsets_.begin(), offsets_.end() - 1};
+  for (const auto& job : jobs_) {
+    const stats::TimeSec delta = job.start - base_;
+    if (delta > static_cast<stats::TimeSec>(std::numeric_limits<std::uint32_t>::max())) {
+      throw std::invalid_argument{"JobTrace: trace spans more than 2^32 seconds"};
+    }
+    const auto start = static_cast<std::uint32_t>(delta);
+    for (topology::NodeId node : job.nodes) {
+      entries_[cursor[static_cast<std::size_t>(node)]++] =
+          IndexEntry{start, static_cast<std::uint32_t>(job.id)};
+    }
+  }
+
+  const auto before = [](const IndexEntry& a, const IndexEntry& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.job < b.job;
+  };
+  for (std::size_t n = 0; n + 1 < offsets_.size(); ++n) {
+    std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[n]),
+              entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[n + 1]), before);
   }
 }
 
@@ -31,25 +64,35 @@ const JobRecord& JobTrace::job(xid::JobId id) const {
 }
 
 xid::JobId JobTrace::job_at(topology::NodeId node, stats::TimeSec when) const {
-  const auto& entries = node_index_.at(static_cast<std::size_t>(node));
-  // Last job starting at or before `when`, if it is still running.
-  auto it = std::upper_bound(entries.begin(), entries.end(),
-                             std::make_pair(when, std::numeric_limits<xid::JobId>::max()));
-  if (it == entries.begin()) return xid::kNoJob;
+  const auto n = static_cast<std::size_t>(node);
+  if (n + 1 >= offsets_.size()) throw std::out_of_range{"JobTrace: unknown node"};
+  if (when < base_) return xid::kNoJob;
+  const stats::TimeSec delta = when - base_;
+  const auto key = static_cast<std::uint32_t>(
+      std::min(delta, static_cast<stats::TimeSec>(std::numeric_limits<std::uint32_t>::max())));
+
+  // Last entry starting at or before `when`, if its job is still running.
+  const auto begin = entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[n]);
+  const auto end = entries_.begin() + static_cast<std::ptrdiff_t>(offsets_[n + 1]);
+  auto it = std::upper_bound(begin, end, key,
+                             [](std::uint32_t k, const IndexEntry& e) { return k < e.start; });
+  if (it == begin) return xid::kNoJob;
   --it;
-  const JobRecord& record = jobs_[static_cast<std::size_t>(it->second)];
+  const JobRecord& record = jobs_[static_cast<std::size_t>(it->job)];
   return (when >= record.start && when < record.end) ? record.id : xid::kNoJob;
 }
 
 std::vector<JobTrace::Occupancy> JobTrace::occupancy(topology::NodeId node, stats::TimeSec begin,
                                                      stats::TimeSec end) const {
+  const auto n = static_cast<std::size_t>(node);
+  if (n + 1 >= offsets_.size()) throw std::out_of_range{"JobTrace: unknown node"};
   std::vector<Occupancy> out;
-  const auto& entries = node_index_.at(static_cast<std::size_t>(node));
-  for (const auto& [start, id] : entries) {
-    const JobRecord& record = jobs_[static_cast<std::size_t>(id)];
+  for (std::uint64_t i = offsets_[n]; i < offsets_[n + 1]; ++i) {
+    const JobRecord& record = jobs_[static_cast<std::size_t>(entries_[i].job)];
     if (record.end <= begin) continue;
     if (record.start >= end) break;
-    out.push_back(Occupancy{id, std::max(begin, record.start), std::min(end, record.end)});
+    out.push_back(Occupancy{record.id, std::max(begin, record.start),
+                            std::min(end, record.end)});
   }
   return out;
 }

@@ -53,8 +53,25 @@ class JobTrace {
 
  private:
   std::vector<JobRecord> jobs_;  ///< indexed by JobId (ids are dense, 0-based)
-  /// Per node: (start, job) pairs sorted by start; intervals never overlap.
-  std::vector<std::vector<std::pair<stats::TimeSec, xid::JobId>>> node_index_;
+
+  /// Occupancy index in CSR form: node n owns the slice
+  /// [offsets_[n], offsets_[n+1]) of entries_, sorted by (start, job);
+  /// intervals within one node never overlap.  One flat 8-byte entry per
+  /// (job x allocated node) -- at Titan scale that is tens of millions of
+  /// entries, and the flat exact-sized layout (vs a vector-of-vectors of
+  /// 16-byte pairs) halves the resident footprint of every campaign
+  /// driver holding a trace.  Starts are stored as seconds since base_
+  /// (the earliest job start), which a trace would need to span >136
+  /// years to overflow.  Jobs are stored as 32-bit dense indices (ids
+  /// are dense and 0-based by construction), keeping the entry at 8
+  /// bytes -- a 64-bit xid::JobId would pad it to 16.
+  struct IndexEntry {
+    std::uint32_t start = 0;  ///< seconds since base_
+    std::uint32_t job = 0;    ///< dense job index (== xid::JobId value)
+  };
+  std::vector<IndexEntry> entries_;
+  std::vector<std::uint64_t> offsets_;  ///< kNodeSlots + 1 fences
+  stats::TimeSec base_ = 0;             ///< earliest job start
 };
 
 }  // namespace titan::sched

@@ -73,8 +73,9 @@ struct StudyContext {
     std::size_t smi_blocks = 0;
     std::size_t malformed_smi_blocks = 0;
     bool binary = false;          ///< loaded from dataset.tdf, not text logs
-    std::size_t tdf_segments = 0; ///< segments decoded from the container
-    std::size_t tdf_bytes = 0;    ///< container size on disk
+    std::size_t tdf_segments = 0; ///< segments decoded from the container(s)
+    std::size_t tdf_bytes = 0;    ///< container size on disk (all shards)
+    std::size_t shards = 0;       ///< shard containers merged (0 = monolithic)
   };
   LoadStats load_stats;
 

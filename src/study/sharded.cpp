@@ -1,0 +1,163 @@
+#include "study/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sharded.hpp"
+#include "logsim/joblog.hpp"
+#include "logsim/smi_text.hpp"
+#include "study/io.hpp"
+#include "study/serialize_detail.hpp"
+#include "tdf/tdf.hpp"
+
+namespace titan::study {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Encode and write one shard container atomically, recording its
+/// checksum claim.  The claim hashes the encoded bytes directly -- never
+/// a read-back -- so writing shards larger than the whole-file read cap
+/// stays possible.
+std::size_t write_shard(const fs::path& dir, std::size_t shard, const tdf::TdfDataset& data,
+                        std::vector<std::string>& manifest) {
+  const auto name = tdf::shard_file_name(shard);
+  const auto encoded = tdf::encode_tdf(data);
+  atomic_write_text(dir / name, encoded);
+  manifest.push_back("checksum " + name + ' ' +
+                     ingest::checksum_hex(ingest::content_checksum(encoded)));
+  return encoded.size();
+}
+
+std::vector<std::string> manifest_header(stats::TimeSec begin, stats::TimeSec end,
+                                         stats::TimeSec accounting_from,
+                                         std::size_t shard_count) {
+  return {
+      std::string{ingest::kDatasetManifestHeader},
+      "period_begin " + std::to_string(begin),
+      "period_end " + std::to_string(end),
+      "accounting_from " + std::to_string(accounting_from),
+      "shards " + std::to_string(shard_count),
+  };
+}
+
+}  // namespace
+
+ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
+                                           std::size_t shard_count,
+                                           const std::filesystem::path& dir) {
+  core::ShardedStudy sharded{config, shard_count};  // throws on shard_count == 0
+  fs::create_directories(dir);
+
+  const stats::TimeSec accounting_from = config.campaign.timeline.new_driver;
+  auto manifest =
+      manifest_header(config.period.begin, config.period.end, accounting_from, shard_count);
+
+  ShardedWriteStats out;
+  out.shards = shard_count;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto columns = sharded.shard_events(s);
+    out.events += columns.size();
+    out.peak_shard_events = std::max(out.peak_shard_events, columns.size());
+
+    tdf::TdfDataset data;
+    data.period_begin = config.period.begin;
+    data.period_end = config.period.end;
+    data.accounting_from = accounting_from;
+    data.times = std::move(columns.times);
+    data.nodes = std::move(columns.nodes);
+    data.kinds = std::move(columns.kinds);
+    data.structures = std::move(columns.structures);
+
+    if (s + 1 == shard_count) {
+      // Side artifacts ride in the last shard: the job trace is resident
+      // for the whole campaign anyway, and the smi sweep needs every
+      // card's end-of-campaign state (available only after the final
+      // shard ran).  Both round-trip the text serialization, exactly
+      // like write_dataset, so every format of one study quantizes
+      // identically.
+      data.has_jobs = true;
+      for (const auto& line : logsim::emit_job_log(sharded.trace())) {
+        if (const auto rec = logsim::parse_job_log_line(line)) data.jobs.push_back(*rec);
+      }
+      data.has_smi = true;
+      const auto sweep =
+          logsim::parse_smi_sweep_text(logsim::smi_sweep_text(sharded.final_snapshot()));
+      data.snapshot.taken_at = sweep.taken_at;
+      data.snapshot.records = sweep.records;
+      out.jobs = data.jobs.size();
+      out.smi_blocks = data.snapshot.records.size();
+    }
+    out.bytes += write_shard(dir, s, data, manifest);
+  }
+
+  // Manifest last (atomically): a crashed writer leaves a directory
+  // without integrity claims rather than one with stale claims.
+  atomic_write_lines(dir / "manifest.txt", manifest);
+  return out;
+}
+
+ShardedWriteStats write_sharded_dataset(const StudyContext& context,
+                                        const std::filesystem::path& dir,
+                                        std::size_t shard_count) {
+  if (shard_count == 0) {
+    throw std::invalid_argument{"write_sharded_dataset: shard_count must be positive"};
+  }
+  fs::create_directories(dir);
+
+  const bool have_jobs = context.truth.has_value() || !context.job_log.empty();
+  const bool have_smi = context.truth.has_value() || context.has(kSnapshot);
+  auto manifest = manifest_header(context.period.begin, context.period.end,
+                                  context.accounting_from, shard_count);
+
+  ShardedWriteStats out;
+  out.shards = shard_count;
+  out.events = context.events.size();
+  const std::size_t total = context.events.size();
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    // Even contiguous split: the stream is time-sorted, so the loader's
+    // (time, shard) merge reduces to concatenation and any bounds work.
+    const std::size_t lo = total * s / shard_count;
+    const std::size_t hi = total * (s + 1) / shard_count;
+    out.peak_shard_events = std::max(out.peak_shard_events, hi - lo);
+
+    tdf::TdfDataset data;
+    data.period_begin = context.period.begin;
+    data.period_end = context.period.end;
+    data.accounting_from = context.accounting_from;
+    data.times.reserve(hi - lo);
+    data.nodes.reserve(hi - lo);
+    data.kinds.reserve(hi - lo);
+    data.structures.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto& e = context.events[i];
+      data.times.push_back(e.time);
+      data.nodes.push_back(e.node);
+      data.kinds.push_back(e.kind);
+      data.structures.push_back(e.structure);
+    }
+
+    if (s + 1 == shard_count) {
+      if (have_jobs) {
+        data.has_jobs = true;
+        data.jobs = detail::quantized_jobs(context);
+        out.jobs = data.jobs.size();
+      }
+      if (have_smi) {
+        data.has_smi = true;
+        data.snapshot = detail::quantized_smi(context.snapshot);
+        out.smi_blocks = data.snapshot.records.size();
+      }
+    }
+    out.bytes += write_shard(dir, s, data, manifest);
+  }
+
+  atomic_write_lines(dir / "manifest.txt", manifest);
+  return out;
+}
+
+}  // namespace titan::study

@@ -1,5 +1,7 @@
 #include "study/source.hpp"
 
+#include <cstdint>
+#include <queue>
 #include <span>
 #include <string>
 #include <string_view>
@@ -9,6 +11,7 @@
 #include "logsim/console.hpp"
 #include "logsim/smi_text.hpp"
 #include "study/io.hpp"
+#include "study/serialize_detail.hpp"
 #include "tdf/tdf.hpp"
 
 namespace titan::study {
@@ -33,16 +36,17 @@ void triage_file(IngestPolicy policy, IngestReport& report, std::string_view fil
 
 /// Verify every checksum the manifest claims against on-disk bytes.
 /// A claimed-but-missing file and a content mismatch are both integrity
-/// findings (fatal under kStrict).  `skip` names one file whose claim is
-/// presence-checked but not hashed: the TDF container self-validates
-/// every byte it decodes (table + per-segment FNV-1a), and hashing its
-/// full contents here would read the file twice on the load fast path.
+/// findings (fatal under kStrict).  With `skip_tdf`, `.tdf` container
+/// claims are presence-checked but not hashed: a TDF container
+/// self-validates every byte it decodes (table + per-segment FNV-1a), and
+/// hashing full contents here would read each container twice on the load
+/// fast path -- and force a whole-file read of containers the streaming
+/// path deliberately never materializes.
 void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifest,
-                      IngestPolicy policy, IngestReport& report,
-                      std::string_view skip = {}) {
+                      IngestPolicy policy, IngestReport& report, bool skip_tdf = false) {
   for (const auto& [name, expected] : manifest.checksums) {
     const auto path = dir / name;
-    if (name == skip && fs::exists(path)) continue;
+    if (skip_tdf && name.ends_with(".tdf") && fs::exists(path)) continue;
     if (!fs::exists(path)) {
       triage_file(policy, report, name, TriageCode::kFileMissing, SalvageAction::kIgnored,
                   "manifest claims a checksum for this file but it is missing");
@@ -59,13 +63,13 @@ void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifes
 
 /// Ingest manifest.txt when present, verifying its checksum claims.
 ingest::ManifestIngest load_manifest(const fs::path& dir, IngestPolicy policy,
-                                     IngestReport& report, std::string_view skip = {}) {
+                                     IngestReport& report, bool skip_tdf = false) {
   ingest::ManifestIngest manifest;
   const auto manifest_path = dir / "manifest.txt";
   if (fs::exists(manifest_path)) {
     manifest = ingest::ingest_manifest_text(read_all(manifest_path), "manifest.txt", policy,
                                             report);
-    verify_checksums(dir, manifest, policy, report, skip);
+    verify_checksums(dir, manifest, policy, report, skip_tdf);
   }
   return manifest;
 }
@@ -75,7 +79,7 @@ ingest::ManifestIngest load_manifest(const fs::path& dir, IngestPolicy policy,
 /// intermediate for the frame).
 StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPolicy policy,
                          IngestReport& report) {
-  const auto manifest = load_manifest(dir, policy, report, tdf::kTdfFileName);
+  const auto manifest = load_manifest(dir, policy, report, /*skip_tdf=*/true);
 
   auto data = tdf::read_tdf(tdf_path, policy, report);
   if (data.times.empty()) {
@@ -125,6 +129,161 @@ StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPo
   std::error_code ec;
   const auto size = fs::file_size(tdf_path, ec);
   context.load_stats.tdf_bytes = ec ? 0 : static_cast<std::size_t>(size);
+  return context;
+}
+
+/// The sharded load path: open a streaming SegmentReader per shard
+/// container, k-way merge their windowed event streams by (time, shard
+/// index), and build the context from the merged columns.  Shard k holds
+/// strictly earlier stream positions than shard k+1 at equal timestamps,
+/// so the merge reproduces the unsharded order exactly -- the resulting
+/// context is byte-identical to load_binary over the equivalent
+/// monolithic container, at any shard count.  Per-shard resident decode
+/// state is one window, so shard containers beyond the whole-file read
+/// cap stream fine.
+StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport& report) {
+  const auto manifest = load_manifest(dir, policy, report, /*skip_tdf=*/true);
+
+  // Shard roster: the manifest's `shards N` claim when present, else the
+  // contiguous run of dataset.shard-K.tdf files starting at 0.
+  std::size_t shard_count = 0;
+  if (manifest.have_shards) {
+    shard_count = static_cast<std::size_t>(manifest.shards);
+  } else {
+    while (fs::exists(dir / tdf::shard_file_name(shard_count))) ++shard_count;
+  }
+
+  std::vector<tdf::SegmentReader> readers;
+  readers.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const auto name = tdf::shard_file_name(s);
+    const auto path = dir / name;
+    if (!fs::exists(path)) {
+      // Fatal under either policy: a missing slice of the event stream
+      // cannot be salvaged around without silently dropping its events.
+      throw ingest::IngestError{name, 0, TriageCode::kFileMissing,
+                                "sharded dataset claims " + std::to_string(shard_count) +
+                                    " shards but shard " + std::to_string(s) + " is missing"};
+    }
+    readers.emplace_back(path, policy, report);
+  }
+
+  // Every shard must describe the same study window; shard 0 is the
+  // reference and disagreement names the odd shard out.
+  for (std::size_t s = 1; s < readers.size(); ++s) {
+    if (readers[s].period_begin() != readers[0].period_begin() ||
+        readers[s].period_end() != readers[0].period_end() ||
+        readers[s].accounting_from() != readers[0].accounting_from()) {
+      throw ingest::IngestError{readers[s].file_name(), 0, TriageCode::kTdfSegmentCorrupt,
+                                "meta study window disagrees with " + readers[0].file_name()};
+    }
+  }
+
+  std::uint64_t total = 0;
+  for (const auto& r : readers) total += r.event_count();
+  if (total == 0) {
+    throw ingest::IngestError{tdf::shard_file_name(0), 0, TriageCode::kNoEvents,
+                              "sharded dataset at " + dir.string() + " contains no events"};
+  }
+
+  std::vector<stats::TimeSec> times;
+  std::vector<topology::NodeId> nodes;
+  std::vector<xid::ErrorKind> kinds;
+  std::vector<xid::MemoryStructure> structures;
+  times.reserve(static_cast<std::size_t>(total));
+  nodes.reserve(static_cast<std::size_t>(total));
+  kinds.reserve(static_cast<std::size_t>(total));
+  structures.reserve(static_cast<std::size_t>(total));
+
+  struct ShardCursor {
+    tdf::EventWindow window;
+    std::size_t pos = 0;
+  };
+  std::vector<ShardCursor> cursors(readers.size());
+  // True when the cursor points at a decoded row (refilling the window
+  // from the reader as needed).
+  const auto ready = [&](std::size_t s) -> bool {
+    auto& cur = cursors[s];
+    if (cur.pos < cur.window.size()) return true;
+    cur.pos = 0;
+    return readers[s].next_window(cur.window) > 0;
+  };
+
+  struct Head {
+    stats::TimeSec time = 0;
+    std::uint32_t shard = 0;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.shard > b.shard;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heap{later};
+  for (std::size_t s = 0; s < readers.size(); ++s) {
+    if (ready(s)) {
+      heap.push(Head{cursors[s].window.times[0], static_cast<std::uint32_t>(s)});
+    }
+  }
+  while (!heap.empty()) {
+    const Head top = heap.top();
+    heap.pop();
+    auto& cur = cursors[top.shard];
+    times.push_back(cur.window.times[cur.pos]);
+    nodes.push_back(cur.window.nodes[cur.pos]);
+    kinds.push_back(cur.window.kinds[cur.pos]);
+    structures.push_back(cur.window.structures[cur.pos]);
+    ++cur.pos;
+    if (ready(top.shard)) {
+      heap.push(Head{cur.window.times[cur.pos], top.shard});
+    }
+  }
+
+  StudyContext context;
+  context.frame = analysis::EventFrame::from_columns(times, nodes, kinds, structures);
+  context.events.resize(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    context.events[i] = parse::ParsedEvent{times[i], nodes[i], kinds[i], structures[i]};
+  }
+  context.capabilities = kEvents;
+
+  // Study window: the shards' (agreeing) meta segments are authoritative,
+  // same precedence as the monolithic path.
+  if (readers[0].period_begin() != 0 || readers[0].period_end() != 0) {
+    context.period.begin = readers[0].period_begin();
+    context.period.end = readers[0].period_end();
+    context.accounting_from = readers[0].accounting_from();
+  } else {
+    context.period.begin = manifest.have_begin ? manifest.begin : times.front();
+    context.period.end = manifest.have_end ? manifest.end : times.back() + 1;
+    context.accounting_from =
+        manifest.have_accounting ? manifest.accounting : context.period.begin;
+  }
+
+  // Side artifacts ride in whichever shard carries the segment (the
+  // writers put them in the last).
+  for (auto& reader : readers) {
+    if (reader.has_jobs()) {
+      std::vector<logsim::JobLogRecord> jobs;
+      if (reader.read_jobs(jobs)) {
+        context.load_stats.job_lines = jobs.size();
+        context.job_log = std::move(jobs);
+      }
+    }
+    if (reader.has_smi()) {
+      logsim::SmiSnapshot snapshot;
+      if (reader.read_smi(snapshot)) {
+        context.snapshot = std::move(snapshot);
+        context.load_stats.smi_blocks = context.snapshot.records.size();
+        context.capabilities |= kSnapshot;
+      }
+    }
+  }
+
+  context.load_stats.binary = true;
+  context.load_stats.shards = readers.size();
+  for (const auto& reader : readers) {
+    context.load_stats.tdf_segments += reader.segment_count();
+    context.load_stats.tdf_bytes += static_cast<std::size_t>(reader.file_bytes());
+  }
   return context;
 }
 
@@ -210,11 +369,13 @@ StudyContext DatasetSource::load() const {
   IngestReport report{policy_};
 
   // A binary container takes precedence: it is the format written for
-  // exactly this load path (mmap + columnar decode).
+  // exactly this load path (mmap + columnar decode).  A sharded layout
+  // (dataset.shard-0.tdf ...) comes next; text artifacts are the fallback.
   const auto tdf_path = dir_ / std::string{tdf::kTdfFileName};
-  StudyContext context = fs::exists(tdf_path)
-                             ? load_binary(dir_, tdf_path, policy_, report)
-                             : load_text(dir_, policy_, report);
+  StudyContext context =
+      fs::exists(tdf_path)                         ? load_binary(dir_, tdf_path, policy_, report)
+      : fs::exists(dir_ / tdf::shard_file_name(0)) ? load_sharded(dir_, policy_, report)
+                                                   : load_text(dir_, policy_, report);
 
   // Only salvage loads carry the triage record into the report pipeline;
   // a strict load that got this far saw nothing fatal, and omitting the
@@ -224,11 +385,8 @@ StudyContext DatasetSource::load() const {
   return context;
 }
 
-namespace {
+namespace detail {
 
-/// Console lines of the context: the simulator's exact log when ground
-/// truth is present, else the console-recoverable view re-serialized (the
-/// same event stream either way).
 std::vector<std::string> console_lines_of(const StudyContext& context) {
   if (context.truth) return context.truth->console_log;
   std::vector<std::string> lines;
@@ -244,7 +402,6 @@ std::vector<std::string> console_lines_of(const StudyContext& context) {
   return lines;
 }
 
-/// Job lines of the context (ground-truth trace, else the loaded job log).
 std::vector<std::string> job_lines_of(const StudyContext& context) {
   if (context.truth) return logsim::emit_job_log(context.truth->trace);
   std::vector<std::string> lines;
@@ -253,7 +410,23 @@ std::vector<std::string> job_lines_of(const StudyContext& context) {
   return lines;
 }
 
-}  // namespace
+std::vector<logsim::JobLogRecord> quantized_jobs(const StudyContext& context) {
+  std::vector<logsim::JobLogRecord> jobs;
+  for (const auto& line : job_lines_of(context)) {
+    if (const auto rec = logsim::parse_job_log_line(line)) jobs.push_back(*rec);
+  }
+  return jobs;
+}
+
+logsim::SmiSnapshot quantized_smi(const logsim::SmiSnapshot& snapshot) {
+  const auto sweep = logsim::parse_smi_sweep_text(logsim::smi_sweep_text(snapshot));
+  logsim::SmiSnapshot out;
+  out.taken_at = sweep.taken_at;
+  out.records = sweep.records;
+  return out;
+}
+
+}  // namespace detail
 
 void write_dataset(const StudyContext& context, const std::filesystem::path& dir,
                    DatasetFormat format) {
@@ -278,10 +451,10 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
   };
 
   if (format == DatasetFormat::kText) {
-    atomic_write_lines(dir / "console.log", console_lines_of(context));
+    atomic_write_lines(dir / "console.log", detail::console_lines_of(context));
     claim("console.log");
     if (have_jobs) {
-      atomic_write_lines(dir / "jobs.log", job_lines_of(context));
+      atomic_write_lines(dir / "jobs.log", detail::job_lines_of(context));
       claim("jobs.log");
     }
     if (have_smi) {
@@ -305,15 +478,11 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
     }
     if (have_jobs) {
       data.has_jobs = true;
-      for (const auto& line : job_lines_of(context)) {
-        if (const auto rec = logsim::parse_job_log_line(line)) data.jobs.push_back(*rec);
-      }
+      data.jobs = detail::quantized_jobs(context);
     }
     if (have_smi) {
       data.has_smi = true;
-      const auto sweep = logsim::parse_smi_sweep_text(logsim::smi_sweep_text(context.snapshot));
-      data.snapshot.taken_at = sweep.taken_at;
-      data.snapshot.records = sweep.records;
+      data.snapshot = detail::quantized_smi(context.snapshot);
     }
     tdf::write_tdf(data, dir / std::string{tdf::kTdfFileName});
     claim(tdf::kTdfFileName);

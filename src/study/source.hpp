@@ -48,13 +48,17 @@ class SimulatedSource final : public StudySource {
   core::FacilityConfig config_;
 };
 
-/// Ingests a dataset directory written by write_dataset (or any producer
-/// of the same formats).  A `dataset.tdf` binary container, when present,
-/// is preferred (mmap + columnar decode, no text parsing); otherwise the
-/// text artifacts are loaded: console.log is required; jobs.log,
-/// smi_sweep.txt and manifest.txt are optional (capabilities shrink
-/// accordingly; without a manifest the period is inferred from the event
-/// stream).  Capabilities: events, plus snapshot when the sweep exists.
+/// Ingests a dataset directory written by write_dataset or the sharded
+/// producers (or any producer of the same formats).  A `dataset.tdf`
+/// binary container, when present, is preferred (mmap + columnar decode,
+/// no text parsing); next a sharded layout (`dataset.shard-0.tdf` ...,
+/// streamed window-by-window and k-way merged back into the global event
+/// order -- byte-identical to the monolithic load at any shard count);
+/// otherwise the text artifacts are loaded: console.log is required;
+/// jobs.log, smi_sweep.txt and manifest.txt are optional (capabilities
+/// shrink accordingly; without a manifest the period is inferred from the
+/// event stream).  Capabilities: events, plus snapshot when the sweep
+/// exists.
 ///
 /// Under IngestPolicy::kStrict (the default) structural corruption --
 /// checksum mismatches, manifest damage, NUL/overlong lines, timestamp

@@ -52,6 +52,14 @@ namespace titan::tdf {
 /// Canonical file name of the binary container inside a dataset dir.
 inline constexpr std::string_view kTdfFileName = "dataset.tdf";
 
+/// Canonical file name of shard `k` in a sharded dataset directory
+/// ("dataset.shard-0.tdf", ...).  Each shard is a complete, self-checking
+/// v1 container holding one contiguous time-ordered slice of the event
+/// stream; the manifest's `shards N` key says how many to expect.
+[[nodiscard]] inline std::string shard_file_name(std::size_t shard) {
+  return "dataset.shard-" + std::to_string(shard) + ".tdf";
+}
+
 /// "TITANTDF" read as a little-endian u64 ('T' is the first file byte).
 inline constexpr std::uint64_t kTdfMagic = 0x4644544e41544954ULL;
 

@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdio>
@@ -254,77 +255,6 @@ std::vector<topology::NodeId> decode_node_dict(const DecodeContext& ctx,
   return dict;
 }
 
-std::vector<stats::TimeSec> decode_times(const DecodeContext& ctx, std::string_view body,
-                                         std::uint64_t rows) {
-  if (rows > body.size()) {  // every delta takes at least one byte
-    ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time",
-                 "row count exceeds the body size");
-  }
-  Cursor cur{body};
-  std::vector<stats::TimeSec> times;
-  times.reserve(static_cast<std::size_t>(rows));
-  stats::TimeSec prev = 0;
-  for (std::uint64_t i = 0; i < rows; ++i) {
-    std::int64_t delta = 0;
-    if (!cur.read_signed(delta)) {
-      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time",
-                   "timestamp " + std::to_string(i) + " fails to decode");
-    }
-    prev += delta;
-    times.push_back(prev);
-  }
-  if (!cur.exhausted()) {
-    ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time", "trailing bytes after rows");
-  }
-  return times;
-}
-
-std::vector<topology::NodeId> decode_event_nodes(const DecodeContext& ctx,
-                                                 std::string_view body, std::uint64_t rows,
-                                                 const std::vector<topology::NodeId>& dict) {
-  if (rows > body.size()) {
-    ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node",
-                 "row count exceeds the body size");
-  }
-  Cursor cur{body};
-  std::vector<topology::NodeId> nodes;
-  nodes.reserve(static_cast<std::size_t>(rows));
-  for (std::uint64_t i = 0; i < rows; ++i) {
-    std::uint64_t index = 0;
-    if (!cur.read(index) || index >= dict.size()) {
-      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node",
-                   "row " + std::to_string(i) + " holds an out-of-range dictionary index");
-    }
-    nodes.push_back(dict[static_cast<std::size_t>(index)]);
-  }
-  if (!cur.exhausted()) {
-    ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node", "trailing bytes after rows");
-  }
-  return nodes;
-}
-
-template <typename Enum>
-std::vector<Enum> decode_enum_column(const DecodeContext& ctx, std::string_view body,
-                                     std::uint64_t rows, std::size_t bound,
-                                     std::string_view name) {
-  if (body.size() != rows) {
-    ctx.required(TriageCode::kTdfSegmentCorrupt, name,
-                 "body size disagrees with the row count");
-  }
-  std::vector<Enum> column;
-  column.reserve(static_cast<std::size_t>(rows));
-  const unsigned char* p = as_bytes(body);
-  for (std::uint64_t i = 0; i < rows; ++i) {
-    if (p[i] >= bound) {
-      ctx.required(TriageCode::kTdfSegmentCorrupt, name,
-                   "row " + std::to_string(i) + " holds out-of-range value " +
-                       std::to_string(p[i]));
-    }
-    column.push_back(static_cast<Enum>(p[i]));
-  }
-  return column;
-}
-
 /// Decode the jobs segment into `out`.  Returns false when the segment
 /// was dropped under salvage (out left empty).
 bool decode_jobs(const DecodeContext& ctx, std::string_view body, std::uint64_t rows,
@@ -458,9 +388,168 @@ const SegmentEntry* require_segment(
   return entry;
 }
 
+/// The streaming decode core.  open() validates everything the event
+/// stream depends on -- container, meta, node dictionary, and every event
+/// column's checksum, row count and body-size precondition -- then
+/// next_window() decodes rows incrementally from the (borrowed) bytes.
+/// Both the whole-file decode_tdf and the public SegmentReader run on
+/// this struct, so the two paths cannot drift apart in validation
+/// semantics.
+struct EventStream {
+  DecodeContext ctx;
+  Container c;
+  std::array<const SegmentEntry*, kTdfSegmentKindCount> by_kind{};
+  Meta meta;
+  std::vector<topology::NodeId> dict;
+  Cursor time_cur{std::string_view{}};
+  Cursor node_cur{std::string_view{}};
+  const unsigned char* kind_col = nullptr;
+  const unsigned char* structure_col = nullptr;
+  stats::TimeSec prev_time = 0;
+  std::uint64_t rows_done = 0;
+
+  void open(std::string_view bytes, std::string_view file, IngestPolicy policy,
+            IngestReport* report) {
+    ctx = DecodeContext{file, policy, report};
+    c = parse_container(bytes, file);
+    by_kind = index_segments(c, ctx);
+
+    const auto* meta_entry = require_segment(by_kind, SegmentKind::kMeta, ctx);
+    (void)checksum_ok(ctx, c, *meta_entry, /*required=*/true);
+    meta = decode_meta(ctx, segment_view(c, *meta_entry));
+
+    const auto* dict_entry = require_segment(by_kind, SegmentKind::kNodeDict, ctx);
+    (void)checksum_ok(ctx, c, *dict_entry, /*required=*/true);
+    dict = decode_node_dict(ctx, segment_view(c, *dict_entry), dict_entry->rows);
+
+    const auto event_body = [&](SegmentKind kind) {
+      const auto* entry = require_segment(by_kind, kind, ctx);
+      (void)checksum_ok(ctx, c, *entry, /*required=*/true);
+      if (entry->rows != meta.event_count) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt,
+                     segment_name(static_cast<std::uint32_t>(kind)),
+                     "row count disagrees with the meta segment's event count");
+      }
+      return segment_view(c, *entry);
+    };
+    const auto time_body = event_body(SegmentKind::kEventTime);
+    if (meta.event_count > time_body.size()) {  // every delta takes >= one byte
+      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time",
+                   "row count exceeds the body size");
+    }
+    time_cur = Cursor{time_body};
+    const auto node_body = event_body(SegmentKind::kEventNode);
+    if (meta.event_count > node_body.size()) {
+      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node",
+                   "row count exceeds the body size");
+    }
+    node_cur = Cursor{node_body};
+    const auto kind_body = event_body(SegmentKind::kEventKind);
+    if (kind_body.size() != meta.event_count) {
+      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_kind",
+                   "body size disagrees with the row count");
+    }
+    kind_col = as_bytes(kind_body);
+    const auto structure_body = event_body(SegmentKind::kEventStructure);
+    if (structure_body.size() != meta.event_count) {
+      ctx.required(TriageCode::kTdfSegmentCorrupt, "event_structure",
+                   "body size disagrees with the row count");
+    }
+    structure_col = as_bytes(structure_body);
+  }
+
+  std::size_t next_window(EventWindow& out, std::size_t max_rows) {
+    out.times.clear();
+    out.nodes.clear();
+    out.kinds.clear();
+    out.structures.clear();
+    const std::uint64_t remaining = meta.event_count - rows_done;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, max_rows));
+    if (n == 0) return 0;
+    out.times.reserve(n);
+    out.nodes.reserve(n);
+    out.kinds.reserve(n);
+    out.structures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t row = rows_done + i;
+      std::int64_t delta = 0;
+      if (!time_cur.read_signed(delta)) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time",
+                     "timestamp " + std::to_string(row) + " fails to decode");
+      }
+      prev_time += delta;
+      out.times.push_back(prev_time);
+      std::uint64_t index = 0;
+      if (!node_cur.read(index) || index >= dict.size()) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node",
+                     "row " + std::to_string(row) + " holds an out-of-range dictionary index");
+      }
+      out.nodes.push_back(dict[static_cast<std::size_t>(index)]);
+      const unsigned char kind_raw = kind_col[row];
+      if (kind_raw >= xid::kErrorKindCount) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_kind",
+                     "row " + std::to_string(row) + " holds out-of-range value " +
+                         std::to_string(kind_raw));
+      }
+      out.kinds.push_back(static_cast<xid::ErrorKind>(kind_raw));
+      const unsigned char structure_raw = structure_col[row];
+      if (structure_raw >= xid::kMemoryStructureCount) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_structure",
+                     "row " + std::to_string(row) + " holds out-of-range value " +
+                         std::to_string(structure_raw));
+      }
+      out.structures.push_back(static_cast<xid::MemoryStructure>(structure_raw));
+    }
+    rows_done += n;
+    if (rows_done == meta.event_count) {
+      if (!time_cur.exhausted()) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_time",
+                     "trailing bytes after rows");
+      }
+      if (!node_cur.exhausted()) {
+        ctx.required(TriageCode::kTdfSegmentCorrupt, "event_node",
+                     "trailing bytes after rows");
+      }
+    }
+    return n;
+  }
+
+  bool read_jobs(std::vector<logsim::JobLogRecord>& out) {
+    out.clear();
+    if ((meta.flags & kTdfFlagJobs) == 0) return false;
+    const auto* entry = by_kind[static_cast<std::size_t>(SegmentKind::kJobs)];
+    if (entry == nullptr) {
+      return ctx.optional_damage(TriageCode::kTdfSegmentCorrupt, "jobs",
+                                 "meta claims a jobs segment but none is present");
+    }
+    if (!checksum_ok(ctx, c, *entry, /*required=*/false)) return false;
+    return decode_jobs(ctx, segment_view(c, *entry), entry->rows, out);
+  }
+
+  bool read_smi(logsim::SmiSnapshot& out) {
+    out.records.clear();
+    out.taken_at = meta.smi_taken_at;
+    if ((meta.flags & kTdfFlagSmi) == 0) return false;
+    const auto* entry = by_kind[static_cast<std::size_t>(SegmentKind::kSmi)];
+    if (entry == nullptr) {
+      return ctx.optional_damage(TriageCode::kTdfSegmentCorrupt, "smi",
+                                 "meta claims an smi segment but none is present");
+    }
+    if (!checksum_ok(ctx, c, *entry, /*required=*/false)) return false;
+    return decode_smi(ctx, segment_view(c, *entry), entry->rows, out);
+  }
+
+  [[nodiscard]] std::size_t known_segment_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto* entry : by_kind) count += entry != nullptr ? 1 : 0;
+    return count;
+  }
+};
+
 }  // namespace
 
-MappedFile::MappedFile(const fs::path& path) {
+MappedFile::MappedFile(const fs::path& path, std::uint64_t fallback_cap) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     throw std::runtime_error{"MappedFile: cannot open " + path.string()};
@@ -479,7 +568,17 @@ MappedFile::MappedFile(const fs::path& path) {
     }
   }
   if (data_ == nullptr) {
-    // Fallback (mmap unavailable or empty file): plain read.
+    // Fallback (mmap unavailable or empty file): plain read -- but a
+    // bounded one.  Heap-slurping an arbitrarily large container would
+    // silently void the out-of-core RSS contract, so past the cap the
+    // damage gets a name instead.
+    if (fallback_cap != 0 && size_ > fallback_cap) {
+      ::close(fd);
+      throw IngestError{path.filename().string(), 0, TriageCode::kTdfMmapUnavailable,
+                        std::to_string(size_) +
+                            "-byte container cannot be memory-mapped and exceeds the " +
+                            std::to_string(fallback_cap) + "-byte fallback read cap"};
+    }
     fallback_.resize(size_);
     std::size_t got = 0;
     while (got < size_) {
@@ -501,78 +600,105 @@ MappedFile::~MappedFile() {
 
 TdfDataset decode_tdf(std::string_view bytes, std::string_view file, IngestPolicy policy,
                       IngestReport& report) {
-  const Container c = parse_container(bytes, file);
-  const DecodeContext ctx{file, policy, &report};
-  const auto by_kind = index_segments(c, ctx);
+  EventStream stream;
+  stream.open(bytes, file, policy, &report);
 
   TdfDataset data;
+  data.period_begin = stream.meta.period_begin;
+  data.period_end = stream.meta.period_end;
+  data.accounting_from = stream.meta.accounting_from;
 
-  const auto* meta_entry = require_segment(by_kind, SegmentKind::kMeta, ctx);
-  (void)checksum_ok(ctx, c, *meta_entry, /*required=*/true);
-  const Meta meta = decode_meta(ctx, segment_view(c, *meta_entry));
-  data.period_begin = meta.period_begin;
-  data.period_end = meta.period_end;
-  data.accounting_from = meta.accounting_from;
-  data.snapshot.taken_at = meta.smi_taken_at;
-
-  const auto* dict_entry = require_segment(by_kind, SegmentKind::kNodeDict, ctx);
-  (void)checksum_ok(ctx, c, *dict_entry, /*required=*/true);
-  const auto dict = decode_node_dict(ctx, segment_view(c, *dict_entry), dict_entry->rows);
-
-  const auto decode_event_segment = [&](SegmentKind kind) -> const SegmentEntry* {
-    const auto* entry = require_segment(by_kind, kind, ctx);
-    (void)checksum_ok(ctx, c, *entry, /*required=*/true);
-    if (entry->rows != meta.event_count) {
-      ctx.required(TriageCode::kTdfSegmentCorrupt,
-                   segment_name(static_cast<std::uint32_t>(kind)),
-                   "row count disagrees with the meta segment's event count");
-    }
-    return entry;
-  };
-
-  const auto* time_entry = decode_event_segment(SegmentKind::kEventTime);
-  data.times = decode_times(ctx, segment_view(c, *time_entry), time_entry->rows);
-  const auto* node_entry = decode_event_segment(SegmentKind::kEventNode);
-  data.nodes = decode_event_nodes(ctx, segment_view(c, *node_entry), node_entry->rows, dict);
-  const auto* kind_entry = decode_event_segment(SegmentKind::kEventKind);
-  data.kinds = decode_enum_column<xid::ErrorKind>(ctx, segment_view(c, *kind_entry),
-                                                  kind_entry->rows, xid::kErrorKindCount,
-                                                  "event_kind");
-  const auto* structure_entry = decode_event_segment(SegmentKind::kEventStructure);
-  data.structures = decode_enum_column<xid::MemoryStructure>(
-      ctx, segment_view(c, *structure_entry), structure_entry->rows,
-      xid::kMemoryStructureCount, "event_structure");
+  // Whole-file decode: one window spanning every row, moved into place.
+  EventWindow window;
+  if (stream.next_window(window, static_cast<std::size_t>(stream.meta.event_count)) > 0) {
+    data.times = std::move(window.times);
+    data.nodes = std::move(window.nodes);
+    data.kinds = std::move(window.kinds);
+    data.structures = std::move(window.structures);
+  }
 
   // Optional segments: meta flags are authoritative; damage drops the
   // segment under salvage and throws under strict.
-  if ((meta.flags & kTdfFlagJobs) != 0) {
-    const auto* entry = by_kind[static_cast<std::size_t>(SegmentKind::kJobs)];
-    if (entry == nullptr) {
-      data.has_jobs = ctx.optional_damage(TriageCode::kTdfSegmentCorrupt, "jobs",
-                                          "meta claims a jobs segment but none is present");
-    } else if (checksum_ok(ctx, c, *entry, /*required=*/false)) {
-      data.has_jobs = decode_jobs(ctx, segment_view(c, *entry), entry->rows, data.jobs);
-    }
-  }
-  if ((meta.flags & kTdfFlagSmi) != 0) {
-    const auto* entry = by_kind[static_cast<std::size_t>(SegmentKind::kSmi)];
-    if (entry == nullptr) {
-      data.has_smi = ctx.optional_damage(TriageCode::kTdfSegmentCorrupt, "smi",
-                                         "meta claims an smi segment but none is present");
-    } else if (checksum_ok(ctx, c, *entry, /*required=*/false)) {
-      data.has_smi = decode_smi(ctx, segment_view(c, *entry), entry->rows, data.snapshot);
-    }
-  }
+  data.has_jobs = stream.read_jobs(data.jobs);
+  data.has_smi = stream.read_smi(data.snapshot);
   return data;
 }
 
 TdfDataset read_tdf(const fs::path& path, IngestPolicy policy, IngestReport& report) {
-  const MappedFile file{path};
+  const MappedFile file{path, kTdfMaxFallbackBytes};
   return decode_tdf(file.bytes(), path.filename().string(), policy, report);
 }
 
+struct SegmentReader::Impl {
+  std::string name;     ///< diagnostics file name; ctx.file points here
+  MappedFile file;
+  EventStream stream;
+  std::size_t window_rows;
+
+  Impl(const fs::path& path, std::size_t rows)
+      : name{path.filename().string()}, file{path, kTdfMaxFallbackBytes}, window_rows{rows} {}
+};
+
+SegmentReader::SegmentReader(const fs::path& path, IngestPolicy policy, IngestReport& report,
+                             std::size_t window_rows) {
+  if (window_rows == 0) {
+    throw std::invalid_argument{"SegmentReader: window_rows must be positive"};
+  }
+  impl_ = std::make_unique<Impl>(path, window_rows);
+  impl_->stream.open(impl_->file.bytes(), impl_->name, policy, &report);
+}
+
+SegmentReader::~SegmentReader() = default;
+SegmentReader::SegmentReader(SegmentReader&&) noexcept = default;
+SegmentReader& SegmentReader::operator=(SegmentReader&&) noexcept = default;
+
+const std::string& SegmentReader::file_name() const noexcept { return impl_->name; }
+std::uint64_t SegmentReader::file_bytes() const noexcept {
+  return impl_->file.bytes().size();
+}
+bool SegmentReader::mapped() const noexcept { return impl_->file.mapped(); }
+std::uint64_t SegmentReader::event_count() const noexcept {
+  return impl_->stream.meta.event_count;
+}
+std::uint64_t SegmentReader::rows_decoded() const noexcept {
+  return impl_->stream.rows_done;
+}
+stats::TimeSec SegmentReader::period_begin() const noexcept {
+  return impl_->stream.meta.period_begin;
+}
+stats::TimeSec SegmentReader::period_end() const noexcept {
+  return impl_->stream.meta.period_end;
+}
+stats::TimeSec SegmentReader::accounting_from() const noexcept {
+  return impl_->stream.meta.accounting_from;
+}
+stats::TimeSec SegmentReader::smi_taken_at() const noexcept {
+  return impl_->stream.meta.smi_taken_at;
+}
+bool SegmentReader::has_jobs() const noexcept {
+  return (impl_->stream.meta.flags & kTdfFlagJobs) != 0;
+}
+bool SegmentReader::has_smi() const noexcept {
+  return (impl_->stream.meta.flags & kTdfFlagSmi) != 0;
+}
+std::size_t SegmentReader::segment_count() const noexcept {
+  return impl_->stream.known_segment_count();
+}
+
+std::size_t SegmentReader::next_window(EventWindow& out) {
+  return impl_->stream.next_window(out, impl_->window_rows);
+}
+
+bool SegmentReader::read_jobs(std::vector<logsim::JobLogRecord>& out) {
+  return impl_->stream.read_jobs(out);
+}
+
+bool SegmentReader::read_smi(logsim::SmiSnapshot& out) {
+  return impl_->stream.read_smi(out);
+}
+
 TdfInfo inspect_tdf(const fs::path& path) {
-  const MappedFile file{path};
+  const MappedFile file{path, kTdfMaxFallbackBytes};
   const auto name = path.filename().string();
   const Container c = parse_container(file.bytes(), name);
 

@@ -6,8 +6,10 @@
 // optional job-accounting and nvidia-smi side artifacts.  write_tdf
 // serializes it atomically (tmp + fsync + rename); read_tdf maps the file
 // (mmap with a read fallback) and decodes straight out of the mapped
-// region, validating each segment's FNV-1a checksum lazily -- right
-// before that segment is decoded, and only for segments the load needs.
+// region, validating each segment's FNV-1a checksum right before that
+// segment's first bytes are decoded, and only for segments the load
+// needs.  SegmentReader is the out-of-core variant: same container, same
+// validation, but the event columns stream window by window.
 //
 // Damage policy mirrors the text ingest taxonomy:
 //   * container damage (bad magic, version mismatch, truncation, mangled
@@ -25,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,12 +63,23 @@ struct TdfDataset {
   [[nodiscard]] std::size_t event_count() const noexcept { return times.size(); }
 };
 
+/// Cap on the plain-read fallback when mmap is unavailable (4 GiB, the
+/// same bound study::io applies to whole-file text reads).  The mapped
+/// path is deliberately *uncapped*: streaming readers decode bounded
+/// windows straight out of the mapping, so container size never dictates
+/// resident memory.  Slurping a larger container into heap memory would
+/// silently void that bound, so the fallback refuses with
+/// E_TDF_MMAP_UNAVAILABLE instead.
+inline constexpr std::uint64_t kTdfMaxFallbackBytes = 4ULL * 1024 * 1024 * 1024;
+
 /// Read-only file mapping (POSIX mmap, PROT_READ/MAP_PRIVATE) with a
 /// plain-read fallback for platforms or filesystems without mmap.
-/// Throws std::runtime_error when the file cannot be opened.
+/// Throws std::runtime_error when the file cannot be opened, and
+/// ingest::IngestError (E_TDF_MMAP_UNAVAILABLE) when the fallback would
+/// have to read more than `fallback_cap` bytes (0 = uncapped).
 class MappedFile {
  public:
-  explicit MappedFile(const std::filesystem::path& path);
+  explicit MappedFile(const std::filesystem::path& path, std::uint64_t fallback_cap = 0);
   ~MappedFile();
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
@@ -98,6 +112,81 @@ void write_tdf(const TdfDataset& data, const std::filesystem::path& path);
 /// Map `path` and decode it.
 [[nodiscard]] TdfDataset read_tdf(const std::filesystem::path& path,
                                   ingest::IngestPolicy policy, ingest::IngestReport& report);
+
+/// Default streaming decode window: rows materialized per next_window
+/// call.  64Ki rows is ~1.5 MiB of decoded columns -- small enough that a
+/// k-way merge over dozens of shard readers stays bounded, large enough
+/// that the per-window overhead vanishes.
+inline constexpr std::size_t kTdfStreamWindowRows = 64 * 1024;
+
+/// One decoded window of the event columns (SegmentReader output).
+/// Column vectors run parallel, exactly like TdfDataset's.
+struct EventWindow {
+  std::vector<stats::TimeSec> times;
+  std::vector<topology::NodeId> nodes;
+  std::vector<xid::ErrorKind> kinds;
+  std::vector<xid::MemoryStructure> structures;
+
+  [[nodiscard]] std::size_t size() const noexcept { return times.size(); }
+  [[nodiscard]] bool empty() const noexcept { return times.empty(); }
+};
+
+/// Out-of-core TDF reader: maps the container, validates the header,
+/// segment table and every *required* segment's checksum up front, then
+/// decodes the event columns window by window straight out of the mapping
+/// -- peak resident memory is one window plus the node dictionary, never
+/// the full column set, so containers beyond study::io's 4 GiB whole-file
+/// cap stream fine (satellite: the cap is relaxed for this path; only the
+/// no-mmap fallback keeps a bound, with its own named triage code).
+///
+/// Damage policy is identical to decode_tdf (the whole-file decoder runs
+/// on this same core): container or required-segment damage throws
+/// ingest::IngestError under both policies; optional-segment damage
+/// (jobs, smi) throws under kStrict and drops the segment under kSalvage.
+/// Column-body decode errors (bad varint, out-of-range value) surface
+/// from the next_window call whose window contains the bad row.
+///
+/// `report` is borrowed for the reader's lifetime and must outlive it.
+class SegmentReader {
+ public:
+  SegmentReader(const std::filesystem::path& path, ingest::IngestPolicy policy,
+                ingest::IngestReport& report,
+                std::size_t window_rows = kTdfStreamWindowRows);
+  ~SegmentReader();
+  SegmentReader(SegmentReader&&) noexcept;
+  SegmentReader& operator=(SegmentReader&&) noexcept;
+
+  [[nodiscard]] const std::string& file_name() const noexcept;
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept;
+  /// False when the plain-read fallback was used instead of mmap.
+  [[nodiscard]] bool mapped() const noexcept;
+  [[nodiscard]] std::uint64_t event_count() const noexcept;
+  /// Rows already yielded by next_window.
+  [[nodiscard]] std::uint64_t rows_decoded() const noexcept;
+  [[nodiscard]] stats::TimeSec period_begin() const noexcept;
+  [[nodiscard]] stats::TimeSec period_end() const noexcept;
+  [[nodiscard]] stats::TimeSec accounting_from() const noexcept;
+  [[nodiscard]] stats::TimeSec smi_taken_at() const noexcept;
+  [[nodiscard]] bool has_jobs() const noexcept;
+  [[nodiscard]] bool has_smi() const noexcept;
+  /// Segments present in the container's table (known kinds only).
+  [[nodiscard]] std::size_t segment_count() const noexcept;
+
+  /// Decode the next window into `out` (replacing its contents).
+  /// Returns the row count; 0 means the stream is exhausted.
+  std::size_t next_window(EventWindow& out);
+
+  /// Decode the jobs segment (whole -- job tables are small).  Returns
+  /// false when the container carries none or salvage dropped it.
+  bool read_jobs(std::vector<logsim::JobLogRecord>& out);
+
+  /// Decode the nvidia-smi segment.  Same contract as read_jobs.
+  bool read_smi(logsim::SmiSnapshot& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Container inspection for `titan-convert --info`: header fields plus
 /// the segment table, without decoding the columns.

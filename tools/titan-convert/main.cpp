@@ -1,20 +1,26 @@
 // titan-convert: convert a study dataset between the text artifacts and
-// the binary TDF container, or inspect a container.
+// the binary TDF container (optionally re-sharding it), or inspect a
+// container.
 //
-//   titan-convert [--salvage] [--to text|binary] <src_dir> <dst_dir>
+//   titan-convert [--salvage] [--to text|binary] [--shards N] <src_dir> <dst_dir>
 //   titan-convert --info <dataset_dir | dataset.tdf>
 //
 // Without --to, the conversion direction is inferred: a source directory
-// holding dataset.tdf converts to text, a text dataset converts to
-// binary.  --salvage loads the source under IngestPolicy::kSalvage
-// (repair/quarantine with a triage report) instead of strict.
+// holding binary containers converts to text, a text dataset converts to
+// binary.  --shards N writes the destination as N shard containers
+// (dataset.shard-0.tdf ...; implies binary).  --salvage loads the source
+// under IngestPolicy::kSalvage (repair/quarantine with a triage report)
+// instead of strict.  --info on a sharded directory prints one segment
+// table per shard.
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "study/sharded.hpp"
 #include "study/source.hpp"
 #include "tdf/tdf.hpp"
 
@@ -25,43 +31,68 @@ using namespace titan;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: titan-convert [--salvage] [--to text|binary] <src_dir> <dst_dir>\n"
+               "usage: titan-convert [--salvage] [--to text|binary] [--shards N] "
+               "<src_dir> <dst_dir>\n"
                "       titan-convert --info <dataset_dir | dataset.tdf>\n");
   return 2;
 }
 
 int info(const fs::path& arg) {
   fs::path path = arg;
-  if (fs::is_directory(path)) path /= std::string{tdf::kTdfFileName};
+  if (fs::is_directory(path)) {
+    const auto mono = path / std::string{tdf::kTdfFileName};
+    if (!fs::exists(mono) && fs::exists(path / tdf::shard_file_name(0))) {
+      // Sharded layout: one segment table per shard, in shard order.
+      for (std::size_t s = 0; fs::exists(path / tdf::shard_file_name(s)); ++s) {
+        const auto name = tdf::shard_file_name(s);
+        const auto summary = tdf::inspect_tdf(path / name).summary_text();
+        std::printf("shard %zu: %s\n%s", s, name.c_str(), summary.c_str());
+      }
+      return 0;
+    }
+    path = mono;
+  }
   const auto summary = tdf::inspect_tdf(path).summary_text();
   std::printf("%s", summary.c_str());
   return 0;
 }
 
-int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool salvage) {
-  const bool src_binary = fs::exists(src / std::string{tdf::kTdfFileName});
+int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool salvage,
+            std::size_t shards) {
+  const bool src_binary = fs::exists(src / std::string{tdf::kTdfFileName}) ||
+                          fs::exists(src / tdf::shard_file_name(0));
   study::DatasetFormat format;
-  if (to == "text") {
-    format = study::DatasetFormat::kText;
-  } else if (to == "binary") {
+  if (to == "binary" || (to.empty() && (shards > 0 || !src_binary))) {
     format = study::DatasetFormat::kBinary;
-  } else if (to.empty()) {
-    format = src_binary ? study::DatasetFormat::kText : study::DatasetFormat::kBinary;
+  } else if (to == "text" || to.empty()) {
+    format = study::DatasetFormat::kText;
   } else {
     return usage();
+  }
+  if (shards > 0 && format == study::DatasetFormat::kText) {
+    std::fprintf(stderr, "titan-convert: --shards writes binary containers; "
+                         "--to text makes no sense with it\n");
+    return 2;
   }
 
   const study::DatasetSource source{
       src, salvage ? ingest::IngestPolicy::kSalvage : ingest::IngestPolicy::kStrict};
   const auto context = source.load();
-  study::write_dataset(context, dst, format);
+  const char* dst_kind = "text";
+  if (shards > 0) {
+    study::write_sharded_dataset(context, dst, shards);
+    dst_kind = "sharded binary";
+  } else {
+    study::write_dataset(context, dst, format);
+    if (format == study::DatasetFormat::kBinary) dst_kind = "binary";
+  }
 
   std::printf("converted %s (%s) -> %s (%s)\n", src.string().c_str(),
-              src_binary ? "binary" : "text", dst.string().c_str(),
-              format == study::DatasetFormat::kBinary ? "binary" : "text");
+              src_binary ? "binary" : "text", dst.string().c_str(), dst_kind);
   std::printf("  events  %zu\n", context.events.size());
   std::printf("  jobs    %zu\n", context.job_log.size());
   std::printf("  smi     %zu blocks\n", context.snapshot.records.size());
+  if (shards > 0) std::printf("  shards  %zu\n", shards);
   if (context.ingest_report && !context.ingest_report->clean()) {
     std::printf("\n%s", context.ingest_report->summary_text().c_str());
   }
@@ -73,6 +104,7 @@ int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool 
 int main(int argc, char** argv) {
   bool salvage = false;
   std::string_view to;
+  std::size_t shards = 0;
   fs::path info_path;
   std::vector<fs::path> positional;
 
@@ -82,6 +114,12 @@ int main(int argc, char** argv) {
       salvage = true;
     } else if (arg == "--to" && i + 1 < argc) {
       to = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (shards == 0) {
+        std::fprintf(stderr, "titan-convert: --shards needs a positive count\n");
+        return 2;
+      }
     } else if (arg == "--info" && i + 1 < argc) {
       info_path = argv[++i];
     } else if (!arg.starts_with("--")) {
@@ -97,7 +135,7 @@ int main(int argc, char** argv) {
       return info(info_path);
     }
     if (positional.size() != 2) return usage();
-    return convert(positional[0], positional[1], to, salvage);
+    return convert(positional[0], positional[1], to, salvage, shards);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "titan-convert: %s\n", e.what());
     return 1;

@@ -295,8 +295,8 @@ void rule_det_thread(LintContext& ctx, const SourceFile& file, const TokenizedFi
   }
 }
 
-constexpr std::array<std::string_view, 5> kUnorderedIterDirs = {
-    "src/analysis/", "src/study/", "src/fault/", "src/ingest/", "src/tdf/"};
+constexpr std::array<std::string_view, 6> kUnorderedIterDirs = {
+    "src/analysis/", "src/study/", "src/fault/", "src/ingest/", "src/tdf/", "src/core/"};
 
 void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
                              const TokenizedFile& tf) {
