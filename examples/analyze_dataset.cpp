@@ -6,12 +6,18 @@
 // analysis its capabilities support; `--json` emits the structured
 // report instead of the rendered text.
 //
-//   ./build/examples/analyze_dataset [dataset_dir] [--json]
+//   ./build/examples/analyze_dataset [dataset_dir] [--json] [--profile NAME]
+//
+// `--profile` asserts which fleet profile the dataset was generated
+// under; a recorded disagreement is E_PROFILE_MISMATCH (fatal under the
+// default strict ingest policy).  Without it the dataset's recorded
+// profile is adopted.
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
 
+#include "profile/fleet_profile.hpp"
 #include "study/registry.hpp"
 #include "study/source.hpp"
 
@@ -19,9 +25,17 @@ int main(int argc, char** argv) {
   using namespace titan;
   std::filesystem::path dir = "titan_dataset";
   bool json = false;
+  const profile::FleetProfile* expected = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      expected = profile::find_profile(argv[++i]);
+      if (expected == nullptr) {
+        std::fprintf(stderr, "analyze_dataset: unknown profile '%s' (%s)\n", argv[i],
+                     profile::profile_names().c_str());
+        return 2;
+      }
     } else {
       dir = argv[i];
     }
@@ -29,7 +43,7 @@ int main(int argc, char** argv) {
 
   study::StudyContext context;
   try {
-    context = study::DatasetSource{dir}.load();
+    context = study::DatasetSource{dir, ingest::IngestPolicy::kStrict, expected}.load();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s (run generate_dataset first)\n", error.what());
     return 2;

@@ -1,0 +1,64 @@
+// Compare fleets side by side: run the same simulated campaign (same
+// seed, same study window) under several fleet profiles and print the
+// headline comparison table -- what changes when the paper's K20X fleet
+// is swapped for an Ampere- or Hopper-era one (row remapping instead of
+// page retirement, NVLink fabric errors, silent data corruption).
+//
+//   ./build/examples/compare_fleets [seed] [--json] [--full] [profile...]
+//
+// With no profiles named, all built-ins run (k20x-titan, a100, h100).
+// --json emits the structured comparison; --full appends each profile's
+// complete per-analysis report after the table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "profile/fleet_profile.hpp"
+#include "study/comparative.hpp"
+
+int main(int argc, char** argv) {
+  using namespace titan;
+  std::uint64_t seed = 7;
+  bool json = false;
+  bool full = false;
+  std::vector<const profile::FleetProfile*> fleets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--full") {
+      full = true;
+    } else if (const auto* fleet = profile::find_profile(arg)) {
+      fleets.push_back(fleet);
+    } else if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string_view::npos) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "compare_fleets: unknown profile '%s' (%s)\n", argv[i],
+                   profile::profile_names().c_str());
+      return 2;
+    }
+  }
+  if (fleets.empty()) {
+    const auto builtins = profile::builtin_profiles();
+    fleets.assign(builtins.begin(), builtins.end());
+  }
+
+  const auto comparison = study::compare_fleets(fleets, core::quick_config(seed));
+  if (json) {
+    std::printf("%s\n", comparison.json().c_str());
+    return 0;
+  }
+
+  std::fputs(comparison.text().c_str(), stdout);
+  if (full) {
+    for (const auto& column : comparison.columns) {
+      std::printf("\n==== %s (%s) ====\n\n",
+                  std::string{column.profile->name}.c_str(),
+                  std::string{column.profile->display_name}.c_str());
+      std::fputs(column.report.text().c_str(), stdout);
+    }
+  }
+  return 0;
+}

@@ -10,7 +10,7 @@
 // in.
 //
 //   ./build/examples/generate_dataset [output_dir] [seed] [--format text|binary]
-//                                     [--shards N]
+//                                     [--shards N] [--profile NAME]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "profile/fleet_profile.hpp"
 #include "study/sharded.hpp"
 #include "study/source.hpp"
 
@@ -26,10 +27,18 @@ int main(int argc, char** argv) {
   auto format = study::DatasetFormat::kText;
   bool have_format = false;
   std::size_t shards = 0;
+  const profile::FleetProfile* fleet = &profile::k20x_titan();
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--format" && i + 1 < argc) {
+    if (arg == "--profile" && i + 1 < argc) {
+      fleet = profile::find_profile(argv[++i]);
+      if (fleet == nullptr) {
+        std::fprintf(stderr, "generate_dataset: unknown profile '%s' (%s)\n", argv[i],
+                     profile::profile_names().c_str());
+        return 2;
+      }
+    } else if (arg == "--format" && i + 1 < argc) {
       const std::string_view value = argv[++i];
       have_format = true;
       if (value == "text") {
@@ -61,10 +70,12 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 29;
 
   if (shards > 0) {
-    std::printf("Simulating a quick campaign (seed %llu), %zu shards out-of-core...\n",
-                static_cast<unsigned long long>(seed), shards);
+    std::printf("Simulating a quick campaign (seed %llu, profile %s), %zu shards "
+                "out-of-core...\n",
+                static_cast<unsigned long long>(seed), std::string{fleet->name}.c_str(),
+                shards);
     const auto stats =
-        study::generate_sharded_dataset(core::quick_config(seed), shards, dir);
+        study::generate_sharded_dataset(core::quick_config(seed, *fleet), shards, dir);
     std::printf("\nWrote sharded dataset to %s/\n", dir.string().c_str());
     std::printf("  dataset.shard-{0..%zu}.tdf  %zu events total, %zu in the largest shard\n",
                 stats.shards - 1, stats.events, stats.peak_shard_events);
@@ -77,9 +88,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("Simulating a quick campaign (seed %llu)...\n",
-              static_cast<unsigned long long>(seed));
-  const study::SimulatedSource source{core::quick_config(seed)};
+  std::printf("Simulating a quick campaign (seed %llu, profile %s)...\n",
+              static_cast<unsigned long long>(seed), std::string{fleet->name}.c_str());
+  const study::SimulatedSource source{core::quick_config(seed, *fleet)};
   const auto context = source.load();
   study::write_dataset(context, dir, format);
 

@@ -17,9 +17,15 @@
 #                every corruption operator, and run the salvage sweep
 #                (bench_ingest_robustness), plus an explicit titanlint
 #                det-* pass over src/ingest and src/tdf
+#   --profiles   run the cross-fleet profile sweep: the profile unit /
+#                golden-equivalence / determinism / mismatch test
+#                binaries, the profile-matrix bench (full registry under
+#                every built-in FleetProfile), and an explicit titanlint
+#                det-* pass over the profile layer
 #   --bench-json refresh every committed BENCH_*.json perf-trajectory
-#                record: bench_tdf_load -> BENCH_dataset.json and
-#                bench_campaign_scale -> BENCH_campaign.json
+#                record: bench_tdf_load -> BENCH_dataset.json,
+#                bench_campaign_scale -> BENCH_campaign.json and
+#                bench_profile_matrix -> BENCH_profile.json
 #   --jobs N     parallelism (default: nproc)
 #
 # Exits non-zero on the first failing stage.
@@ -29,14 +35,16 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 UBSAN=0
 CORRUPT=0
+PROFILES=0
 BENCH_JSON=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --ubsan) UBSAN=1 ;;
     --corrupt) CORRUPT=1 ;;
+    --profiles) PROFILES=1 ;;
     --bench-json) BENCH_JSON=1 ;;
     --jobs) JOBS="$2"; shift ;;
-    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--bench-json] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--profiles] [--bench-json] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -63,11 +71,27 @@ if [[ "$CORRUPT" == 1 ]]; then
     src/study/source.cpp
 fi
 
+if [[ "$PROFILES" == 1 ]]; then
+  echo "== fleet-profile sweep (unit, golden-equivalence, determinism, mismatch) =="
+  ./build/tests/profile_test
+  ./build/tests/profile_golden_test
+  ./build/tests/profile_determinism_test
+  ./build/tests/profile_mismatch_test
+  echo "== profile matrix bench (full registry under every built-in profile) =="
+  ./build/bench/bench_profile_matrix --quick
+  echo "== titanlint det-* sweep over the profile layer =="
+  ./build/tools/titanlint --root . src/profile/fleet_profile.hpp \
+    src/profile/fleet_profile.cpp src/study/comparative.hpp \
+    src/study/comparative.cpp src/core/facility.cpp src/study/registry.cpp
+fi
+
 if [[ "$BENCH_JSON" == 1 ]]; then
   echo "== bench_tdf_load -> BENCH_dataset.json =="
   ./build/bench/bench_tdf_load --json BENCH_dataset.json
   echo "== bench_campaign_scale -> BENCH_campaign.json =="
   ./build/bench/bench_campaign_scale --json BENCH_campaign.json
+  echo "== bench_profile_matrix -> BENCH_profile.json =="
+  ./build/bench/bench_profile_matrix --json BENCH_profile.json
 fi
 
 if [[ "$UBSAN" == 1 ]]; then

@@ -59,8 +59,10 @@ InterruptionStudy interruption_study(std::span<const xid::Event> events,
 
 InterruptionStudy interruption_study(const EventFrame& frame, const sched::JobTrace& trace,
                                      stats::TimeSec begin, stats::TimeSec end) {
+  // crashes_app is kind metadata shared by every fleet, and the frame only
+  // holds kinds the active profile generated, so the full table is safe.
   std::array<bool, xid::kErrorKindCount> crashes{};
-  for (const auto& info : xid::all_errors()) {
+  for (const auto& info : xid::all_errors()) {  // titanlint: allow(profile-hygiene)
     crashes[static_cast<std::size_t>(info.kind)] = info.crashes_app;
   }
 

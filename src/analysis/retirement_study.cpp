@@ -12,11 +12,19 @@ RetirementDelayStudy retirement_delay_study(std::span<const parse::ParsedEvent> 
 
 RetirementDelayStudy retirement_delay_study(const EventFrame& frame,
                                             stats::TimeSec accounting_from) {
+  return retirement_delay_study(frame, accounting_from, xid::ErrorKind::kDoubleBitError,
+                                xid::ErrorKind::kPageRetirement);
+}
+
+RetirementDelayStudy retirement_delay_study(const EventFrame& frame,
+                                            stats::TimeSec accounting_from,
+                                            xid::ErrorKind trigger_kind,
+                                            xid::ErrorKind repair_kind) {
   RetirementDelayStudy out;
-  const auto dbe_rows = frame.rows_of(xid::ErrorKind::kDoubleBitError);
-  const auto ret_rows = frame.rows_of(xid::ErrorKind::kPageRetirement);
-  const auto dbe_times = frame.times_of(xid::ErrorKind::kDoubleBitError);
-  const auto ret_times = frame.times_of(xid::ErrorKind::kPageRetirement);
+  const auto dbe_rows = frame.rows_of(trigger_kind);
+  const auto ret_rows = frame.rows_of(repair_kind);
+  const auto dbe_times = frame.times_of(trigger_kind);
+  const auto ret_times = frame.times_of(repair_kind);
 
   bool have_dbe = false;
   stats::TimeSec last_dbe = 0;

@@ -43,5 +43,13 @@ struct RetirementDelayStudy {
 /// instead of scanning the whole stream.
 [[nodiscard]] RetirementDelayStudy retirement_delay_study(const EventFrame& frame,
                                                           stats::TimeSec accounting_from);
+/// Generalized kernel for fleets whose memory-repair record is not XID 63
+/// (e.g. Ampere row-remapping): `trigger_kind` plays the DBE role,
+/// `repair_kind` the retirement role.  The two-argument overloads forward
+/// here with the paper's (kDoubleBitError, kPageRetirement) pair.
+[[nodiscard]] RetirementDelayStudy retirement_delay_study(const EventFrame& frame,
+                                                          stats::TimeSec accounting_from,
+                                                          xid::ErrorKind trigger_kind,
+                                                          xid::ErrorKind repair_kind);
 
 }  // namespace titan::analysis

@@ -5,11 +5,22 @@
 
 namespace titan::core {
 
+void apply_profile(FacilityConfig& config, const profile::FleetProfile& profile) {
+  config.profile = &profile;
+  config.campaign.model = profile.fault;
+}
+
 FacilityConfig default_config(std::uint64_t seed) {
   FacilityConfig config;
   config.seed = seed;
   config.workload.period = config.period;
   config.campaign.period = config.period;
+  return config;
+}
+
+FacilityConfig default_config(std::uint64_t seed, const profile::FleetProfile& profile) {
+  FacilityConfig config = default_config(seed);
+  apply_profile(config, profile);
   return config;
 }
 
@@ -22,6 +33,12 @@ FacilityConfig quick_config(std::uint64_t seed) {
   config.period.end = stats::to_time(stats::CivilDate{2014, 2, 1});
   config.workload.period = config.period;
   config.campaign.period = config.period;
+  return config;
+}
+
+FacilityConfig quick_config(std::uint64_t seed, const profile::FleetProfile& profile) {
+  FacilityConfig config = quick_config(seed);
+  apply_profile(config, profile);
   return config;
 }
 
@@ -54,7 +71,7 @@ StudyDataset run_study(const FacilityConfig& config) {
                        campaign.bad_node,
                        {},
                        {}};
-  dataset.console_log = logsim::emit_console_log(dataset.events);
+  dataset.console_log = logsim::emit_console_log(dataset.events, *config.profile);
   if (config.take_final_snapshot) {
     dataset.final_snapshot = logsim::take_snapshot(dataset.fleet, config.period.end - 1,
                                                    config.campaign.thermal);

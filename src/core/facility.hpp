@@ -14,6 +14,7 @@
 #include "fault/campaign.hpp"
 #include "gpu/fleet.hpp"
 #include "logsim/smi.hpp"
+#include "profile/fleet_profile.hpp"
 #include "sched/users.hpp"
 #include "sched/workload.hpp"
 #include "stats/calendar.hpp"
@@ -29,16 +30,30 @@ struct FacilityConfig {
   sched::WorkloadParams workload{};
   fault::CampaignParams campaign{};
 
+  /// Fleet profile the campaign and renderers run under.  Never null;
+  /// points at a process-lifetime singleton (see src/profile).  Use
+  /// apply_profile to switch: it also copies the profile's fault
+  /// calibration into campaign.model.
+  const profile::FleetProfile* profile = &profile::k20x_titan();
+
   /// Take the end-of-study fleet-wide nvidia-smi snapshot (Figs. 14/15).
   bool take_final_snapshot = true;
 };
 
+/// Point `config` at `profile` and adopt its fault calibration (overwrites
+/// any campaign.model ablation overrides, so apply the profile first).
+void apply_profile(FacilityConfig& config, const profile::FleetProfile& profile);
+
 /// The canonical full-study configuration used by every figure bench.
 [[nodiscard]] FacilityConfig default_config(std::uint64_t seed = 20151115);
+[[nodiscard]] FacilityConfig default_config(std::uint64_t seed,
+                                            const profile::FleetProfile& profile);
 
 /// A reduced configuration (3 months) for tests and examples that need a
 /// fast end-to-end run.
 [[nodiscard]] FacilityConfig quick_config(std::uint64_t seed = 7);
+[[nodiscard]] FacilityConfig quick_config(std::uint64_t seed,
+                                          const profile::FleetProfile& profile);
 
 /// Everything one study run produces.
 struct StudyDataset {

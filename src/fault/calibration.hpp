@@ -171,4 +171,28 @@ inline constexpr int kMaintenanceDayOfMonth = 3;
 inline constexpr double kBadNodeXid13PerDay = 0.4;
 inline constexpr int kBadNodeActiveMonths = 2;  ///< final months of campaign
 
+// ---------------------------------------------------------------------------
+// Memory repair granularity (Titan/K20X defaults; profile-overridable).
+// Mirrors gpu/k20x.hpp so the fault layer keys on FaultModelParams rather
+// than on one chip's header -- src/profile owns the per-fleet values.
+// ---------------------------------------------------------------------------
+
+/// Retirable device-memory pages: 6 GB / 64 KiB (== gpu::kDevicePages).
+inline constexpr std::uint32_t kDeviceMemoryPages = 98304;
+
+/// InfoROM retirement-table capacity (== gpu::kRetiredPageCapacity).
+inline constexpr std::uint64_t kRetiredPageCapacityDefault = 64;
+
+// ---------------------------------------------------------------------------
+// Post-Titan fault processes (zero on Titan; A100/H100 profiles set them
+// from the PAPERS.md resilience studies).
+// ---------------------------------------------------------------------------
+
+/// Fleet-wide NVLink error (XID 74) Poisson rate; K20X has no NVLink.
+inline constexpr double kNvLinkPerDay = 0.0;
+
+/// Fleet-wide silent-data-corruption detection rate; Titan's SECDED-era
+/// study had no SDC instrumentation.
+inline constexpr double kSdcPerDay = 0.0;
+
 }  // namespace titan::fault

@@ -86,9 +86,15 @@ constexpr std::size_t kJobGrain = 256;
 std::vector<CardTraits> initialize_fleet(gpu::Fleet& fleet, stats::TimeSec when,
                                          stats::Rng rng, const FaultModelParams& model) {
   if (fleet.card_count() != 0) throw std::invalid_argument{"initialize_fleet: fleet not empty"};
-  for (const NodeId node : compute_nodes()) {
+  const auto& nodes = compute_nodes();
+  const auto populate = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(model.fleet_node_fraction * static_cast<double>(nodes.size()))),
+      1, nodes.size());
+  for (std::size_t i = 0; i < populate; ++i) {
     const CardId serial = fleet.procure();
-    fleet.install(node, serial, when);
+    fleet.card(serial).set_retired_page_capacity(model.retired_page_capacity);
+    fleet.install(nodes[i], serial, when);
   }
   return sample_card_traits(fleet.card_count(), rng, model);
 }
@@ -101,13 +107,23 @@ CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> 
   const auto& period = params.period;
   const auto& timeline = params.timeline;
   const FaultModelParams& model = params.model;
-  const std::vector<NodeId>& nodes = compute_nodes();
   const double window_days = static_cast<double>(period.duration()) / kSecondsPerDayD;
 
   CampaignSchedule plan;
   plan.params = params;
   plan.rng = rng;
   plan.traits = std::move(traits);
+
+  // Card-bearing node roster: every compute node at fleet_node_fraction
+  // 1.0 (Titan), a prefix of the machine for smaller fleets.  All the
+  // hardware phases draw nodes from this roster only.
+  plan.nodes.reserve(compute_nodes().size());
+  for (const NodeId node : compute_nodes()) {
+    if (fleet.ledger().card_at(node, period.begin) != xid::kInvalidCard) {
+      plan.nodes.push_back(node);
+    }
+  }
+  const std::vector<NodeId>& nodes = plan.nodes;
 
   // Per-card stints; replacements appended as they are procured.
   plan.stints.resize(plan.traits.size());
@@ -144,7 +160,7 @@ CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> 
       s.node = nodes[pick(dbe_rng)];
       s.structure = sample_dbe_structure(dbe_rng, model.dbe_device_share);
       if (s.structure == MemoryStructure::kDeviceMemory) {
-        s.page = static_cast<std::uint32_t>(dbe_rng.below(gpu::kDevicePages));
+        s.page = static_cast<std::uint32_t>(dbe_rng.below(model.device_pages));
       }
       dbe_strikes.push_back(s);
     }
@@ -174,6 +190,7 @@ CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> 
     card_stints.back().to = pull_time;
 
     const CardId spare = fleet.procure();
+    fleet.card(spare).set_retired_page_capacity(model.retired_page_capacity);
     auto spare_trait_rng = spare_rng.fork("spare-traits", static_cast<std::uint64_t>(spare));
     plan.traits.push_back(sample_one_card(spare_trait_rng, model));
     plan.stints.emplace_back();
@@ -189,9 +206,11 @@ CampaignSchedule plan_fault_campaign(gpu::Fleet& fleet, std::vector<CardTraits> 
     // card's latent susceptibility under accelerated stress.
     fleet.card(card).set_health(gpu::CardHealth::kHotSpare);
     auto stress_rng = spare_rng.fork("stress", static_cast<std::uint64_t>(card));
+    StressTestParams stress_params;
+    stress_params.device_pages = model.device_pages;
     const auto stress = stress_test_card(fleet.card(card),
                                          plan.traits[static_cast<std::size_t>(card)],
-                                         StressTestParams{}, pull_time, stress_rng);
+                                         stress_params, pull_time, stress_rng);
     // Pass -> re-qualified spare stock (kShelf); fail -> RMA'd to the
     // vendor.  Either way the card does not return to production here.
     action.failed_stress = stress.returned_to_vendor;
@@ -267,6 +286,13 @@ std::vector<CardStream> run_card_streams(const CampaignSchedule& plan, gpu::Flee
   const auto& period = plan.params.period;
   const auto& timeline = plan.params.timeline;
   const FaultModelParams& model = plan.params.model;
+  // Repair recording events: XID 63/64 page retirement on Titan, row
+  // remapping (REMAP/REMAPF) on row-remapping fleets.  Same mechanism,
+  // different console vocabulary.
+  const bool remap = model.repair_policy == MemoryRepairPolicy::kRowRemapping;
+  const ErrorKind repair_recorded = remap ? ErrorKind::kRowRemap : ErrorKind::kPageRetirement;
+  const ErrorKind repair_failed =
+      remap ? ErrorKind::kRowRemapFailed : ErrorKind::kPageRetirementFailed;
 
   enum class OpKind : std::uint8_t { kEnableRetirement, kReboot, kSbe, kDbe };
   struct Op {
@@ -319,7 +345,7 @@ std::vector<CardStream> run_card_streams(const CampaignSchedule& plan, gpu::Flee
           op.kind = OpKind::kSbe;
           op.structure = sample_sbe_structure(card_rng);
           if (op.structure == MemoryStructure::kDeviceMemory) {
-            op.page = static_cast<std::uint32_t>(card_rng.below(gpu::kDevicePages));
+            op.page = static_cast<std::uint32_t>(card_rng.below(model.device_pages));
           }
           op.node = stint.node;
           ops.push_back(op);
@@ -413,8 +439,7 @@ std::vector<CardStream> run_card_streams(const CampaignSchedule& plan, gpu::Flee
               ev.time = when;
               ev.node = op.node;
               ev.card = static_cast<CardId>(serial);
-              ev.kind = outcome.retirement_recorded ? ErrorKind::kPageRetirement
-                                                    : ErrorKind::kPageRetirementFailed;
+              ev.kind = outcome.retirement_recorded ? repair_recorded : repair_failed;
               ev.structure = MemoryStructure::kDeviceMemory;
               out.events.push_back(ev);
             }
@@ -446,9 +471,8 @@ std::vector<CardStream> run_card_streams(const CampaignSchedule& plan, gpu::Flee
               ev.time = when;
               ev.node = op.node;
               ev.card = static_cast<CardId>(serial);
-              ev.kind = (outcome.retirement_recorded || !commit)
-                            ? ErrorKind::kPageRetirement
-                            : ErrorKind::kPageRetirementFailed;
+              ev.kind = (outcome.retirement_recorded || !commit) ? repair_recorded
+                                                                 : repair_failed;
               ev.structure = MemoryStructure::kDeviceMemory;
               ev.parent = dbe_index;
               out.events.push_back(ev);
@@ -481,7 +505,7 @@ TailStream run_campaign_tail(const CampaignSchedule& plan, const gpu::Fleet& fle
   const auto& period = plan.params.period;
   const auto& timeline = plan.params.timeline;
   const FaultModelParams& model = plan.params.model;
-  const std::vector<NodeId>& nodes = compute_nodes();
+  const std::vector<NodeId>& nodes = plan.nodes.empty() ? compute_nodes() : plan.nodes;
   const double window_days = static_cast<double>(period.duration()) / kSecondsPerDayD;
 
   TailStream result;
@@ -625,6 +649,35 @@ TailStream run_campaign_tail(const CampaignSchedule& plan, const gpu::Fleet& fle
   emit_fixed_total(ErrorKind::kVideoMemProgramming, model.xid57_total);
   emit_fixed_total(ErrorKind::kUnstableVideoMem, model.xid58_total);
   emit_fixed_total(ErrorKind::kVideoProcessorHw, model.xid65_total);
+
+  // Post-Titan fleet processes, each on its OWN named fork: adding them
+  // never perturbs the `software` stream, so the K20X profile (rates 0)
+  // reproduces the pre-profile campaign byte for byte.
+  if (model.nvlink_per_day > 0.0) {
+    auto link_rng = plan.rng.fork("nvlink");
+    for (const double t : stats::sample_poisson_process(
+             link_rng, model.nvlink_per_day / kSecondsPerDayD,
+             static_cast<double>(period.begin), static_cast<double>(period.end))) {
+      Event ev;
+      ev.time = to_timesec(t);
+      ev.node = nodes[link_rng.below(nodes.size())];
+      ev.kind = ErrorKind::kNvLinkError;
+      tail.push_back(ev);
+    }
+  }
+  if (model.sdc_per_day > 0.0) {
+    auto sdc_rng = plan.rng.fork("sdc");
+    for (const double t : stats::sample_poisson_process(
+             sdc_rng, model.sdc_per_day / kSecondsPerDayD,
+             static_cast<double>(period.begin), static_cast<double>(period.end))) {
+      Event ev;
+      ev.time = to_timesec(t);
+      ev.node = nodes[sdc_rng.below(nodes.size())];
+      ev.kind = ErrorKind::kSilentDataCorruption;
+      ev.structure = MemoryStructure::kDeviceMemory;
+      tail.push_back(ev);
+    }
+  }
 
   // The Observation 8 anecdote: one node raising XID 13 regardless of the
   // application -- a hardware fault masquerading as a user error.

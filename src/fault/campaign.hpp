@@ -113,6 +113,10 @@ struct HardwareStrike {
 struct CampaignSchedule {
   CampaignParams params{};
   stats::Rng rng{0};  ///< campaign root; phases fork their named streams
+  /// Populated compute nodes (ascending) -- the card-bearing roster the
+  /// hardware phases draw from.  Equals every compute node at
+  /// fleet_node_fraction 1.0; a prefix of the machine otherwise.
+  std::vector<topology::NodeId> nodes;
   std::vector<CardTraits> traits;          ///< by serial, incl. spares
   std::vector<std::vector<Stint>> stints;  ///< by serial
   std::vector<HardwareStrike> otb_strikes;               ///< (time, node)-sorted

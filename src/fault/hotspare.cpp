@@ -1,7 +1,6 @@
 #include "fault/hotspare.hpp"
 
 #include "fault/calibration.hpp"
-#include "gpu/k20x.hpp"
 #include "stats/distributions.hpp"
 
 namespace titan::fault {
@@ -21,7 +20,7 @@ StressOutcome stress_test_card(gpu::GpuCard& card, const CardTraits& traits,
     const auto page =
         structure == xid::MemoryStructure::kDeviceMemory
             ? std::optional<std::uint32_t>{static_cast<std::uint32_t>(
-                  rng.below(gpu::kDevicePages))}
+                  rng.below(params.device_pages))}
             : std::nullopt;
     const auto when =
         start + static_cast<stats::TimeSec>(rng.below(static_cast<std::uint64_t>(

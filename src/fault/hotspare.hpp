@@ -33,6 +33,8 @@ struct StressTestParams {
   /// unit susceptibility; the default derives from the fleet-level
   /// calibration: one DBE per kDbeMtbfHours across ~18.7k cards.
   double base_dbe_per_day = 24.0 / (160.0 * 18688.0);
+  /// Retirable device-memory pages of the card under test.
+  std::uint32_t device_pages = kDeviceMemoryPages;
 };
 
 struct StressOutcome {

@@ -13,6 +13,14 @@
 
 namespace titan::fault {
 
+/// How a fleet records a defective device-memory region.  Titan's K20X
+/// retires 64 KiB pages into the InfoROM (XID 63/64); A100/H100-era
+/// fleets remap individual DRAM rows instead (REMAP/REMAPF events).
+enum class MemoryRepairPolicy : std::uint8_t {
+  kPageRetirement,
+  kRowRemapping,
+};
+
 struct FaultModelParams {
   // Double-bit errors.
   double dbe_mtbf_hours = kDbeMtbfHours;
@@ -70,6 +78,21 @@ struct FaultModelParams {
   // The Observation 8 anecdote.
   double bad_node_xid13_per_day = kBadNodeXid13PerDay;
   int bad_node_active_months = kBadNodeActiveMonths;
+
+  // Memory repair granularity (profile-owned; K20X defaults).
+  MemoryRepairPolicy repair_policy = MemoryRepairPolicy::kPageRetirement;
+  std::uint32_t device_pages = kDeviceMemoryPages;
+  std::uint64_t retired_page_capacity = kRetiredPageCapacityDefault;
+
+  // Post-Titan fault processes (zero under the Titan model; the A100/H100
+  // profiles in src/profile set them from the PAPERS.md studies).
+  double nvlink_per_day = kNvLinkPerDay;
+  double sdc_per_day = kSdcPerDay;
+
+  // Fleet topology scale hook: fraction of compute-node slots populated
+  // with a GPU card.  1.0 reproduces the full-machine Titan campaign;
+  // smaller fleets (modern clusters) populate a prefix of the roster.
+  double fleet_node_fraction = 1.0;
 };
 
 }  // namespace titan::fault

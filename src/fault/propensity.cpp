@@ -43,7 +43,7 @@ CardTraits sample_one_card(stats::Rng& rng, const FaultModelParams& model) {
         WeakCell cell;
         if (rng.bernoulli(model.weak_cell_device_share)) {
           cell.structure = xid::MemoryStructure::kDeviceMemory;
-          cell.page = static_cast<std::uint32_t>(rng.below(gpu::kDevicePages));
+          cell.page = static_cast<std::uint32_t>(rng.below(model.device_pages));
         } else {
           // On-chip weak cells: dominated by L2 (largest on-chip SECDED
           // structure), occasionally the register file.

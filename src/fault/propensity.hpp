@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "fault/model_params.hpp"
-#include "gpu/k20x.hpp"
 #include "stats/rng.hpp"
 #include "xid/event.hpp"
 

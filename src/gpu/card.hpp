@@ -40,6 +40,10 @@ class GpuCard {
   void set_health(CardHealth h) noexcept { health_ = h; }
 
   [[nodiscard]] const InfoRom& inforom() const noexcept { return inforom_; }
+  /// Configure the card's InfoROM repair-table capacity (profile-owned).
+  void set_retired_page_capacity(std::size_t capacity) noexcept {
+    inforom_.set_retired_page_capacity(capacity);
+  }
   [[nodiscard]] PageRetirementEngine& retirement() noexcept { return retirement_; }
   [[nodiscard]] const PageRetirementEngine& retirement() const noexcept { return retirement_; }
 

@@ -22,7 +22,7 @@ void InfoRom::reset_volatile() noexcept {
 }
 
 bool InfoRom::commit_retirement(std::uint32_t page, RetireCause cause, stats::TimeSec when) {
-  if (pages_.size() >= kRetiredPageCapacity) return false;
+  if (pages_.size() >= capacity_) return false;
   pages_.push_back(RetiredPage{page, cause, when});
   return true;
 }

@@ -36,7 +36,8 @@ struct RetiredPage {
   stats::TimeSec retired_at = 0;
 };
 
-/// Maximum retired-page entries (model of the NVML limit).
+/// Default maximum retired-page entries (model of the K20X NVML limit;
+/// fleet profiles with row remapping configure a larger table).
 inline constexpr std::size_t kRetiredPageCapacity = 64;
 
 class InfoRom {
@@ -67,7 +68,14 @@ class InfoRom {
   [[nodiscard]] std::size_t retired_page_count(RetireCause cause) const noexcept;
   [[nodiscard]] bool page_retired(std::uint32_t page) const noexcept;
 
+  /// Repair-table capacity (64 K20X pages by default; row-remapping
+  /// fleets carry a larger table).  Shrinking below the committed count
+  /// keeps the existing entries but rejects further commits.
+  void set_retired_page_capacity(std::size_t capacity) noexcept { capacity_ = capacity; }
+  [[nodiscard]] std::size_t retired_page_capacity() const noexcept { return capacity_; }
+
  private:
+  std::size_t capacity_ = kRetiredPageCapacity;
   std::uint64_t sbe_total_ = 0;
   std::uint64_t dbe_total_ = 0;
   std::uint64_t sbe_volatile_ = 0;

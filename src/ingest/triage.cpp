@@ -18,6 +18,7 @@ constexpr std::string_view kCodeNames[kTriageCodeCount] = {
     "E_TDF_BAD_MAGIC",     "E_TDF_VERSION",      "E_TDF_TRUNCATED",
     "E_TDF_FOOTER",        "E_TDF_SEGMENT_CHECKSUM", "E_TDF_SEGMENT_CORRUPT",
     "E_TDF_UNKNOWN_SEGMENT", "E_FILE_TOO_LARGE",  "E_TDF_MMAP_UNAVAILABLE",
+    "E_PROFILE_MISMATCH",
 };
 
 constexpr std::string_view kActionNames[kSalvageActionCount] = {
@@ -126,6 +127,7 @@ bool fatal_in_strict(TriageCode code) noexcept {
     case TriageCode::kTdfSegmentCorrupt:
     case TriageCode::kFileTooLarge:
     case TriageCode::kTdfMmapUnavailable:
+    case TriageCode::kProfileMismatch:
       return true;
     default:
       return false;
@@ -412,6 +414,31 @@ ManifestIngest ingest_manifest_text(std::string_view text, std::string_view file
         }
         return;
       }
+    }
+
+    // "profile <name> <hash-hex>": the fleet profile the producer ran
+    // under (validated against the load's profile by DatasetSource).
+    if (line.starts_with("profile ")) {
+      const auto rest = line.substr(8);
+      const auto space = rest.find(' ');
+      std::uint64_t value = 0;
+      bool parsed = false;
+      if (space != std::string_view::npos && space > 0) {
+        const auto hex = rest.substr(space + 1);
+        const auto result =
+            std::from_chars(hex.data(), hex.data() + hex.size(), value, 16);
+        parsed = !hex.empty() && result.ec == std::errc{} &&
+                 result.ptr == hex.data() + hex.size();
+      }
+      if (!parsed) {
+        triage(policy, report, file, line_no, TriageCode::kManifestField,
+               SalvageAction::kRejected, excerpt(line));
+        return;
+      }
+      out.have_profile = true;
+      out.profile_name = std::string{rest.substr(0, space)};
+      out.profile_hash = value;
+      return;
     }
 
     if (line.starts_with("checksum ")) {

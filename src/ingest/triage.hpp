@@ -69,6 +69,9 @@ enum class TriageCode : std::uint8_t {
   kTdfMmapUnavailable,  ///< mmap failed and the container exceeds the
                         ///< bounded fallback read cap (out-of-core decode
                         ///< needs the mapping)
+  kProfileMismatch,     ///< dataset's recorded fleet profile is unknown,
+                        ///< hash-divergent, or not the one the load asked
+                        ///< for (salvage adopts the dataset's profile)
   kCount_,
 };
 
@@ -228,6 +231,11 @@ struct ManifestIngest {
   stats::TimeSec accounting = 0;
   bool have_shards = false;
   std::uint64_t shards = 0;  ///< shard container count (sharded datasets)
+  /// Fleet profile the producer recorded (`profile <name> <hash-hex>`);
+  /// absent in pre-profile manifests.
+  bool have_profile = false;
+  std::string profile_name;
+  std::uint64_t profile_hash = 0;
   /// (file name, checksum) pairs, manifest order.
   std::vector<std::pair<std::string, std::uint64_t>> checksums;
 };

@@ -10,8 +10,9 @@
 
 namespace titan::logsim {
 
-void console_line_into(const xid::Event& event, std::string& buffer) {
-  const auto& info = xid::info(event.kind);
+namespace {
+
+void line_into(const xid::Event& event, std::string_view description, std::string& buffer) {
   buffer.clear();
   buffer += '[';
   stats::append_timestamp(buffer, event.time);
@@ -20,12 +21,23 @@ void console_line_into(const xid::Event& event, std::string& buffer) {
   buffer += " GPU ";
   buffer += xid::token(event.kind);
   buffer += ": ";
-  buffer += info.name;
+  buffer += description;
   if (event.structure != xid::MemoryStructure::kNone) {
     buffer += " (";
     buffer += xid::structure_token(event.structure);
     buffer += ')';
   }
+}
+
+}  // namespace
+
+void console_line_into(const xid::Event& event, std::string& buffer) {
+  line_into(event, xid::info(event.kind).name, buffer);
+}
+
+void console_line_into(const xid::Event& event, const profile::FleetProfile& profile,
+                       std::string& buffer) {
+  line_into(event, profile.description(event.kind), buffer);
 }
 
 std::string console_line(const xid::Event& event) {
@@ -35,7 +47,15 @@ std::string console_line(const xid::Event& event) {
   return line;
 }
 
-std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events) {
+std::string console_line(const xid::Event& event, const profile::FleetProfile& profile) {
+  std::string line;
+  line.reserve(96);
+  console_line_into(event, profile, line);
+  return line;
+}
+
+std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events,
+                                          const profile::FleetProfile& profile) {
   // Select console-visible events serially (cheap), then serialize each
   // line concurrently: lines are independent and land in their own slot,
   // so the log is identical at any thread count.  Each worker chunk
@@ -55,11 +75,15 @@ std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events)
     buffer.reserve(96);
     const std::size_t end = std::min(visible.size(), (c + 1) * kChunk);
     for (std::size_t i = c * kChunk; i < end; ++i) {
-      console_line_into(events[visible[i]], buffer);
+      console_line_into(events[visible[i]], profile, buffer);
       lines[i].assign(buffer);
     }
   });
   return lines;
+}
+
+std::vector<std::string> emit_console_log(const std::vector<xid::Event>& events) {
+  return emit_console_log(events, profile::k20x_titan());
 }
 
 }  // namespace titan::logsim

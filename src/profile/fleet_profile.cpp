@@ -1,0 +1,370 @@
+#include "profile/fleet_profile.hpp"
+
+#include <bit>
+#include <cstddef>
+
+#include "gpu/inforom.hpp"
+#include "stats/rng.hpp"
+
+namespace titan::profile {
+
+namespace {
+
+using gpu::Protection;
+using gpu::StructureSpec;
+using xid::ErrorKind;
+using xid::MemoryStructure;
+
+// ---------------------------------------------------------------- K20X ----
+
+constexpr std::array<ErrorKind, 2> kK20xSpatial = {ErrorKind::kDoubleBitError,
+                                                   ErrorKind::kOffTheBus};
+
+/// Paper Fig. 13 kind set, in paper order (mirrors analysis::fig13_kinds).
+constexpr std::array<ErrorKind, 12> kK20xMatrix = {
+    ErrorKind::kGraphicsEngineException, ErrorKind::kMemoryPageFault,
+    ErrorKind::kCorruptedPushBuffer,     ErrorKind::kDriverFirmware,
+    ErrorKind::kGpuStoppedProcessing,    ErrorKind::kCtxSwitchFault,
+    ErrorKind::kPreemptiveCleanup,       ErrorKind::kDoubleBitError,
+    ErrorKind::kUcHaltOldDriver,         ErrorKind::kUcHaltNewDriver,
+    ErrorKind::kPageRetirement,          ErrorKind::kOffTheBus};
+
+FleetProfile make_k20x() {
+  FleetProfile p;
+  p.name = "k20x-titan";
+  p.display_name = "Titan / Tesla K20X";
+  p.gpu.chip = "Tesla K20X (GK110)";
+  p.gpu.sm_count = gpu::kSmCount;
+  p.gpu.device_memory_bytes = gpu::kDeviceMemoryBytes;
+  p.gpu.page_bytes = gpu::kPageBytes;
+  p.gpu.device_pages = gpu::kDevicePages;
+  p.gpu.retired_page_capacity = gpu::kRetiredPageCapacity;
+  p.gpu.structures = gpu::structures();
+  // The Titan taxonomy IS the global taxonomy: every paper kind active
+  // with its paper wording; the post-Titan kinds exist but never fire.
+  for (const xid::ErrorInfo& info : xid::all_errors()) {
+    ErrorSpec& spec = p.errors[static_cast<std::size_t>(info.kind)];
+    spec.active = info.kind <= ErrorKind::kUcHaltNewDriver;
+    spec.xid = info.xid;
+    spec.name = info.name;
+    spec.klass = info.klass;
+  }
+  // fault: FaultModelParams defaults ARE the Titan calibration
+  // (calibration.hpp); leaving them untouched is the byte-identity
+  // contract with the pre-profile pipeline.
+  p.spatial_kinds = kK20xSpatial;
+  p.matrix_kinds = kK20xMatrix;
+  return p;
+}
+
+// ------------------------------------------------------- A100 / H100 ----
+
+constexpr std::uint64_t kMiB = 1024ULL * 1024;
+constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+constexpr std::array<StructureSpec, 7> kA100Structures = {{
+    {MemoryStructure::kNone, 0, Protection::kUnprotected,
+     "control logic: queues, schedulers, dispatch, interconnect"},
+    {MemoryStructure::kDeviceMemory, 40 * kGiB, Protection::kSecded, "40 GB HBM2e stacks"},
+    {MemoryStructure::kRegisterFile, 108 * 256 * 1024ULL, Protection::kSecded,
+     "256 KB registers per SM"},
+    {MemoryStructure::kL2Cache, 40 * kMiB, Protection::kSecded, "40 MB shared L2"},
+    {MemoryStructure::kL1Shared, 108 * 192 * 1024ULL, Protection::kSecded,
+     "192 KB unified L1/shared per SM"},
+    {MemoryStructure::kReadOnlyCache, 0, Protection::kParity,
+     "merged into the unified L1 (no separate array)"},
+    {MemoryStructure::kTextureMemory, 0, Protection::kParity,
+     "texture path shares the unified L1"},
+}};
+
+constexpr std::array<StructureSpec, 7> kH100Structures = {{
+    {MemoryStructure::kNone, 0, Protection::kUnprotected,
+     "control logic: queues, schedulers, dispatch, interconnect"},
+    {MemoryStructure::kDeviceMemory, 80 * kGiB, Protection::kSecded, "80 GB HBM3 stacks"},
+    {MemoryStructure::kRegisterFile, 132 * 256 * 1024ULL, Protection::kSecded,
+     "256 KB registers per SM"},
+    {MemoryStructure::kL2Cache, 50 * kMiB, Protection::kSecded, "50 MB shared L2"},
+    {MemoryStructure::kL1Shared, 132 * 256 * 1024ULL, Protection::kSecded,
+     "256 KB unified L1/shared per SM"},
+    {MemoryStructure::kReadOnlyCache, 0, Protection::kParity,
+     "merged into the unified L1 (no separate array)"},
+    {MemoryStructure::kTextureMemory, 0, Protection::kParity,
+     "texture path shares the unified L1"},
+}};
+
+constexpr std::array<ErrorKind, 3> kModernSpatial = {
+    ErrorKind::kDoubleBitError, ErrorKind::kOffTheBus, ErrorKind::kNvLinkError};
+
+constexpr std::array<ErrorKind, 9> kModernMatrix = {
+    ErrorKind::kGraphicsEngineException, ErrorKind::kMemoryPageFault,
+    ErrorKind::kGpuStoppedProcessing,    ErrorKind::kPreemptiveCleanup,
+    ErrorKind::kDoubleBitError,          ErrorKind::kRowRemap,
+    ErrorKind::kNvLinkError,             ErrorKind::kOffTheBus,
+    ErrorKind::kSilentDataCorruption};
+
+/// Error taxonomy shared by the Ampere/Hopper-era profiles: ECC kinds keep
+/// their roles but move to the modern XID vocabulary (94 contained ECC, 79
+/// off-the-bus), page retirement is replaced by row remapping, and the
+/// NVLink / SDC kinds activate.  Display-engine and video-memory kinds,
+/// plus the Titan-specific XID 59/62 halts, never fire.
+void apply_modern_errors(FleetProfile& p) {
+  for (const xid::ErrorInfo& info : xid::all_errors()) {
+    ErrorSpec& spec = p.errors[static_cast<std::size_t>(info.kind)];
+    spec.active = false;
+    spec.xid = info.xid;
+    spec.name = info.name;
+    spec.klass = info.klass;
+  }
+  auto activate = [&p](ErrorKind kind, std::optional<int> code, std::string_view name) {
+    ErrorSpec& spec = p.errors[static_cast<std::size_t>(kind)];
+    spec.active = true;
+    if (code) spec.xid = code;
+    if (!name.empty()) spec.name = name;
+  };
+  activate(ErrorKind::kSingleBitError, std::nullopt, {});
+  activate(ErrorKind::kDoubleBitError, 94, "Contained uncorrectable ECC error");
+  activate(ErrorKind::kOffTheBus, 79, "GPU has fallen off the bus");
+  activate(ErrorKind::kRowRemap, 63, {});
+  activate(ErrorKind::kRowRemapFailed, 64, {});
+  activate(ErrorKind::kNvLinkError, 74, {});
+  activate(ErrorKind::kSilentDataCorruption, std::nullopt, {});
+  activate(ErrorKind::kGraphicsEngineException, std::nullopt, {});
+  activate(ErrorKind::kMemoryPageFault, std::nullopt, {});
+  activate(ErrorKind::kDriverFirmware, std::nullopt, {});
+  activate(ErrorKind::kGpuStoppedProcessing, std::nullopt, {});
+  activate(ErrorKind::kCtxSwitchFault, std::nullopt, {});
+  activate(ErrorKind::kPreemptiveCleanup, std::nullopt, {});
+  p.spatial_kinds = kModernSpatial;
+  p.matrix_kinds = kModernMatrix;
+}
+
+/// Fault-process parameters shared by the modern profiles.  Rate shapes
+/// follow the two PAPERS.md fleet studies ("Story of Two GPUs" for the
+/// XID mix and NVLink dominance, the SDC anatomy study for sdc_per_day);
+/// EXPERIMENTS.md records the derivations.
+void apply_modern_fault_base(fault::FaultModelParams& f) {
+  f.repair_policy = fault::MemoryRepairPolicy::kRowRemapping;
+  // HBM behind on-die repair: manifest uncorrectable errors are rarer
+  // than Titan's GDDR5 per-card rate, and the solder-joint OTB epidemic
+  // (a Titan system-integration defect) does not recur -- only a small
+  // residual bus-error process remains (XID 79).
+  f.otb_defect_probability = 0.0;
+  f.otb_residual_per_day = 0.02;
+  // Modern InfoROM/driver stack records repairs far more reliably.
+  f.retirement_logged_after_dbe = 0.92;
+  f.dbe_inforom_loss_probability = 0.05;
+  // Titan-specific processes that have no modern analog.
+  f.xid59_per_day_old_driver = 0.0;
+  f.xid62_per_day_new_driver = 0.0;
+  f.xid32_total = 0;
+  f.xid38_total = 2;
+  f.xid42_total = 0;
+  f.xid56_total = 0;
+  f.xid57_total = 0;
+  f.xid58_total = 0;
+  f.xid65_total = 0;
+}
+
+FleetProfile make_a100() {
+  FleetProfile p;
+  p.name = "a100";
+  p.display_name = "Ampere fleet / A100-SXM4-40GB";
+  p.gpu.chip = "A100-SXM4-40GB (GA100)";
+  p.gpu.sm_count = 108;
+  p.gpu.device_memory_bytes = 40 * kGiB;
+  p.gpu.page_bytes = 4096;  // row-remap granularity: one HBM row
+  p.gpu.device_pages = static_cast<std::uint32_t>(40 * kGiB / 4096);  // 10,485,760
+  p.gpu.retired_page_capacity = 512;  // spare rows across all banks
+  p.gpu.structures = kA100Structures;
+  apply_modern_errors(p);
+  apply_modern_fault_base(p.fault);
+  p.fault.dbe_mtbf_hours = 320.0;
+  p.fault.nvlink_per_day = 0.6;
+  p.fault.sdc_per_day = 0.05;
+  p.fault.device_pages = p.gpu.device_pages;
+  p.fault.retired_page_capacity = p.gpu.retired_page_capacity;
+  p.fault.fleet_node_fraction = 0.25;
+  return p;
+}
+
+FleetProfile make_h100() {
+  FleetProfile p;
+  p.name = "h100";
+  p.display_name = "Hopper fleet / H100-SXM5-80GB";
+  p.gpu.chip = "H100-SXM5-80GB (GH100)";
+  p.gpu.sm_count = 132;
+  p.gpu.device_memory_bytes = 80 * kGiB;
+  p.gpu.page_bytes = 4096;
+  p.gpu.device_pages = static_cast<std::uint32_t>(80 * kGiB / 4096);  // 20,971,520
+  p.gpu.retired_page_capacity = 512;
+  p.gpu.structures = kH100Structures;
+  apply_modern_errors(p);
+  apply_modern_fault_base(p.fault);
+  // The H100 study observed a hotter uncorrectable-ECC and NVLink error
+  // mix than A100 at matched scale, and roughly double the SDC incidence.
+  p.fault.dbe_mtbf_hours = 240.0;
+  p.fault.nvlink_per_day = 1.2;
+  p.fault.sdc_per_day = 0.12;
+  p.fault.device_pages = p.gpu.device_pages;
+  p.fault.retired_page_capacity = p.gpu.retired_page_capacity;
+  p.fault.fleet_node_fraction = 0.125;
+  return p;
+}
+
+// ------------------------------------------------------ content hash ----
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_sv(std::string& out, std::string_view v) {
+  put_u64(out, v.size());
+  out.append(v);
+}
+
+void put_fault(std::string& out, const fault::FaultModelParams& f) {
+  put_f64(out, f.dbe_mtbf_hours);
+  put_f64(out, f.dbe_device_share);
+  put_f64(out, f.dbe_thermal_factor);
+  put_f64(out, f.dbe_card_sigma);
+  put_f64(out, f.otb_defect_probability);
+  put_f64(out, f.otb_manifest_probability);
+  put_f64(out, f.otb_thermal_factor);
+  put_f64(out, f.otb_residual_per_day);
+  put_f64(out, f.sbe_prone_probability);
+  put_f64(out, f.sbe_background_median_per_day);
+  put_f64(out, f.sbe_background_sigma);
+  put_f64(out, f.weak_card_probability_given_prone);
+  put_f64(out, f.weak_cell_median_per_day);
+  put_f64(out, f.weak_cell_sigma);
+  put_f64(out, f.weak_cell_device_share);
+  put_u64(out, static_cast<std::uint64_t>(f.weak_cells_min));
+  put_u64(out, static_cast<std::uint64_t>(f.weak_cells_max));
+  put_f64(out, f.sbe_idle_acceptance);
+  put_f64(out, f.sbe_duty_acceptance);
+  put_f64(out, f.retirement_logged_after_dbe);
+  put_f64(out, f.retirement_fast_max_s);
+  put_f64(out, f.dbe_inforom_loss_probability);
+  put_f64(out, f.debug_job_xid13_probability);
+  put_f64(out, f.debug_job_xid31_probability);
+  put_f64(out, f.xid13_followed_by_43);
+  put_f64(out, f.xid43_followed_by_45);
+  put_f64(out, f.dbe_followed_by_45);
+  put_f64(out, f.job_propagation_window_s);
+  put_f64(out, f.xid43_per_day);
+  put_f64(out, f.xid44_per_day);
+  put_f64(out, f.xid59_per_day_old_driver);
+  put_f64(out, f.xid62_per_day_new_driver);
+  put_u64(out, static_cast<std::uint64_t>(f.xid32_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid38_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid42_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid56_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid57_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid58_total));
+  put_u64(out, static_cast<std::uint64_t>(f.xid65_total));
+  put_u64(out, f.hot_spare_pull_threshold);
+  put_u64(out, static_cast<std::uint64_t>(f.maintenance_day_of_month));
+  put_f64(out, f.bad_node_xid13_per_day);
+  put_u64(out, static_cast<std::uint64_t>(f.bad_node_active_months));
+  put_u64(out, static_cast<std::uint64_t>(f.repair_policy));
+  put_u64(out, f.device_pages);
+  put_u64(out, f.retired_page_capacity);
+  put_f64(out, f.nvlink_per_day);
+  put_f64(out, f.sdc_per_day);
+  put_f64(out, f.fleet_node_fraction);
+}
+
+}  // namespace
+
+std::string_view FleetProfile::description(xid::ErrorKind kind) const noexcept {
+  const std::string_view own = spec(kind).name;
+  return own.empty() ? xid::info(kind).name : own;
+}
+
+std::vector<xid::ErrorKind> FleetProfile::active_kinds() const {
+  std::vector<xid::ErrorKind> out;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i].active) out.push_back(static_cast<xid::ErrorKind>(i));
+  }
+  return out;
+}
+
+xid::ErrorKind FleetProfile::repair_recorded_kind() const noexcept {
+  return fault.repair_policy == fault::MemoryRepairPolicy::kRowRemapping
+             ? xid::ErrorKind::kRowRemap
+             : xid::ErrorKind::kPageRetirement;
+}
+
+xid::ErrorKind FleetProfile::repair_failed_kind() const noexcept {
+  return fault.repair_policy == fault::MemoryRepairPolicy::kRowRemapping
+             ? xid::ErrorKind::kRowRemapFailed
+             : xid::ErrorKind::kPageRetirementFailed;
+}
+
+std::uint64_t FleetProfile::content_hash() const {
+  std::string canon;
+  canon.reserve(1024);
+  put_sv(canon, name);
+  put_sv(canon, display_name);
+  put_sv(canon, gpu.chip);
+  put_u64(canon, static_cast<std::uint64_t>(gpu.sm_count));
+  put_u64(canon, gpu.device_memory_bytes);
+  put_u64(canon, gpu.page_bytes);
+  put_u64(canon, gpu.device_pages);
+  put_u64(canon, gpu.retired_page_capacity);
+  for (const gpu::StructureSpec& s : gpu.structures) {
+    put_u64(canon, static_cast<std::uint64_t>(s.structure));
+    put_u64(canon, s.bytes);
+    put_u64(canon, static_cast<std::uint64_t>(s.protection));
+  }
+  for (const ErrorSpec& e : errors) {
+    put_u64(canon, e.active ? 1 : 0);
+    put_u64(canon, e.xid ? static_cast<std::uint64_t>(*e.xid) + 1 : 0);
+    put_sv(canon, e.name);
+    put_u64(canon, static_cast<std::uint64_t>(e.klass));
+  }
+  put_fault(canon, fault);
+  for (const xid::ErrorKind k : spatial_kinds) put_u64(canon, static_cast<std::uint64_t>(k));
+  for (const xid::ErrorKind k : matrix_kinds) put_u64(canon, static_cast<std::uint64_t>(k));
+  return stats::hash_label(canon);
+}
+
+const FleetProfile& k20x_titan() {
+  static const FleetProfile p = make_k20x();
+  return p;
+}
+
+const FleetProfile& a100() {
+  static const FleetProfile p = make_a100();
+  return p;
+}
+
+const FleetProfile& h100() {
+  static const FleetProfile p = make_h100();
+  return p;
+}
+
+std::span<const FleetProfile* const> builtin_profiles() {
+  static const std::array<const FleetProfile*, 3> all = {&k20x_titan(), &a100(), &h100()};
+  return all;
+}
+
+const FleetProfile* find_profile(std::string_view name) {
+  for (const FleetProfile* p : builtin_profiles()) {
+    if (p->name == name) return p;
+  }
+  return nullptr;
+}
+
+std::string profile_names() {
+  std::string out;
+  for (const FleetProfile* p : builtin_profiles()) {
+    if (!out.empty()) out += ", ";
+    out += p->name;
+  }
+  return out;
+}
+
+}  // namespace titan::profile

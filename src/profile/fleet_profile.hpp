@@ -1,0 +1,113 @@
+// Pluggable fleet profiles: everything the pipeline used to hardcode
+// about Titan's K20X fleet -- the GPU structural model, the active error
+// taxonomy with its per-fleet XID vocabulary, the fault-process
+// calibration and the fleet topology scale -- bundled into one value
+// type that is threaded through campaign generation, console rendering,
+// dataset serialization and the analysis registry.
+//
+// Three built-ins ship:
+//   k20x-titan   the paper's fleet.  Contract: running any study under
+//                this profile is BYTE-IDENTICAL to the pre-profile code
+//                (same named-RNG streams, same calibration defaults, same
+//                report bytes) -- enforced by tests/profile_golden_test.
+//   a100         an Ampere-era fleet (row remapping, NVLink, SDC),
+//                rate shapes from "Story of Two GPUs" (PAPERS.md).
+//   h100         a Hopper-era fleet, same sources; hotter NVLink/SDC.
+//
+// Datasets record the active profile (name + content hash) in the TDF
+// meta segment and the text manifest; loading under a different profile
+// raises E_PROFILE_MISMATCH (fatal strict, warn-and-adopt under salvage).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/model_params.hpp"
+#include "gpu/k20x.hpp"
+#include "xid/event.hpp"
+#include "xid/taxonomy.hpp"
+
+namespace titan::profile {
+
+/// One error kind's standing in a fleet: whether the fleet's processes
+/// can produce it, which XID code (if any) its driver stack assigns, and
+/// the console wording.  Inactive kinds never appear in that fleet's
+/// event stream and are skipped by profile-driven report tables.
+struct ErrorSpec {
+  bool active = false;
+  std::optional<int> xid;
+  std::string_view name;  ///< console-line description wording
+  xid::ErrorClass klass = xid::ErrorClass::kHardware;
+};
+
+/// GPU structural model: capacities and repair granularity.
+struct GpuModel {
+  std::string_view chip;
+  int sm_count = 0;
+  std::uint64_t device_memory_bytes = 0;
+  std::uint64_t page_bytes = 0;        ///< retirement/remap granularity
+  std::uint32_t device_pages = 0;      ///< device_memory_bytes / page_bytes
+  std::uint64_t retired_page_capacity = 0;
+  /// ECC-relevant structures (whole-GPU capacities, Protection scheme).
+  std::span<const gpu::StructureSpec> structures;
+};
+
+struct FleetProfile {
+  std::string_view name;          ///< CLI / manifest key ("k20x-titan")
+  std::string_view display_name;  ///< report wording ("Titan / Tesla K20X")
+  GpuModel gpu{};
+  /// Error taxonomy, indexed by xid::ErrorKind.
+  std::array<ErrorSpec, xid::kErrorKindCount> errors{};
+  /// Fault-process calibration, incl. repair_policy, device_pages and the
+  /// fleet_node_fraction topology hook.
+  fault::FaultModelParams fault{};
+  /// Kinds the spatial-distribution analysis maps (paper Figs. 3/5).
+  std::span<const xid::ErrorKind> spatial_kinds;
+  /// Kinds the follow-on correlation matrix covers (paper Fig. 13).
+  std::span<const xid::ErrorKind> matrix_kinds;
+
+  [[nodiscard]] const ErrorSpec& spec(xid::ErrorKind kind) const noexcept {
+    return errors[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] bool active(xid::ErrorKind kind) const noexcept {
+    return spec(kind).active;
+  }
+  /// Console description for a kind: the profile wording when set, the
+  /// global taxonomy wording otherwise (inactive kinds in foreign data).
+  [[nodiscard]] std::string_view description(xid::ErrorKind kind) const noexcept;
+
+  /// Active kinds in ErrorKind declaration order (report table order).
+  [[nodiscard]] std::vector<xid::ErrorKind> active_kinds() const;
+
+  /// The repair-recording event pair this fleet emits: XID 63/64 page
+  /// retirement, or REMAP/REMAPF row remapping.
+  [[nodiscard]] xid::ErrorKind repair_recorded_kind() const noexcept;
+  [[nodiscard]] xid::ErrorKind repair_failed_kind() const noexcept;
+
+  /// FNV-1a over a canonical serialization of every field that affects
+  /// generated or rendered bytes.  Recorded in datasets and compared on
+  /// load: two builds agree on the hash iff they agree on the profile.
+  [[nodiscard]] std::uint64_t content_hash() const;
+};
+
+/// Built-in profiles (stable singletons; pointers remain valid for the
+/// process lifetime).
+[[nodiscard]] const FleetProfile& k20x_titan();
+[[nodiscard]] const FleetProfile& a100();
+[[nodiscard]] const FleetProfile& h100();
+
+/// All built-ins, in documentation order.
+[[nodiscard]] std::span<const FleetProfile* const> builtin_profiles();
+
+/// Lookup by manifest/CLI name; nullptr when unknown.
+[[nodiscard]] const FleetProfile* find_profile(std::string_view name);
+
+/// "k20x-titan, a100, h100" -- for CLI usage text.
+[[nodiscard]] std::string profile_names();
+
+}  // namespace titan::profile

@@ -1,0 +1,187 @@
+#include "study/comparative.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "render/ascii.hpp"
+#include "study/registry.hpp"
+#include "study/source.hpp"
+
+namespace titan::study {
+
+namespace {
+
+using xid::ErrorKind;
+
+/// JSON value of one analysis in a column's report, or nullptr.
+const JsonValue* analysis_json(const StudyReport& report, std::string_view name) {
+  const auto* result = report.find(name);
+  return result == nullptr ? nullptr : &result->json;
+}
+
+/// "frequency" census entry for a kind, or nullptr when the kind never
+/// fired in that fleet (the kernel skips zero-count kinds).
+const JsonValue* kind_entry(const StudyReport& report, ErrorKind kind) {
+  const auto* freq = analysis_json(report, "frequency");
+  if (freq == nullptr) return nullptr;
+  const auto* kinds = freq->find("kinds");
+  return kinds == nullptr ? nullptr : kinds->find(xid::token(kind));
+}
+
+constexpr std::string_view kMissing = "-";
+
+std::string count_cell(const StudyReport& report, ErrorKind kind) {
+  const auto* entry = kind_entry(report, kind);
+  if (entry == nullptr) return std::string{kMissing};
+  return std::to_string(entry->at("events").as_uint());
+}
+
+std::string mtbf_cell(const StudyReport& report, ErrorKind kind) {
+  const auto* entry = kind_entry(report, kind);
+  if (entry == nullptr) return std::string{kMissing};
+  return render::fmt_double(entry->at("mtbf_hours").as_double(), 1);
+}
+
+std::uint64_t total_events(const StudyReport& report) {
+  std::uint64_t total = 0;
+  if (const auto* freq = analysis_json(report, "frequency")) {
+    if (const auto* kinds = freq->find("kinds")) {
+      for (const auto& [token, entry] : kinds->members()) {
+        total += entry.at("events").as_uint();
+      }
+    }
+  }
+  return total;
+}
+
+/// One metric row: label plus a cell-extractor applied per column.
+struct MetricRow {
+  std::string label;
+  std::string (*cell)(const ComparativeReport::Column&);
+};
+
+std::string repair_count_cell(const ComparativeReport::Column& column) {
+  return count_cell(column.report, column.profile->repair_recorded_kind());
+}
+
+std::string retirement_cell(const ComparativeReport::Column& column, std::string_view key) {
+  const auto* retirement = analysis_json(column.report, "retirement");
+  if (retirement == nullptr) return std::string{kMissing};
+  return std::to_string(retirement->at(key).as_uint());
+}
+
+std::string interruption_rate_cell(const ComparativeReport::Column& column) {
+  const auto* interruption = analysis_json(column.report, "interruption");
+  if (interruption == nullptr) return std::string{kMissing};
+  const double jobs = interruption->at("total_jobs").as_double();
+  const double interrupted = interruption->at("interrupted_jobs").as_double();
+  return render::fmt_percent(jobs == 0.0 ? 0.0 : interrupted / jobs);
+}
+
+std::string mtti_cell(const ComparativeReport::Column& column) {
+  const auto* interruption = analysis_json(column.report, "interruption");
+  if (interruption == nullptr) return std::string{kMissing};
+  return render::fmt_double(interruption->at("full_machine_mtti_hours").as_double(), 2);
+}
+
+const MetricRow kRows[] = {
+    {"chip", [](const ComparativeReport::Column& c) {
+       return std::string{c.profile->gpu.chip};
+     }},
+    {"active error kinds", [](const ComparativeReport::Column& c) {
+       return std::to_string(c.profile->active_kinds().size());
+     }},
+    {"repair policy", [](const ComparativeReport::Column& c) {
+       return std::string{c.profile->fault.repair_policy ==
+                                  fault::MemoryRepairPolicy::kPageRetirement
+                              ? "page retirement"
+                              : "row remapping"};
+     }},
+    {"console events", [](const ComparativeReport::Column& c) {
+       return std::to_string(total_events(c.report));
+     }},
+    {"DBE events", [](const ComparativeReport::Column& c) {
+       return count_cell(c.report, ErrorKind::kDoubleBitError);
+     }},
+    {"DBE MTBF h", [](const ComparativeReport::Column& c) {
+       return mtbf_cell(c.report, ErrorKind::kDoubleBitError);
+     }},
+    {"OTB events", [](const ComparativeReport::Column& c) {
+       return count_cell(c.report, ErrorKind::kOffTheBus);
+     }},
+    {"NVLink events", [](const ComparativeReport::Column& c) {
+       return count_cell(c.report, ErrorKind::kNvLinkError);
+     }},
+    {"SDC events", [](const ComparativeReport::Column& c) {
+       return count_cell(c.report, ErrorKind::kSilentDataCorruption);
+     }},
+    {"memory repairs", repair_count_cell},
+    {"repairs within 10 min of DBE", [](const ComparativeReport::Column& c) {
+       return retirement_cell(c, "within_10min");
+     }},
+    {"job interruption rate", interruption_rate_cell},
+    {"full-machine MTTI h", mtti_cell},
+};
+
+}  // namespace
+
+std::string ComparativeReport::text() const {
+  std::vector<std::string> header = {"metric"};
+  for (const auto& column : columns) header.push_back(std::string{column.profile->name});
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(std::size(kRows));
+  for (const auto& metric : kRows) {
+    std::vector<std::string> row = {metric.label};
+    for (const auto& column : columns) row.push_back(metric.cell(column));
+    rows.push_back(std::move(row));
+  }
+
+  std::string out = "fleet comparison (" + std::to_string(columns.size()) +
+                    " profiles, seed " + std::to_string(seed) + ")\n";
+  out += render::table(header, rows);
+  return out;
+}
+
+std::string ComparativeReport::json() const {
+  auto period_json = JsonValue::object();
+  period_json.set("begin", period.begin).set("end", period.end);
+
+  auto profiles = JsonValue::array();
+  for (const auto& column : columns) {
+    auto metrics = JsonValue::object();
+    for (const auto& metric : kRows) metrics.set(metric.label, metric.cell(column));
+    auto entry = JsonValue::object();
+    entry.set("name", column.profile->name)
+        .set("display_name", column.profile->display_name)
+        .set("content_hash", column.profile->content_hash())
+        .set("metrics", std::move(metrics));
+    profiles.push(std::move(entry));
+  }
+
+  auto root = JsonValue::object();
+  root.set("period", std::move(period_json))
+      .set("seed", seed)
+      .set("profiles", std::move(profiles));
+  return root.dump();
+}
+
+ComparativeReport compare_fleets(std::span<const profile::FleetProfile* const> profiles,
+                                 const core::FacilityConfig& base) {
+  if (profiles.empty()) {
+    throw std::invalid_argument{"compare_fleets: need at least one profile"};
+  }
+
+  ComparativeReport out;
+  out.period = base.period;
+  out.seed = base.seed;
+  for (const auto* fleet : profiles) {
+    auto config = base;
+    core::apply_profile(config, *fleet);
+    const auto context = SimulatedSource{config}.load();
+    out.columns.push_back({fleet, AnalysisRegistry::standard().run_all(context)});
+  }
+  return out;
+}
+
+}  // namespace titan::study

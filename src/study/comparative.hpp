@@ -1,0 +1,50 @@
+// ComparativeReport: one analysis sweep per fleet profile, rendered side
+// by side.
+//
+// compare_fleets runs the same simulated campaign (same seed, same
+// period) under each profile, sweeps the full AnalysisRegistry over each
+// context, and keeps the per-profile StudyReports plus a compact
+// headline-metric table with one column per fleet.  Everything renders
+// deterministically (render::table, std::to_chars numbers, profiles in
+// caller order), so the comparison bytes are stable across runs and
+// titan::par widths.  Metrics an analysis cannot provide for a fleet
+// (e.g. NVLink counts on a fleet without NVLink) render as "-".
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "profile/fleet_profile.hpp"
+#include "study/report.hpp"
+
+namespace titan::study {
+
+struct ComparativeReport {
+  struct Column {
+    const profile::FleetProfile* profile = nullptr;  ///< never null
+    StudyReport report;                              ///< full registry sweep
+  };
+
+  stats::StudyPeriod period{};
+  std::uint64_t seed = 0;
+  std::vector<Column> columns;  ///< caller's profile order
+
+  /// Headline-metric table: one row per metric, one column per profile.
+  [[nodiscard]] std::string text() const;
+
+  /// Compact JSON: {"period": ..., "seed": ..., "profiles": [{"name",
+  /// "chip", "metrics": {...}}, ...]} -- metrics mirror the text table.
+  [[nodiscard]] std::string json() const;
+};
+
+/// Run the base config's campaign under each profile (apply_profile per
+/// column: the profile's fault calibration replaces the base campaign
+/// model) and sweep every analysis the simulated context can feed.
+/// Throws std::invalid_argument on an empty profile list.
+[[nodiscard]] ComparativeReport compare_fleets(
+    std::span<const profile::FleetProfile* const> profiles,
+    const core::FacilityConfig& base);
+
+}  // namespace titan::study

@@ -21,6 +21,7 @@
 #include "analysis/event_frame.hpp"
 #include "core/facility.hpp"
 #include "ingest/triage.hpp"
+#include "profile/fleet_profile.hpp"
 #include "logsim/joblog.hpp"
 #include "logsim/smi.hpp"
 #include "parse/console.hpp"
@@ -40,6 +41,11 @@ enum Capability : unsigned {
 };
 
 struct StudyContext {
+  /// Fleet profile the data was generated (or recorded) under.  Never
+  /// null; points at a process-lifetime singleton.  Analysis kernels
+  /// read their kind lists, descriptions and repair policy from here.
+  const profile::FleetProfile* profile = &profile::k20x_titan();
+
   stats::StudyPeriod period{};
   /// Retirement accounting cutoff (the paper's "only after Jan'2014"
   /// rule); the new-driver date for simulated runs, from the dataset

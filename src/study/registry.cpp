@@ -70,15 +70,15 @@ AnalysisResult kernel_frequency(const StudyContext& context) {
   const std::vector<std::string> header = {"kind", "events", "mtbf h", "median gap h",
                                            "dispersion"};
   std::vector<std::vector<std::string>> rows;
-  for (const auto& info : xid::all_errors()) {
-    const auto count = context.frame.count_of(info.kind);
+  for (const auto kind : context.profile->active_kinds()) {
+    const auto count = context.frame.count_of(kind);
     if (count == 0) continue;
-    const auto mtbf = analysis::kind_mtbf(context.frame, info.kind, begin, end);
+    const auto mtbf = analysis::kind_mtbf(context.frame, kind, begin, end);
     const double dispersion =
-        analysis::daily_dispersion_index(context.frame, info.kind, begin, end);
-    const auto series = analysis::monthly_frequency(context.frame, info.kind, begin, end);
+        analysis::daily_dispersion_index(context.frame, kind, begin, end);
+    const auto series = analysis::monthly_frequency(context.frame, kind, begin, end);
 
-    rows.push_back({kind_token(info.kind), std::to_string(count),
+    rows.push_back({kind_token(kind), std::to_string(count),
                     render::fmt_double(mtbf.mtbf_hours, 1),
                     render::fmt_double(mtbf.median_gap_hours, 1),
                     render::fmt_double(dispersion, 2)});
@@ -89,7 +89,7 @@ AnalysisResult kernel_frequency(const StudyContext& context) {
         .set("median_gap_hours", mtbf.median_gap_hours)
         .set("dispersion", dispersion)
         .set("monthly", sequence_json(std::span<const std::uint64_t>{series.counts}));
-    kinds_json.set(kind_token(info.kind), std::move(entry));
+    kinds_json.set(kind_token(kind), std::move(entry));
   }
 
   out.text = render::table(header, rows);
@@ -106,7 +106,7 @@ AnalysisResult kernel_frequency(const StudyContext& context) {
 AnalysisResult kernel_spatial(const StudyContext& context) {
   AnalysisResult out{.name = "spatial", .text = {}, .json = JsonValue::object()};
 
-  for (const auto kind : {ErrorKind::kDoubleBitError, ErrorKind::kOffTheBus}) {
+  for (const auto kind : context.profile->spatial_kinds) {
     const auto grid = analysis::cabinet_heatmap(context.frame, kind);
     const auto cages = analysis::cage_distribution(context.frame, kind);
 
@@ -149,7 +149,7 @@ AnalysisResult kernel_spatial(const StudyContext& context) {
 
 AnalysisResult kernel_xid_matrix(const StudyContext& context) {
   AnalysisResult out{.name = "xid_matrix", .text = {}, .json = JsonValue::object()};
-  const auto kinds = analysis::fig13_kinds();
+  const auto kinds = context.profile->matrix_kinds;
   const auto with_same = analysis::follow_matrix(context.frame, kinds, 300.0, true);
   const auto cross_only = analysis::follow_matrix(context.frame, kinds, 300.0, false);
   const auto labels = with_same.labels();
@@ -219,8 +219,9 @@ AnalysisResult kernel_sbe_study(const StudyContext& context) {
 
 AnalysisResult kernel_retirement(const StudyContext& context) {
   AnalysisResult out{.name = "retirement", .text = {}, .json = JsonValue::object()};
-  const auto delays =
-      analysis::retirement_delay_study(context.frame, context.accounting_from);
+  const auto delays = analysis::retirement_delay_study(
+      context.frame, context.accounting_from, ErrorKind::kDoubleBitError,
+      context.profile->repair_recorded_kind());
 
   const std::vector<std::string> header = {"delay since last DBE", "retirements"};
   const std::vector<std::vector<std::string>> rows = {

@@ -35,12 +35,15 @@ std::size_t write_shard(const fs::path& dir, std::size_t shard, const tdf::TdfDa
 
 std::vector<std::string> manifest_header(stats::TimeSec begin, stats::TimeSec end,
                                          stats::TimeSec accounting_from,
+                                         const profile::FleetProfile& profile,
                                          std::size_t shard_count) {
   return {
       std::string{ingest::kDatasetManifestHeader},
       "period_begin " + std::to_string(begin),
       "period_end " + std::to_string(end),
       "accounting_from " + std::to_string(accounting_from),
+      "profile " + std::string{profile.name} + ' ' +
+          ingest::checksum_hex(profile.content_hash()),
       "shards " + std::to_string(shard_count),
   };
 }
@@ -54,8 +57,8 @@ ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
   fs::create_directories(dir);
 
   const stats::TimeSec accounting_from = config.campaign.timeline.new_driver;
-  auto manifest =
-      manifest_header(config.period.begin, config.period.end, accounting_from, shard_count);
+  auto manifest = manifest_header(config.period.begin, config.period.end, accounting_from,
+                                  *config.profile, shard_count);
 
   ShardedWriteStats out;
   out.shards = shard_count;
@@ -68,6 +71,8 @@ ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
     data.period_begin = config.period.begin;
     data.period_end = config.period.end;
     data.accounting_from = accounting_from;
+    data.profile_name = std::string{config.profile->name};
+    data.profile_hash = config.profile->content_hash();
     data.times = std::move(columns.times);
     data.nodes = std::move(columns.nodes);
     data.kinds = std::move(columns.kinds);
@@ -112,7 +117,7 @@ ShardedWriteStats write_sharded_dataset(const StudyContext& context,
   const bool have_jobs = context.truth.has_value() || !context.job_log.empty();
   const bool have_smi = context.truth.has_value() || context.has(kSnapshot);
   auto manifest = manifest_header(context.period.begin, context.period.end,
-                                  context.accounting_from, shard_count);
+                                  context.accounting_from, *context.profile, shard_count);
 
   ShardedWriteStats out;
   out.shards = shard_count;
@@ -129,6 +134,8 @@ ShardedWriteStats write_sharded_dataset(const StudyContext& context,
     data.period_begin = context.period.begin;
     data.period_end = context.period.end;
     data.accounting_from = context.accounting_from;
+    data.profile_name = std::string{context.profile->name};
+    data.profile_hash = context.profile->content_hash();
     data.times.reserve(hi - lo);
     data.nodes.reserve(hi - lo);
     data.kinds.reserve(hi - lo);

@@ -34,6 +34,47 @@ void triage_file(IngestPolicy policy, IngestReport& report, std::string_view fil
   report.add(file, 0, code, action, detail);
 }
 
+/// Resolve which fleet profile a loaded context runs under, validating
+/// the dataset's recording (when present) against the profile the load
+/// asked for (when given).  Any disagreement -- unknown recorded name,
+/// content-hash divergence, or recorded != requested -- is
+/// E_PROFILE_MISMATCH: fatal under kStrict, warn-and-adopt under
+/// kSalvage (the dataset's own profile wins when it resolves; the
+/// requested/default profile is the fallback otherwise).
+void resolve_profile(StudyContext& context, std::string_view source_file, bool recorded,
+                     std::string_view recorded_name, std::uint64_t recorded_hash,
+                     const profile::FleetProfile* expected, IngestPolicy policy,
+                     IngestReport& report) {
+  const profile::FleetProfile* fallback = expected ? expected : &profile::k20x_titan();
+  if (!recorded) {
+    context.profile = fallback;
+    return;
+  }
+  const profile::FleetProfile* dataset_profile = profile::find_profile(recorded_name);
+  if (dataset_profile == nullptr) {
+    triage_file(policy, report, source_file, TriageCode::kProfileMismatch,
+                SalvageAction::kIgnored,
+                "dataset records unknown fleet profile '" + std::string{recorded_name} +
+                    "' (this build knows: " + profile::profile_names() + ")");
+    context.profile = fallback;
+    return;
+  }
+  if (dataset_profile->content_hash() != recorded_hash) {
+    triage_file(policy, report, source_file, TriageCode::kProfileMismatch,
+                SalvageAction::kRepaired,
+                "dataset profile '" + std::string{recorded_name} + "' hash " +
+                    ingest::checksum_hex(recorded_hash) +
+                    " disagrees with this build's " +
+                    ingest::checksum_hex(dataset_profile->content_hash()));
+  } else if (expected != nullptr && expected != dataset_profile) {
+    triage_file(policy, report, source_file, TriageCode::kProfileMismatch,
+                SalvageAction::kRepaired,
+                "dataset was written under profile '" + std::string{recorded_name} +
+                    "' but the load requested '" + std::string{expected->name} + "'");
+  }
+  context.profile = dataset_profile;
+}
+
 /// Verify every checksum the manifest claims against on-disk bytes.
 /// A claimed-but-missing file and a content mismatch are both integrity
 /// findings (fatal under kStrict).  With `skip_tdf`, `.tdf` container
@@ -78,7 +119,7 @@ ingest::ManifestIngest load_manifest(const fs::path& dir, IngestPolicy policy,
 /// the EventFrame straight from them (no text parsing, no ParsedEvent
 /// intermediate for the frame).
 StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPolicy policy,
-                         IngestReport& report) {
+                         IngestReport& report, const profile::FleetProfile* expected) {
   const auto manifest = load_manifest(dir, policy, report, /*skip_tdf=*/true);
 
   auto data = tdf::read_tdf(tdf_path, policy, report);
@@ -129,6 +170,11 @@ StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPo
   std::error_code ec;
   const auto size = fs::file_size(tdf_path, ec);
   context.load_stats.tdf_bytes = ec ? 0 : static_cast<std::size_t>(size);
+
+  // Profile: the container's meta recording is authoritative (a manifest
+  // claim, when present, covered the container bytes via its checksum).
+  resolve_profile(context, tdf::kTdfFileName, !data.profile_name.empty(), data.profile_name,
+                  data.profile_hash, expected, policy, report);
   return context;
 }
 
@@ -141,7 +187,8 @@ StudyContext load_binary(const fs::path& dir, const fs::path& tdf_path, IngestPo
 /// monolithic container, at any shard count.  Per-shard resident decode
 /// state is one window, so shard containers beyond the whole-file read
 /// cap stream fine.
-StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport& report) {
+StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport& report,
+                          const profile::FleetProfile* expected) {
   const auto manifest = load_manifest(dir, policy, report, /*skip_tdf=*/true);
 
   // Shard roster: the manifest's `shards N` claim when present, else the
@@ -176,6 +223,11 @@ StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport
         readers[s].accounting_from() != readers[0].accounting_from()) {
       throw ingest::IngestError{readers[s].file_name(), 0, TriageCode::kTdfSegmentCorrupt,
                                 "meta study window disagrees with " + readers[0].file_name()};
+    }
+    if (readers[s].profile_name() != readers[0].profile_name() ||
+        readers[s].profile_hash() != readers[0].profile_hash()) {
+      throw ingest::IngestError{readers[s].file_name(), 0, TriageCode::kTdfSegmentCorrupt,
+                                "meta fleet profile disagrees with " + readers[0].file_name()};
     }
   }
 
@@ -284,10 +336,15 @@ StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport
     context.load_stats.tdf_segments += reader.segment_count();
     context.load_stats.tdf_bytes += static_cast<std::size_t>(reader.file_bytes());
   }
+
+  resolve_profile(context, readers[0].file_name(), !readers[0].profile_name().empty(),
+                  readers[0].profile_name(), readers[0].profile_hash(), expected, policy,
+                  report);
   return context;
 }
 
-StudyContext load_text(const fs::path& dir, IngestPolicy policy, IngestReport& report) {
+StudyContext load_text(const fs::path& dir, IngestPolicy policy, IngestReport& report,
+                       const profile::FleetProfile* expected) {
   const auto console_path = dir / "console.log";
   if (!fs::exists(console_path)) {
     // Fatal under either policy: with no console log there is nothing to
@@ -337,6 +394,9 @@ StudyContext load_text(const fs::path& dir, IngestPolicy policy, IngestReport& r
     context.load_stats.malformed_smi_blocks = sweep.malformed_blocks;
     context.capabilities |= kSnapshot;
   }
+
+  resolve_profile(context, "manifest.txt", manifest.have_profile, manifest.profile_name,
+                  manifest.profile_hash, expected, policy, report);
   return context;
 }
 
@@ -347,6 +407,7 @@ StudyContext SimulatedSource::load() const {
   context.truth = core::run_study(config_);
   const auto& truth = *context.truth;
 
+  context.profile = truth.config.profile;
   context.period = truth.config.period;
   context.accounting_from = truth.config.campaign.timeline.new_driver;
   context.events = analysis::as_parsed(truth.events);
@@ -373,9 +434,11 @@ StudyContext DatasetSource::load() const {
   // (dataset.shard-0.tdf ...) comes next; text artifacts are the fallback.
   const auto tdf_path = dir_ / std::string{tdf::kTdfFileName};
   StudyContext context =
-      fs::exists(tdf_path)                         ? load_binary(dir_, tdf_path, policy_, report)
-      : fs::exists(dir_ / tdf::shard_file_name(0)) ? load_sharded(dir_, policy_, report)
-                                                   : load_text(dir_, policy_, report);
+      fs::exists(tdf_path)
+          ? load_binary(dir_, tdf_path, policy_, report, expected_profile_)
+      : fs::exists(dir_ / tdf::shard_file_name(0))
+          ? load_sharded(dir_, policy_, report, expected_profile_)
+          : load_text(dir_, policy_, report, expected_profile_);
 
   // Only salvage loads carry the triage record into the report pipeline;
   // a strict load that got this far saw nothing fatal, and omitting the
@@ -444,6 +507,8 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
       "period_begin " + std::to_string(context.period.begin),
       "period_end " + std::to_string(context.period.end),
       "accounting_from " + std::to_string(context.accounting_from),
+      "profile " + std::string{context.profile->name} + ' ' +
+          ingest::checksum_hex(context.profile->content_hash()),
   };
   const auto claim = [&](std::string_view name) {
     const auto sum = ingest::content_checksum(read_all(dir / name));
@@ -466,6 +531,8 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
     data.period_begin = context.period.begin;
     data.period_end = context.period.end;
     data.accounting_from = context.accounting_from;
+    data.profile_name = std::string{context.profile->name};
+    data.profile_hash = context.profile->content_hash();
     data.times.reserve(context.events.size());
     data.nodes.reserve(context.events.size());
     data.kinds.reserve(context.events.size());

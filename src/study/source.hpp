@@ -66,11 +66,21 @@ class SimulatedSource final : public StudySource {
 /// ingest::IngestError naming file, line and taxonomy code.  Under
 /// kSalvage the load repairs what it can, quarantines the rest, and
 /// attaches the full ingest::IngestReport to the context.
+///
+/// Fleet-profile validation: datasets record the profile they were
+/// generated under (TDF meta segment, manifest `profile` line).  Passing
+/// `expected_profile` asserts the load runs under that profile: a
+/// disagreement with the recording -- different profile, unknown name, or
+/// a content-hash divergence -- is E_PROFILE_MISMATCH (fatal under
+/// kStrict; under kSalvage the load warns and adopts the dataset's
+/// recorded profile).  With the default nullptr the recorded profile is
+/// adopted silently; pre-profile datasets load as k20x-titan.
 class DatasetSource final : public StudySource {
  public:
   explicit DatasetSource(std::filesystem::path dir,
-                         ingest::IngestPolicy policy = ingest::IngestPolicy::kStrict)
-      : dir_{std::move(dir)}, policy_{policy} {}
+                         ingest::IngestPolicy policy = ingest::IngestPolicy::kStrict,
+                         const profile::FleetProfile* expected_profile = nullptr)
+      : dir_{std::move(dir)}, policy_{policy}, expected_profile_{expected_profile} {}
 
   [[nodiscard]] StudyContext load() const override;
   [[nodiscard]] std::string name() const override { return "dataset"; }
@@ -79,6 +89,7 @@ class DatasetSource final : public StudySource {
  private:
   std::filesystem::path dir_;
   ingest::IngestPolicy policy_;
+  const profile::FleetProfile* expected_profile_;
 };
 
 /// On-disk dataset representation write_dataset produces.

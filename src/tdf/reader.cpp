@@ -197,6 +197,8 @@ struct Meta {
   std::uint64_t event_count = 0;
   std::uint64_t flags = 0;
   stats::TimeSec smi_taken_at = 0;
+  std::string profile_name;  ///< empty when the container predates profiles
+  std::uint64_t profile_hash = 0;
 };
 
 Meta decode_meta(const DecodeContext& ctx, std::string_view body) {
@@ -213,6 +215,27 @@ Meta decode_meta(const DecodeContext& ctx, std::string_view body) {
   meta.event_count = load_u64(p + 24);
   meta.flags = load_u64(p + 32);
   meta.smi_taken_at = load_i64(p + 40);
+  // Fleet-profile extension (hash + name past the fixed prefix).  Bytes
+  // beyond the name are tolerated: a future extension can append the same
+  // way this one did.
+  if (body.size() > kTdfMetaSize) {
+    const unsigned char* q = p + kTdfMetaSize;
+    const unsigned char* end = p + body.size();
+    std::uint64_t name_len = 0;
+    std::size_t used = 0;
+    if (end - q >= 8) {
+      meta.profile_hash = load_u64(q);
+      q += 8;
+      used = read_varint(q, end, name_len);
+    }
+    const auto avail = static_cast<std::size_t>(end - q);
+    if (used == 0 || name_len > avail - used) {
+      ctx.required(TriageCode::kTdfSegmentCorrupt, "meta",
+                   "profile extension fails to decode");
+    }
+    meta.profile_name.assign(reinterpret_cast<const char*>(q + used),
+                             static_cast<std::size_t>(name_len));
+  }
   return meta;
 }
 
@@ -607,6 +630,8 @@ TdfDataset decode_tdf(std::string_view bytes, std::string_view file, IngestPolic
   data.period_begin = stream.meta.period_begin;
   data.period_end = stream.meta.period_end;
   data.accounting_from = stream.meta.accounting_from;
+  data.profile_name = stream.meta.profile_name;
+  data.profile_hash = stream.meta.profile_hash;
 
   // Whole-file decode: one window spanning every row, moved into place.
   EventWindow window;
@@ -675,6 +700,12 @@ stats::TimeSec SegmentReader::accounting_from() const noexcept {
 stats::TimeSec SegmentReader::smi_taken_at() const noexcept {
   return impl_->stream.meta.smi_taken_at;
 }
+const std::string& SegmentReader::profile_name() const noexcept {
+  return impl_->stream.meta.profile_name;
+}
+std::uint64_t SegmentReader::profile_hash() const noexcept {
+  return impl_->stream.meta.profile_hash;
+}
 bool SegmentReader::has_jobs() const noexcept {
   return (impl_->stream.meta.flags & kTdfFlagJobs) != 0;
 }
@@ -723,6 +754,8 @@ TdfInfo inspect_tdf(const fs::path& path) {
       info.period_begin = meta.period_begin;
       info.period_end = meta.period_end;
       info.accounting_from = meta.accounting_from;
+      info.profile_name = meta.profile_name;
+      info.profile_hash = meta.profile_hash;
       info.has_jobs = (meta.flags & kTdfFlagJobs) != 0;
       info.has_smi = (meta.flags & kTdfFlagSmi) != 0;
     }
@@ -737,6 +770,11 @@ std::string TdfInfo::summary_text() const {
   out += "period      : [" + std::to_string(period_begin) + ", " + std::to_string(period_end) +
          ")  accounting_from " + std::to_string(accounting_from) + "\n";
   out += "events      : " + std::to_string(event_count) + "\n";
+  if (!profile_name.empty()) {
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(profile_hash));
+    out += "profile     : " + profile_name + " (fnv1a " + hex + ")\n";
+  }
   out += "side data   : jobs " + std::string{has_jobs ? "yes" : "no"} + ", smi " +
          std::string{has_smi ? "yes" : "no"} + "\n";
   out += "segments    :\n";

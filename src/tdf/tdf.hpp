@@ -48,6 +48,11 @@ struct TdfDataset {
   stats::TimeSec period_end = 0;
   stats::TimeSec accounting_from = 0;
 
+  /// Fleet profile the dataset was generated under (meta-segment
+  /// extension; empty for containers written before profiles existed).
+  std::string profile_name;
+  std::uint64_t profile_hash = 0;
+
   // Event columns, stream order (one entry per event each).
   std::vector<stats::TimeSec> times;
   std::vector<topology::NodeId> nodes;
@@ -167,6 +172,9 @@ class SegmentReader {
   [[nodiscard]] stats::TimeSec period_end() const noexcept;
   [[nodiscard]] stats::TimeSec accounting_from() const noexcept;
   [[nodiscard]] stats::TimeSec smi_taken_at() const noexcept;
+  /// Recorded fleet profile; empty name for pre-profile containers.
+  [[nodiscard]] const std::string& profile_name() const noexcept;
+  [[nodiscard]] std::uint64_t profile_hash() const noexcept;
   [[nodiscard]] bool has_jobs() const noexcept;
   [[nodiscard]] bool has_smi() const noexcept;
   /// Segments present in the container's table (known kinds only).
@@ -197,6 +205,8 @@ struct TdfInfo {
   stats::TimeSec period_begin = 0;
   stats::TimeSec period_end = 0;
   stats::TimeSec accounting_from = 0;
+  std::string profile_name;  ///< empty for pre-profile containers
+  std::uint64_t profile_hash = 0;
   bool has_jobs = false;
   bool has_smi = false;
 

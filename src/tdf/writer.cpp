@@ -49,6 +49,13 @@ std::string encode_meta(const TdfDataset& data) {
   if (data.has_smi) flags |= kTdfFlagSmi;
   store_u64(body, flags);
   store_i64(body, data.snapshot.taken_at);
+  // Fleet-profile extension: appended past the fixed 48-byte prefix so
+  // pre-profile readers (which only require >= 48 bytes) stay compatible.
+  if (!data.profile_name.empty()) {
+    store_u64(body, data.profile_hash);
+    append_varint(body, data.profile_name.size());
+    body += data.profile_name;
+  }
   return body;
 }
 

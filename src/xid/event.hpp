@@ -31,7 +31,12 @@ enum class MemoryStructure : std::uint8_t {
   kTextureMemory,  ///< texture path (paper Fig. 3(c) category)
 };
 
-inline constexpr std::size_t kMemoryStructureCount = 7;
+/// Derived from the enum's last value (see kErrorKindCount): appending a
+/// structure can never silently truncate token/counter tables.
+inline constexpr std::size_t kMemoryStructureCount =
+    static_cast<std::size_t>(MemoryStructure::kTextureMemory) + 1;
+static_assert(kMemoryStructureCount == 7,
+              "update the structure token table when appending structures");
 
 /// Console-log decode token for a structure ("DRAM", "RF", ...).
 [[nodiscard]] std::string_view structure_token(MemoryStructure s) noexcept;

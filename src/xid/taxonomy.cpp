@@ -48,12 +48,25 @@ constexpr std::array<ErrorInfo, kErrorKindCount> kRegistry = {{
      ErrorClass::kSoftwareFirmware, kCauseDriver, true, false, false, false},
     {ErrorKind::kUcHaltNewDriver, 62, "Internal micro-controller halt (new driver, thermal)",
      ErrorClass::kSoftwareFirmware, kCauseDriver | kCauseThermal, true, false, true, false},
+    {ErrorKind::kNvLinkError, 74, "NVLink link error", ErrorClass::kHardware,
+     kCauseHardware | kCauseBusError | kCauseSystemIntegration, true, false, false, true},
+    {ErrorKind::kRowRemap, std::nullopt, "Row-remapping event recorded",
+     ErrorClass::kHardware, kCauseHardware, false, false, true, false},
+    {ErrorKind::kRowRemapFailed, std::nullopt, "Row-remapping recording failure",
+     ErrorClass::kHardware, kCauseHardware, false, false, true, false},
+    {ErrorKind::kSilentDataCorruption, std::nullopt,
+     "Silent data corruption (no XID; caught by redundant compute)",
+     ErrorClass::kHardware, kCauseHardware, false, false, false, false},
 }};
 
 constexpr std::array<std::string_view, kErrorKindCount> kTokens = {
     "SBE",   "DBE",   "OTB",   "XID56", "XID57", "XID58", "XID63", "XID64", "XID65", "XID13",
-    "XID31", "XID32", "XID38", "XID42", "XID43", "XID44", "XID45", "XID59", "XID62",
+    "XID31", "XID32", "XID38", "XID42", "XID43", "XID44", "XID45", "XID59", "XID62", "XID74",
+    "REMAP", "REMAPF", "SDC",
 };
+
+static_assert(kRegistry.back().kind == ErrorKind::kSilentDataCorruption,
+              "registry rows must stay in ErrorKind declaration order");
 
 constexpr std::array<ErrorKind, 8> kTable1 = {
     ErrorKind::kSingleBitError,   ErrorKind::kDoubleBitError,   ErrorKind::kOffTheBus,

@@ -44,9 +44,19 @@ enum class ErrorKind : std::uint8_t {
   kPreemptiveCleanup,       ///< XID 45
   kUcHaltOldDriver,         ///< XID 59 (old driver stack)
   kUcHaltNewDriver,         ///< XID 62 (new driver stack; thermal)
+  // Post-Titan kinds (A100/H100-era fleets; see src/profile).  Appended
+  // after the Titan rows so the 19 paper kinds keep their wire values.
+  kNvLinkError,             ///< XID 74: NVLink link error (no Titan analog)
+  kRowRemap,                ///< row-remapping recorded (A100+ replacement for 63)
+  kRowRemapFailed,          ///< row-remapping recording failure (analog of 64)
+  kSilentDataCorruption,    ///< SDC: no XID at all; detected by duplicate compute
 };
 
-inline constexpr std::size_t kErrorKindCount = 19;
+/// Derived from the enum's last value: adding a kind can never silently
+/// truncate the registry/token tables below.
+inline constexpr std::size_t kErrorKindCount =
+    static_cast<std::size_t>(ErrorKind::kSilentDataCorruption) + 1;
+static_assert(kErrorKindCount == 23, "update the taxonomy tables when appending kinds");
 
 /// High-level source classification matching the two paper tables.
 enum class ErrorClass : std::uint8_t {

@@ -1,0 +1,56 @@
+// Golden-equivalence gate for the profile refactor: a quick_config(7)
+// study under the k20x-titan profile must reproduce, byte for byte, the
+// report the pre-profile code emitted (fixtures committed before the
+// FleetProfile layer existed).  This is the contract that lets every
+// hardcoded K20X constant migrate behind the profile without moving a
+// single report byte.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "study/registry.hpp"
+#include "study/source.hpp"
+
+namespace titan {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << "missing golden fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const study::StudyReport& seed7_report() {
+  static const study::StudyReport report = [] {
+    const auto context =
+        study::SimulatedSource{core::quick_config(7, profile::k20x_titan())}.load();
+    return study::AnalysisRegistry::standard().run_all(context);
+  }();
+  return report;
+}
+
+TEST(ProfileGolden, K20xTextReportMatchesPreProfileFixture) {
+  const auto expected = slurp(std::string{TITANREL_GOLDEN_DIR} + "/k20x_quick_seed7.txt");
+  EXPECT_EQ(seed7_report().text(), expected);
+}
+
+TEST(ProfileGolden, K20xJsonReportMatchesPreProfileFixture) {
+  const auto expected = slurp(std::string{TITANREL_GOLDEN_DIR} + "/k20x_quick_seed7.json");
+  EXPECT_EQ(seed7_report().json(), expected);
+}
+
+// The default-config overloads must be profile-transparent too: omitting
+// the profile IS the k20x-titan profile.
+TEST(ProfileGolden, DefaultConfigEqualsExplicitK20x) {
+  const auto implicit = core::quick_config(7);
+  const auto explicit_ = core::quick_config(7, profile::k20x_titan());
+  EXPECT_EQ(implicit.profile, explicit_.profile);
+  EXPECT_EQ(implicit.seed, explicit_.seed);
+}
+
+}  // namespace
+}  // namespace titan

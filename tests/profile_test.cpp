@@ -1,0 +1,108 @@
+// FleetProfile unit tests: the built-in registry, the k20x-titan
+// equivalence contract (its specs ARE the XID taxonomy, its calibration
+// IS the default fault model), the modern fleets' error vocabularies,
+// and the content hash that datasets record.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fault/calibration.hpp"
+#include "gpu/k20x.hpp"
+#include "profile/fleet_profile.hpp"
+#include "xid/taxonomy.hpp"
+
+namespace titan {
+namespace {
+
+using xid::ErrorKind;
+
+TEST(FleetProfile, BuiltinRegistryResolvesAllThreeByName) {
+  EXPECT_EQ(profile::builtin_profiles().size(), 3U);
+  EXPECT_EQ(profile::find_profile("k20x-titan"), &profile::k20x_titan());
+  EXPECT_EQ(profile::find_profile("a100"), &profile::a100());
+  EXPECT_EQ(profile::find_profile("h100"), &profile::h100());
+  EXPECT_EQ(profile::find_profile("k40"), nullptr);
+  EXPECT_EQ(profile::find_profile(""), nullptr);
+  for (const auto* fleet : profile::builtin_profiles()) {
+    EXPECT_NE(profile::profile_names().find(std::string{fleet->name}), std::string::npos);
+  }
+}
+
+TEST(FleetProfile, K20xMirrorsTheXidTaxonomy) {
+  const auto& k20x = profile::k20x_titan();
+  for (const auto& info : xid::all_errors()) {
+    const auto& spec = k20x.spec(info.kind);
+    if (info.kind <= ErrorKind::kUcHaltNewDriver) {
+      EXPECT_TRUE(spec.active) << xid::token(info.kind);
+      EXPECT_EQ(spec.xid, info.xid) << xid::token(info.kind);
+      EXPECT_EQ(k20x.description(info.kind), info.name) << xid::token(info.kind);
+      EXPECT_EQ(spec.klass, info.klass) << xid::token(info.kind);
+    } else {
+      // Ampere/Hopper-era kinds never fire on Titan.
+      EXPECT_FALSE(spec.active) << xid::token(info.kind);
+    }
+  }
+  EXPECT_EQ(k20x.active_kinds().size(), 19U);
+}
+
+TEST(FleetProfile, K20xCalibrationIsTheDefaultFaultModel) {
+  const auto& k20x = profile::k20x_titan();
+  const fault::FaultModelParams defaults{};
+  EXPECT_EQ(k20x.fault.dbe_mtbf_hours, defaults.dbe_mtbf_hours);
+  EXPECT_EQ(k20x.fault.nvlink_per_day, defaults.nvlink_per_day);
+  EXPECT_EQ(k20x.fault.sdc_per_day, defaults.sdc_per_day);
+  EXPECT_EQ(k20x.fault.fleet_node_fraction, defaults.fleet_node_fraction);
+  EXPECT_EQ(k20x.fault.repair_policy, fault::MemoryRepairPolicy::kPageRetirement);
+  EXPECT_EQ(k20x.repair_recorded_kind(), ErrorKind::kPageRetirement);
+  EXPECT_EQ(k20x.repair_failed_kind(), ErrorKind::kPageRetirementFailed);
+  EXPECT_EQ(k20x.gpu.device_pages, fault::kDeviceMemoryPages);
+  EXPECT_EQ(k20x.gpu.device_memory_bytes, gpu::kDeviceMemoryBytes);
+  EXPECT_EQ(k20x.gpu.structures.size(), gpu::structures().size());
+}
+
+TEST(FleetProfile, ModernFleetsUseRowRemappingAndNewKinds) {
+  for (const auto* fleet : {&profile::a100(), &profile::h100()}) {
+    EXPECT_EQ(fleet->fault.repair_policy, fault::MemoryRepairPolicy::kRowRemapping);
+    EXPECT_EQ(fleet->repair_recorded_kind(), ErrorKind::kRowRemap);
+    EXPECT_EQ(fleet->repair_failed_kind(), ErrorKind::kRowRemapFailed);
+    EXPECT_TRUE(fleet->active(ErrorKind::kNvLinkError));
+    EXPECT_TRUE(fleet->active(ErrorKind::kSilentDataCorruption));
+    EXPECT_TRUE(fleet->active(ErrorKind::kRowRemap));
+    EXPECT_FALSE(fleet->active(ErrorKind::kPageRetirement));
+    EXPECT_FALSE(fleet->active(ErrorKind::kUcHaltOldDriver));
+    EXPECT_GT(fleet->fault.nvlink_per_day, 0.0);
+    EXPECT_GT(fleet->fault.sdc_per_day, 0.0);
+    // Page accounting stays self-consistent.
+    EXPECT_EQ(static_cast<std::uint64_t>(fleet->gpu.device_pages) * fleet->gpu.page_bytes,
+              fleet->gpu.device_memory_bytes);
+  }
+  // Hopper is the denser, hotter fleet of the two.
+  EXPECT_GT(profile::h100().fault.nvlink_per_day, profile::a100().fault.nvlink_per_day);
+  EXPECT_GT(profile::h100().gpu.device_memory_bytes, profile::a100().gpu.device_memory_bytes);
+}
+
+TEST(FleetProfile, InactiveKindsAreExcludedFromKindLists) {
+  for (const auto* fleet : profile::builtin_profiles()) {
+    for (const auto kind : fleet->active_kinds()) EXPECT_TRUE(fleet->active(kind));
+    for (const auto kind : fleet->spatial_kinds) EXPECT_TRUE(fleet->active(kind));
+    for (const auto kind : fleet->matrix_kinds) EXPECT_TRUE(fleet->active(kind));
+  }
+}
+
+TEST(FleetProfile, ContentHashIsStableAndDiscriminates) {
+  std::set<std::uint64_t> hashes;
+  for (const auto* fleet : profile::builtin_profiles()) {
+    EXPECT_EQ(fleet->content_hash(), fleet->content_hash());  // deterministic
+    hashes.insert(fleet->content_hash());
+  }
+  EXPECT_EQ(hashes.size(), profile::builtin_profiles().size());
+
+  // The hash covers the fault calibration: a perturbed copy diverges.
+  auto tweaked = profile::k20x_titan();
+  tweaked.fault.dbe_mtbf_hours += 1.0;
+  EXPECT_NE(tweaked.content_hash(), profile::k20x_titan().content_hash());
+}
+
+}  // namespace
+}  // namespace titan

@@ -183,6 +183,62 @@ TEST(DetThread, FlagsRawThreadingOutsideSrcPar) {
 }
 
 // ---------------------------------------------------------------------------
+// Profile-layer hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileHygiene, FlagsDirectK20xIncludeOutsideTheProfileLayer) {
+  const std::string body =
+      "#include \"gpu/k20x.hpp\"\n"
+      "int f() { return 0; }\n";
+  const auto result = lint_one("src/study/fixture.cpp", body);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/study/fixture.cpp:1: error[profile-hygiene]: direct include of "
+            "gpu/k20x.hpp outside the profile layer hardcodes the Titan fleet; take a "
+            "FleetProfile and use its .gpu model instead");
+
+  // The layers that define the door keep their access.
+  EXPECT_TRUE(lint_one("src/profile/fixture.cpp", body).diagnostics.empty());
+  EXPECT_TRUE(lint_one("src/gpu/fixture.cpp", body).diagnostics.empty());
+  // Tests, tools and benches are out of scope.
+  EXPECT_TRUE(lint_one("tests/fixture.cpp", body).diagnostics.empty());
+}
+
+TEST(ProfileHygiene, FlagsBareTaxonomyIterationButExemptsParsers) {
+  const std::string body =
+      "#include \"xid/taxonomy.hpp\"\n"
+      "int count() {\n"
+      "  int n = 0;\n"
+      "  for (const auto& info : xid::all_errors()) n += info.xid;\n"
+      "  return n;\n"
+      "}\n";
+  const auto result = lint_one("src/analysis/fixture.cpp", body);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/analysis/fixture.cpp:4: error[profile-hygiene]: bare "
+            "xid::all_errors() iterates every kind any fleet ever had; use "
+            "FleetProfile::active_kinds() so inactive kinds stay out of reports");
+
+  // Parsers must recognise every token any fleet ever wrote.
+  EXPECT_TRUE(lint_one("src/parse/fixture.cpp", body).diagnostics.empty());
+  // The taxonomy's own home stays free to enumerate itself.
+  EXPECT_TRUE(lint_one("src/xid/fixture.cpp", body).diagnostics.empty());
+}
+
+TEST(ProfileHygiene, AllowMarkerSuppresses) {
+  const auto result = lint_one(
+      "src/analysis/fixture.cpp",
+      "int f() {\n"
+      "  int n = 0;\n"
+      "  for (const auto& e : xid::all_errors()) ++n;  // titanlint: allow(profile-hygiene)\n"
+      "  return n;\n"
+      "}\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Capability cross-check.
 // ---------------------------------------------------------------------------
 

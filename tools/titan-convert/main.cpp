@@ -2,7 +2,8 @@
 // the binary TDF container (optionally re-sharding it), or inspect a
 // container.
 //
-//   titan-convert [--salvage] [--to text|binary] [--shards N] <src_dir> <dst_dir>
+//   titan-convert [--salvage] [--to text|binary] [--shards N] [--profile NAME]
+//                 <src_dir> <dst_dir>
 //   titan-convert --info <dataset_dir | dataset.tdf>
 //
 // Without --to, the conversion direction is inferred: a source directory
@@ -10,8 +11,9 @@
 // binary.  --shards N writes the destination as N shard containers
 // (dataset.shard-0.tdf ...; implies binary).  --salvage loads the source
 // under IngestPolicy::kSalvage (repair/quarantine with a triage report)
-// instead of strict.  --info on a sharded directory prints one segment
-// table per shard.
+// instead of strict.  --profile NAME asserts the source's recorded fleet
+// profile (a disagreement is E_PROFILE_MISMATCH).  --info on a sharded
+// directory prints one segment table per shard.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -20,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "profile/fleet_profile.hpp"
 #include "study/sharded.hpp"
 #include "study/source.hpp"
 #include "tdf/tdf.hpp"
@@ -32,8 +35,10 @@ using namespace titan;
 int usage() {
   std::fprintf(stderr,
                "usage: titan-convert [--salvage] [--to text|binary] [--shards N] "
-               "<src_dir> <dst_dir>\n"
-               "       titan-convert --info <dataset_dir | dataset.tdf>\n");
+               "[--profile NAME] <src_dir> <dst_dir>\n"
+               "       titan-convert --info <dataset_dir | dataset.tdf>\n"
+               "profiles: %s\n",
+               profile::profile_names().c_str());
   return 2;
 }
 
@@ -58,7 +63,7 @@ int info(const fs::path& arg) {
 }
 
 int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool salvage,
-            std::size_t shards) {
+            std::size_t shards, const profile::FleetProfile* expected) {
   const bool src_binary = fs::exists(src / std::string{tdf::kTdfFileName}) ||
                           fs::exists(src / tdf::shard_file_name(0));
   study::DatasetFormat format;
@@ -76,7 +81,8 @@ int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool 
   }
 
   const study::DatasetSource source{
-      src, salvage ? ingest::IngestPolicy::kSalvage : ingest::IngestPolicy::kStrict};
+      src, salvage ? ingest::IngestPolicy::kSalvage : ingest::IngestPolicy::kStrict,
+      expected};
   const auto context = source.load();
   const char* dst_kind = "text";
   if (shards > 0) {
@@ -89,6 +95,7 @@ int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool 
 
   std::printf("converted %s (%s) -> %s (%s)\n", src.string().c_str(),
               src_binary ? "binary" : "text", dst.string().c_str(), dst_kind);
+  std::printf("  profile %s\n", std::string{context.profile->name}.c_str());
   std::printf("  events  %zu\n", context.events.size());
   std::printf("  jobs    %zu\n", context.job_log.size());
   std::printf("  smi     %zu blocks\n", context.snapshot.records.size());
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
   bool salvage = false;
   std::string_view to;
   std::size_t shards = 0;
+  const profile::FleetProfile* expected = nullptr;
   fs::path info_path;
   std::vector<fs::path> positional;
 
@@ -114,6 +122,13 @@ int main(int argc, char** argv) {
       salvage = true;
     } else if (arg == "--to" && i + 1 < argc) {
       to = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      expected = profile::find_profile(argv[++i]);
+      if (expected == nullptr) {
+        std::fprintf(stderr, "titan-convert: unknown profile '%s' (%s)\n", argv[i],
+                     profile::profile_names().c_str());
+        return 2;
+      }
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
       if (shards == 0) {
@@ -135,7 +150,7 @@ int main(int argc, char** argv) {
       return info(info_path);
     }
     if (positional.size() != 2) return usage();
-    return convert(positional[0], positional[1], to, salvage, shards);
+    return convert(positional[0], positional[1], to, salvage, shards, expected);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "titan-convert: %s\n", e.what());
     return 1;

@@ -295,8 +295,9 @@ void rule_det_thread(LintContext& ctx, const SourceFile& file, const TokenizedFi
   }
 }
 
-constexpr std::array<std::string_view, 6> kUnorderedIterDirs = {
-    "src/analysis/", "src/study/", "src/fault/", "src/ingest/", "src/tdf/", "src/core/"};
+constexpr std::array<std::string_view, 7> kUnorderedIterDirs = {
+    "src/analysis/", "src/study/", "src/fault/",   "src/ingest/",
+    "src/tdf/",      "src/core/",  "src/profile/"};
 
 void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
                              const TokenizedFile& tf) {
@@ -353,6 +354,43 @@ void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
                  "iteration order of '" + t[colon + 1].text +
                      "' (std::unordered_*) is unspecified and would leak into report "
                      "bytes; drain into a sorted vector first");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profile-layer hygiene.
+// ---------------------------------------------------------------------------
+
+/// `profile::FleetProfile` is the one sanctioned door to the K20X
+/// structural tables and the active error vocabulary.  Outside the layers
+/// that define that door (src/gpu, src/xid, src/profile), including
+/// `gpu/k20x.hpp` directly or iterating the bare `xid::all_errors()`
+/// taxonomy hardcodes Titan back into profile-generic code.  src/parse is
+/// exempt from the taxonomy half: parsers must recognise every token ever
+/// written, whichever fleet wrote the file.
+void rule_profile_hygiene(LintContext& ctx, const SourceFile& file,
+                          const TokenizedFile& tf) {
+  if (!in_dir(file.path, "src/")) return;
+  if (in_dir(file.path, "src/gpu/") || in_dir(file.path, "src/xid/") ||
+      in_dir(file.path, "src/profile/")) {
+    return;
+  }
+  for (const auto& inc : tf.includes) {
+    if (!inc.angled && inc.header == "gpu/k20x.hpp") {
+      ctx.report(file, tf, inc.line, Severity::kError, "profile-hygiene",
+                 "direct include of gpu/k20x.hpp outside the profile layer hardcodes "
+                 "the Titan fleet; take a FleetProfile and use its .gpu model instead");
+    }
+  }
+  if (in_dir(file.path, "src/parse/")) return;
+  const auto& t = tf.tokens;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier || t[i].text != "all_errors") continue;
+    if (t[i - 1].text == "::" && tok(t, i - 2) == "xid" && tok(t, i + 1) == "(") {
+      ctx.report(file, tf, t[i].line, Severity::kError, "profile-hygiene",
+                 "bare xid::all_errors() iterates every kind any fleet ever had; use "
+                 "FleetProfile::active_kinds() so inactive kinds stay out of reports");
     }
   }
 }
@@ -783,6 +821,7 @@ LintResult run_lint(std::span<const SourceFile> files) {
     rule_det_rand(ctx, files[f], ctx.tokenized[f]);
     rule_det_thread(ctx, files[f], ctx.tokenized[f]);
     rule_det_unordered_iter(ctx, files[f], ctx.tokenized[f]);
+    rule_profile_hygiene(ctx, files[f], ctx.tokenized[f]);
   }
   rule_capability_check(ctx);
   rule_include_hygiene(ctx);
