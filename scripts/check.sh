@@ -13,6 +13,10 @@
 #
 #   --ubsan      add a second build under TITANREL_SANITIZE=undefined
 #                (-fno-sanitize-recover=all) and run ctest under it
+#   --tsan       add a build under TITANREL_SANITIZE=thread and run the
+#                concurrency-bearing suites (titan::par pool, the study
+#                pipeline, the sharded out-of-core driver, and the
+#                determinism gates) under it
 #   --corrupt    run the ingest robustness gate: generate a dataset, apply
 #                every corruption operator, and run the salvage sweep
 #                (bench_ingest_robustness), plus an explicit titanlint
@@ -34,17 +38,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 UBSAN=0
+TSAN=0
 CORRUPT=0
 PROFILES=0
 BENCH_JSON=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --ubsan) UBSAN=1 ;;
+    --tsan) TSAN=1 ;;
     --corrupt) CORRUPT=1 ;;
     --profiles) PROFILES=1 ;;
     --bench-json) BENCH_JSON=1 ;;
     --jobs) JOBS="$2"; shift ;;
-    *) echo "usage: scripts/check.sh [--ubsan] [--corrupt] [--profiles] [--bench-json] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--tsan] [--corrupt] [--profiles] [--bench-json] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -58,6 +64,10 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== titanlint =="
 ./build/tools/titanlint --root .
+
+echo "== STREAMS.md freshness (regenerate + diff) =="
+./build/tools/titanlint --root . --streams > STREAMS.md
+git diff --exit-code -- STREAMS.md
 
 if [[ "$CORRUPT" == 1 ]]; then
   echo "== ingest robustness gate (every corruption operator + salvage sweep) =="
@@ -92,6 +102,19 @@ if [[ "$BENCH_JSON" == 1 ]]; then
   ./build/bench/bench_campaign_scale --json BENCH_campaign.json
   echo "== bench_profile_matrix -> BENCH_profile.json =="
   ./build/bench/bench_profile_matrix --json BENCH_profile.json
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== TSan build + concurrency suites =="
+  cmake -B build-tsan -S . -DTITANREL_SANITIZE=thread -DTITANREL_WERROR=ON
+  cmake --build build-tsan -j "$JOBS" --target \
+    par_pool_test study_pipeline_test study_sharded_test \
+    determinism_test profile_determinism_test
+  ./build-tsan/tests/par_pool_test
+  ./build-tsan/tests/study_pipeline_test
+  ./build-tsan/tests/study_sharded_test
+  ./build-tsan/tests/determinism_test
+  ./build-tsan/tests/profile_determinism_test
 fi
 
 if [[ "$UBSAN" == 1 ]]; then

@@ -110,6 +110,9 @@ std::string_view action_name(SalvageAction action) noexcept {
 }
 
 bool fatal_in_strict(TriageCode code) noexcept {
+  // Exhaustive on purpose (no default): appending a TriageCode without
+  // deciding its strict-mode fate is a -Wswitch error here, and
+  // titanlint's taxo-switch-default rule keeps it that way.
   switch (code) {
     case TriageCode::kFileMissing:
     case TriageCode::kNoEvents:
@@ -129,9 +132,18 @@ bool fatal_in_strict(TriageCode code) noexcept {
     case TriageCode::kTdfMmapUnavailable:
     case TriageCode::kProfileMismatch:
       return true;
-    default:
+    case TriageCode::kLineCrlf:
+    case TriageCode::kFileUnterminated:
+    case TriageCode::kConsoleMalformed:
+    case TriageCode::kEventDuplicate:
+    case TriageCode::kJobMalformed:
+    case TriageCode::kSmiMalformed:
+    case TriageCode::kManifestUnknown:
+    case TriageCode::kTdfUnknownSegment:
+    case TriageCode::kCount_:
       return false;
   }
+  return false;  // unreachable; keeps -Wreturn-type quiet on odd compilers
 }
 
 namespace {

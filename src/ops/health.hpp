@@ -15,7 +15,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "analysis/event_frame.hpp"
@@ -105,7 +105,11 @@ class NodeHealthMonitor {
                                                          stats::TimeSec window);
 
   HealthPolicy policy_;
-  std::unordered_map<topology::NodeId, NodeRecord> nodes_;
+  /// Ordered map on purpose: review_suspects() and suspects() iterate it,
+  /// and their output order (and therefore the action log) must not
+  /// depend on hash layout.  The node population is small (fleet-sized),
+  /// so the tree lookup is not a hot path.
+  std::map<topology::NodeId, NodeRecord> nodes_;
   std::vector<OperatorAction> log_;
 };
 

@@ -47,6 +47,18 @@ double betacf(double a, double b, double x) {
   return h;
 }
 
+// std::lgamma writes the process-global `signgam` on glibc, which is a
+// data race when p-values are computed from parallel registry kernels;
+// the reentrant lgamma_r keeps the sign in a local instead.
+double lgamma_local(double v) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return ::lgamma_r(v, &sign);
+#else
+  return std::lgamma(v);
+#endif
+}
+
 }  // namespace
 
 double regularized_incomplete_beta(double a, double b, double x) {
@@ -54,7 +66,7 @@ double regularized_incomplete_beta(double a, double b, double x) {
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
   const double ln_front =
-      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) + a * std::log(x) + b * std::log1p(-x);
+      lgamma_local(a + b) - lgamma_local(a) - lgamma_local(b) + a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return front * betacf(a, b, x) / a;

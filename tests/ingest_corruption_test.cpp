@@ -9,7 +9,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/facility.hpp"
@@ -438,6 +440,64 @@ TEST(IngestConsole, MissingTrailingNewlineNotedNotFatal) {
       ingest::ingest_console_text(text, "console.log", IngestPolicy::kStrict, report);
   EXPECT_EQ(out.events.size(), 1U);
   EXPECT_EQ(report.count(TriageCode::kFileUnterminated), 1U);
+}
+
+TEST(IngestJobLog, MalformedLinesRejectedUnderBothPolicies) {
+  const auto text =
+      lines({"7|3|100|200|4|12.5|1.5|6.0", "not an accounting line at all"});
+  for (const auto policy : {IngestPolicy::kStrict, IngestPolicy::kSalvage}) {
+    IngestReport report{policy};
+    const auto out = ingest::ingest_job_text(text, "jobs.log", policy, report);
+    EXPECT_EQ(out.lines, 2U);
+    EXPECT_EQ(out.records.size(), 1U);
+    EXPECT_EQ(out.malformed, 1U);
+    // Job-log damage is never fatal, even under strict.
+    EXPECT_EQ(report.count(TriageCode::kJobMalformed), 1U);
+    EXPECT_EQ(report.count(SalvageAction::kRejected), 1U);
+  }
+}
+
+TEST(IngestSmi, MalformedBlocksQuarantinedUnderBothPolicies) {
+  const std::string text =
+      "==============NVSMI LOG==============\n"
+      "Timestamp                           : 2015-02-28 00:00:00\n"
+      "Attached GPUs                       : 2\n\n"
+      "GPU c1-1c1s1n1\n    Serial Number                   : 7\n"
+      "    Temperature\n        GPU Current Temp            : 90.0 F\n"
+      "    ECC Errors\n        Volatile\n"
+      "            Single Bit Volatile     : 0\n"
+      "            Double Bit Volatile     : 0\n"
+      "        Aggregate\n"
+      "            Single Bit Total        : 1\n"
+      "            Double Bit Total        : 0\n"
+      "    Retired Pages\n        Single Bit ECC              : 0\n"
+      "        Double Bit ECC              : 0\n\n"
+      "GPU garbage-here\n   broken block\n";
+  for (const auto policy : {IngestPolicy::kStrict, IngestPolicy::kSalvage}) {
+    IngestReport report{policy};
+    const auto sweep = ingest::ingest_smi_text(text, "smi.log", policy, report);
+    EXPECT_EQ(sweep.records.size(), 1U);
+    EXPECT_EQ(sweep.malformed_blocks, 1U);
+    EXPECT_EQ(report.count(TriageCode::kSmiMalformed), 1U);
+    EXPECT_EQ(report.count(SalvageAction::kQuarantined), 1U);
+  }
+}
+
+TEST(IngestTriage, CodeNamesAreUniqueStableWireIdentifiers) {
+  // code_name() strings are serialized into reports and error messages;
+  // every code must have a distinct E_* identifier, and the identifiers
+  // are wire format -- renaming one is a breaking change.
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < ingest::kTriageCodeCount; ++i) {
+    const auto name = ingest::code_name(static_cast<TriageCode>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(name.starts_with("E_")) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate code name " << name;
+  }
+  EXPECT_EQ(ingest::code_name(TriageCode::kJobMalformed), "E_JOB_MALFORMED");
+  EXPECT_EQ(ingest::code_name(TriageCode::kSmiMalformed), "E_SMI_MALFORMED");
+  EXPECT_EQ(ingest::code_name(TriageCode::kTdfMmapUnavailable),
+            "E_TDF_MMAP_UNAVAILABLE");
 }
 
 TEST(IngestManifest, BadHeaderAndFieldAreFatalStrictRecordedSalvage) {

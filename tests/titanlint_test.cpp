@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -382,6 +383,378 @@ TEST(IncludeHygiene, StringViewThroughStringIsNotEnough) {
   ASSERT_EQ(result.diagnostics.size(), 1U);
   EXPECT_EQ(result.diagnostics[0].rule, "include-hygiene");
   EXPECT_EQ(result.diagnostics[0].line, 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer hardening: raw strings and comment line-continuations must
+// not desync the token stream or the allow-marker scan.
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, CommentLineContinuationStaysComment) {
+  const auto tf = titanlint::tokenize(
+      "// a comment ending in a continuation \\\n"
+      "int x = std::rand();\n"
+      "int y;\n");
+  for (const auto& t : tf.tokens) EXPECT_NE(t.text, "rand");
+  ASSERT_FALSE(tf.tokens.empty());
+  EXPECT_EQ(tf.tokens.back().text, ";");
+  EXPECT_EQ(tf.tokens.back().line, 3U);
+}
+
+TEST(Tokenizer, CrlfCommentContinuationAlsoSplices) {
+  const auto tf = titanlint::tokenize(
+      "// windows line \\\r\n"
+      "still comment\n"
+      "int z;\n");
+  ASSERT_EQ(tf.tokens.size(), 3U);
+  EXPECT_EQ(tf.tokens[0].text, "int");
+  EXPECT_EQ(tf.tokens[0].line, 3U);
+}
+
+TEST(Tokenizer, ContinuationDoesNotDesyncAllowMarkers) {
+  // The spliced second line must still count toward line numbering, so
+  // the allow marker on line 3 suppresses the finding on line 3.
+  const auto result = lint_one("src/stats/fixture.cpp",
+                               "// note \\\n"
+                               "   spliced tail of the comment\n"
+                               "int f() { return std::rand(); }  // titanlint: allow(det-rand)\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(Tokenizer, RawStringContentIsNeitherCodeNorMarkers) {
+  const auto tf = titanlint::tokenize(
+      "auto s = R\"(// titanlint: allow(det-rand) */ std::rand())\";\n"
+      "int z = std::rand();\n");
+  EXPECT_FALSE(tf.allowed(1, "det-rand"));
+  std::size_t rand_tokens = 0;
+  for (const auto& t : tf.tokens) {
+    if (t.kind == titanlint::Token::Kind::kIdentifier && t.text == "rand") ++rand_tokens;
+  }
+  EXPECT_EQ(rand_tokens, 1U);  // only the real one on line 2
+}
+
+TEST(Tokenizer, DelimitedRawStringWithCommentCloser) {
+  const auto tf = titanlint::tokenize(
+      "auto s = R\"x(text with )\" inside and */ too)x\";\n"
+      "int w;\n");
+  ASSERT_GE(tf.tokens.size(), 3U);
+  EXPECT_EQ(tf.tokens.back().text, ";");
+  EXPECT_EQ(tf.tokens.back().line, 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Stream discipline.
+// ---------------------------------------------------------------------------
+
+TEST(StreamDiscipline, FlagsDuplicateSiblingLabels) {
+  const auto result = lint_one("src/fault/fixture.cpp",
+                               "void plan(Rng& rng) {\n"
+                               "  auto a = rng.fork(\"dbe\");\n"
+                               "  auto b = rng.fork(\"dbe\");\n"
+                               "}\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/fault/fixture.cpp:3: error[stream-collision]: fork label \"dbe\" on "
+            "'rng' collides with the sibling fork at line 2; sibling labels must be "
+            "unique or the two consumers share one stream");
+}
+
+TEST(StreamDiscipline, DistinctLabelsReceiversAndFunctionsAreClean) {
+  EXPECT_TRUE(lint_one("src/fault/fixture.cpp",
+                       "void plan(Rng& rng) {\n"
+                       "  auto a = rng.fork(\"dbe\");\n"
+                       "  auto b = rng.fork(\"otb\");\n"
+                       "  auto c = a.fork(\"dbe\");\n"  // different receiver
+                       "}\n"
+                       "void other(Rng& rng) {\n"
+                       "  auto a = rng.fork(\"dbe\");\n"  // different function
+                       "}\n")
+                  .diagnostics.empty());
+}
+
+TEST(StreamDiscipline, FlagsDynamicLabels) {
+  const auto result = lint_one("src/fault/fixture.cpp",
+                               "void plan(Rng& rng, std::string name) {\n"
+                               "  auto a = rng.fork(name);\n"
+                               "}\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/fault/fixture.cpp:2: error[stream-dynamic-label]: fork label on 'rng' "
+            "is not a string literal; dynamic labels are invisible to the STREAMS.md "
+            "manifest -- name the stream and use fork(label, index) for per-item "
+            "streams");
+}
+
+TEST(StreamDiscipline, AllowMarkerSuppressesDynamicLabel) {
+  EXPECT_TRUE(
+      lint_one("src/fault/fixture.cpp",
+               "void plan(Rng& rng, std::string name) {\n"
+               "  auto a = rng.fork(name);  // titanlint: allow(stream-dynamic-label)\n"
+               "}\n")
+          .diagnostics.empty());
+}
+
+TEST(StreamDiscipline, FlagsForkInsideUnorderedIteration) {
+  // src/render is outside the det-unordered-iter scope dirs, so the only
+  // finding is the stream one -- the rules are independent.
+  const auto result = lint_one("src/render/fixture.cpp",
+                               "#include <unordered_map>\n"
+                               "void g(Rng& rng) {\n"
+                               "  std::unordered_map<int, int> cards;\n"
+                               "  for (const auto& kv : cards) {\n"
+                               "    auto r = rng.fork(\"card\", kv.first);\n"
+                               "  }\n"
+                               "}\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/render/fixture.cpp:5: error[stream-unordered-fork]: fork inside "
+            "iteration over 'cards' (std::unordered_*, loop at line 4): fork order "
+            "depends on hash layout; iterate a sorted view or fork by stable key "
+            "outside the loop");
+}
+
+TEST(StreamDiscipline, IndexedForkOutsideLoopIsClean) {
+  EXPECT_TRUE(lint_one("src/fault/fixture.cpp",
+                       "void g(Rng& rng, std::size_t n) {\n"
+                       "  for (std::size_t i = 0; i < n; ++i) {\n"
+                       "    auto r = rng.fork(\"card\", i);\n"
+                       "  }\n"
+                       "}\n")
+                  .diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy exhaustiveness.
+// ---------------------------------------------------------------------------
+
+// A minimal TriageCode universe.  The enumerator lines carry allow
+// markers for the reference rules so each test isolates one finding.
+const char kTriageEnumQuiet[] =
+    "enum class TriageCode : std::uint8_t {\n"
+    "  kAlpha,  // titanlint: allow(taxo-dead-code) titanlint: allow(taxo-untested)\n"
+    "  kBeta,  // titanlint: allow(taxo-dead-code) titanlint: allow(taxo-untested)\n"
+    "  kCount_,\n"
+    "};\n";
+
+TEST(Taxonomy, FlagsDeletedCodeNameTableEntry) {
+  std::string text{kTriageEnumQuiet};
+  text +=
+      "constexpr const char* kCodeNames[2] = {\n"
+      "    \"E_ALPHA\",\n"
+      "};\n";
+  const auto result = lint_one("src/ingest/fixture.hpp", text);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/fixture.hpp:6: error[taxo-missing-name]: kCodeNames has 1 "
+            "entries but TriageCode declares 2 values; every value needs a name row");
+}
+
+TEST(Taxonomy, FlagsEmptyNameEntry) {
+  std::string text{kTriageEnumQuiet};
+  text +=
+      "constexpr const char* kCodeNames[2] = {\n"
+      "    \"\",\n"
+      "    \"E_ALPHA\",\n"
+      "};\n";
+  const auto lines = formatted(lint_one("src/ingest/fixture.hpp", text));
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/fixture.hpp:7: error[taxo-missing-name]: kCodeNames entry for "
+            "TriageCode::kAlpha is empty");
+}
+
+TEST(Taxonomy, FlagsDuplicateNameEntries) {
+  std::string text{kTriageEnumQuiet};
+  text +=
+      "constexpr const char* kCodeNames[2] = {\n"
+      "    \"E_ALPHA\",\n"
+      "    \"E_ALPHA\",\n"
+      "};\n";
+  const auto lines = formatted(lint_one("src/ingest/fixture.hpp", text));
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/fixture.hpp:8: error[taxo-missing-name]: duplicate kCodeNames "
+            "entry \"E_ALPHA\" (first at line 7); names are wire identifiers and must "
+            "be unique");
+}
+
+TEST(Taxonomy, CompleteTableAndAbsentTableAreBothClean) {
+  std::string complete{kTriageEnumQuiet};
+  complete +=
+      "constexpr const char* kCodeNames[2] = {\n"
+      "    \"E_ALPHA\",\n"
+      "    \"E_BETA\",\n"
+      "};\n";
+  EXPECT_TRUE(lint_one("src/ingest/fixture.hpp", complete).diagnostics.empty());
+  // No table in the corpus at all: narrow fixtures stay lintable.
+  EXPECT_TRUE(lint_one("src/ingest/fixture.hpp", kTriageEnumQuiet).diagnostics.empty());
+}
+
+TEST(Taxonomy, FlagsDeadAndUntestedValues) {
+  const std::vector<SourceFile> files = {
+      {"src/ingest/fixture.hpp",
+       "enum class TriageCode : std::uint8_t {\n"
+       "  kUsed,\n"
+       "  kGhost,\n"
+       "  kCount_,\n"
+       "};\n"},
+      {"src/ingest/user.cpp", "auto c = TriageCode::kUsed;\n"},
+      {"tests/fixture_test.cpp", "auto c = TriageCode::kUsed;\n"},
+  };
+  const auto result = titanlint::run_lint(files);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/fixture.hpp:3: error[taxo-dead-code]: TriageCode::kGhost is "
+            "never referenced under src/; a taxonomy value no code can produce is dead "
+            "vocabulary");
+  EXPECT_EQ(lines[1],
+            "src/ingest/fixture.hpp:3: error[taxo-untested]: TriageCode::kGhost never "
+            "appears under tests/; add a fixture that exercises it");
+}
+
+TEST(Taxonomy, SentinelIsExemptEverywhere) {
+  // kCount_ carries no allow markers in kTriageEnumQuiet and still
+  // produces nothing: trailing '_' marks a sentinel.
+  EXPECT_TRUE(lint_one("src/ingest/fixture.hpp", kTriageEnumQuiet).diagnostics.empty());
+}
+
+TEST(Taxonomy, FlagsSwitchWithDefaultArm) {
+  const auto result = lint_one("src/ingest/fixture.cpp",
+                               "bool fatal(TriageCode code) {\n"
+                               "  switch (code) {\n"
+                               "    case TriageCode::kAlpha: return true;\n"
+                               "    default: return false;\n"
+                               "  }\n"
+                               "}\n");
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/fixture.cpp:4: error[taxo-switch-default]: switch over "
+            "TriageCode has a 'default:' arm; enumerate every value so -Wswitch flags "
+            "the next appended one at compile time");
+}
+
+TEST(Taxonomy, FlagsSwitchMissingAnEnumerator) {
+  const std::vector<SourceFile> files = {
+      {"src/ingest/fixture.hpp", kTriageEnumQuiet},
+      {"src/ingest/user.cpp",
+       "bool fatal(TriageCode code) {\n"
+       "  switch (code) {\n"
+       "    case TriageCode::kAlpha: return true;\n"
+       "    case TriageCode::kCount_: return false;\n"
+       "  }\n"
+       "  return false;\n"
+       "}\n"},
+  };
+  const auto result = titanlint::run_lint(files);
+  const auto lines = formatted(result);
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_EQ(lines[0],
+            "src/ingest/user.cpp:2: error[taxo-switch-default]: switch over TriageCode "
+            "does not handle kBeta; every value needs an explicit arm");
+}
+
+TEST(Taxonomy, ExhaustiveSwitchIsClean) {
+  const std::vector<SourceFile> files = {
+      {"src/ingest/fixture.hpp", kTriageEnumQuiet},
+      {"src/ingest/user.cpp",
+       "bool fatal(TriageCode code) {\n"
+       "  switch (code) {\n"
+       "    case TriageCode::kAlpha: return true;\n"
+       "    case TriageCode::kBeta: return false;\n"
+       "  }\n"
+       "  return false;\n"  // sentinel arm optional
+       "}\n"},
+  };
+  EXPECT_TRUE(titanlint::run_lint(files).diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
+// STREAMS.md manifest.
+// ---------------------------------------------------------------------------
+
+const char kManifestHeader[] =
+    "# RNG stream manifest\n"
+    "\n"
+    "Every named `fork` call site under `src/`, extracted statically by\n"
+    "`titanlint --streams` (rule family `stream-*`).  A child stream's\n"
+    "sequence depends only on (parent seed, label), so this file is the\n"
+    "repo's determinism contract: a diff here means a stream was added,\n"
+    "renamed or moved, and golden outputs may shift.  Commit the diff\n"
+    "together with the change that caused it.  Regenerate with:\n"
+    "\n"
+    "    ./build/tools/titanlint --root . --streams > STREAMS.md\n";
+
+TEST(StreamsManifest, ExactRenderingAndInputOrderIndependence) {
+  const SourceFile a{"src/fault/a.cpp",
+                     "void plan(Rng& rng) {\n"
+                     "  auto dbe = rng.fork(\"dbe\");\n"
+                     "  dbe.fork(\"x\", i);\n"
+                     "}\n"};
+  const SourceFile b{"src/core/b.cpp",
+                     "void seed(Rng& master) {\n"
+                     "  auto users = master.fork(\"users\");\n"
+                     "}\n"};
+  std::string expected{kManifestHeader};
+  expected +=
+      "\n## src/core/b.cpp\n"
+      "\n- `seed`\n"
+      "  - `master` -> `\"users\"` => `users`\n"
+      "\n## src/fault/a.cpp\n"
+      "\n- `plan`\n"
+      "  - `dbe` -> `\"x\"` [indexed]\n"
+      "  - `rng` -> `\"dbe\"` => `dbe`\n"
+      "\n---\n\n3 streams across 2 files.\n";
+
+  const std::vector<SourceFile> forward = {a, b};
+  const std::vector<SourceFile> reverse = {b, a};
+  EXPECT_EQ(titanlint::streams_manifest(forward), expected);
+  // Byte-identical whatever order the files arrive in.
+  EXPECT_EQ(titanlint::streams_manifest(reverse), expected);
+}
+
+TEST(StreamsManifest, EmptyTreeRendersHeaderAndZeroCount) {
+  const std::vector<SourceFile> files = {{"src/core/quiet.cpp", "int x;\n"}};
+  std::string expected{kManifestHeader};
+  expected += "\n---\n\n0 streams across 0 files.\n";
+  EXPECT_EQ(titanlint::streams_manifest(files), expected);
+}
+
+// ---------------------------------------------------------------------------
+// JSON output.
+// ---------------------------------------------------------------------------
+
+TEST(JsonOutput, OneObjectPerFindingAndEscaping) {
+  const auto result = lint_one("src/stats/fixture.cpp", "int x = std::rand();\n");
+  EXPECT_EQ(titanlint::to_json(result),
+            "[\n"
+            "  {\"path\": \"src/stats/fixture.cpp\", \"line\": 1, \"severity\": "
+            "\"error\", \"rule\": \"det-rand\", \"message\": \"std::rand is not "
+            "seedable per-study; use stats::Rng\"}\n"
+            "]\n");
+
+  // Quotes inside messages (stream-collision embeds the label) escape.
+  const auto collision = lint_one("src/fault/fixture.cpp",
+                                  "void plan(Rng& rng) {\n"
+                                  "  auto a = rng.fork(\"dbe\");\n"
+                                  "  auto b = rng.fork(\"dbe\");\n"
+                                  "}\n");
+  const auto json = titanlint::to_json(collision);
+  EXPECT_NE(json.find("fork label \\\"dbe\\\""), std::string::npos);
+}
+
+TEST(JsonOutput, EmptyResultIsEmptyArray) {
+  EXPECT_EQ(titanlint::to_json(lint_one("src/core/quiet.cpp", "int x;\n")), "[]\n");
+}
+
+TEST(DetRand, TestSourcesAreSymbolEvidenceOnly) {
+  // tests/ feeds the symbol table but per-file rules skip it.
+  EXPECT_TRUE(lint_one("tests/fixture.cpp", "int x = std::rand();\n").diagnostics.empty());
 }
 
 }  // namespace

@@ -64,6 +64,23 @@ TEST(Taxonomy, TokenRoundTrip) {
   EXPECT_EQ(parse_token(""), std::nullopt);
 }
 
+TEST(Taxonomy, DriverStackKindsKeepTheirXidsAndTokens) {
+  // The three kinds the fault campaigns exercise least: pin their XID,
+  // class and wire token explicitly so registry/table drift is caught
+  // here and not in a downstream golden report.
+  EXPECT_EQ(*info(ErrorKind::kVideoProcessorHw).xid, 65);
+  EXPECT_EQ(info(ErrorKind::kVideoProcessorHw).klass, ErrorClass::kHardware);
+  EXPECT_EQ(token(ErrorKind::kVideoProcessorHw), "XID65");
+
+  EXPECT_EQ(*info(ErrorKind::kDriverFirmware).xid, 38);
+  EXPECT_EQ(info(ErrorKind::kDriverFirmware).klass, ErrorClass::kSoftwareFirmware);
+  EXPECT_EQ(token(ErrorKind::kDriverFirmware), "XID38");
+
+  EXPECT_EQ(*info(ErrorKind::kCtxSwitchFault).xid, 44);
+  EXPECT_TRUE(info(ErrorKind::kCtxSwitchFault).crashes_app);
+  EXPECT_EQ(token(ErrorKind::kCtxSwitchFault), "XID44");
+}
+
 TEST(Taxonomy, SbeNeverCrashes) {
   EXPECT_FALSE(info(ErrorKind::kSingleBitError).crashes_app);
 }

@@ -1,0 +1,190 @@
+// titanlint internals: the shared token helpers, the lint context, and
+// the cross-translation-unit symbol table that pass 1 builds and every
+// pass-2 rule family consumes.
+//
+// titanlint v2 is a two-pass analyzer.  Pass 1 tokenizes every input
+// file and derives per-file facts (function definitions, names declared
+// with unordered container types, range-for loops over those names, the
+// in-repo include closure) plus repo-wide facts (every `rng.fork(...)`
+// call site with one level of local-variable dataflow, the TriageCode /
+// ErrorKind enum definitions and every `Enum::kValue` reference split by
+// src-vs-test provenance).  Pass 2 rules -- the per-file det-* family
+// and the cross-TU stream-* / taxo-* / cap-* families -- read the table
+// instead of re-scanning tokens.
+//
+// This header is internal to tools/titanlint (lint.cpp, symtab.cpp,
+// streams.cpp, taxonomy.cpp); the public surface stays in lint.hpp.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "titanlint/lint.hpp"
+
+namespace titanlint::engine {
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by every rule file.
+// ---------------------------------------------------------------------------
+
+inline const std::string kEmpty;
+
+inline const std::string& tok(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+inline bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == Token::Kind::kIdentifier;
+}
+
+/// Index of the matching closer for the opener at `open`, or npos.
+std::size_t match(const std::vector<Token>& t, std::size_t open, std::string_view opener,
+                  std::string_view closer);
+
+/// Keywords that look like `name (` but never open a function definition.
+bool is_keyword(std::string_view name);
+
+/// Locate a function definition starting at token `i` (`name (`): returns
+/// {params_end, body_open} or an npos pair.  Accepts `const`, `noexcept`,
+/// ref-qualifiers and trailing return types between the parameter list
+/// and the body.
+std::pair<std::size_t, std::size_t> function_def_at(const std::vector<Token>& t,
+                                                    std::size_t i);
+
+inline bool in_dir(std::string_view path, std::string_view prefix) {
+  return path.substr(0, prefix.size()) == prefix;
+}
+
+/// Test sources feed the symbol table (taxo-untested evidence) but are
+/// exempt from every per-file rule: fixtures get to be messy.
+inline bool is_test_path(std::string_view path) { return in_dir(path, "tests/"); }
+
+struct LintContext {
+  std::vector<const SourceFile*> files;
+  std::vector<TokenizedFile> tokenized;
+  std::vector<Diagnostic> diagnostics;
+
+  void report(const SourceFile& file, const TokenizedFile& tf, std::size_t line,
+              Severity severity, std::string rule, std::string message) {
+    if (tf.allowed(line, rule)) return;
+    diagnostics.push_back(
+        Diagnostic{file.path, line, severity, std::move(rule), std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Symbol table (pass 1).
+// ---------------------------------------------------------------------------
+
+/// One function definition: `name (params) ... { body }`, including
+/// constructors with member-initializer lists (ShardedStudy forks its
+/// master streams from one).
+struct FunctionDef {
+  std::string name;
+  std::size_t name_token = 0;
+  std::size_t body_open = 0;   ///< token index of '{'
+  std::size_t body_close = 0;  ///< token index of matching '}'
+};
+
+/// One range-for whose range expression is exactly a name declared with
+/// an unordered container type (locally, as a parameter, or as a
+/// member-style `name_` in a transitively included in-repo header).
+struct UnorderedLoop {
+  std::size_t line = 0;
+  std::string var;
+  std::size_t body_begin = 0;  ///< first body token (after the ')')
+  std::size_t body_end = 0;    ///< one past the last body token
+};
+
+/// One `receiver.fork("label"[, index])` call site.
+struct ForkSite {
+  std::size_t file = 0;   ///< index into LintContext::files
+  std::size_t line = 0;
+  std::size_t token = 0;  ///< token index of the `fork` identifier
+  std::size_t function = 0;        ///< index into functions[file]; npos = file scope
+  std::string receiver;            ///< dotted receiver chain ("plan.rng", "master")
+  std::string bound_var;           ///< variable the result is bound to; "" if none
+  std::string label;               ///< unquoted; empty when dynamic
+  bool dynamic = false;            ///< label is not a string literal
+  bool indexed = false;            ///< the two-argument (label, index) overload
+  std::size_t unordered_loop = 0;  ///< line of enclosing unordered range-for; 0 = none
+  std::string unordered_loop_var;
+};
+
+struct EnumValue {
+  std::string name;
+  std::size_t line = 0;
+  bool sentinel = false;  ///< trailing '_' (kCount_-style), exempt from taxo-* checks
+};
+
+struct EnumDef {
+  std::string name;  ///< "TriageCode" or "ErrorKind"
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::vector<EnumValue> values;
+  [[nodiscard]] const EnumValue* find(std::string_view value) const {
+    for (const auto& v : values) {
+      if (v.name == value) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Reference tallies for one enumerator, split by where the reference
+/// lives (the defining enum body itself never produces a reference:
+/// enumerators appear there without the `Enum::` prefix).
+struct EnumRefCount {
+  std::size_t src = 0;    ///< under src/
+  std::size_t test = 0;   ///< under tests/
+  std::size_t other = 0;  ///< examples/, bench/, tools/
+};
+
+struct SymbolTable {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Per file: names declared with std::unordered_map/set in that file.
+  std::vector<std::set<std::string>> unordered_names;
+  /// Per file: the subset of unordered_names usable cross-TU -- names
+  /// with the repo's `member_` suffix declared in a header.
+  std::vector<std::set<std::string>> unordered_members;
+  /// Per file: in-repo include closure (indices, self included).
+  std::vector<std::vector<std::size_t>> closure;
+  /// Per file: function definitions in token order.
+  std::vector<std::vector<FunctionDef>> functions;
+  /// Per file: range-fors over unordered-typed names (own + closure members).
+  std::vector<std::vector<UnorderedLoop>> unordered_loops;
+  /// Every fork call site under src/, in (file, token) order.
+  std::vector<ForkSite> forks;
+  /// TriageCode / ErrorKind definitions found anywhere in the input.
+  std::vector<EnumDef> enums;
+  /// enum name -> enumerator name -> reference tallies.
+  std::map<std::string, std::map<std::string, EnumRefCount>> enum_refs;
+
+  /// The effective unordered-name set for a file: its own declarations
+  /// plus member-style names from every header in its include closure.
+  [[nodiscard]] std::set<std::string> effective_unordered(std::size_t file) const;
+};
+
+[[nodiscard]] SymbolTable build_symbol_table(const LintContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Pass-2 rule families (implemented in streams.cpp / taxonomy.cpp).
+// ---------------------------------------------------------------------------
+
+/// stream-collision / stream-dynamic-label / stream-unordered-fork.
+void rule_streams(LintContext& ctx, const SymbolTable& sym);
+
+/// taxo-dead-code / taxo-missing-name / taxo-untested / taxo-switch-default.
+void rule_taxonomy(LintContext& ctx, const SymbolTable& sym);
+
+/// Canonical STREAMS.md body for the fork tree in `sym` (files under
+/// src/ only).  Byte-stable: files sorted by path, functions by name,
+/// children by label; independent of input file order.
+[[nodiscard]] std::string render_streams(const LintContext& ctx, const SymbolTable& sym);
+
+}  // namespace titanlint::engine

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "titanlint/engine.hpp"
+
 namespace titanlint {
 
 namespace {
@@ -86,11 +88,30 @@ TokenizedFile tokenize(std::string_view text) {
       ++i;
       continue;
     }
-    // Comments (and their allow-markers).
+    // Comments (and their allow-markers).  A '\' at the end of a `//`
+    // line is a line continuation: the next physical line is still part
+    // of the comment (a classic tokenizer-desync source -- treating it
+    // as code would misread `allow()` markers and fake tokens).
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const auto end = text.find('\n', i);
-      const auto stop = end == std::string_view::npos ? n : end;
-      scan_allow_markers(text.substr(i, stop - i), line, out.allows);
+      std::size_t stop = i;
+      while (true) {
+        const auto end = text.find('\n', stop);
+        if (end == std::string_view::npos) {
+          stop = n;
+          break;
+        }
+        auto back = end;
+        if (back > i && text[back - 1] == '\r') --back;
+        if (back > i && text[back - 1] == '\\') {
+          stop = end + 1;  // spliced: keep consuming the next line
+          continue;
+        }
+        stop = end;
+        break;
+      }
+      const auto body = text.substr(i, stop - i);
+      scan_allow_markers(body, line, out.allows);
+      line += static_cast<std::size_t>(std::count(body.begin(), body.end(), '\n'));
       i = stop;
       continue;
     }
@@ -141,7 +162,11 @@ TokenizedFile tokenize(std::string_view text) {
         const auto paren = text.find('(', j + 1);
         if (paren != std::string_view::npos) {
           const auto delim = text.substr(j + 1, paren - j - 1);
-          const auto closer = ")" + std::string{delim} + "\"";
+          std::string closer;
+          closer.reserve(delim.size() + 2);
+          closer += ')';
+          closer += delim;
+          closer += '"';
           const auto end = text.find(closer, paren + 1);
           const auto stop = end == std::string_view::npos ? n : end + closer.size();
           const auto body = text.substr(i, stop - i);
@@ -200,53 +225,19 @@ TokenizedFile tokenize(std::string_view text) {
 }
 
 // ---------------------------------------------------------------------------
-// Shared token helpers.
+// Per-file rules (pass 2).  Shared token helpers and the LintContext
+// live in engine.hpp; the symbol-table pass is symtab.cpp.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-const std::string kEmpty;
-
-const std::string& tok(const std::vector<Token>& t, std::size_t i) {
-  return i < t.size() ? t[i].text : kEmpty;
-}
-
-bool is_ident(const std::vector<Token>& t, std::size_t i) {
-  return i < t.size() && t[i].kind == Kind::kIdentifier;
-}
-
-/// Index of the matching closer for the opener at `open`, or npos.
-std::size_t match(const std::vector<Token>& t, std::size_t open, std::string_view opener,
-                  std::string_view closer) {
-  std::size_t depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != Kind::kPunct) continue;
-    if (t[i].text == opener) ++depth;
-    if (t[i].text == closer && --depth == 0) return i;
-  }
-  return std::string_view::npos;
-}
-
-struct LintContext {
-  std::vector<const SourceFile*> files;
-  std::vector<TokenizedFile> tokenized;
-  std::vector<Diagnostic> diagnostics;
-
-  void report(const SourceFile& file, const TokenizedFile& tf, std::size_t line,
-              Severity severity, std::string rule, std::string message) {
-    if (tf.allowed(line, rule)) return;
-    diagnostics.push_back(
-        Diagnostic{file.path, line, severity, std::move(rule), std::move(message)});
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Determinism rules.
-// ---------------------------------------------------------------------------
-
-bool in_dir(std::string_view path, std::string_view prefix) {
-  return path.substr(0, prefix.size()) == prefix;
-}
+using engine::function_def_at;
+using engine::in_dir;
+using engine::is_ident;
+using engine::kEmpty;
+using engine::LintContext;
+using engine::match;
+using engine::tok;
 
 void rule_det_rand(LintContext& ctx, const SourceFile& file, const TokenizedFile& tf) {
   const auto& t = tf.tokens;
@@ -295,66 +286,27 @@ void rule_det_thread(LintContext& ctx, const SourceFile& file, const TokenizedFi
   }
 }
 
-constexpr std::array<std::string_view, 7> kUnorderedIterDirs = {
-    "src/analysis/", "src/study/", "src/fault/",   "src/ingest/",
-    "src/tdf/",      "src/core/",  "src/profile/"};
+constexpr std::array<std::string_view, 10> kUnorderedIterDirs = {
+    "src/analysis/", "src/study/", "src/fault/", "src/ingest/", "src/tdf/",
+    "src/core/",     "src/profile/", "src/sched/", "src/stats/", "src/ops/"};
 
-void rule_det_unordered_iter(LintContext& ctx, const SourceFile& file,
-                             const TokenizedFile& tf) {
+/// Range-fors over unordered-typed names come from the symbol table
+/// (which also sees member-style `name_` declarations in transitively
+/// included headers, so a .cpp iterating its class's unordered member is
+/// caught cross-TU).  Draining via begin()/end() into a sorted container
+/// is the sanctioned pattern and stays legal.
+void rule_det_unordered_iter(LintContext& ctx, std::size_t f,
+                             const engine::SymbolTable& sym) {
+  const auto& file = *ctx.files[f];
   if (std::none_of(kUnorderedIterDirs.begin(), kUnorderedIterDirs.end(),
                    [&](std::string_view d) { return in_dir(file.path, d); })) {
     return;
   }
-  const auto& t = tf.tokens;
-
-  // Pass 1: names declared with an unordered container type.  Handles
-  // `std::unordered_map<K, V> name` and `const std::unordered_set<T>& name`
-  // (declarations, parameters, members); type aliases are out of scope.
-  std::set<std::string> unordered_vars;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Kind::kIdentifier ||
-        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
-      continue;
-    }
-    std::size_t j = i + 1;
-    if (tok(t, j) != "<") continue;
-    std::size_t depth = 0;
-    for (; j < t.size(); ++j) {
-      if (t[j].text == "<") ++depth;
-      if (t[j].text == ">" && --depth == 0) break;
-    }
-    if (j >= t.size()) continue;
-    ++j;
-    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
-    if (is_ident(t, j)) unordered_vars.insert(t[j].text);
-  }
-
-  // Pass 2: range-for whose range expression is exactly one of those
-  // names.  (Draining via begin()/end() into a sorted container is the
-  // sanctioned pattern and stays legal.)
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
-    const auto close = match(t, i + 1, "(", ")");
-    if (close == std::string_view::npos) continue;
-    std::size_t colon = std::string_view::npos;
-    std::size_t depth = 0;
-    for (std::size_t j = i + 2; j < close; ++j) {
-      const auto& p = t[j].text;
-      if (p == "(" || p == "[" || p == "{") ++depth;
-      if (p == ")" || p == "]" || p == "}") --depth;
-      if (depth == 0 && t[j].kind == Kind::kPunct && p == ":") {
-        colon = j;
-        break;
-      }
-    }
-    if (colon == std::string_view::npos) continue;
-    if (colon + 2 == close && is_ident(t, colon + 1) &&
-        unordered_vars.count(t[colon + 1].text) != 0) {
-      ctx.report(file, tf, t[i].line, Severity::kError, "det-unordered-iter",
-                 "iteration order of '" + t[colon + 1].text +
-                     "' (std::unordered_*) is unspecified and would leak into report "
-                     "bytes; drain into a sorted vector first");
-    }
+  for (const auto& loop : sym.unordered_loops[f]) {
+    ctx.report(file, ctx.tokenized[f], loop.line, Severity::kError, "det-unordered-iter",
+               "iteration order of '" + loop.var +
+                   "' (std::unordered_*) is unspecified and would leak into report "
+                   "bytes; drain into a sorted vector first");
   }
 }
 
@@ -452,40 +404,6 @@ unsigned cap_of_frame_column(std::string_view column) {
   if (column == "cards") return kCapLedger;
   if (column == "jobs" || column == "roots") return kCapGroundTruth;
   return 0;
-}
-
-constexpr std::array<std::string_view, 14> kNonFunctionKeywords = {
-    "if",    "for",        "while",  "switch",        "catch", "return", "sizeof",
-    "throw", "alignof",    "typeid", "static_assert", "new",   "delete", "co_return"};
-
-bool is_keyword(std::string_view name) {
-  return std::find(kNonFunctionKeywords.begin(), kNonFunctionKeywords.end(), name) !=
-         kNonFunctionKeywords.end();
-}
-
-/// Locate a function definition starting at token `i` (`name (`): returns
-/// {params_end, body_open} or npos pair.  Accepts `const`, `noexcept`,
-/// ref-qualifiers and trailing return types between the parameter list
-/// and the body.
-std::pair<std::size_t, std::size_t> function_def_at(const std::vector<Token>& t,
-                                                    std::size_t i) {
-  constexpr auto npos = std::string_view::npos;
-  if (!is_ident(t, i) || is_keyword(t[i].text) || tok(t, i + 1) != "(") return {npos, npos};
-  const auto params_end = match(t, i + 1, "(", ")");
-  if (params_end == npos) return {npos, npos};
-  std::size_t j = params_end + 1;
-  while (j < t.size()) {
-    const auto& s = t[j].text;
-    if (s == "{") return {params_end, j};
-    if (s == "const" || s == "noexcept" || s == "override" || s == "final" || s == "&" ||
-        s == "&&" || s == "->" || s == "::" || s == "<" || s == ">" || s == "*" ||
-        s == "," || t[j].kind == Kind::kIdentifier) {
-      ++j;
-      continue;
-    }
-    return {npos, npos};
-  }
-  return {npos, npos};
 }
 
 /// Per-function summary of EventFrame join-column usage in the analysis
@@ -761,6 +679,7 @@ void rule_include_hygiene(LintContext& ctx) {
   for (std::size_t f = 0; f < ctx.files.size(); ++f) graph.by_path[ctx.files[f]->path] = f;
 
   for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    if (engine::is_test_path(ctx.files[f]->path)) continue;
     const auto& t = ctx.tokenized[f].tokens;
     // First use line per tracked name, if any.
     std::map<std::string_view, std::size_t> first_use;
@@ -808,23 +727,40 @@ std::size_t LintResult::warning_count() const noexcept {
   return diagnostics.size() - error_count();
 }
 
-LintResult run_lint(std::span<const SourceFile> files) {
-  LintContext ctx;
+namespace {
+
+/// Tokenize every file into a fresh context (pass 1 setup shared by
+/// run_lint and streams_manifest).
+engine::LintContext make_context(std::span<const SourceFile> files) {
+  engine::LintContext ctx;
   ctx.files.reserve(files.size());
   ctx.tokenized.reserve(files.size());
   for (const auto& file : files) {
     ctx.files.push_back(&file);
     ctx.tokenized.push_back(tokenize(file.text));
   }
+  return ctx;
+}
+
+}  // namespace
+
+LintResult run_lint(std::span<const SourceFile> files) {
+  auto ctx = make_context(files);
+  const auto sym = engine::build_symbol_table(ctx);
 
   for (std::size_t f = 0; f < files.size(); ++f) {
+    // tests/ sources feed the symbol table (taxo-untested evidence) but
+    // are exempt from the per-file rules: fixtures get to be messy.
+    if (engine::is_test_path(files[f].path)) continue;
     rule_det_rand(ctx, files[f], ctx.tokenized[f]);
     rule_det_thread(ctx, files[f], ctx.tokenized[f]);
-    rule_det_unordered_iter(ctx, files[f], ctx.tokenized[f]);
+    rule_det_unordered_iter(ctx, f, sym);
     rule_profile_hygiene(ctx, files[f], ctx.tokenized[f]);
   }
   rule_capability_check(ctx);
   rule_include_hygiene(ctx);
+  engine::rule_streams(ctx, sym);
+  engine::rule_taxonomy(ctx, sym);
 
   std::stable_sort(ctx.diagnostics.begin(), ctx.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
@@ -834,10 +770,56 @@ LintResult run_lint(std::span<const SourceFile> files) {
   return LintResult{std::move(ctx.diagnostics)};
 }
 
+std::string streams_manifest(std::span<const SourceFile> files) {
+  const auto ctx = make_context(files);
+  const auto sym = engine::build_symbol_table(ctx);
+  return engine::render_streams(ctx, sym);
+}
+
 std::string format(const Diagnostic& d) {
   return d.file + ":" + std::to_string(d.line) + ": " +
          (d.severity == Severity::kError ? "error" : "warning") + "[" + d.rule + "]: " +
          d.message;
+}
+
+namespace {
+
+void json_escape_to(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u00";
+      out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += kHex[static_cast<unsigned char>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const LintResult& result) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& d : result.diagnostics) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"path\": \"";
+    json_escape_to(out, d.file);
+    out += "\", \"line\": " + std::to_string(d.line) + ", \"severity\": \"";
+    out += d.severity == Severity::kError ? "error" : "warning";
+    out += "\", \"rule\": \"";
+    json_escape_to(out, d.rule);
+    out += "\", \"message\": \"";
+    json_escape_to(out, d.message);
+    out += "\"}";
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace titanlint

@@ -3,9 +3,13 @@
 // The study layer's guarantees -- byte-identical reports at any
 // TITANREL_THREADS width, and registry kernels that touch only what their
 // declared capability mask covers -- are contracts the compiler cannot
-// check.  titanlint enforces them at build time with three rule families
-// over a lightweight C++ token scan (comments, strings and preprocessor
-// lines are understood; no full parse):
+// check.  titanlint enforces them at build time as a two-pass analyzer:
+// pass 1 tokenizes every input file (lightweight C++ token scan --
+// comments, strings, raw strings and preprocessor lines are understood;
+// no full parse) and builds a cross-translation-unit symbol table
+// (function definitions, unordered-container names with one hop of
+// include-closure propagation, every rng fork call site, the taxonomy
+// enums and their references); pass 2 runs five rule families over it:
 //
 //   determinism
 //     [det-rand]            std::rand/srand, time(nullptr) seeding, and
@@ -36,11 +40,30 @@
 //                           the transitive includes of in-repo headers
 //                           (the class of bug PR 2 fixed by hand).
 //
+//   stream discipline (src/)
+//     [stream-collision]    two sibling forks (same receiver, same
+//                           function definition) reuse one label: the
+//                           two consumers would share one stream.
+//     [stream-dynamic-label] a fork label that is not a string literal
+//                           -- invisible to the STREAMS.md manifest.
+//     [stream-unordered-fork] a fork inside range-for over an unordered
+//                           container: fork order follows hash layout.
+//
+//   taxonomy exhaustiveness (TriageCode / ErrorKind)
+//     [taxo-dead-code]      an enumerator no src/ code references.
+//     [taxo-missing-name]   name-table drift: kCodeNames/kTokens entry
+//                           count wrong, empty or duplicate entries, a
+//                           kRegistry row missing.
+//     [taxo-untested]       an enumerator no test file references.
+//     [taxo-switch-default] a switch over a taxonomy enum with a
+//                           `default:` arm or a missing enumerator.
+//
 // A finding can be suppressed for one line with a trailing comment:
 //   // titanlint: allow(rule-id)
 //
 // The engine operates on (path, text) pairs so tests can feed synthetic
-// fixtures; the CLI in main.cpp walks src/, examples/ and bench/.
+// fixtures; the CLI in main.cpp walks src/, examples/ and bench/, plus
+// tests/ as symbol-table evidence only (per-file rules skip tests/).
 #pragma once
 
 #include <cstddef>
@@ -84,6 +107,17 @@ struct LintResult {
 /// "path:line: error[rule]: message" -- the single canonical rendering,
 /// shared by the CLI and the exact-diagnostic tests.
 [[nodiscard]] std::string format(const Diagnostic& diagnostic);
+
+/// JSON rendering of a full result: an array with one object per
+/// finding ({"path", "line", "severity", "rule", "message"}), byte-
+/// stable in the same file/line order as the text output.
+[[nodiscard]] std::string to_json(const LintResult& result);
+
+/// The canonical STREAMS.md body: the fork tree reconstructed from
+/// every `*.fork("label")` call site under src/ in `files`.  Byte-
+/// stable and independent of the order files are passed in (files sort
+/// by path, functions by name, edges by receiver/label).
+[[nodiscard]] std::string streams_manifest(std::span<const SourceFile> files);
 
 // ---------------------------------------------------------------------------
 // Token scanner (exposed for the unit tests).

@@ -1,12 +1,20 @@
-// titanlint CLI: walk the repo's lint scope (src/, examples/, bench/),
-// run every rule, print diagnostics in file:line order, and exit
-// non-zero when any error-severity finding survives.
+// titanlint CLI: walk the repo's lint scope (src/, examples/, bench/,
+// plus tests/ as symbol-table evidence), run every rule, print
+// diagnostics in file:line order, and exit non-zero when any
+// error-severity finding survives.
 //
-//   titanlint [--root DIR] [--quiet] [extra files...]
+//   titanlint [--root DIR] [--quiet] [--json] [extra files...]
+//   titanlint [--root DIR] --streams
+//   titanlint [--root DIR] --check-streams FILE
 //
 // --root defaults to the current directory and must contain src/.  Extra
 // file arguments (repo-relative) are linted in addition to the default
-// scope -- handy for spot-checking a single file.
+// scope -- handy for spot-checking a single file.  --json renders the
+// findings as a JSON array on stdout instead of the text summary (the
+// diagnostics themselves stay on stderr in text form).  --streams prints
+// the canonical STREAMS.md manifest on stdout; --check-streams FILE
+// compares the freshly extracted manifest against a committed copy and
+// exits 1 on drift (the ctest gate).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -22,7 +30,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr std::string_view kScopeDirs[] = {"src", "examples", "bench"};
+constexpr std::string_view kScopeDirs[] = {"src", "examples", "bench", "tests"};
 
 bool lintable(const fs::path& path) {
   const auto ext = path.extension().string();
@@ -53,6 +61,9 @@ std::vector<std::string> collect(const fs::path& root) {
 int main(int argc, char** argv) {
   fs::path root = ".";
   bool quiet = false;
+  bool json = false;
+  bool streams = false;
+  std::string check_streams;
   std::vector<std::string> extra;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -60,8 +71,17 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--streams") {
+      streams = true;
+    } else if (arg == "--check-streams" && i + 1 < argc) {
+      check_streams = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: titanlint [--root DIR] [--quiet] [extra files...]");
+      std::puts(
+          "usage: titanlint [--root DIR] [--quiet] [--json] [extra files...]\n"
+          "       titanlint [--root DIR] --streams\n"
+          "       titanlint [--root DIR] --check-streams FILE");
       return 0;
     } else {
       extra.emplace_back(arg);
@@ -88,11 +108,34 @@ int main(int argc, char** argv) {
     files.push_back(titanlint::SourceFile{path, std::move(text)});
   }
 
+  if (streams || !check_streams.empty()) {
+    const auto manifest = titanlint::streams_manifest(files);
+    if (streams) {
+      std::fwrite(manifest.data(), 1, manifest.size(), stdout);
+      return 0;
+    }
+    const auto committed = titan::study::read_all(check_streams);
+    if (committed == manifest) {
+      if (!quiet) std::printf("titanlint: %s is fresh\n", check_streams.c_str());
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "titanlint: %s is stale: the fork tree in src/ has changed.\n"
+                 "  regenerate with:  ./build/tools/titanlint --root . --streams > "
+                 "STREAMS.md\n"
+                 "  and commit the diff together with the change that caused it\n",
+                 check_streams.c_str());
+    return 1;
+  }
+
   const auto result = titanlint::run_lint(files);
   for (const auto& diagnostic : result.diagnostics) {
     std::fprintf(stderr, "%s\n", titanlint::format(diagnostic).c_str());
   }
-  if (!quiet) {
+  if (json) {
+    const auto rendered = titanlint::to_json(result);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  } else if (!quiet) {
     std::printf("titanlint: %zu files, %zu errors, %zu warnings\n", files.size(),
                 result.error_count(), result.warning_count());
   }

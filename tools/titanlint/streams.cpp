@@ -1,0 +1,101 @@
+// Stream-discipline rules (stream-*) and the STREAMS.md renderer.
+//
+// The determinism contract for named RNG streams: a child stream's
+// sequence depends only on (parent seed, label).  That makes three
+// static properties load-bearing -- sibling labels must be unique
+// (collision = two consumers sharing one stream), labels must be
+// string literals (a dynamic label is invisible to this manifest and
+// to reviewers), and a fork must not happen under unordered iteration
+// (the fork *order* then depends on hash layout, and any draw
+// interleaving with it shifts).
+#include "titanlint/engine.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace titanlint::engine {
+
+void rule_streams(LintContext& ctx, const SymbolTable& sym) {
+  // Sibling collisions: same (receiver, label) twice inside one function
+  // definition.  Forks arrive in (file, token) order, so the first site
+  // wins and later ones report.
+  std::map<std::tuple<std::size_t, std::size_t, std::string, std::string>, std::size_t>
+      first_site;
+  for (const auto& site : sym.forks) {
+    const auto& file = *ctx.files[site.file];
+    const auto& tf = ctx.tokenized[site.file];
+
+    if (site.dynamic) {
+      ctx.report(file, tf, site.line, Severity::kError, "stream-dynamic-label",
+                 "fork label on '" + site.receiver +
+                     "' is not a string literal; dynamic labels are invisible to the "
+                     "STREAMS.md manifest -- name the stream and use fork(label, index) "
+                     "for per-item streams");
+    } else {
+      const auto key = std::make_tuple(site.file, site.function, site.receiver, site.label);
+      const auto [it, inserted] = first_site.emplace(key, site.line);
+      if (!inserted) {
+        ctx.report(file, tf, site.line, Severity::kError, "stream-collision",
+                   "fork label \"" + site.label + "\" on '" + site.receiver +
+                       "' collides with the sibling fork at line " +
+                       std::to_string(it->second) +
+                       "; sibling labels must be unique or the two consumers share one "
+                       "stream");
+      }
+    }
+
+    if (site.unordered_loop != 0) {
+      ctx.report(file, tf, site.line, Severity::kError, "stream-unordered-fork",
+                 "fork inside iteration over '" + site.unordered_loop_var +
+                     "' (std::unordered_*, loop at line " +
+                     std::to_string(site.unordered_loop) +
+                     "): fork order depends on hash layout; iterate a sorted view or "
+                     "fork by stable key outside the loop");
+    }
+  }
+}
+
+std::string render_streams(const LintContext& ctx, const SymbolTable& sym) {
+  // path -> function name -> edge lines (sorted, deduped).  Overloads
+  // merge under one function name; identical edges collapse.
+  std::map<std::string, std::map<std::string, std::set<std::string>>> tree;
+  std::size_t edge_count = 0;
+  for (const auto& site : sym.forks) {
+    const auto& path = ctx.files[site.file]->path;
+    std::string function = "(file scope)";
+    if (site.function != SymbolTable::npos) {
+      function = sym.functions[site.file][site.function].name;
+    }
+    std::string edge = "  - `" + site.receiver + "` -> ";
+    edge += site.dynamic ? "<dynamic>" : "`\"" + site.label + "\"`";
+    if (site.indexed) edge += " [indexed]";
+    if (!site.bound_var.empty()) edge += " => `" + site.bound_var + "`";
+    if (tree[path][function].insert(std::move(edge)).second) ++edge_count;
+  }
+
+  std::string out;
+  out += "# RNG stream manifest\n";
+  out += "\n";
+  out += "Every named `fork` call site under `src/`, extracted statically by\n";
+  out += "`titanlint --streams` (rule family `stream-*`).  A child stream's\n";
+  out += "sequence depends only on (parent seed, label), so this file is the\n";
+  out += "repo's determinism contract: a diff here means a stream was added,\n";
+  out += "renamed or moved, and golden outputs may shift.  Commit the diff\n";
+  out += "together with the change that caused it.  Regenerate with:\n";
+  out += "\n";
+  out += "    ./build/tools/titanlint --root . --streams > STREAMS.md\n";
+  for (const auto& [path, functions] : tree) {
+    out += "\n## " + path + "\n";
+    for (const auto& [function, edges] : functions) {
+      out += "\n- `" + function + "`\n";
+      for (const auto& edge : edges) out += edge + "\n";
+    }
+  }
+  out += "\n---\n\n";
+  out += std::to_string(edge_count) + " stream" + (edge_count == 1 ? "" : "s") +
+         " across " + std::to_string(tree.size()) + " file" +
+         (tree.size() == 1 ? "" : "s") + ".\n";
+  return out;
+}
+
+}  // namespace titanlint::engine

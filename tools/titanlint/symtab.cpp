@@ -1,0 +1,418 @@
+// Pass 1 of the two-pass analyzer: build the cross-TU symbol table.
+// Everything here is derivation only -- no diagnostics are emitted.
+#include "titanlint/engine.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace titanlint::engine {
+
+using Kind = Token::Kind;
+
+std::size_t match(const std::vector<Token>& t, std::size_t open, std::string_view opener,
+                  std::string_view closer) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kPunct) continue;
+    if (t[i].text == opener) ++depth;
+    if (t[i].text == closer && --depth == 0) return i;
+  }
+  return std::string_view::npos;
+}
+
+namespace {
+
+constexpr std::array<std::string_view, 14> kNonFunctionKeywords = {
+    "if",    "for",        "while",  "switch",        "catch", "return", "sizeof",
+    "throw", "alignof",    "typeid", "static_assert", "new",   "delete", "co_return"};
+
+}  // namespace
+
+bool is_keyword(std::string_view name) {
+  return std::find(kNonFunctionKeywords.begin(), kNonFunctionKeywords.end(), name) !=
+         kNonFunctionKeywords.end();
+}
+
+std::pair<std::size_t, std::size_t> function_def_at(const std::vector<Token>& t,
+                                                    std::size_t i) {
+  constexpr auto npos = std::string_view::npos;
+  if (!is_ident(t, i) || is_keyword(t[i].text) || tok(t, i + 1) != "(") return {npos, npos};
+  const auto params_end = match(t, i + 1, "(", ")");
+  if (params_end == npos) return {npos, npos};
+  std::size_t j = params_end + 1;
+  while (j < t.size()) {
+    const auto& s = t[j].text;
+    if (s == "{") return {params_end, j};
+    if (s == "const" || s == "noexcept" || s == "override" || s == "final" || s == "&" ||
+        s == "&&" || s == "->" || s == "::" || s == "<" || s == ">" || s == "*" ||
+        s == "," || t[j].kind == Kind::kIdentifier) {
+      ++j;
+      continue;
+    }
+    return {npos, npos};
+  }
+  return {npos, npos};
+}
+
+std::set<std::string> SymbolTable::effective_unordered(std::size_t file) const {
+  std::set<std::string> out = unordered_names[file];
+  for (const auto g : closure[file]) {
+    out.insert(unordered_members[g].begin(), unordered_members[g].end());
+  }
+  return out;
+}
+
+namespace {
+
+std::string dir_of(std::string_view path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string{}
+                                         : std::string{path.substr(0, slash + 1)};
+}
+
+/// Names declared with an unordered container type in one file: handles
+/// `std::unordered_map<K, V> name` and `const std::unordered_set<T>& name`
+/// (declarations, parameters, members); type aliases are out of scope.
+std::set<std::string> unordered_names_in(const std::vector<Token>& t) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier ||
+        (t[i].text != "unordered_map" && t[i].text != "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (tok(t, j) != "<") continue;
+    std::size_t depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">" && --depth == 0) break;
+    }
+    if (j >= t.size()) continue;
+    ++j;
+    while (tok(t, j) == "&" || tok(t, j) == "*" || tok(t, j) == "const") ++j;
+    if (is_ident(t, j)) out.insert(t[j].text);
+  }
+  return out;
+}
+
+/// In-repo include resolution, identical to the include-hygiene rule's:
+/// sibling directory first, then src/-rooted, then the exact path.
+struct IncludeGraph {
+  std::map<std::string, std::size_t> by_path;
+
+  [[nodiscard]] std::size_t resolve(std::string_view includer,
+                                    const std::string& header) const {
+    const auto sibling = by_path.find(dir_of(includer) + header);
+    if (sibling != by_path.end()) return sibling->second;
+    const auto rooted = by_path.find("src/" + header);
+    if (rooted != by_path.end()) return rooted->second;
+    const auto exact = by_path.find(header);
+    if (exact != by_path.end()) return exact->second;
+    return std::string_view::npos;
+  }
+};
+
+void closure_dfs(const LintContext& ctx, const IncludeGraph& graph, std::size_t f,
+                 std::vector<char>& visited) {
+  if (visited[f] != 0) return;
+  visited[f] = 1;
+  for (const auto& inc : ctx.tokenized[f].includes) {
+    const auto target = graph.resolve(ctx.files[f]->path, inc.header);
+    if (target != std::string_view::npos) closure_dfs(ctx, graph, target, visited);
+  }
+}
+
+/// Body '{' of a constructor with a member-initializer list:
+/// `Name (params) : a_{x}, b_(y) { ... }`.  An initializer's own brace
+/// follows an identifier (or a closing template '>'); the body brace
+/// follows ')' or the '}' of the previous initializer.
+std::size_t ctor_body_open(const std::vector<Token>& t, std::size_t params_end) {
+  constexpr auto npos = std::string_view::npos;
+  if (tok(t, params_end + 1) != ":") return npos;
+  std::size_t j = params_end + 2;
+  while (j < t.size()) {
+    const auto& s = t[j].text;
+    if (s == "(") {
+      j = match(t, j, "(", ")");
+      if (j == npos) return npos;
+    } else if (s == "{") {
+      if (!(is_ident(t, j - 1) || tok(t, j - 1) == ">")) return j;  // the body
+      j = match(t, j, "{", "}");
+      if (j == npos) return npos;
+    } else if (s == ";") {
+      return npos;  // not a definition after all (e.g. a label)
+    }
+    ++j;
+  }
+  return npos;
+}
+
+/// All function definitions in one file, token order.
+std::vector<FunctionDef> functions_in(const std::vector<Token>& t) {
+  std::vector<FunctionDef> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    auto [params_end, body_open] = function_def_at(t, i);
+    if (body_open == std::string_view::npos) {
+      // function_def_at stops at ':' -- retry as an initializer-list ctor.
+      if (!is_ident(t, i) || is_keyword(t[i].text) || tok(t, i + 1) != "(") continue;
+      params_end = match(t, i + 1, "(", ")");
+      if (params_end == std::string_view::npos) continue;
+      body_open = ctor_body_open(t, params_end);
+      if (body_open == std::string_view::npos) continue;
+    }
+    const auto body_close = match(t, body_open, "{", "}");
+    if (body_close == std::string_view::npos) continue;
+    out.push_back(FunctionDef{t[i].text, i, body_open, body_close});
+  }
+  return out;
+}
+
+/// Range-fors over one of `unordered`'s names.  Records the body token
+/// range (braced or single-statement) so fork sites can be located
+/// inside it.
+std::vector<UnorderedLoop> unordered_loops_in(const std::vector<Token>& t,
+                                              const std::set<std::string>& unordered) {
+  std::vector<UnorderedLoop> out;
+  if (unordered.empty()) return out;
+  constexpr auto npos = std::string_view::npos;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "for" || tok(t, i + 1) != "(") continue;
+    const auto close = match(t, i + 1, "(", ")");
+    if (close == npos) continue;
+    std::size_t colon = npos;
+    std::size_t depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const auto& p = t[j].text;
+      if (p == "(" || p == "[" || p == "{") ++depth;
+      if (p == ")" || p == "]" || p == "}") --depth;
+      if (depth == 0 && t[j].kind == Kind::kPunct && p == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == npos) continue;
+    if (!(colon + 2 == close && is_ident(t, colon + 1) &&
+          unordered.count(t[colon + 1].text) != 0)) {
+      continue;
+    }
+    UnorderedLoop loop;
+    loop.line = t[i].line;
+    loop.var = t[colon + 1].text;
+    if (tok(t, close + 1) == "{") {
+      const auto body_close = match(t, close + 1, "{", "}");
+      if (body_close == npos) continue;
+      loop.body_begin = close + 2;
+      loop.body_end = body_close;
+    } else {
+      std::size_t j = close + 1;
+      std::size_t d = 0;
+      for (; j < t.size(); ++j) {
+        const auto& p = t[j].text;
+        if (p == "(" || p == "[" || p == "{") ++d;
+        if (p == ")" || p == "]" || p == "}") --d;
+        if (d == 0 && p == ";") break;
+      }
+      loop.body_begin = close + 1;
+      loop.body_end = j;
+    }
+    out.push_back(loop);
+  }
+  return out;
+}
+
+/// Dotted receiver chain ending just before the `.fork` at token `i`
+/// (i is the `fork` identifier, t[i-1] is "." or "->").  Returns the
+/// chain rendered without spaces ("plan.rng") and the index of its first
+/// token, or an empty chain when the receiver is not an ident chain.
+std::pair<std::string, std::size_t> receiver_chain(const std::vector<Token>& t,
+                                                   std::size_t i) {
+  if (i < 2 || !is_ident(t, i - 2)) return {std::string{}, 0};
+  std::size_t first = i - 2;
+  while (first >= 2 &&
+         (t[first - 1].text == "." || t[first - 1].text == "->" ||
+          t[first - 1].text == "::") &&
+         is_ident(t, first - 2)) {
+    first -= 2;
+  }
+  std::string chain;
+  for (std::size_t j = first; j <= i - 2; ++j) chain += t[j].text;
+  return {chain, first};
+}
+
+void collect_forks(const LintContext& ctx, std::size_t f, SymbolTable& sym) {
+  const auto& t = ctx.tokenized[f].tokens;
+  const auto& funcs = sym.functions[f];
+  const auto& loops = sym.unordered_loops[f];
+  for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+    if (!is_ident(t, i) || t[i].text != "fork" || tok(t, i + 1) != "(") continue;
+    if (t[i - 1].text != "." && t[i - 1].text != "->") continue;
+
+    ForkSite site;
+    site.file = f;
+    site.line = t[i].line;
+    site.token = i;
+    auto [chain, chain_begin] = receiver_chain(t, i);
+    if (chain.empty()) {
+      chain = "<expr>";
+      chain_begin = i - 1;
+    }
+    site.receiver = std::move(chain);
+
+    // One level of local-variable dataflow: `x = receiver.fork(...)`.
+    if (chain_begin >= 2 && tok(t, chain_begin - 1) == "=" &&
+        is_ident(t, chain_begin - 2)) {
+      site.bound_var = t[chain_begin - 2].text;
+    }
+
+    // First argument: a string literal is the static label; anything
+    // else is a dynamic label.
+    const auto& arg = tok(t, i + 2);
+    if (i + 2 < t.size() && t[i + 2].kind == Kind::kString && arg.size() >= 2 &&
+        arg.front() == '"') {
+      site.label = arg.substr(1, arg.size() - 2);
+    } else {
+      site.dynamic = true;
+    }
+
+    // Indexed overload: a top-level ',' inside the argument list.
+    const auto close = match(t, i + 1, "(", ")");
+    if (close != std::string_view::npos) {
+      std::size_t depth = 0;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const auto& p = t[j].text;
+        if (t[j].kind != Kind::kPunct) continue;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth == 0 && p == ",") {
+          site.indexed = true;
+          break;
+        }
+      }
+    }
+
+    site.function = SymbolTable::npos;
+    for (std::size_t fn = 0; fn < funcs.size(); ++fn) {
+      if (funcs[fn].body_open < i && i < funcs[fn].body_close) site.function = fn;
+    }
+    for (const auto& loop : loops) {
+      if (loop.body_begin <= i && i < loop.body_end) {
+        site.unordered_loop = loop.line;
+        site.unordered_loop_var = loop.var;
+        break;
+      }
+    }
+    sym.forks.push_back(std::move(site));
+  }
+}
+
+constexpr std::array<std::string_view, 2> kTaxonomyEnums = {"TriageCode", "ErrorKind"};
+
+bool is_taxonomy_enum(std::string_view name) {
+  return std::find(kTaxonomyEnums.begin(), kTaxonomyEnums.end(), name) !=
+         kTaxonomyEnums.end();
+}
+
+void collect_enums(const LintContext& ctx, std::size_t f, SymbolTable& sym) {
+  const auto& t = ctx.tokenized[f].tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!(is_ident(t, i) && t[i].text == "enum")) continue;
+    std::size_t j = i + 1;
+    if (tok(t, j) == "class" || tok(t, j) == "struct") ++j;
+    if (!is_ident(t, j) || !is_taxonomy_enum(t[j].text)) continue;
+
+    EnumDef def;
+    def.name = t[j].text;
+    def.file = f;
+    def.line = t[j].line;
+    ++j;
+    // Skip an underlying-type clause (`: std::uint8_t`).
+    if (tok(t, j) == ":") {
+      ++j;
+      while (j < t.size() && (is_ident(t, j) || t[j].text == "::")) ++j;
+    }
+    if (tok(t, j) != "{") continue;
+    const auto body_close = match(t, j, "{", "}");
+    if (body_close == std::string_view::npos) continue;
+
+    bool expect_name = true;
+    std::size_t depth = 0;
+    for (std::size_t k = j + 1; k < body_close; ++k) {
+      const auto& p = t[k].text;
+      if (t[k].kind == Kind::kPunct) {
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth == 0 && p == ",") expect_name = true;
+        continue;
+      }
+      if (expect_name && is_ident(t, k)) {
+        EnumValue value;
+        value.name = t[k].text;
+        value.line = t[k].line;
+        value.sentinel = !value.name.empty() && value.name.back() == '_';
+        def.values.push_back(std::move(value));
+        expect_name = false;  // skip `= expr` tokens until the next ','
+      }
+    }
+    sym.enums.push_back(std::move(def));
+  }
+}
+
+void collect_enum_refs(const LintContext& ctx, std::size_t f, SymbolTable& sym) {
+  const auto& path = ctx.files[f]->path;
+  const auto& t = ctx.tokenized[f].tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!is_ident(t, i) || !is_taxonomy_enum(t[i].text)) continue;
+    if (tok(t, i + 1) != "::" || !is_ident(t, i + 2)) continue;
+    auto& count = sym.enum_refs[t[i].text][t[i + 2].text];
+    if (is_test_path(path)) {
+      ++count.test;
+    } else if (in_dir(path, "src/")) {
+      ++count.src;
+    } else {
+      ++count.other;
+    }
+  }
+}
+
+}  // namespace
+
+SymbolTable build_symbol_table(const LintContext& ctx) {
+  SymbolTable sym;
+  const auto n = ctx.files.size();
+  sym.unordered_names.resize(n);
+  sym.unordered_members.resize(n);
+  sym.closure.resize(n);
+  sym.functions.resize(n);
+  sym.unordered_loops.resize(n);
+
+  IncludeGraph graph;
+  for (std::size_t f = 0; f < n; ++f) graph.by_path[ctx.files[f]->path] = f;
+
+  for (std::size_t f = 0; f < n; ++f) {
+    const auto& t = ctx.tokenized[f].tokens;
+    sym.unordered_names[f] = unordered_names_in(t);
+    if (ctx.files[f]->path.ends_with(".hpp")) {
+      for (const auto& name : sym.unordered_names[f]) {
+        if (name.size() >= 2 && name.back() == '_') sym.unordered_members[f].insert(name);
+      }
+    }
+    sym.functions[f] = functions_in(t);
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    std::vector<char> visited(n, 0);
+    closure_dfs(ctx, graph, f, visited);
+    for (std::size_t g = 0; g < n; ++g) {
+      if (visited[g] != 0) sym.closure[f].push_back(g);
+    }
+  }
+  for (std::size_t f = 0; f < n; ++f) {
+    sym.unordered_loops[f] =
+        unordered_loops_in(ctx.tokenized[f].tokens, sym.effective_unordered(f));
+    if (in_dir(ctx.files[f]->path, "src/")) collect_forks(ctx, f, sym);
+    collect_enums(ctx, f, sym);
+    collect_enum_refs(ctx, f, sym);
+  }
+  return sym;
+}
+
+}  // namespace titanlint::engine

@@ -1,0 +1,278 @@
+// Taxonomy-exhaustiveness rules (taxo-*) over the TriageCode and
+// ErrorKind enums.
+//
+// The taxonomy is the repo's error vocabulary: every value must be
+// producible (referenced under src/), nameable (a row in its
+// name/description table), and proven (referenced under tests/).
+// Switches over a taxonomy enum must enumerate every value -- a
+// `default:` arm swallows the -Wswitch warning that would otherwise
+// catch the next appended code.
+//
+// Table association is by the repo's concrete table names:
+//   TriageCode -> kCodeNames  (positional string table)
+//   ErrorKind  -> kTokens     (positional string table)
+//              -> kRegistry   (rows keyed by ErrorKind::kX)
+// A table absent from the input corpus is skipped silently so narrow
+// fixtures (and partial file sets) stay lintable.
+#include "titanlint/engine.hpp"
+
+#include <array>
+
+namespace titanlint::engine {
+
+namespace {
+
+using Kind = Token::Kind;
+
+/// One positional string table: `... kName[...] = { "a", "b", ... }` or
+/// `std::array<...> kName = { ... }`.
+struct PositionalTable {
+  bool found = false;
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::vector<std::pair<std::string, std::size_t>> entries;  ///< (unquoted, line)
+};
+
+PositionalTable find_positional_table(const LintContext& ctx, std::string_view name) {
+  PositionalTable table;
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    const auto& t = ctx.tokenized[f].tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_ident(t, i) || t[i].text != name) continue;
+      // Find the initializer brace; a ';' first means this was a use,
+      // not the definition.
+      std::size_t open = SymbolTable::npos;
+      for (std::size_t j = i + 1; j < t.size() && j < i + 12; ++j) {
+        if (t[j].text == "{") {
+          open = j;
+          break;
+        }
+        if (t[j].text == ";" || t[j].text == "(") break;
+      }
+      if (open == SymbolTable::npos) continue;
+      const auto close = match(t, open, "{", "}");
+      if (close == SymbolTable::npos) continue;
+      table.found = true;
+      table.file = f;
+      table.line = t[i].line;
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (t[j].kind != Kind::kString) continue;
+        const auto& s = t[j].text;
+        if (s.size() >= 2 && s.front() == '"') {
+          table.entries.emplace_back(s.substr(1, s.size() - 2), t[j].line);
+        }
+      }
+      return table;
+    }
+  }
+  return table;
+}
+
+/// One keyed table: `... kName = {{ {Enum::kA, ...}, ... }}`; rows are
+/// identified by the `Enum::kX` references inside the initializer.
+struct KeyedTable {
+  bool found = false;
+  std::size_t file = 0;
+  std::size_t line = 0;
+  std::set<std::string> keys;
+};
+
+KeyedTable find_keyed_table(const LintContext& ctx, std::string_view name,
+                            std::string_view enum_name) {
+  KeyedTable table;
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    const auto& t = ctx.tokenized[f].tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_ident(t, i) || t[i].text != name) continue;
+      std::size_t open = SymbolTable::npos;
+      for (std::size_t j = i + 1; j < t.size() && j < i + 12; ++j) {
+        if (t[j].text == "{") {
+          open = j;
+          break;
+        }
+        if (t[j].text == ";" || t[j].text == "(") break;
+      }
+      if (open == SymbolTable::npos) continue;
+      const auto close = match(t, open, "{", "}");
+      if (close == SymbolTable::npos) continue;
+      table.found = true;
+      table.file = f;
+      table.line = t[i].line;
+      for (std::size_t j = open + 1; j + 2 < close; ++j) {
+        if (is_ident(t, j) && t[j].text == enum_name && tok(t, j + 1) == "::" &&
+            is_ident(t, j + 2)) {
+          table.keys.insert(t[j + 2].text);
+        }
+      }
+      return table;
+    }
+  }
+  return table;
+}
+
+std::size_t non_sentinel_count(const EnumDef& def) {
+  std::size_t n = 0;
+  for (const auto& v : def.values) {
+    if (!v.sentinel) ++n;
+  }
+  return n;
+}
+
+void check_positional_table(LintContext& ctx, const EnumDef& def,
+                            std::string_view table_name) {
+  const auto table = find_positional_table(ctx, table_name);
+  if (!table.found) return;
+  const auto& file = *ctx.files[table.file];
+  const auto& tf = ctx.tokenized[table.file];
+  const auto expected = non_sentinel_count(def);
+
+  if (table.entries.size() != expected) {
+    ctx.report(file, tf, table.line, Severity::kError, "taxo-missing-name",
+               std::string{table_name} + " has " + std::to_string(table.entries.size()) +
+                   " entries but " + def.name + " declares " + std::to_string(expected) +
+                   " values; every value needs a name row");
+  }
+  std::map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < table.entries.size(); ++i) {
+    const auto& [entry, line] = table.entries[i];
+    if (entry.empty()) {
+      const std::string which = i < def.values.size() && !def.values[i].sentinel
+                                    ? def.name + "::" + def.values[i].name
+                                    : "index " + std::to_string(i);
+      ctx.report(file, tf, line, Severity::kError, "taxo-missing-name",
+                 std::string{table_name} + " entry for " + which + " is empty");
+      continue;
+    }
+    const auto [it, inserted] = seen.emplace(entry, line);
+    if (!inserted) {
+      ctx.report(file, tf, line, Severity::kError, "taxo-missing-name",
+                 "duplicate " + std::string{table_name} + " entry \"" + entry +
+                     "\" (first at line " + std::to_string(it->second) +
+                     "); names are wire identifiers and must be unique");
+    }
+  }
+}
+
+void check_keyed_table(LintContext& ctx, const EnumDef& def, std::string_view table_name) {
+  const auto table = find_keyed_table(ctx, table_name, def.name);
+  if (!table.found) return;
+  const auto& file = *ctx.files[table.file];
+  const auto& tf = ctx.tokenized[table.file];
+  for (const auto& v : def.values) {
+    if (v.sentinel || table.keys.count(v.name) != 0) continue;
+    ctx.report(file, tf, table.line, Severity::kError, "taxo-missing-name",
+               std::string{table_name} + " has no row for " + def.name + "::" + v.name);
+  }
+}
+
+void check_references(LintContext& ctx, const SymbolTable& sym, const EnumDef& def) {
+  const auto& file = *ctx.files[def.file];
+  const auto& tf = ctx.tokenized[def.file];
+  const auto by_value = sym.enum_refs.find(def.name);
+  for (const auto& v : def.values) {
+    if (v.sentinel) continue;
+    EnumRefCount refs;
+    if (by_value != sym.enum_refs.end()) {
+      const auto it = by_value->second.find(v.name);
+      if (it != by_value->second.end()) refs = it->second;
+    }
+    if (refs.src == 0) {
+      ctx.report(file, tf, v.line, Severity::kError, "taxo-dead-code",
+                 def.name + "::" + v.name +
+                     " is never referenced under src/; a taxonomy value no code can "
+                     "produce is dead vocabulary");
+    }
+    if (refs.test == 0) {
+      ctx.report(file, tf, v.line, Severity::kError, "taxo-untested",
+                 def.name + "::" + v.name +
+                     " never appears under tests/; add a fixture that exercises it");
+    }
+  }
+}
+
+const EnumDef* find_enum(const SymbolTable& sym, std::string_view name) {
+  for (const auto& def : sym.enums) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+void check_switches(LintContext& ctx, const SymbolTable& sym) {
+  for (std::size_t f = 0; f < ctx.files.size(); ++f) {
+    const auto& path = ctx.files[f]->path;
+    if (!in_dir(path, "src/")) continue;
+    const auto& t = ctx.tokenized[f].tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].text != "switch" || tok(t, i + 1) != "(") continue;
+      const auto cond_close = match(t, i + 1, "(", ")");
+      if (cond_close == SymbolTable::npos || tok(t, cond_close + 1) != "{") continue;
+      const auto body_open = cond_close + 1;
+      const auto body_close = match(t, body_open, "{", "}");
+      if (body_close == SymbolTable::npos) continue;
+
+      std::string enum_name;
+      std::set<std::string> handled;
+      std::size_t default_line = 0;
+      std::size_t depth = 1;
+      for (std::size_t j = body_open + 1; j < body_close; ++j) {
+        const auto& s = t[j].text;
+        if (t[j].kind == Kind::kPunct) {
+          if (s == "{") ++depth;
+          if (s == "}") --depth;
+          continue;
+        }
+        if (depth != 1) continue;
+        if (s == "case" && is_ident(t, j + 1) && tok(t, j + 2) == "::" &&
+            is_ident(t, j + 3) &&
+            (t[j + 1].text == "TriageCode" || t[j + 1].text == "ErrorKind")) {
+          enum_name = t[j + 1].text;
+          handled.insert(t[j + 3].text);
+        }
+        if (s == "default" && tok(t, j + 1) == ":" && default_line == 0) {
+          default_line = t[j].line;
+        }
+      }
+      if (enum_name.empty()) continue;  // not a taxonomy switch
+
+      if (default_line != 0) {
+        ctx.report(*ctx.files[f], ctx.tokenized[f], default_line, Severity::kError,
+                   "taxo-switch-default",
+                   "switch over " + enum_name +
+                       " has a 'default:' arm; enumerate every value so -Wswitch flags "
+                       "the next appended one at compile time");
+        continue;
+      }
+      const auto* def = find_enum(sym, enum_name);
+      if (def == nullptr) continue;
+      std::string missing;
+      for (const auto& v : def->values) {
+        if (v.sentinel || handled.count(v.name) != 0) continue;
+        if (!missing.empty()) missing += ", ";
+        missing += v.name;
+      }
+      if (!missing.empty()) {
+        ctx.report(*ctx.files[f], ctx.tokenized[f], t[i].line, Severity::kError,
+                   "taxo-switch-default",
+                   "switch over " + enum_name + " does not handle " + missing +
+                       "; every value needs an explicit arm");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void rule_taxonomy(LintContext& ctx, const SymbolTable& sym) {
+  for (const auto& def : sym.enums) {
+    if (def.name == "TriageCode") {
+      check_positional_table(ctx, def, "kCodeNames");
+    } else if (def.name == "ErrorKind") {
+      check_positional_table(ctx, def, "kTokens");
+      check_keyed_table(ctx, def, "kRegistry");
+    }
+    check_references(ctx, sym, def);
+  }
+  check_switches(ctx, sym);
+}
+
+}  // namespace titanlint::engine
