@@ -9,8 +9,14 @@
 // simulator -- the same arms-length position the paper's analysts were
 // in.
 //
+// With --resume, a sharded generation interrupted mid-write (the
+// study.ckpt checkpoint is still in the directory) picks up after its
+// last sealed shard and finishes byte-identically to an uninterrupted
+// run.  Setting TITANREL_FAULTTEST (e.g. `runlength,n=7,hard`) arms the
+// crash kill points for fault-injection runs.
+//
 //   ./build/examples/generate_dataset [output_dir] [seed] [--format text|binary]
-//                                     [--shards N] [--profile NAME]
+//                                     [--shards N] [--resume] [--profile NAME]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,20 +24,29 @@
 #include <string_view>
 #include <vector>
 
+#include "faulttest/faulttest.hpp"
 #include "profile/fleet_profile.hpp"
 #include "study/sharded.hpp"
 #include "study/source.hpp"
 
 int main(int argc, char** argv) {
   using namespace titan;
+  if (faulttest::fault_test_init_from_env()) {
+    std::fprintf(stderr, "generate_dataset: fault injection armed (TITANREL_FAULTTEST, "
+                         "mode %s)\n",
+                 std::string{faulttest::mode_name(faulttest::fault_mode())}.c_str());
+  }
   auto format = study::DatasetFormat::kText;
   bool have_format = false;
+  bool resume = false;
   std::size_t shards = 0;
   const profile::FleetProfile* fleet = &profile::k20x_titan();
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--profile" && i + 1 < argc) {
+    if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--profile" && i + 1 < argc) {
       fleet = profile::find_profile(argv[++i]);
       if (fleet == nullptr) {
         std::fprintf(stderr, "generate_dataset: unknown profile '%s' (%s)\n", argv[i],
@@ -69,13 +84,19 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 29;
 
+  if (resume && shards == 0) {
+    std::fprintf(stderr, "generate_dataset: --resume needs --shards N (the monolithic "
+                         "writer resumes by rerunning)\n");
+    return 2;
+  }
+
   if (shards > 0) {
     std::printf("Simulating a quick campaign (seed %llu, profile %s), %zu shards "
-                "out-of-core...\n",
+                "out-of-core%s...\n",
                 static_cast<unsigned long long>(seed), std::string{fleet->name}.c_str(),
-                shards);
-    const auto stats =
-        study::generate_sharded_dataset(core::quick_config(seed, *fleet), shards, dir);
+                shards, resume ? ", resuming" : "");
+    const auto stats = study::generate_sharded_dataset(core::quick_config(seed, *fleet),
+                                                       shards, dir, resume);
     std::printf("\nWrote sharded dataset to %s/\n", dir.string().c_str());
     std::printf("  dataset.shard-{0..%zu}.tdf  %zu events total, %zu in the largest shard\n",
                 stats.shards - 1, stats.events, stats.peak_shard_events);

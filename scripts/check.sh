@@ -21,6 +21,12 @@
 #                every corruption operator, and run the salvage sweep
 #                (bench_ingest_robustness), plus an explicit titanlint
 #                det-* pass over src/ingest and src/tdf
+#   --crash      run the crash-consistency gate: the differential
+#                kill-point sweep over every dataset writer
+#                (bench_faulttest_crash: each kill must end in clean
+#                salvage or a named failure, each resume byte-identical),
+#                plus an explicit titanlint io-atomic pass over the
+#                durable-write layers
 #   --profiles   run the cross-fleet profile sweep: the profile unit /
 #                golden-equivalence / determinism / mismatch test
 #                binaries, the profile-matrix bench (full registry under
@@ -40,6 +46,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 UBSAN=0
 TSAN=0
 CORRUPT=0
+CRASH=0
 PROFILES=0
 BENCH_JSON=0
 while [[ $# -gt 0 ]]; do
@@ -47,10 +54,11 @@ while [[ $# -gt 0 ]]; do
     --ubsan) UBSAN=1 ;;
     --tsan) TSAN=1 ;;
     --corrupt) CORRUPT=1 ;;
+    --crash) CRASH=1 ;;
     --profiles) PROFILES=1 ;;
     --bench-json) BENCH_JSON=1 ;;
     --jobs) JOBS="$2"; shift ;;
-    *) echo "usage: scripts/check.sh [--ubsan] [--tsan] [--corrupt] [--profiles] [--bench-json] [--jobs N]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--ubsan] [--tsan] [--corrupt] [--crash] [--profiles] [--bench-json] [--jobs N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -79,6 +87,17 @@ if [[ "$CORRUPT" == 1 ]]; then
     src/core/sharded.hpp src/core/sharded.cpp src/fault/campaign.hpp \
     src/fault/campaign.cpp src/study/sharded.hpp src/study/sharded.cpp \
     src/study/source.cpp
+fi
+
+if [[ "$CRASH" == 1 ]]; then
+  echo "== crash-consistency gate (kill-point sweep over every dataset writer) =="
+  ./build/bench/bench_faulttest_crash
+  echo "== titanlint io-atomic sweep over the durable-write layers =="
+  ./build/tools/titanlint --root . src/faulttest/atomic_file.hpp \
+    src/faulttest/atomic_file.cpp src/faulttest/faulttest.hpp \
+    src/faulttest/faulttest.cpp src/ckpt/study_ckpt.hpp src/ckpt/study_ckpt.cpp \
+    src/study/io.cpp src/study/sharded.cpp src/study/source.cpp \
+    src/study/fsck.cpp src/study/crashtest.cpp src/tdf/writer.cpp
 fi
 
 if [[ "$PROFILES" == 1 ]]; then

@@ -1,0 +1,250 @@
+#include "ckpt/study_ckpt.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iterator>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "faulttest/atomic_file.hpp"
+#include "faulttest/faulttest.hpp"
+
+namespace titan::ckpt {
+
+namespace {
+
+namespace fs = std::filesystem;
+using ingest::IngestError;
+using ingest::IngestPolicy;
+using ingest::IngestReport;
+using ingest::SalvageAction;
+using ingest::TriageCode;
+
+/// Record the finding (or throw under strict) and abandon the decode.
+std::optional<StudyCheckpoint> reject(std::string_view file, std::size_t line,
+                                      TriageCode code, std::string_view detail,
+                                      IngestPolicy policy, IngestReport& report) {
+  if (policy == IngestPolicy::kStrict) {
+    throw IngestError{std::string{file}, line, code, detail};
+  }
+  report.add(file, line, code, SalvageAction::kRejected, detail);
+  return std::nullopt;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out, 10);
+  return ec == std::errc{} && ptr == end && !text.empty();
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& out) {
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out, 16);
+  return ec == std::errc{} && ptr == end && text.size() == 16;
+}
+
+/// Pop the next space-delimited token; empty when exhausted.
+std::string_view next_token(std::string_view& rest) {
+  const auto start = rest.find_first_not_of(' ');
+  if (start == std::string_view::npos) {
+    rest = {};
+    return {};
+  }
+  rest.remove_prefix(start);
+  const auto stop = rest.find(' ');
+  const auto token = rest.substr(0, stop);
+  rest.remove_prefix(stop == std::string_view::npos ? rest.size() : stop);
+  return token;
+}
+
+}  // namespace
+
+std::string StudyCheckpoint::encode() const {
+  std::string body{kStudyCheckpointHeader};
+  body += '\n';
+  body += "seed " + std::to_string(seed) + '\n';
+  body += "profile " + profile_name + ' ' + ingest::checksum_hex(profile_hash) + '\n';
+  body += "shards " + std::to_string(shard_count) + '\n';
+  body += "fences";
+  for (const auto fence : card_fences) body += ' ' + std::to_string(fence);
+  body += '\n';
+  for (const auto& seal : sealed) {
+    body += "shard " + std::to_string(seal.shard) + ' ' + seal.file + ' ' +
+            ingest::checksum_hex(seal.checksum) + ' ' + std::to_string(seal.events) +
+            ' ' + std::to_string(seal.bytes) + ' ' + std::to_string(seal.jobs) + ' ' +
+            std::to_string(seal.smi_blocks) + '\n';
+  }
+  // Self-checksum over every preceding byte: a checkpoint torn by the
+  // very crash it guards against must not decode as a shorter-but-valid
+  // record.
+  body += "checksum " + ingest::checksum_hex(ingest::content_checksum(body)) + '\n';
+  return body;
+}
+
+std::optional<StudyCheckpoint> decode_study_checkpoint(std::string_view text,
+                                                       std::string_view file,
+                                                       IngestPolicy policy,
+                                                       IngestReport& report) {
+  // The checksum line must be the last line; everything before it is the
+  // hashed body.
+  if (text.empty() || text.back() != '\n') {
+    return reject(file, 0, TriageCode::kCkptChecksum,
+                  "checkpoint is empty or lacks a terminated checksum line", policy,
+                  report);
+  }
+  const auto last_start = text.find_last_of('\n', text.size() - 2);
+  const std::size_t body_len = last_start == std::string_view::npos ? 0 : last_start + 1;
+  std::string_view last = text.substr(body_len, text.size() - body_len - 1);
+  if (!last.starts_with("checksum ")) {
+    return reject(file, 0, TriageCode::kCkptChecksum,
+                  "final line is not the self-checksum", policy, report);
+  }
+  std::uint64_t claimed = 0;
+  if (!parse_hex64(last.substr(9), claimed)) {
+    return reject(file, 0, TriageCode::kCkptChecksum,
+                  "self-checksum value is not 16 hex digits", policy, report);
+  }
+  const auto actual = ingest::content_checksum(text.substr(0, body_len));
+  if (actual != claimed) {
+    return reject(file, 0, TriageCode::kCkptChecksum,
+                  "self-checksum mismatch: claimed " + ingest::checksum_hex(claimed) +
+                      ", content hashes to " + ingest::checksum_hex(actual),
+                  policy, report);
+  }
+
+  // Body lines, in fixed order.
+  std::vector<std::string_view> lines;
+  std::string_view body = text.substr(0, body_len);
+  while (!body.empty()) {
+    const auto stop = body.find('\n');
+    lines.push_back(body.substr(0, stop));
+    body.remove_prefix(stop + 1);
+  }
+  if (lines.empty() || lines[0] != kStudyCheckpointHeader) {
+    return reject(file, 1, TriageCode::kCkptHeader,
+                  "expected header '" + std::string{kStudyCheckpointHeader} + "'", policy,
+                  report);
+  }
+  if (lines.size() < 5) {
+    return reject(file, lines.size(), TriageCode::kCkptField,
+                  "checkpoint truncated: seed/profile/shards/fences lines missing",
+                  policy, report);
+  }
+
+  StudyCheckpoint out;
+  if (!lines[1].starts_with("seed ") || !parse_u64(lines[1].substr(5), out.seed)) {
+    return reject(file, 2, TriageCode::kCkptField, "malformed seed line", policy, report);
+  }
+  {
+    std::string_view rest = lines[2];
+    if (!rest.starts_with("profile ")) {
+      return reject(file, 3, TriageCode::kCkptField, "malformed profile line", policy,
+                    report);
+    }
+    rest.remove_prefix(8);
+    const auto name = next_token(rest);
+    const auto hash = next_token(rest);
+    if (name.empty() || !parse_hex64(hash, out.profile_hash) ||
+        !next_token(rest).empty()) {
+      return reject(file, 3, TriageCode::kCkptField, "malformed profile line", policy,
+                    report);
+    }
+    out.profile_name = std::string{name};
+  }
+  std::uint64_t shards = 0;
+  if (!lines[3].starts_with("shards ") || !parse_u64(lines[3].substr(7), shards)) {
+    return reject(file, 4, TriageCode::kCkptField, "malformed shards line", policy,
+                  report);
+  }
+  out.shard_count = static_cast<std::size_t>(shards);
+  {
+    std::string_view rest = lines[4];
+    if (!rest.starts_with("fences")) {
+      return reject(file, 5, TriageCode::kCkptField, "malformed fences line", policy,
+                    report);
+    }
+    rest.remove_prefix(6);
+    for (auto token = next_token(rest); !token.empty(); token = next_token(rest)) {
+      std::uint64_t fence = 0;
+      if (!parse_u64(token, fence)) {
+        return reject(file, 5, TriageCode::kCkptField, "non-numeric fence value", policy,
+                      report);
+      }
+      out.card_fences.push_back(static_cast<std::size_t>(fence));
+    }
+    if (out.card_fences.size() != out.shard_count + 1) {
+      return reject(file, 5, TriageCode::kCkptField,
+                    "fence count " + std::to_string(out.card_fences.size()) +
+                        " does not match shards+1 = " +
+                        std::to_string(out.shard_count + 1),
+                    policy, report);
+    }
+  }
+  for (std::size_t i = 5; i < lines.size(); ++i) {
+    std::string_view rest = lines[i];
+    if (!rest.starts_with("shard ")) {
+      return reject(file, i + 1, TriageCode::kCkptField,
+                    "unexpected line (want 'shard ...')", policy, report);
+    }
+    rest.remove_prefix(6);
+    ShardSeal seal;
+    std::uint64_t shard = 0;
+    std::uint64_t events = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t jobs = 0;
+    std::uint64_t smi = 0;
+    const auto shard_tok = next_token(rest);
+    const auto file_tok = next_token(rest);
+    const auto sum_tok = next_token(rest);
+    const bool ok = parse_u64(shard_tok, shard) && !file_tok.empty() &&
+                    parse_hex64(sum_tok, seal.checksum) &&
+                    parse_u64(next_token(rest), events) &&
+                    parse_u64(next_token(rest), bytes) &&
+                    parse_u64(next_token(rest), jobs) &&
+                    parse_u64(next_token(rest), smi) && next_token(rest).empty();
+    if (!ok) {
+      return reject(file, i + 1, TriageCode::kCkptField, "malformed shard seal line",
+                    policy, report);
+    }
+    seal.shard = static_cast<std::size_t>(shard);
+    seal.file = std::string{file_tok};
+    seal.events = static_cast<std::size_t>(events);
+    seal.bytes = static_cast<std::size_t>(bytes);
+    seal.jobs = static_cast<std::size_t>(jobs);
+    seal.smi_blocks = static_cast<std::size_t>(smi);
+    // Seals must arrive in ascending shard order with no gaps -- the
+    // writer appends them that way, so anything else is damage.
+    if (seal.shard != out.sealed.size() || seal.shard >= out.shard_count) {
+      return reject(file, i + 1, TriageCode::kCkptField,
+                    "shard seal out of order or beyond the shard plan", policy, report);
+    }
+    out.sealed.push_back(std::move(seal));
+  }
+  return out;
+}
+
+void save_study_checkpoint(const StudyCheckpoint& ckpt, const fs::path& dir) {
+  TITAN_PTP("ckpt/pre-save");
+  faulttest::atomic_write_file(dir / kStudyCheckpointFileName, ckpt.encode(),
+                               "save_study_checkpoint");
+}
+
+std::optional<StudyCheckpoint> load_study_checkpoint(const fs::path& dir,
+                                                     IngestPolicy policy,
+                                                     IngestReport& report) {
+  // Local slurp (not study::io) keeps ckpt below study in the module
+  // stack; checkpoints are small, so no size-cap ceremony is needed.
+  const auto path = dir / kStudyCheckpointFileName;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::string text{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  return decode_study_checkpoint(text, kStudyCheckpointFileName, policy, report);
+}
+
+void remove_study_checkpoint(const fs::path& dir) noexcept {
+  std::error_code ec;
+  fs::remove(dir / kStudyCheckpointFileName, ec);
+}
+
+}  // namespace titan::ckpt

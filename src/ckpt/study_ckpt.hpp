@@ -1,0 +1,99 @@
+// Durable study-generation checkpoint: the resume record a sharded (or
+// monolithic) dataset writer leaves next to its artifacts while the
+// write is in flight.
+//
+// The paper's operational lesson is that multi-hour work must survive
+// interruption (Sec. V's checkpoint/restart analysis); this module
+// applies the same discipline to our own dataset generation.  A
+// generator saves `study.ckpt` before the first shard and re-saves it
+// after each shard seals, so a process killed at any kill point can be
+// restarted with --resume and finish byte-identically: the checkpoint
+// pins the seed, the fleet-profile identity hash, the shard plan (the
+// card-serial fences that ARE the named-RNG stream cursors -- shard k
+// replays exactly the per-card forks in [fence[k], fence[k+1])), and the
+// seal record of every shard already committed.  The committed manifest
+// is the commit point: once `manifest.txt` exists the checkpoint is
+// garbage; a checkpoint WITHOUT a manifest means generation died
+// mid-write (E_CKPT_INCOMPLETE when loaded as a dataset).
+//
+// The file is plain text with a trailing FNV-1a self-checksum line, so a
+// checkpoint torn by the very crash it guards against is detected --
+// decode failures carry named triage codes (E_CKPT_HEADER, E_CKPT_FIELD,
+// E_CKPT_CHECKSUM) through the standard strict/salvage policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ingest/triage.hpp"
+
+namespace titan::ckpt {
+
+/// First line of every study checkpoint.
+inline constexpr std::string_view kStudyCheckpointHeader = "titanrel-ckpt v1";
+
+/// File name within the dataset directory.
+inline constexpr std::string_view kStudyCheckpointFileName = "study.ckpt";
+
+/// The durable record of one committed shard container.
+struct ShardSeal {
+  std::size_t shard = 0;
+  std::string file;               ///< container file name ("dataset.shard-0.tdf")
+  std::uint64_t checksum = 0;     ///< FNV-1a of the encoded container bytes
+  std::size_t events = 0;
+  std::size_t bytes = 0;
+  std::size_t jobs = 0;           ///< nonzero only for the last shard
+  std::size_t smi_blocks = 0;     ///< nonzero only for the last shard
+
+  friend bool operator==(const ShardSeal& a, const ShardSeal& b) = default;
+};
+
+/// Resume state of an interrupted dataset write.  `shard_count == 0` is
+/// the monolithic-writer intent marker: no shard plan, just "a write was
+/// in flight here".
+struct StudyCheckpoint {
+  std::uint64_t seed = 0;
+  std::string profile_name;
+  std::uint64_t profile_hash = 0;
+  std::size_t shard_count = 0;
+  /// shard_count + 1 card-serial fences (the per-shard named-RNG stream
+  /// cursors); {0} for the monolithic intent marker.
+  std::vector<std::size_t> card_fences;
+  std::vector<ShardSeal> sealed;  ///< ascending shard order
+
+  [[nodiscard]] bool complete() const noexcept {
+    return shard_count > 0 && sealed.size() == shard_count;
+  }
+
+  /// Byte-stable text encoding (header, fields, seals, self-checksum).
+  [[nodiscard]] std::string encode() const;
+
+  friend bool operator==(const StudyCheckpoint& a, const StudyCheckpoint& b) = default;
+};
+
+/// Decode checkpoint text.  Structural damage yields the E_CKPT_* triage
+/// codes: under kStrict an IngestError throws; under kSalvage the finding
+/// is recorded in `report` and nullopt returned (a torn checkpoint is
+/// never "partially" trusted).
+[[nodiscard]] std::optional<StudyCheckpoint> decode_study_checkpoint(
+    std::string_view text, std::string_view file, ingest::IngestPolicy policy,
+    ingest::IngestReport& report);
+
+/// Atomically write `dir/study.ckpt` (kill point "ckpt/pre-save" on the
+/// path).  Throws std::runtime_error on I/O failure.
+void save_study_checkpoint(const StudyCheckpoint& ckpt, const std::filesystem::path& dir);
+
+/// Load and decode `dir/study.ckpt`.  A missing file is not a finding --
+/// returns nullopt silently (no write was in flight).
+[[nodiscard]] std::optional<StudyCheckpoint> load_study_checkpoint(
+    const std::filesystem::path& dir, ingest::IngestPolicy policy,
+    ingest::IngestReport& report);
+
+/// Best-effort removal of `dir/study.ckpt` (the post-commit cleanup).
+void remove_study_checkpoint(const std::filesystem::path& dir) noexcept;
+
+}  // namespace titan::ckpt

@@ -1,0 +1,64 @@
+#include "faulttest/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "faulttest/faulttest.hpp"
+
+namespace titan::faulttest {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Close-on-unwind guard: a kill point firing mid-write must not leak
+/// the descriptor, but must NOT remove the tmp file either (the orphan
+/// is the crash evidence the loader has to face).
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() noexcept {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+};
+
+[[noreturn]] void fail(std::string_view what, const fs::path& tmp, const std::string& detail) {
+  ::unlink(tmp.c_str());  // ordinary failure: best-effort tmp hygiene
+  throw std::runtime_error{std::string{what} + ": " + detail};
+}
+
+}  // namespace
+
+void atomic_write_file(const fs::path& path, std::string_view bytes, std::string_view what) {
+  TITAN_PTP("io/atomic/pre-tmp");
+  const fs::path tmp = path.string() + ".tmp";
+  FdGuard guard{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+  if (guard.fd < 0) {
+    throw std::runtime_error{std::string{what} + ": cannot open " + tmp.string() +
+                             " for writing"};
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n = ::write(guard.fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) fail(what, tmp, "short write to " + tmp.string());
+    written += static_cast<std::size_t>(n);
+  }
+  TITAN_PTP("io/atomic/post-tmp");
+  if (::fsync(guard.fd) != 0) fail(what, tmp, "fsync failed for " + tmp.string());
+  ::close(guard.release());
+  TITAN_PTP("io/atomic/pre-rename");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fail(what, tmp, "rename to " + path.string() + " failed: " + ec.message());
+  TITAN_PTP("io/atomic/post-rename");
+}
+
+}  // namespace titan::faulttest

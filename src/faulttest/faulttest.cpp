@@ -1,0 +1,236 @@
+#include "faulttest/faulttest.hpp"
+
+#include <unistd.h>
+
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace titan::faulttest {
+
+namespace {
+
+struct SiteState {
+  std::string file;
+  std::size_t line = 0;
+  std::uint64_t hits = 0;
+};
+
+struct FaultState {
+  std::mutex mutex;
+  FaultConfig config;
+  bool armed = false;
+  std::uint64_t total_hits = 0;
+  std::uint64_t kill_at = 0;  ///< kRunLength/kUniformOverRun target hit (0 = never)
+  stats::Rng draws{0};        ///< kIndependent per-hit stream
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+FaultState& state() {
+  static FaultState instance;
+  return instance;
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_prob(std::string_view text, double& out) {
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc{} && ptr == end && out >= 0.0 && out <= 1.0;
+}
+
+}  // namespace
+
+std::string_view mode_name(FaultMode mode) noexcept {
+  switch (mode) {
+    case FaultMode::kNone: return "none";
+    case FaultMode::kIndependent: return "independent";
+    case FaultMode::kRunLength: return "runlength";
+    case FaultMode::kUniformOverRun: return "uniform";
+  }
+  return "none";  // unreachable; keeps -Wreturn-type quiet on odd compilers
+}
+
+KillPointError::KillPointError(std::string site, std::string file, std::size_t line,
+                               std::uint64_t hit)
+    : std::runtime_error{"kill point '" + site + "' fired at " + file + ":" +
+                         std::to_string(line) + " (hit " + std::to_string(hit) + ")"},
+      site_{std::move(site)},
+      file_{std::move(file)},
+      line_{line},
+      hit_{hit} {}
+
+void FaultTestInit(const FaultConfig& config) {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  s.config = config;
+  s.armed = config.mode != FaultMode::kNone;
+  s.total_hits = 0;
+  s.sites.clear();
+  s.kill_at = 0;
+  const stats::Rng master{config.seed};
+  s.draws = master.fork("faulttest/independent");
+  if (config.mode == FaultMode::kRunLength) {
+    s.kill_at = config.run_length;
+  } else if (config.mode == FaultMode::kUniformOverRun) {
+    // Uniform over [1, run_length]; a zero bound can never fire.
+    auto uniform = master.fork("faulttest/uniform");
+    s.kill_at = config.run_length == 0 ? 0 : 1 + uniform.below(config.run_length);
+  }
+}
+
+std::optional<FaultConfig> parse_fault_spec(std::string_view spec) {
+  FaultConfig config;
+  std::size_t pos = 0;
+  bool first = true;
+  bool have_p = false;
+  bool have_n = false;
+  while (pos <= spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const auto part = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (first) {
+      first = false;
+      if (part == "none") {
+        config.mode = FaultMode::kNone;
+      } else if (part == "independent") {
+        config.mode = FaultMode::kIndependent;
+      } else if (part == "runlength") {
+        config.mode = FaultMode::kRunLength;
+      } else if (part == "uniform") {
+        config.mode = FaultMode::kUniformOverRun;
+      } else {
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (part == "hard") {
+      config.hard_exit = true;
+    } else if (part.starts_with("p=")) {
+      if (!parse_prob(part.substr(2), config.probability)) return std::nullopt;
+      have_p = true;
+    } else if (part.starts_with("n=")) {
+      if (!parse_u64(part.substr(2), config.run_length)) return std::nullopt;
+      have_n = true;
+    } else if (part.starts_with("seed=")) {
+      if (!parse_u64(part.substr(5), config.seed)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (config.mode == FaultMode::kIndependent && !have_p) return std::nullopt;
+  if ((config.mode == FaultMode::kRunLength || config.mode == FaultMode::kUniformOverRun) &&
+      (!have_n || config.run_length == 0)) {
+    return std::nullopt;
+  }
+  return config;
+}
+
+bool fault_test_init_from_env() {
+  const char* value = std::getenv("TITANREL_FAULTTEST");
+  if (value == nullptr || *value == '\0') return false;
+  const auto config = parse_fault_spec(value);
+  if (!config) return false;
+  FaultTestInit(*config);
+  return true;
+}
+
+FaultMode fault_mode() noexcept {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  return s.config.mode;
+}
+
+std::string FaultTestReport::summary_text() const {
+  std::string out = "faulttest: mode ";
+  out += mode_name(mode);
+  out += "\n  kill points ";
+  out += std::to_string(sites.size());
+  out += ", hits ";
+  out += std::to_string(total_hits);
+  out += '\n';
+  for (const auto& site : sites) {
+    out += "  ";
+    out += site.site;
+    out.append(site.site.size() < 30 ? 30 - site.site.size() : 1, ' ');
+    out += std::to_string(site.hits);
+    out += "  ";
+    out += site.file;
+    out += ':';
+    out += std::to_string(site.line);
+    out += '\n';
+  }
+  return out;
+}
+
+FaultTestReport fault_test_report() {
+  auto& s = state();
+  const std::lock_guard<std::mutex> lock{s.mutex};
+  FaultTestReport report;
+  report.mode = s.config.mode;
+  report.total_hits = s.total_hits;
+  report.sites.reserve(s.sites.size());
+  for (const auto& [name, site] : s.sites) {
+    report.sites.push_back(SiteHits{name, site.file, site.line, site.hits});
+  }
+  return report;
+}
+
+namespace internal {
+
+void PtP(const char* file, int line, std::string_view site) {
+  auto& s = state();
+  std::string site_file;
+  std::size_t site_line = 0;
+  std::uint64_t hit = 0;
+  bool kill = false;
+  {
+    const std::lock_guard<std::mutex> lock{s.mutex};
+    hit = ++s.total_hits;
+    auto it = s.sites.find(site);
+    if (it == s.sites.end()) {
+      it = s.sites.emplace(std::string{site}, SiteState{}).first;
+      it->second.file = basename_of(file);
+      it->second.line = static_cast<std::size_t>(line > 0 ? line : 0);
+    }
+    ++it->second.hits;
+    if (s.armed) {
+      switch (s.config.mode) {
+        case FaultMode::kNone:
+          break;
+        case FaultMode::kIndependent:
+          kill = s.draws.bernoulli(s.config.probability);
+          break;
+        case FaultMode::kRunLength:
+        case FaultMode::kUniformOverRun:
+          kill = s.kill_at != 0 && hit == s.kill_at;
+          break;
+      }
+      if (kill) s.armed = false;  // one kill per arming: resume runs free
+    }
+    site_file = it->second.file;
+    site_line = it->second.line;
+  }
+  if (kill) {
+    if (s.config.hard_exit) ::_exit(kKillPointExitCode);
+    throw KillPointError{std::string{site}, std::move(site_file), site_line, hit};
+  }
+}
+
+}  // namespace internal
+
+}  // namespace titan::faulttest

@@ -72,6 +72,17 @@ enum class TriageCode : std::uint8_t {
   kProfileMismatch,     ///< dataset's recorded fleet profile is unknown,
                         ///< hash-divergent, or not the one the load asked
                         ///< for (salvage adopts the dataset's profile)
+  // Crash-state classes: what a writer killed mid-flight leaves behind
+  // (see src/faulttest and DESIGN.md "Crash consistency").
+  kOrphanTmp,        ///< leftover *.tmp from a crashed atomic write
+  kPartialShardSet,  ///< sharded roster incomplete (a shard container missing)
+  kCkptHeader,       ///< study checkpoint header line wrong
+  kCkptField,        ///< study checkpoint field/structure malformed
+  kCkptChecksum,     ///< study checkpoint self-checksum missing or wrong
+  kCkptMismatch,     ///< checkpoint disagrees with the resume config
+                     ///< (seed, profile hash, shard plan)
+  kCkptIncomplete,   ///< checkpoint present but no committed manifest:
+                     ///< generation was interrupted mid-write
   kCount_,
 };
 

@@ -1,0 +1,151 @@
+#include "study/fsck.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "ckpt/study_ckpt.hpp"
+#include "study/io.hpp"
+#include "tdf/tdf.hpp"
+
+namespace titan::study {
+
+namespace {
+
+namespace fs = std::filesystem;
+using ingest::TriageCode;
+
+void add_finding(FsckResult& out, std::string file, TriageCode code, std::string detail) {
+  out.findings.push_back(FsckFinding{std::move(file), code, std::move(detail)});
+}
+
+/// Orphan tmp files (and quarantined copies a salvage load set aside):
+/// evidence of an interrupted atomic write.
+void check_orphans(const fs::path& dir, FsckResult& out) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it{dir, ec}, end; !ec && it != end; it.increment(ec)) {
+    const auto ext = it->path().extension();
+    if (ext == ".tmp" || ext == ".quarantined") {
+      names.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  for (auto& name : names) {
+    add_finding(out, std::move(name), TriageCode::kOrphanTmp,
+                "leftover file from an interrupted atomic write");
+  }
+}
+
+/// Checkpoint state: a study.ckpt must decode, and must not outlive its
+/// run (present without a manifest = generation died mid-write).
+void check_checkpoint(const fs::path& dir, bool have_manifest, FsckResult& out) {
+  if (!fs::exists(dir / ckpt::kStudyCheckpointFileName)) return;
+  ingest::IngestReport report{ingest::IngestPolicy::kSalvage};
+  const auto decoded =
+      ckpt::load_study_checkpoint(dir, ingest::IngestPolicy::kSalvage, report);
+  for (const auto& diag : report.diagnostics()) {
+    add_finding(out, diag.file, diag.code, diag.detail);
+  }
+  if (!have_manifest) {
+    add_finding(out, std::string{ckpt::kStudyCheckpointFileName},
+                TriageCode::kCkptIncomplete,
+                "generation checkpoint present but no committed manifest");
+  } else if (decoded) {
+    add_finding(out, std::string{ckpt::kStudyCheckpointFileName}, TriageCode::kCkptIncomplete,
+                "checkpoint lingers beside a committed manifest (harmless; a resumed "
+                "or rerun writer removes it)");
+  }
+}
+
+/// Manifest claims: parse damage, then every checksum against on-disk
+/// bytes -- including the TDF containers the load fast path skips.
+void check_manifest(const fs::path& dir, const ingest::ManifestIngest& manifest,
+                    const ingest::IngestReport& parse_report, FsckResult& out) {
+  for (const auto& diag : parse_report.diagnostics()) {
+    add_finding(out, diag.file, diag.code, diag.detail);
+  }
+  for (const auto& [name, expected] : manifest.checksums) {
+    const auto path = dir / name;
+    if (!fs::exists(path)) {
+      const bool shard = name.starts_with("dataset.shard-") && name.ends_with(".tdf");
+      add_finding(out, name,
+                  shard ? TriageCode::kPartialShardSet : TriageCode::kFileMissing,
+                  shard ? "manifest claims this shard container but it is missing"
+                        : "manifest claims a checksum for this file but it is missing");
+      continue;
+    }
+    const auto actual = ingest::content_checksum(read_all(path));
+    if (actual != expected) {
+      add_finding(out, name, TriageCode::kChecksumMismatch,
+                  "manifest records " + ingest::checksum_hex(expected) +
+                      ", content hashes to " + ingest::checksum_hex(actual));
+    }
+  }
+  // Shard roster vs the `shards N` claim: every shard in [0, N) must be
+  // claimed AND present; extra shard files beyond N are orphaned slices.
+  if (manifest.have_shards) {
+    const auto shard_count = static_cast<std::size_t>(manifest.shards);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const auto name = tdf::shard_file_name(s);
+      const bool claimed = std::any_of(
+          manifest.checksums.begin(), manifest.checksums.end(),
+          [&](const auto& claim) { return claim.first == name; });
+      // A claimed-but-missing shard was already reported by the claim
+      // walk above; only the never-claimed hole is new information here.
+      if (!claimed) {
+        add_finding(out, name, TriageCode::kPartialShardSet,
+                    "manifest declares " + std::to_string(shard_count) +
+                        " shards but carries no checksum claim for this one");
+      }
+    }
+    for (std::size_t s = shard_count; fs::exists(dir / tdf::shard_file_name(s)); ++s) {
+      add_finding(out, tdf::shard_file_name(s), TriageCode::kPartialShardSet,
+                  "shard container beyond the manifest's declared count of " +
+                      std::to_string(shard_count));
+    }
+  }
+}
+
+}  // namespace
+
+std::string FsckResult::report_text() const {
+  std::string text = "titanrel fsck\nlayout: " + layout + '\n';
+  text += "findings: " + std::to_string(findings.size()) + '\n';
+  for (const auto& finding : findings) {
+    text += "  " + finding.file + ' ' + std::string{ingest::code_name(finding.code)} +
+            ": " + finding.detail + '\n';
+  }
+  text += std::string{"verdict: "} + (clean() ? "clean" : "crash-state") + '\n';
+  return text;
+}
+
+FsckResult fsck_dataset(const fs::path& dir) {
+  FsckResult out;
+  if (fs::exists(dir / std::string{tdf::kTdfFileName})) {
+    out.layout = "binary";
+  } else if (fs::exists(dir / tdf::shard_file_name(0))) {
+    out.layout = "sharded";
+  } else if (fs::exists(dir / "console.log")) {
+    out.layout = "text";
+  } else {
+    out.layout = "none";
+  }
+
+  check_orphans(dir, out);
+
+  const bool have_manifest = fs::exists(dir / "manifest.txt");
+  check_checkpoint(dir, have_manifest, out);
+
+  if (have_manifest) {
+    ingest::IngestReport report{ingest::IngestPolicy::kSalvage};
+    const auto manifest = ingest::ingest_manifest_text(
+        read_all(dir / "manifest.txt"), "manifest.txt", ingest::IngestPolicy::kSalvage,
+        report);
+    check_manifest(dir, manifest, report, out);
+  }
+  return out;
+}
+
+}  // namespace titan::study

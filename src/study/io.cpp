@@ -1,12 +1,10 @@
 #include "study/io.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <fstream>
 #include <stdexcept>
 #include <system_error>
 
+#include "faulttest/atomic_file.hpp"
 #include "ingest/triage.hpp"
 
 namespace titan::study {
@@ -76,33 +74,7 @@ void write_text(const std::filesystem::path& path, std::string_view text) {
 }
 
 void atomic_write_text(const std::filesystem::path& path, std::string_view text) {
-  const fs::path tmp = path.string() + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    throw std::runtime_error{"cannot open for writing: " + tmp.string()};
-  }
-  std::size_t written = 0;
-  while (written < text.size()) {
-    const ::ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n < 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw std::runtime_error{"short write to " + tmp.string()};
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  if (!synced) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error{"fsync failed for " + tmp.string()};
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error{"rename to " + path.string() + " failed: " + ec.message()};
-  }
+  faulttest::atomic_write_file(path, text, "atomic_write_text");
 }
 
 void atomic_write_lines(const std::filesystem::path& path,

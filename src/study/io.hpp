@@ -39,9 +39,12 @@ void write_lines(const std::filesystem::path& path, std::span<const std::string>
 /// opened.
 void write_text(const std::filesystem::path& path, std::string_view text);
 
-/// Atomic variant of write_text: write `path.tmp`, fsync, rename.  The
-/// destination is never observable half-written; on any failure the tmp
-/// file is removed and std::runtime_error thrown.
+/// Atomic variant of write_text: write `path.tmp`, fsync, rename (via
+/// faulttest::atomic_write_file, which carries the crash kill points).
+/// The destination is never observable half-written; on an ordinary
+/// failure the tmp file is removed and std::runtime_error thrown, while
+/// a faulttest::KillPointError deliberately leaves the orphan tmp behind
+/// as the crash evidence loaders must triage (E_ORPHAN_TMP).
 void atomic_write_text(const std::filesystem::path& path, std::string_view text);
 
 /// Atomic variant of write_lines (same tmp + fsync + rename protocol).

@@ -1,12 +1,17 @@
 #include "study/sharded.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
+#include "ckpt/study_ckpt.hpp"
 #include "core/sharded.hpp"
+#include "faulttest/faulttest.hpp"
+#include "ingest/triage.hpp"
 #include "logsim/joblog.hpp"
 #include "logsim/smi_text.hpp"
 #include "study/io.hpp"
@@ -19,18 +24,82 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Encode and write one shard container atomically, recording its
-/// checksum claim.  The claim hashes the encoded bytes directly -- never
-/// a read-back -- so writing shards larger than the whole-file read cap
-/// stays possible.
-std::size_t write_shard(const fs::path& dir, std::size_t shard, const tdf::TdfDataset& data,
-                        std::vector<std::string>& manifest) {
-  const auto name = tdf::shard_file_name(shard);
+/// Encode and write one shard container atomically, returning its seal
+/// record.  The checksum claim hashes the encoded bytes directly --
+/// never a read-back -- so writing shards larger than the whole-file
+/// read cap stays possible.
+ckpt::ShardSeal write_shard(const fs::path& dir, std::size_t shard,
+                            const tdf::TdfDataset& data) {
+  ckpt::ShardSeal seal;
+  seal.shard = shard;
+  seal.file = tdf::shard_file_name(shard);
   const auto encoded = tdf::encode_tdf(data);
-  atomic_write_text(dir / name, encoded);
-  manifest.push_back("checksum " + name + ' ' +
-                     ingest::checksum_hex(ingest::content_checksum(encoded)));
-  return encoded.size();
+  TITAN_PTP("study/shard/encoded");
+  seal.checksum = ingest::content_checksum(encoded);
+  seal.bytes = encoded.size();
+  seal.events = data.event_count();
+  seal.jobs = data.jobs.size();
+  seal.smi_blocks = data.snapshot.records.size();
+  atomic_write_text(dir / seal.file, encoded);
+  TITAN_PTP("study/shard/sealed");
+  return seal;
+}
+
+/// Fold one shard's seal into the summary stats.
+void tally(ShardedWriteStats& out, const ckpt::ShardSeal& seal) {
+  out.events += seal.events;
+  out.peak_shard_events = std::max(out.peak_shard_events, seal.events);
+  out.bytes += seal.bytes;
+  out.jobs += seal.jobs;
+  out.smi_blocks += seal.smi_blocks;
+}
+
+/// Remove leftover *.tmp files from crashed atomic writes, plus any
+/// *.quarantined copies a salvage load set aside (resume sweep; a tmp is
+/// pre-rename by construction, so removal loses nothing).
+void sweep_orphan_tmps(const fs::path& dir) {
+  std::error_code ec;
+  for (fs::directory_iterator it{dir, ec}, end; !ec && it != end; it.increment(ec)) {
+    const auto ext = it->path().extension();
+    if (ext == ".tmp" || ext == ".quarantined") fs::remove(it->path(), ec);
+  }
+}
+
+/// The checkpoint skeleton pinning this run's identity: seed, profile,
+/// and the card-serial fences that are the per-shard RNG stream cursors.
+ckpt::StudyCheckpoint checkpoint_plan(const core::FacilityConfig& config,
+                                      const core::ShardedStudy& sharded) {
+  ckpt::StudyCheckpoint plan;
+  plan.seed = config.seed;
+  plan.profile_name = std::string{config.profile->name};
+  plan.profile_hash = config.profile->content_hash();
+  plan.shard_count = sharded.shard_count();
+  plan.card_fences.reserve(plan.shard_count + 1);
+  for (std::size_t s = 0; s < plan.shard_count; ++s) {
+    plan.card_fences.push_back(sharded.shard_card_range(s).first);
+  }
+  plan.card_fences.push_back(sharded.shard_card_range(plan.shard_count - 1).second);
+  return plan;
+}
+
+/// Resumed runs must replay the SAME campaign: a checkpoint from a
+/// different seed, profile or shard plan would splice streams from two
+/// different studies into one dataset.
+void require_plan_match(const ckpt::StudyCheckpoint& prior,
+                        const ckpt::StudyCheckpoint& plan) {
+  const auto fail = [](std::string_view what) {
+    throw ingest::IngestError{std::string{ckpt::kStudyCheckpointFileName}, 0,
+                              ingest::TriageCode::kCkptMismatch,
+                              std::string{what} +
+                                  " differs from the interrupted run; resume with the "
+                                  "original config or start a fresh directory"};
+  };
+  if (prior.seed != plan.seed) fail("seed");
+  if (prior.profile_name != plan.profile_name || prior.profile_hash != plan.profile_hash) {
+    fail("fleet profile");
+  }
+  if (prior.shard_count != plan.shard_count) fail("shard count");
+  if (prior.card_fences != plan.card_fences) fail("shard card-fence plan");
 }
 
 std::vector<std::string> manifest_header(stats::TimeSec begin, stats::TimeSec end,
@@ -52,20 +121,56 @@ std::vector<std::string> manifest_header(stats::TimeSec begin, stats::TimeSec en
 
 ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
                                            std::size_t shard_count,
-                                           const std::filesystem::path& dir) {
+                                           const std::filesystem::path& dir,
+                                           bool resume) {
   core::ShardedStudy sharded{config, shard_count};  // throws on shard_count == 0
   fs::create_directories(dir);
 
+  auto state = checkpoint_plan(config, sharded);
+  if (resume) {
+    sweep_orphan_tmps(dir);
+    if (fs::exists(dir / "manifest.txt")) {
+      // Already committed: the manifest is the commit point, so there is
+      // nothing to redo.  Recover the summary stats from a complete
+      // checkpoint if one lingers (salvage decode: stale damage must not
+      // fail a finished dataset), then drop it.
+      ingest::IngestReport scratch{ingest::IngestPolicy::kSalvage};
+      const auto prior =
+          ckpt::load_study_checkpoint(dir, ingest::IngestPolicy::kSalvage, scratch);
+      ckpt::remove_study_checkpoint(dir);
+      ShardedWriteStats out;
+      out.shards = shard_count;
+      if (prior && prior->complete()) {
+        for (const auto& seal : prior->sealed) tally(out, seal);
+      }
+      return out;
+    }
+    ingest::IngestReport report{ingest::IngestPolicy::kStrict};
+    const auto prior =
+        ckpt::load_study_checkpoint(dir, ingest::IngestPolicy::kStrict, report);
+    if (prior) {
+      require_plan_match(*prior, state);
+      state.sealed = prior->sealed;
+    }
+  }
+  // Intent first: the checkpoint on disk is what makes an interrupted
+  // directory recognizably "mid-write" instead of silently partial.
+  ckpt::save_study_checkpoint(state, dir);
+
   const stats::TimeSec accounting_from = config.campaign.timeline.new_driver;
-  auto manifest = manifest_header(config.period.begin, config.period.end, accounting_from,
-                                  *config.profile, shard_count);
 
   ShardedWriteStats out;
   out.shards = shard_count;
   for (std::size_t s = 0; s < shard_count; ++s) {
+    // Shards are ALWAYS regenerated, even when their container is already
+    // sealed: phase D mutates each card's InfoROM, and the final
+    // snapshot (last shard) needs every card's end-of-campaign state.
     auto columns = sharded.shard_events(s);
-    out.events += columns.size();
-    out.peak_shard_events = std::max(out.peak_shard_events, columns.size());
+
+    if (s < state.sealed.size() && fs::exists(dir / state.sealed[s].file)) {
+      tally(out, state.sealed[s]);
+      continue;  // committed by the interrupted run; stats from the seal
+    }
 
     tdf::TdfDataset data;
     data.period_begin = config.period.begin;
@@ -94,15 +199,31 @@ ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
           logsim::parse_smi_sweep_text(logsim::smi_sweep_text(sharded.final_snapshot()));
       data.snapshot.taken_at = sweep.taken_at;
       data.snapshot.records = sweep.records;
-      out.jobs = data.jobs.size();
-      out.smi_blocks = data.snapshot.records.size();
     }
-    out.bytes += write_shard(dir, s, data, manifest);
+
+    auto seal = write_shard(dir, s, data);
+    tally(out, seal);
+    if (s < state.sealed.size()) {
+      state.sealed[s] = std::move(seal);
+    } else {
+      state.sealed.push_back(std::move(seal));
+    }
+    ckpt::save_study_checkpoint(state, dir);
+    TITAN_PTP("study/shard/checkpoint");
   }
 
   // Manifest last (atomically): a crashed writer leaves a directory
   // without integrity claims rather than one with stale claims.
+  auto manifest = manifest_header(config.period.begin, config.period.end, accounting_from,
+                                  *config.profile, shard_count);
+  for (const auto& seal : state.sealed) {
+    manifest.push_back("checksum " + seal.file + ' ' +
+                       ingest::checksum_hex(seal.checksum));
+  }
+  TITAN_PTP("study/shard/pre-manifest");
   atomic_write_lines(dir / "manifest.txt", manifest);
+  TITAN_PTP("study/shard/committed");
+  ckpt::remove_study_checkpoint(dir);
   return out;
 }
 
@@ -114,6 +235,18 @@ ShardedWriteStats write_sharded_dataset(const StudyContext& context,
   }
   fs::create_directories(dir);
 
+  // Intent marker (not a resume plan: re-sharding reruns from the loaded
+  // context).  Without it, a kill between shard commits leaves a
+  // contiguous-but-short shard roster that loads as a silently smaller
+  // dataset; with it, loaders reject the directory as E_CKPT_INCOMPLETE.
+  ckpt::StudyCheckpoint intent;
+  intent.seed = 0;
+  intent.profile_name = std::string{context.profile->name};
+  intent.profile_hash = context.profile->content_hash();
+  intent.shard_count = 0;
+  intent.card_fences = {0};
+  ckpt::save_study_checkpoint(intent, dir);
+
   const bool have_jobs = context.truth.has_value() || !context.job_log.empty();
   const bool have_smi = context.truth.has_value() || context.has(kSnapshot);
   auto manifest = manifest_header(context.period.begin, context.period.end,
@@ -121,14 +254,12 @@ ShardedWriteStats write_sharded_dataset(const StudyContext& context,
 
   ShardedWriteStats out;
   out.shards = shard_count;
-  out.events = context.events.size();
   const std::size_t total = context.events.size();
   for (std::size_t s = 0; s < shard_count; ++s) {
     // Even contiguous split: the stream is time-sorted, so the loader's
     // (time, shard) merge reduces to concatenation and any bounds work.
     const std::size_t lo = total * s / shard_count;
     const std::size_t hi = total * (s + 1) / shard_count;
-    out.peak_shard_events = std::max(out.peak_shard_events, hi - lo);
 
     tdf::TdfDataset data;
     data.period_begin = context.period.begin;
@@ -152,18 +283,22 @@ ShardedWriteStats write_sharded_dataset(const StudyContext& context,
       if (have_jobs) {
         data.has_jobs = true;
         data.jobs = detail::quantized_jobs(context);
-        out.jobs = data.jobs.size();
       }
       if (have_smi) {
         data.has_smi = true;
         data.snapshot = detail::quantized_smi(context.snapshot);
-        out.smi_blocks = data.snapshot.records.size();
       }
     }
-    out.bytes += write_shard(dir, s, data, manifest);
+    const auto seal = write_shard(dir, s, data);
+    tally(out, seal);
+    manifest.push_back("checksum " + seal.file + ' ' +
+                       ingest::checksum_hex(seal.checksum));
   }
 
+  TITAN_PTP("study/reshard/pre-manifest");
   atomic_write_lines(dir / "manifest.txt", manifest);
+  TITAN_PTP("study/reshard/committed");
+  ckpt::remove_study_checkpoint(dir);
   return out;
 }
 

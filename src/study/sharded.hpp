@@ -44,9 +44,21 @@ struct ShardedWriteStats {
 /// loaded result is byte-identical to a monolithic dataset of the same
 /// config at every shard count.  Throws std::invalid_argument when
 /// `shard_count` is zero.
+///
+/// Crash consistency: a `study.ckpt` checkpoint is saved before the
+/// first shard and re-saved after each shard commits, and the manifest
+/// is written last as the commit point.  With `resume` set, a directory
+/// holding a checkpoint from an interrupted run is picked up where it
+/// left off: orphan *.tmp files are swept, already-sealed shards are
+/// kept (their stats come from the seal record), and the remaining
+/// shards are regenerated -- the finished dataset is byte-identical to
+/// an uninterrupted run.  A damaged checkpoint throws IngestError with
+/// an E_CKPT_* code; a checkpoint that disagrees with `config`'s seed,
+/// profile or shard plan throws E_CKPT_MISMATCH.
 ShardedWriteStats generate_sharded_dataset(const core::FacilityConfig& config,
                                            std::size_t shard_count,
-                                           const std::filesystem::path& dir);
+                                           const std::filesystem::path& dir,
+                                           bool resume = false);
 
 /// Split an in-memory context's event stream into `shard_count`
 /// contiguous chunks and write them as a sharded binary dataset.  Since

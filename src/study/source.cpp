@@ -1,5 +1,6 @@
 #include "study/source.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <span>
@@ -8,6 +9,8 @@
 #include <utility>
 
 #include "analysis/events_view.hpp"
+#include "ckpt/study_ckpt.hpp"
+#include "faulttest/faulttest.hpp"
 #include "logsim/console.hpp"
 #include "logsim/smi_text.hpp"
 #include "study/io.hpp"
@@ -89,8 +92,15 @@ void verify_checksums(const fs::path& dir, const ingest::ManifestIngest& manifes
     const auto path = dir / name;
     if (skip_tdf && name.ends_with(".tdf") && fs::exists(path)) continue;
     if (!fs::exists(path)) {
-      triage_file(policy, report, name, TriageCode::kFileMissing, SalvageAction::kIgnored,
-                  "manifest claims a checksum for this file but it is missing");
+      // A missing shard container is its own crash-state class: the
+      // roster the manifest promised is incomplete, which is what a
+      // writer killed between shard commits leaves behind.
+      const bool shard = name.starts_with("dataset.shard-") && name.ends_with(".tdf");
+      triage_file(policy, report, name,
+                  shard ? TriageCode::kPartialShardSet : TriageCode::kFileMissing,
+                  SalvageAction::kIgnored,
+                  shard ? "manifest claims this shard container but it is missing"
+                        : "manifest claims a checksum for this file but it is missing");
       continue;
     }
     const auto actual = ingest::content_checksum(read_all(path));
@@ -208,7 +218,7 @@ StudyContext load_sharded(const fs::path& dir, IngestPolicy policy, IngestReport
     if (!fs::exists(path)) {
       // Fatal under either policy: a missing slice of the event stream
       // cannot be salvaged around without silently dropping its events.
-      throw ingest::IngestError{name, 0, TriageCode::kFileMissing,
+      throw ingest::IngestError{name, 0, TriageCode::kPartialShardSet,
                                 "sharded dataset claims " + std::to_string(shard_count) +
                                     " shards but shard " + std::to_string(s) + " is missing"};
     }
@@ -400,6 +410,40 @@ StudyContext load_text(const fs::path& dir, IngestPolicy policy, IngestReport& r
   return context;
 }
 
+/// Crash-state gate, run before any artifact is parsed.  Two findings:
+///
+///   * Orphan *.tmp files -- a writer was killed mid-atomic-write.
+///     Fatal under kStrict (E_ORPHAN_TMP); under kSalvage each orphan is
+///     quarantined (renamed aside with a .quarantined suffix) and
+///     recorded, then the load proceeds on the committed artifacts.
+///   * A study.ckpt with no manifest.txt -- generation died between
+///     artifacts and the commit point.  Fatal under BOTH policies: the
+///     artifacts present may be an arbitrary prefix of the dataset, and
+///     "salvaging" them would silently study a partial campaign.  The
+///     remedy is resuming the generator, not loading harder.
+void gate_crash_state(const fs::path& dir, IngestPolicy policy, IngestReport& report) {
+  std::vector<fs::path> orphans;
+  std::error_code ec;
+  for (fs::directory_iterator it{dir, ec}, end; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".tmp") orphans.push_back(it->path());
+  }
+  std::sort(orphans.begin(), orphans.end());  // deterministic report order
+  for (const auto& orphan : orphans) {
+    const auto name = orphan.filename().string();
+    triage_file(policy, report, name, TriageCode::kOrphanTmp, SalvageAction::kQuarantined,
+                "leftover tmp file from an interrupted atomic write; quarantined as " +
+                    name + ".quarantined");
+    std::error_code rename_ec;
+    fs::rename(orphan, orphan.string() + ".quarantined", rename_ec);
+  }
+  if (fs::exists(dir / ckpt::kStudyCheckpointFileName) && !fs::exists(dir / "manifest.txt")) {
+    throw ingest::IngestError{
+        std::string{ckpt::kStudyCheckpointFileName}, 0, TriageCode::kCkptIncomplete,
+        "generation checkpoint present but no committed manifest: the dataset write "
+        "was interrupted; resume the generator (--resume) instead of loading"};
+  }
+}
+
 }  // namespace
 
 StudyContext SimulatedSource::load() const {
@@ -428,6 +472,7 @@ StudyContext SimulatedSource::load() const {
 
 StudyContext DatasetSource::load() const {
   IngestReport report{policy_};
+  gate_crash_state(dir_, policy_, report);
 
   // A binary container takes precedence: it is the format written for
   // exactly this load path (mmap + columnar decode).  A sharded layout
@@ -495,6 +540,21 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
                    DatasetFormat format) {
   fs::create_directories(dir);
 
+  // Intent first: with the checkpoint marker on disk, a writer killed
+  // between artifacts and the manifest leaves a directory loaders reject
+  // as E_CKPT_INCOMPLETE instead of silently studying a partial dataset
+  // (a console.log alone is a loadable foreign dataset otherwise).  The
+  // monolithic writer has no shard plan, so the marker carries
+  // shard_count 0.  Rerunning write_dataset IS the resume path: every
+  // artifact is rewritten idempotently and the marker removed at commit.
+  ckpt::StudyCheckpoint intent;
+  intent.seed = 0;
+  intent.profile_name = std::string{context.profile->name};
+  intent.profile_hash = context.profile->content_hash();
+  intent.shard_count = 0;
+  intent.card_fences = {0};
+  ckpt::save_study_checkpoint(intent, dir);
+
   // Both formats round-trip doubles through the text serialization, so a
   // text dataset and a binary dataset of the same context load into
   // byte-identical contexts (the text path quantizes at write time; the
@@ -518,13 +578,16 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
   if (format == DatasetFormat::kText) {
     atomic_write_lines(dir / "console.log", detail::console_lines_of(context));
     claim("console.log");
+    TITAN_PTP("study/write/artifact");
     if (have_jobs) {
       atomic_write_lines(dir / "jobs.log", detail::job_lines_of(context));
       claim("jobs.log");
+      TITAN_PTP("study/write/artifact");
     }
     if (have_smi) {
       atomic_write_text(dir / "smi_sweep.txt", logsim::smi_sweep_text(context.snapshot));
       claim("smi_sweep.txt");
+      TITAN_PTP("study/write/artifact");
     }
   } else {
     tdf::TdfDataset data;
@@ -553,11 +616,15 @@ void write_dataset(const StudyContext& context, const std::filesystem::path& dir
     }
     tdf::write_tdf(data, dir / std::string{tdf::kTdfFileName});
     claim(tdf::kTdfFileName);
+    TITAN_PTP("study/write/artifact");
   }
 
   // Manifest last: until it lands (atomically), a crashed writer leaves a
   // directory without integrity claims rather than one with stale claims.
+  TITAN_PTP("study/write/pre-manifest");
   atomic_write_lines(dir / "manifest.txt", manifest);
+  TITAN_PTP("study/write/committed");
+  ckpt::remove_study_checkpoint(dir);
 }
 
 }  // namespace titan::study

@@ -1,11 +1,10 @@
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <utility>
 
+#include "faulttest/atomic_file.hpp"
+#include "faulttest/faulttest.hpp"
 #include "tdf/tdf.hpp"
 
 namespace titan::tdf {
@@ -138,38 +137,6 @@ std::string encode_smi(const logsim::SmiSnapshot& snapshot) {
   return body;
 }
 
-/// POSIX atomic write: tmp file in the same directory, fsync, rename.
-void atomic_write(const fs::path& path, std::string_view bytes) {
-  const fs::path tmp = path.string() + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    throw std::runtime_error{"write_tdf: cannot open " + tmp.string() + " for writing"};
-  }
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ::ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw std::runtime_error{"write_tdf: short write to " + tmp.string()};
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  if (!synced) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error{"write_tdf: fsync failed for " + tmp.string()};
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    ::unlink(tmp.c_str());
-    throw std::runtime_error{"write_tdf: rename to " + path.string() + " failed: " +
-                             ec.message()};
-  }
-}
-
 }  // namespace
 
 std::string encode_tdf(const TdfDataset& data) {
@@ -230,6 +197,7 @@ std::string encode_tdf(const TdfDataset& data) {
   if (data.has_smi) {
     builder.add(SegmentKind::kSmi, encode_smi(data.snapshot), data.snapshot.records.size());
   }
+  TITAN_PTP("tdf/segments-encoded");
 
   align(out);
   const std::uint64_t table_offset = out.size();
@@ -247,11 +215,14 @@ std::string encode_tdf(const TdfDataset& data) {
   patch_u64(out, kTdfSegmentCountOffset, builder.entries.size());
   patch_u64(out, kTdfTableChecksumOffset, tdf_checksum(table));
   out += table;
+  TITAN_PTP("tdf/footer-encoded");
   return out;
 }
 
 void write_tdf(const TdfDataset& data, const fs::path& path) {
-  atomic_write(path, encode_tdf(data));
+  const auto encoded = encode_tdf(data);
+  TITAN_PTP("tdf/pre-write");
+  faulttest::atomic_write_file(path, encoded, "write_tdf");
 }
 
 }  // namespace titan::tdf

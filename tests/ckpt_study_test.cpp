@@ -1,0 +1,207 @@
+// ckpt::StudyCheckpoint: the durable resume record of an interrupted
+// dataset write.  Round-trip byte-identity, the save/load disk cycle,
+// and the damage taxonomy -- a torn, truncated, bit-flipped or
+// field-mangled checkpoint must decode to a *named* E_CKPT_* failure
+// (strict throws, salvage records + refuses) and never to a
+// shorter-but-plausible resume state.  The resume-config cross-check
+// (E_CKPT_MISMATCH) is exercised end to end through the sharded
+// generator.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/study_ckpt.hpp"
+#include "core/facility.hpp"
+#include "ingest/triage.hpp"
+#include "study/sharded.hpp"
+
+namespace titan {
+namespace {
+
+namespace fs = std::filesystem;
+using ckpt::ShardSeal;
+using ckpt::StudyCheckpoint;
+using ingest::IngestError;
+using ingest::IngestPolicy;
+using ingest::IngestReport;
+using ingest::TriageCode;
+
+fs::path scratch_root() {
+  static const fs::path root = [] {
+    auto dir =
+        fs::temp_directory_path() / ("titanrel_ckpt_study_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }();
+  return root;
+}
+
+const struct ScratchCleaner {
+  ScratchCleaner() : path(scratch_root()) {}
+  ~ScratchCleaner() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+} scratch_cleaner;
+
+StudyCheckpoint sample_checkpoint() {
+  StudyCheckpoint out;
+  out.seed = 29;
+  out.profile_name = "k20x-titan";
+  out.profile_hash = 0x0123456789abcdefULL;
+  out.shard_count = 3;
+  out.card_fences = {0, 100, 200, 300};
+  out.sealed.push_back(ShardSeal{0, "dataset.shard-0.tdf", 0xdeadbeefdeadbeefULL, 42, 512,
+                                 0, 0});
+  out.sealed.push_back(ShardSeal{1, "dataset.shard-1.tdf", 0xfeedfacefeedfaceULL, 17, 256,
+                                 0, 0});
+  return out;
+}
+
+/// Expect a decode of `text` to fail with `code`: strict throws, salvage
+/// records the same finding and yields nothing.
+void expect_named_rejection(const std::string& text, TriageCode code,
+                            const char* context) {
+  {
+    IngestReport report{IngestPolicy::kStrict};
+    try {
+      (void)ckpt::decode_study_checkpoint(text, "study.ckpt", IngestPolicy::kStrict,
+                                          report);
+      FAIL() << context << ": strict decode must throw";
+    } catch (const IngestError& error) {
+      EXPECT_EQ(error.code(), code) << context << ": " << error.what();
+      EXPECT_EQ(error.file(), "study.ckpt");
+    }
+  }
+  {
+    IngestReport report{IngestPolicy::kSalvage};
+    const auto decoded =
+        ckpt::decode_study_checkpoint(text, "study.ckpt", IngestPolicy::kSalvage, report);
+    EXPECT_FALSE(decoded.has_value()) << context << ": a torn checkpoint is never trusted";
+    EXPECT_EQ(report.count(code), 1U) << context;
+  }
+}
+
+TEST(CkptStudy, EncodeDecodeRoundTripIsByteIdentical) {
+  const auto original = sample_checkpoint();
+  const auto text = original.encode();
+  IngestReport report{IngestPolicy::kStrict};
+  const auto decoded =
+      ckpt::decode_study_checkpoint(text, "study.ckpt", IngestPolicy::kStrict, report);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_EQ(decoded->encode(), text) << "re-encode must be byte-identical";
+  EXPECT_FALSE(decoded->complete()) << "2 of 3 shards sealed";
+}
+
+TEST(CkptStudy, CompleteMeansEveryShardSealed) {
+  auto state = sample_checkpoint();
+  EXPECT_FALSE(state.complete());
+  state.sealed.push_back(ShardSeal{2, "dataset.shard-2.tdf", 1, 1, 1, 3, 2});
+  EXPECT_TRUE(state.complete());
+  // shard_count == 0 is the monolithic intent marker: never "complete".
+  StudyCheckpoint intent;
+  intent.card_fences = {0};
+  EXPECT_FALSE(intent.complete());
+}
+
+TEST(CkptStudy, SaveLoadDiskCycle) {
+  const auto dir = scratch_root() / "disk_cycle";
+  fs::create_directories(dir);
+  const auto original = sample_checkpoint();
+  ckpt::save_study_checkpoint(original, dir);
+  EXPECT_TRUE(fs::exists(dir / ckpt::kStudyCheckpointFileName));
+
+  IngestReport report{IngestPolicy::kStrict};
+  const auto loaded = ckpt::load_study_checkpoint(dir, IngestPolicy::kStrict, report);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, original);
+
+  ckpt::remove_study_checkpoint(dir);
+  EXPECT_FALSE(fs::exists(dir / ckpt::kStudyCheckpointFileName));
+  // A missing checkpoint is not a finding: no write was in flight.
+  const auto missing = ckpt::load_study_checkpoint(dir, IngestPolicy::kStrict, report);
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(CkptStudy, TruncationIsNamedChecksumDamage) {
+  const auto text = sample_checkpoint().encode();
+  // Cut mid-file: the checksum line is gone entirely.
+  expect_named_rejection(text.substr(0, text.size() / 2), TriageCode::kCkptChecksum,
+                         "mid-file cut");
+  // Cut the final newline: the checksum line is no longer terminated.
+  expect_named_rejection(text.substr(0, text.size() - 1), TriageCode::kCkptChecksum,
+                         "missing final newline");
+  expect_named_rejection("", TriageCode::kCkptChecksum, "empty file");
+}
+
+TEST(CkptStudy, BitFlipAnywhereIsNamedChecksumDamage) {
+  const auto text = sample_checkpoint().encode();
+  for (const std::size_t at : {std::size_t{20}, text.size() / 2}) {
+    auto flipped = text;
+    flipped[at] = static_cast<char>(flipped[at] ^ 0x08);
+    expect_named_rejection(flipped, TriageCode::kCkptChecksum, "bit flip");
+  }
+}
+
+TEST(CkptStudy, WrongHeaderIsNamed) {
+  const auto text = sample_checkpoint().encode();
+  // Replace the header and re-stamp a VALID self-checksum, so the header
+  // check (not the checksum) is what rejects it.
+  const auto body_end = text.rfind("checksum ");
+  std::string body = "titanrel-ckpt v9" + text.substr(text.find('\n'), body_end -
+                                                                           text.find('\n'));
+  body += "checksum " + ingest::checksum_hex(ingest::content_checksum(body)) + '\n';
+  expect_named_rejection(body, TriageCode::kCkptHeader, "future version header");
+}
+
+TEST(CkptStudy, FieldDamageIsNamed) {
+  const auto damaged = [](const char* needle, const char* replacement) {
+    auto text = sample_checkpoint().encode();
+    const auto at = text.find(needle);
+    EXPECT_NE(at, std::string::npos) << needle;
+    text.replace(at, std::string{needle}.size(), replacement);
+    // Re-stamp the self-checksum so the FIELD check is what rejects it.
+    const auto body_end = text.rfind("checksum ");
+    std::string body = text.substr(0, body_end);
+    body += "checksum " + ingest::checksum_hex(ingest::content_checksum(body)) + '\n';
+    return body;
+  };
+  expect_named_rejection(damaged("seed 29", "seed ??"), TriageCode::kCkptField,
+                         "non-numeric seed");
+  expect_named_rejection(damaged("shards 3", "shards x"), TriageCode::kCkptField,
+                         "non-numeric shard count");
+  expect_named_rejection(damaged("fences 0 100 200 300", "fences 0 100"),
+                         TriageCode::kCkptField, "fence count != shards+1");
+  expect_named_rejection(damaged("shard 1 ", "shard 2 "), TriageCode::kCkptField,
+                         "seal out of ascending order");
+}
+
+TEST(CkptStudy, ResumeConfigMismatchIsNamed) {
+  // End to end: generate a sharded dataset, strip its manifest, plant the
+  // interrupted-state checkpoint of a DIFFERENT campaign, and ask the
+  // generator to resume.  The checkpoint cross-check must name the
+  // disagreement instead of splicing two campaigns together.
+  const auto dir = scratch_root() / "mismatch";
+  study::generate_sharded_dataset(core::quick_config(29), 2, dir);
+  fs::remove(dir / "manifest.txt");
+
+  StudyCheckpoint stale = sample_checkpoint();  // wrong profile and shard plan
+  ckpt::save_study_checkpoint(stale, dir);
+  try {
+    (void)study::generate_sharded_dataset(core::quick_config(29), 2, dir,
+                                          /*resume=*/true);
+    FAIL() << "resume against a foreign checkpoint must throw";
+  } catch (const IngestError& error) {
+    EXPECT_EQ(error.code(), TriageCode::kCkptMismatch) << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace titan

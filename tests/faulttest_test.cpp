@@ -1,0 +1,247 @@
+// titan::faulttest unit tests: kill-point modes (count-only, run-length,
+// independent, uniform-over-run), disarm-after-fire, the hit census
+// report, TITANREL_FAULTTEST spec parsing, and the atomic-write
+// primitive's crash half-states (orphan tmp vs committed destination).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "faulttest/atomic_file.hpp"
+#include "faulttest/faulttest.hpp"
+
+namespace titan {
+namespace {
+
+namespace fs = std::filesystem;
+using faulttest::FaultConfig;
+using faulttest::FaultMode;
+using faulttest::FaultTestInit;
+using faulttest::KillPointError;
+
+/// Per-process scratch root (ctest runs each test as its own process).
+fs::path scratch_root() {
+  static const fs::path root = [] {
+    auto dir =
+        fs::temp_directory_path() / ("titanrel_faulttest_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }();
+  return root;
+}
+
+const struct ScratchCleaner {
+  ScratchCleaner() : path(scratch_root()) {}
+  ~ScratchCleaner() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+} scratch_cleaner;
+
+/// A tiny writer with three kill points, for exercising the modes
+/// without any filesystem traffic.
+void three_points() {
+  TITAN_PTP("test/alpha");
+  TITAN_PTP("test/beta");
+  TITAN_PTP("test/beta");
+}
+
+TEST(FaultTest, NoneModeCountsHitsAndNeverKills) {
+  FaultTestInit(FaultConfig{});
+  for (int i = 0; i < 3; ++i) three_points();
+  const auto report = faulttest::fault_test_report();
+  EXPECT_EQ(report.mode, FaultMode::kNone);
+  EXPECT_EQ(report.total_hits, 9U);
+  ASSERT_EQ(report.sites.size(), 2U);
+  // Sites arrive sorted by name.
+  EXPECT_EQ(report.sites[0].site, "test/alpha");
+  EXPECT_EQ(report.sites[0].hits, 3U);
+  EXPECT_EQ(report.sites[1].site, "test/beta");
+  EXPECT_EQ(report.sites[1].hits, 6U);
+  EXPECT_NE(report.summary_text().find("test/alpha"), std::string::npos);
+}
+
+TEST(FaultTest, RunLengthKillsExactlyTheNthHit) {
+  FaultConfig config;
+  config.mode = FaultMode::kRunLength;
+  config.run_length = 2;
+  FaultTestInit(config);
+  try {
+    three_points();
+    FAIL() << "second hit must kill";
+  } catch (const KillPointError& error) {
+    EXPECT_EQ(error.site(), "test/beta");
+    EXPECT_EQ(error.hit(), 2U);
+    EXPECT_GT(error.line(), 0U);
+    EXPECT_NE(error.file().find("faulttest_test"), std::string::npos);
+  }
+}
+
+TEST(FaultTest, DisarmsAfterOneKillButKeepsCounting) {
+  FaultConfig config;
+  config.mode = FaultMode::kRunLength;
+  config.run_length = 1;
+  FaultTestInit(config);
+  EXPECT_THROW(three_points(), KillPointError);
+  // Disarmed now: the same points run through, and their hits still tally.
+  EXPECT_NO_THROW(three_points());
+  const auto report = faulttest::fault_test_report();
+  EXPECT_EQ(report.total_hits, 4U);  // 1 (killed first hit) + 3
+  FaultTestInit(FaultConfig{});
+}
+
+TEST(FaultTest, IndependentAtProbabilityOneKillsFirstHit) {
+  FaultConfig config;
+  config.mode = FaultMode::kIndependent;
+  config.probability = 1.0;
+  FaultTestInit(config);
+  try {
+    three_points();
+    FAIL() << "p=1 must kill the first hit";
+  } catch (const KillPointError& error) {
+    EXPECT_EQ(error.site(), "test/alpha");
+    EXPECT_EQ(error.hit(), 1U);
+  }
+  FaultTestInit(FaultConfig{});
+}
+
+TEST(FaultTest, IndependentAtProbabilityZeroNeverKills) {
+  FaultConfig config;
+  config.mode = FaultMode::kIndependent;
+  config.probability = 0.0;
+  FaultTestInit(config);
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(three_points());
+  FaultTestInit(FaultConfig{});
+}
+
+TEST(FaultTest, UniformOverRunIsDeterministicPerSeed) {
+  const auto kill_hit_for = [](std::uint64_t seed) {
+    FaultConfig config;
+    config.mode = FaultMode::kUniformOverRun;
+    config.run_length = 9;
+    config.seed = seed;
+    FaultTestInit(config);
+    std::uint64_t hit = 0;
+    try {
+      for (int i = 0; i < 3; ++i) three_points();
+    } catch (const KillPointError& error) {
+      hit = error.hit();
+    }
+    FaultTestInit(FaultConfig{});
+    return hit;
+  };
+  const auto first = kill_hit_for(29);
+  EXPECT_GE(first, 1U);
+  EXPECT_LE(first, 9U);
+  EXPECT_EQ(first, kill_hit_for(29)) << "same seed, same kill point";
+}
+
+TEST(FaultTest, InitZeroesTheCensus) {
+  FaultTestInit(FaultConfig{});
+  three_points();
+  FaultTestInit(FaultConfig{});
+  const auto report = faulttest::fault_test_report();
+  EXPECT_EQ(report.total_hits, 0U);
+  EXPECT_TRUE(report.sites.empty());
+}
+
+TEST(FaultTest, ParseFaultSpecGrammar) {
+  using faulttest::parse_fault_spec;
+  const auto none = parse_fault_spec("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->mode, FaultMode::kNone);
+
+  const auto independent = parse_fault_spec("independent,p=0.25,seed=7,hard");
+  ASSERT_TRUE(independent.has_value());
+  EXPECT_EQ(independent->mode, FaultMode::kIndependent);
+  EXPECT_DOUBLE_EQ(independent->probability, 0.25);
+  EXPECT_EQ(independent->seed, 7U);
+  EXPECT_TRUE(independent->hard_exit);
+
+  const auto runlength = parse_fault_spec("runlength,n=42");
+  ASSERT_TRUE(runlength.has_value());
+  EXPECT_EQ(runlength->mode, FaultMode::kRunLength);
+  EXPECT_EQ(runlength->run_length, 42U);
+  EXPECT_FALSE(runlength->hard_exit);
+
+  const auto uniform = parse_fault_spec("uniform,n=9,seed=3");
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_EQ(uniform->mode, FaultMode::kUniformOverRun);
+  EXPECT_EQ(uniform->run_length, 9U);
+  EXPECT_EQ(uniform->seed, 3U);
+
+  // Malformed specs parse to nothing rather than half a config.
+  EXPECT_FALSE(parse_fault_spec("").has_value());
+  EXPECT_FALSE(parse_fault_spec("explode").has_value());
+  EXPECT_FALSE(parse_fault_spec("independent").has_value());      // p= required
+  EXPECT_FALSE(parse_fault_spec("runlength,n=0").has_value());    // N >= 1
+  EXPECT_FALSE(parse_fault_spec("uniform,n=0").has_value());
+  EXPECT_FALSE(parse_fault_spec("runlength,n=2,bogus").has_value());
+}
+
+TEST(FaultTest, AtomicWriteCommitsOrLeavesTheTmpAsEvidence) {
+  FaultTestInit(FaultConfig{});
+  const auto dir = scratch_root() / "atomic";
+  fs::create_directories(dir);
+  const auto target = dir / "artifact.txt";
+
+  // Clean path: destination lands, no tmp remains.
+  faulttest::atomic_write_file(target, "payload\n", "test");
+  EXPECT_TRUE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(dir / "artifact.txt.tmp"));
+
+  // Kill at pre-rename (hit 3 of pre-tmp/post-tmp/pre-rename/post-rename):
+  // the tmp is durable, the destination still carries the OLD bytes.
+  FaultConfig config;
+  config.mode = FaultMode::kRunLength;
+  config.run_length = 3;
+  FaultTestInit(config);
+  try {
+    faulttest::atomic_write_file(target, "replacement\n", "test");
+    FAIL() << "pre-rename kill point must fire";
+  } catch (const KillPointError& error) {
+    EXPECT_EQ(error.site(), "io/atomic/pre-rename");
+  }
+  FaultTestInit(FaultConfig{});
+  EXPECT_TRUE(fs::exists(dir / "artifact.txt.tmp")) << "orphan tmp is the crash evidence";
+  std::ifstream in{target};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "payload") << "destination must never be half-replaced";
+
+  // Kill at post-rename: the write committed; only the kill report differs.
+  config.run_length = 4;
+  FaultTestInit(config);
+  try {
+    faulttest::atomic_write_file(target, "replacement\n", "test");
+    FAIL() << "post-rename kill point must fire";
+  } catch (const KillPointError& error) {
+    EXPECT_EQ(error.site(), "io/atomic/post-rename");
+  }
+  FaultTestInit(FaultConfig{});
+  std::ifstream committed{target};
+  std::getline(committed, line);
+  EXPECT_EQ(line, "replacement");
+  EXPECT_FALSE(fs::exists(dir / "artifact.txt.tmp")) << "rename consumed the tmp";
+}
+
+TEST(FaultTestHard, HardModeExitsWithTheKillCode) {
+  EXPECT_EXIT(
+      {
+        FaultConfig config;
+        config.mode = FaultMode::kRunLength;
+        config.run_length = 1;
+        config.hard_exit = true;
+        FaultTestInit(config);
+        TITAN_PTP("test/hard");
+        ::_exit(0);  // unreachable: the kill point dies first
+      },
+      ::testing::ExitedWithCode(faulttest::kKillPointExitCode), "");
+}
+
+}  // namespace
+}  // namespace titan

@@ -294,8 +294,11 @@ TEST(StudySharded, MissingShardIsFatalUnderBothPolicies) {
       FAIL() << "missing shard must throw";
     } catch (const IngestError& error) {
       // The manifest's presence check (or, without claims, the shard
-      // roster walk) must name the missing shard file either way.
-      EXPECT_EQ(error.code(), TriageCode::kFileMissing);
+      // roster walk) must name the missing shard file either way.  A
+      // hole in the shard roster is crash-shaped damage, so it carries
+      // the dedicated E_PARTIAL_SHARD_SET code rather than generic
+      // E_FILE_MISSING.
+      EXPECT_EQ(error.code(), TriageCode::kPartialShardSet);
       EXPECT_EQ(error.file(), tdf::shard_file_name(1));
       EXPECT_NE(std::string{error.what()}.find("dataset.shard-1.tdf"), std::string::npos)
           << error.what();

@@ -757,4 +757,112 @@ TEST(DetRand, TestSourcesAreSymbolEvidenceOnly) {
   EXPECT_TRUE(lint_one("tests/fixture.cpp", "int x = std::rand();\n").diagnostics.empty());
 }
 
+// ---------------------------------------------------------------------------
+// I/O atomicity (crash consistency).
+// ---------------------------------------------------------------------------
+
+TEST(IoAtomic, FlagsNonAtomicArtifactWrite) {
+  const auto result = lint_one("src/ops/export.cpp",
+                               "void dump(const Ctx& c) {\n"
+                               "  write_text(dir / \"manifest.txt\", text);\n"
+                               "}\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(formatted(result)[0],
+            "src/ops/export.cpp:2: error[io-atomic]: non-atomic write_text of dataset "
+            "artifact 'manifest.txt'; route it through study::io atomic_write_* so a "
+            "crash cannot leave a half-written artifact");
+}
+
+TEST(IoAtomic, FlagsRawOfstreamAimedAtAnArtifact) {
+  const auto result = lint_one("src/ops/export.cpp",
+                               "void dump(const Ctx& c) {\n"
+                               "  std::ofstream out{dir / \"dataset.tdf\"};\n"
+                               "  out << bytes;\n"
+                               "}\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(formatted(result)[0],
+            "src/ops/export.cpp:2: error[io-atomic]: raw std::ofstream aimed at dataset "
+            "artifact 'dataset.tdf'; route it through study::io atomic_write_* so a "
+            "crash cannot leave a half-written artifact");
+}
+
+TEST(IoAtomic, ShardContainersMatchOnTheirStem) {
+  const auto result = lint_one("src/ops/export.cpp",
+                               "void dump(const Ctx& c) {\n"
+                               "  write_lines(dir / (\"dataset.shard-\" + n + \".tdf\"),"
+                               " lines);\n"
+                               "}\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(formatted(result)[0],
+            "src/ops/export.cpp:2: error[io-atomic]: non-atomic write_lines of dataset "
+            "artifact 'dataset.shard-*.tdf'; route it through study::io atomic_write_* "
+            "so a crash cannot leave a half-written artifact");
+}
+
+TEST(IoAtomic, NonArtifactAndCarveOutWritesAreClean) {
+  // A write aimed at something that is not a dataset artifact is fine.
+  EXPECT_TRUE(lint_one("src/ops/export.cpp",
+                       "void dump(const Ctx& c) {\n"
+                       "  write_text(dir / \"notes.txt\", text);\n"
+                       "}\n")
+                  .diagnostics.empty());
+  // The corruption injector's whole job is non-atomic mutation.
+  EXPECT_TRUE(lint_one("src/ingest/corrupt.cpp",
+                       "void corrupt(const Ctx& c) {\n"
+                       "  std::ofstream out{dir / \"manifest.txt\"};\n"
+                       "}\n")
+                  .diagnostics.empty());
+  // study::io itself implements the primitives.
+  EXPECT_TRUE(lint_one("src/study/io.cpp",
+                       "void write_text(const P& p, S text) {\n"
+                       "  std::ofstream out{p};\n"
+                       "}\n")
+                  .diagnostics.empty());
+}
+
+TEST(IoAtomic, FlagsAtomicWriteWithoutAKillPoint) {
+  const auto result = lint_one("src/study/seal.cpp",
+                               "void seal_shard(const P& dir) {\n"
+                               "  atomic_write_text(dir / file, encoded);\n"
+                               "}\n");
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(formatted(result)[0],
+            "src/study/seal.cpp:2: error[io-atomic]: atomic write in 'seal_shard' has "
+            "no TITAN_PTP kill point on its path; add one so crash sweeps exercise "
+            "this durable-state transition");
+}
+
+TEST(IoAtomic, KillPointOnThePathIsClean) {
+  EXPECT_TRUE(lint_one("src/study/seal.cpp",
+                       "void seal_shard(const P& dir) {\n"
+                       "  TITAN_PTP(\"study/shard/encoded\");\n"
+                       "  atomic_write_text(dir / file, encoded);\n"
+                       "  TITAN_PTP(\"study/shard/sealed\");\n"
+                       "}\n")
+                  .diagnostics.empty());
+}
+
+TEST(IoAtomic, KillPointCheckScopesToTheDurableLayers) {
+  // Outside src/study, src/tdf and src/ckpt an atomic_write_* call has no
+  // kill-point obligation (there is nothing for a crash sweep to resume).
+  EXPECT_TRUE(lint_one("src/ops/export.cpp",
+                       "void dump(const P& dir) {\n"
+                       "  atomic_write_text(dir / \"report.txt\", text);\n"
+                       "}\n")
+                  .diagnostics.empty());
+  // Declarations at file scope are not calls.
+  EXPECT_TRUE(lint_one("src/study/seal.hpp",
+                       "void atomic_write_text(const P& path, S text);\n")
+                  .diagnostics.empty());
+}
+
+TEST(IoAtomic, AllowMarkerSuppresses) {
+  EXPECT_TRUE(lint_one("src/study/seal.cpp",
+                       "void seal_shard(const P& dir) {\n"
+                       "  atomic_write_text(dir / file, encoded);"
+                       "  // titanlint: allow(io-atomic)\n"
+                       "}\n")
+                  .diagnostics.empty());
+}
+
 }  // namespace

@@ -5,6 +5,7 @@
 //   titan-convert [--salvage] [--to text|binary] [--shards N] [--profile NAME]
 //                 <src_dir> <dst_dir>
 //   titan-convert --info <dataset_dir | dataset.tdf>
+//   titan-convert --fsck <dataset_dir>
 //
 // Without --to, the conversion direction is inferred: a source directory
 // holding binary containers converts to text, a text dataset converts to
@@ -13,7 +14,10 @@
 // under IngestPolicy::kSalvage (repair/quarantine with a triage report)
 // instead of strict.  --profile NAME asserts the source's recorded fleet
 // profile (a disagreement is E_PROFILE_MISMATCH).  --info on a sharded
-// directory prints one segment table per shard.
+// directory prints one segment table per shard.  --fsck runs the
+// read-only crash-consistency check (orphan tmp files, checkpoint state,
+// full checksum verification, shard roster) and exits 1 when the
+// directory carries crash state.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "profile/fleet_profile.hpp"
+#include "study/fsck.hpp"
 #include "study/sharded.hpp"
 #include "study/source.hpp"
 #include "tdf/tdf.hpp"
@@ -37,6 +42,7 @@ int usage() {
                "usage: titan-convert [--salvage] [--to text|binary] [--shards N] "
                "[--profile NAME] <src_dir> <dst_dir>\n"
                "       titan-convert --info <dataset_dir | dataset.tdf>\n"
+               "       titan-convert --fsck <dataset_dir>\n"
                "profiles: %s\n",
                profile::profile_names().c_str());
   return 2;
@@ -60,6 +66,12 @@ int info(const fs::path& arg) {
   const auto summary = tdf::inspect_tdf(path).summary_text();
   std::printf("%s", summary.c_str());
   return 0;
+}
+
+int fsck(const fs::path& dir) {
+  const auto result = study::fsck_dataset(dir);
+  std::printf("%s", result.report_text().c_str());
+  return result.clean() ? 0 : 1;
 }
 
 int convert(const fs::path& src, const fs::path& dst, std::string_view to, bool salvage,
@@ -114,6 +126,7 @@ int main(int argc, char** argv) {
   std::size_t shards = 0;
   const profile::FleetProfile* expected = nullptr;
   fs::path info_path;
+  fs::path fsck_path;
   std::vector<fs::path> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +150,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--info" && i + 1 < argc) {
       info_path = argv[++i];
+    } else if (arg == "--fsck" && i + 1 < argc) {
+      fsck_path = argv[++i];
     } else if (!arg.starts_with("--")) {
       positional.emplace_back(arg);
     } else {
@@ -148,6 +163,10 @@ int main(int argc, char** argv) {
     if (!info_path.empty()) {
       if (!positional.empty()) return usage();
       return info(info_path);
+    }
+    if (!fsck_path.empty()) {
+      if (!positional.empty()) return usage();
+      return fsck(fsck_path);
     }
     if (positional.size() != 2) return usage();
     return convert(positional[0], positional[1], to, salvage, shards, expected);

@@ -348,6 +348,127 @@ void rule_profile_hygiene(LintContext& ctx, const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// I/O atomicity (crash consistency).
+// ---------------------------------------------------------------------------
+
+/// Dataset artifact names whose durability the crash-consistency contract
+/// covers: a non-atomic write of any of these can be observed
+/// half-written after a crash.
+constexpr std::array<std::string_view, 6> kArtifactNames = {
+    "console.log", "jobs.log", "smi_sweep.txt", "manifest.txt", "dataset.tdf",
+    "study.ckpt"};
+
+/// If the (quoted) string literal names a dataset artifact, return that
+/// name; shard containers match on their ".shard-" stem.
+std::string_view artifact_in_literal(std::string_view literal) {
+  for (const auto name : kArtifactNames) {
+    if (literal.find(name) != std::string_view::npos) return name;
+  }
+  if (literal.find(".shard-") != std::string_view::npos) return "dataset.shard-*.tdf";
+  return {};
+}
+
+/// Innermost function definition whose body contains token `i`.
+const engine::FunctionDef* enclosing_function(
+    const std::vector<engine::FunctionDef>& defs, std::size_t i) {
+  const engine::FunctionDef* best = nullptr;
+  for (const auto& def : defs) {
+    if (def.body_open < i && i < def.body_close &&
+        (best == nullptr || def.body_open > best->body_open)) {
+      best = &def;
+    }
+  }
+  return best;
+}
+
+/// Crash-consistency discipline for dataset artifacts, in two halves:
+///
+///   (a) anywhere under src/, writing a named dataset artifact through a
+///       non-atomic channel (bare write_text / write_lines, or a raw
+///       std::ofstream aimed at an artifact name) is flagged -- a crash
+///       mid-write would leave a half-written artifact no loader can
+///       distinguish from corruption;
+///   (b) in the durable-write layers (src/study, src/tdf, src/ckpt), an
+///       atomic_write_* / write_tdf call whose enclosing function carries
+///       no TITAN_PTP kill point is flagged -- the crash sweep cannot
+///       exercise a durable-state transition it never gets to interrupt.
+///
+/// Carve-outs: src/study/io.cpp implements both the non-atomic primitives
+/// and the atomic forwarding wrappers; src/ingest/corrupt.cpp's whole job
+/// is deliberate non-atomic mutation; src/faulttest owns the
+/// tmp+fsync+rename engine itself.
+void rule_io_atomic(LintContext& ctx, std::size_t f, const engine::SymbolTable& sym) {
+  const auto& file = *ctx.files[f];
+  if (!in_dir(file.path, "src/")) return;
+  if (file.path == "src/study/io.cpp" || file.path == "src/ingest/corrupt.cpp" ||
+      in_dir(file.path, "src/faulttest/")) {
+    return;
+  }
+  const auto& tf = ctx.tokenized[f];
+  const auto& t = tf.tokens;
+  const bool ptp_scope = in_dir(file.path, "src/study/") ||
+                         in_dir(file.path, "src/tdf/") || in_dir(file.path, "src/ckpt/");
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdentifier) continue;
+    const auto& name = t[i].text;
+
+    // Half (a): non-atomic writers aimed at an artifact name.
+    if (name == "write_text" || name == "write_lines") {
+      if (tok(t, i + 1) != "(") continue;
+      const auto close = match(t, i + 1, "(", ")");
+      if (close == std::string_view::npos) continue;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind != Kind::kString) continue;
+        const auto artifact = artifact_in_literal(t[j].text);
+        if (artifact.empty()) continue;
+        ctx.report(file, tf, t[i].line, Severity::kError, "io-atomic",
+                   "non-atomic " + name + " of dataset artifact '" +
+                       std::string{artifact} +
+                       "'; route it through study::io atomic_write_* so a crash "
+                       "cannot leave a half-written artifact");
+        break;
+      }
+      continue;
+    }
+    if (name == "ofstream") {
+      // Scan the declaration statement for an artifact-name literal.
+      for (std::size_t j = i + 1; j < t.size() && tok(t, j) != ";"; ++j) {
+        if (t[j].kind != Kind::kString) continue;
+        const auto artifact = artifact_in_literal(t[j].text);
+        if (artifact.empty()) continue;
+        ctx.report(file, tf, t[i].line, Severity::kError, "io-atomic",
+                   "raw std::ofstream aimed at dataset artifact '" +
+                       std::string{artifact} +
+                       "'; route it through study::io atomic_write_* so a crash "
+                       "cannot leave a half-written artifact");
+        break;
+      }
+      continue;
+    }
+
+    // Half (b): atomic writes with no kill point on their path.
+    if (!ptp_scope) continue;
+    if (name != "atomic_write_text" && name != "atomic_write_lines" &&
+        name != "atomic_write_file" && name != "write_tdf") {
+      continue;
+    }
+    if (tok(t, i + 1) != "(") continue;
+    const auto* fn = enclosing_function(sym.functions[f], i);
+    if (fn == nullptr) continue;  // declaration or definition header, not a call
+    bool has_ptp = false;
+    for (std::size_t j = fn->body_open; j <= fn->body_close && !has_ptp; ++j) {
+      has_ptp = t[j].kind == Kind::kIdentifier && t[j].text == "TITAN_PTP";
+    }
+    if (!has_ptp) {
+      ctx.report(file, tf, t[i].line, Severity::kError, "io-atomic",
+                 "atomic write in '" + fn->name +
+                     "' has no TITAN_PTP kill point on its path; add one so crash "
+                     "sweeps exercise this durable-state transition");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Capability cross-check.
 // ---------------------------------------------------------------------------
 
@@ -756,6 +877,7 @@ LintResult run_lint(std::span<const SourceFile> files) {
     rule_det_thread(ctx, files[f], ctx.tokenized[f]);
     rule_det_unordered_iter(ctx, f, sym);
     rule_profile_hygiene(ctx, files[f], ctx.tokenized[f]);
+    rule_io_atomic(ctx, f, sym);
   }
   rule_capability_check(ctx);
   rule_include_hygiene(ctx);

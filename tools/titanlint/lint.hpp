@@ -9,7 +9,7 @@
 // no full parse) and builds a cross-translation-unit symbol table
 // (function definitions, unordered-container names with one hop of
 // include-closure propagation, every rng fork call site, the taxonomy
-// enums and their references); pass 2 runs five rule families over it:
+// enums and their references); pass 2 runs six rule families over it:
 //
 //   determinism
 //     [det-rand]            std::rand/srand, time(nullptr) seeding, and
@@ -39,6 +39,19 @@
 //                           header through the file's own includes plus
 //                           the transitive includes of in-repo headers
 //                           (the class of bug PR 2 fixed by hand).
+//
+//   i/o atomicity (src/, crash consistency)
+//     [io-atomic]           (a) a named dataset artifact (console.log,
+//                           manifest.txt, dataset.tdf, study.ckpt, shard
+//                           containers, ...) written through a non-atomic
+//                           channel -- bare write_text/write_lines or a
+//                           raw std::ofstream -- anywhere outside
+//                           study::io and the corruption injector; (b) an
+//                           atomic_write_* / write_tdf call in the
+//                           durable-write layers (src/study, src/tdf,
+//                           src/ckpt) whose enclosing function carries no
+//                           TITAN_PTP kill point, leaving that durable-
+//                           state transition invisible to crash sweeps.
 //
 //   stream discipline (src/)
 //     [stream-collision]    two sibling forks (same receiver, same
